@@ -1,0 +1,53 @@
+// Ablation (paper Sec 6.3.3 future work): bulk routing. Whirlpool-S reuses
+// one adaptive routing decision for queue neighbours that have visited the
+// same set of servers, amortizing the router's per-tuple overhead. This
+// bench sweeps the batch size and reports routing decisions, work and time.
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+
+using namespace whirlpool;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::Workload w = bench::MakeXMark(args.MediumBytes(), args.seed);
+  bench::Compiled c = bench::Compile(*w.idx, bench::QueryXPath(3));
+  std::printf("Bulk-routing ablation (Q3, k=15, ~%zu KB, Whirlpool-S)\n\n",
+              w.approx_bytes >> 10);
+  std::printf("%-8s %14s %12s %12s %12s\n", "batch", "route_decisions", "ops",
+              "created", "time(ms)");
+
+  const int batches[] = {1, 4, 16, 64};
+  uint64_t decisions[4], ops[4];
+  double score_check = -1;
+  bool answers_stable = true;
+  for (int bi = 0; bi < 4; ++bi) {
+    exec::ExecOptions options;
+    options.k = 15;
+    options.bulk_batch = batches[bi];
+    auto r = exec::RunTopK(*c.plan, options);
+    if (!r.ok()) return 1;
+    decisions[bi] = r->metrics.routing_decisions;
+    ops[bi] = r->metrics.server_operations;
+    std::printf("%-8d %14llu %12llu %12llu %12.2f\n", batches[bi],
+                static_cast<unsigned long long>(r->metrics.routing_decisions),
+                static_cast<unsigned long long>(r->metrics.server_operations),
+                static_cast<unsigned long long>(r->metrics.matches_created),
+                r->metrics.wall_seconds * 1e3);
+    const double top = r->answers.empty() ? 0.0 : r->answers[0].score;
+    if (score_check < 0) score_check = top;
+    else answers_stable &= std::abs(top - score_check) < 1e-9;
+  }
+
+  bool ok = bench::ShapeCheck("bulk.answers_invariant", answers_stable,
+                              "top score " + std::to_string(score_check));
+  ok &= bench::ShapeCheck("bulk.fewer_decisions_with_batching",
+                          decisions[3] < decisions[0],
+                          std::to_string(decisions[0]) + " -> " +
+                              std::to_string(decisions[3]));
+  ok &= bench::ShapeCheck(
+      "bulk.work_stays_comparable", ops[3] <= ops[0] * 2,
+      "ops " + std::to_string(ops[0]) + " -> " + std::to_string(ops[3]));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Ablation: the per-(server, root) join cache (exec/join_cache.h). In
+// relaxed max-tuple mode the tuple explosion re-classifies the same
+// candidate lists; memoizing them trades memory for predicate comparisons.
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+
+using namespace whirlpool;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::Workload w = bench::MakeXMark(args.MediumBytes(), args.seed);
+  std::printf("Join-cache ablation (k=15, ~%zu KB)\n\n", w.approx_bytes >> 10);
+  std::printf("%-4s %-16s %-6s %14s %12s %12s\n", "Q", "engine", "cache", "cmps",
+              "ops", "time(ms)");
+
+  bool ok = true;
+  for (int qn = 2; qn <= 3; ++qn) {
+    bench::Compiled c = bench::Compile(*w.idx, bench::QueryXPath(qn));
+    for (exec::EngineKind kind :
+         {exec::EngineKind::kWhirlpoolS, exec::EngineKind::kLockStep}) {
+      uint64_t cmps[2];
+      double top_score[2];
+      for (int cached = 0; cached < 2; ++cached) {
+        exec::ExecOptions options;
+        options.engine = kind;
+        options.k = 15;
+        options.cache_server_joins = cached == 1;
+        auto r = exec::RunTopK(*c.plan, options);
+        if (!r.ok()) return 1;
+        cmps[cached] = r->metrics.predicate_comparisons;
+        top_score[cached] = r->answers.empty() ? 0 : r->answers[0].score;
+        std::printf("Q%-3d %-16s %-6s %14llu %12llu %12.2f\n", qn,
+                    exec::EngineKindName(kind), cached ? "on" : "off",
+                    static_cast<unsigned long long>(r->metrics.predicate_comparisons),
+                    static_cast<unsigned long long>(r->metrics.server_operations),
+                    r->metrics.wall_seconds * 1e3);
+      }
+      ok &= bench::ShapeCheck(
+          "cache.same_answers_Q" + std::to_string(qn) + "_" + exec::EngineKindName(kind),
+          std::abs(top_score[0] - top_score[1]) < 1e-9,
+          "top " + std::to_string(top_score[0]));
+      ok &= bench::ShapeCheck(
+          "cache.fewer_comparisons_Q" + std::to_string(qn) + "_" +
+              exec::EngineKindName(kind),
+          cmps[1] <= cmps[0],
+          std::to_string(cmps[0]) + " -> " + std::to_string(cmps[1]));
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// Ablation (paper Sec 6.1.3): server priority-queue policies. The paper
+// reports that "for all configurations tested, a queue based on the maximum
+// possible final score performed better than the other queues" — this bench
+// sweeps all four policies for Whirlpool-M and LockStep on Q2 and Q3 and
+// reports work and time per policy.
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+
+using namespace whirlpool;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::Workload w = bench::MakeXMark(args.MediumBytes(), args.seed);
+  std::printf("Queue-policy ablation (k=15, ~%zu KB)\n\n", w.approx_bytes >> 10);
+  std::printf("%-4s %-14s %-26s %12s %12s %12s\n", "Q", "engine", "queue policy",
+              "time(ms)", "ops", "created");
+
+  const exec::QueuePolicy policies[] = {
+      exec::QueuePolicy::kFifo, exec::QueuePolicy::kCurrentScore,
+      exec::QueuePolicy::kMaxNextScore, exec::QueuePolicy::kMaxFinalScore};
+
+  bool ok = true;
+  for (int qn = 2; qn <= 3; ++qn) {
+    bench::Compiled c = bench::Compile(*w.idx, bench::QueryXPath(qn));
+    for (exec::EngineKind kind :
+         {exec::EngineKind::kWhirlpoolM, exec::EngineKind::kLockStep}) {
+      uint64_t created[4];
+      int pi = 0;
+      for (exec::QueuePolicy policy : policies) {
+        exec::ExecOptions options;
+        options.engine = kind;
+        options.k = 15;
+        options.queue_policy = policy;
+        auto m = bench::Run(*c.plan, options);
+        created[pi++] = m.matches_created;
+        std::printf("Q%-3d %-14s %-26s %12.2f %12llu %12llu\n", qn,
+                    exec::EngineKindName(kind), exec::QueuePolicyName(policy),
+                    m.wall_seconds * 1e3,
+                    static_cast<unsigned long long>(m.server_operations),
+                    static_cast<unsigned long long>(m.matches_created));
+      }
+      // Max-final must be no worse (in matches created) than FIFO, the
+      // policy with no score information at all. Whirlpool-M's counts are
+      // schedule-dependent on small machines, so its tolerance is wider.
+      const double tol = kind == exec::EngineKind::kWhirlpoolM ? 1.35 : 1.05;
+      ok &= bench::ShapeCheck(
+          "queues.max_final_no_worse_than_fifo_Q" + std::to_string(qn) + "_" +
+              exec::EngineKindName(kind),
+          static_cast<double>(created[3]) <= static_cast<double>(created[0]) * tol,
+          "max_final=" + std::to_string(created[3]) + " fifo=" +
+              std::to_string(created[0]));
+    }
+  }
+  return ok ? 0 : 1;
+}

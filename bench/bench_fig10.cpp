@@ -1,0 +1,75 @@
+// Figure 10 (paper Sec 6.3.5): query execution time for Whirlpool-S and
+// Whirlpool-M as a function of k (3, 15, 75) and query size (Q1, Q2, Q3),
+// at the paper's ~1.8 msec per-operation cost. Paper findings: time grows
+// roughly linearly with k, exponentially with query size, and Whirlpool-M's
+// advantage over Whirlpool-S grows with both k and query size.
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+
+using namespace whirlpool;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  const size_t bytes = static_cast<size_t>(args.scale * (512 << 10));
+  const double op_cost = 0.0018;
+  bench::Workload w = bench::MakeXMark(bytes, args.seed);
+  std::printf("Figure 10: exec time vs k and query size (~%zu KB doc, op cost "
+              "%.1fms)\n\n", w.approx_bytes >> 10, op_cost * 1e3);
+  std::printf("%-4s %-5s %14s %14s %12s %12s\n", "Q", "k", "W-S time(s)",
+              "W-M time(s)", "W-S ops", "W-M ops");
+
+  const uint32_t ks[] = {3, 15, 75};
+  double ws_time[4][3], wm_time[4][3];
+  for (int qn = 1; qn <= 3; ++qn) {
+    bench::Compiled c = bench::Compile(*w.idx, bench::QueryXPath(qn));
+    for (int ki = 0; ki < 3; ++ki) {
+      exec::ExecOptions options;
+      options.k = ks[ki];
+      options.op_cost_seconds = op_cost;
+      uint64_t ops[2];
+      double times[2];
+      int ei = 0;
+      for (exec::EngineKind kind :
+           {exec::EngineKind::kWhirlpoolS, exec::EngineKind::kWhirlpoolM}) {
+        options.engine = kind;
+        auto m = bench::Run(*c.plan, options);
+        times[ei] = m.wall_seconds;
+        ops[ei] = m.server_operations;
+        ++ei;
+      }
+      ws_time[qn][ki] = times[0];
+      wm_time[qn][ki] = times[1];
+      std::printf("Q%-3d %-5u %14.2f %14.2f %12llu %12llu\n", qn, ks[ki], times[0],
+                  times[1], static_cast<unsigned long long>(ops[0]),
+                  static_cast<unsigned long long>(ops[1]));
+    }
+  }
+
+  bool ok = true;
+  // (1) Time grows with k for every query.
+  for (int qn = 1; qn <= 3; ++qn) {
+    ok &= bench::ShapeCheck("fig10.time_grows_with_k_Q" + std::to_string(qn),
+                            ws_time[qn][2] > ws_time[qn][0],
+                            std::to_string(ws_time[qn][0]) + "s -> " +
+                                std::to_string(ws_time[qn][2]) + "s");
+  }
+  // (2) Time grows sharply with query size at the default k=15.
+  ok &= bench::ShapeCheck("fig10.time_grows_with_query_size",
+                          ws_time[3][1] > 2 * ws_time[1][1] &&
+                              ws_time[2][1] > ws_time[1][1],
+                          "Q1=" + std::to_string(ws_time[1][1]) + "s Q2=" +
+                              std::to_string(ws_time[2][1]) + "s Q3=" +
+                              std::to_string(ws_time[3][1]) + "s");
+  // (3) Whirlpool-M's advantage over Whirlpool-S is larger for the largest
+  // query/k than for the smallest (paper: W-S 20% faster on Q1, W-M up to
+  // 60% faster on Q3/k=75).
+  const double small_ratio = ws_time[1][0] / wm_time[1][0];
+  const double large_ratio = ws_time[3][2] / wm_time[3][2];
+  ok &= bench::ShapeCheck("fig10.wm_advantage_grows",
+                          large_ratio > small_ratio,
+                          "W-S/W-M ratio Q1k3=" + std::to_string(small_ratio) +
+                              " -> Q3k75=" + std::to_string(large_ratio));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,131 @@
+// Figure 3 (motivating example, paper Sec 2): six static join plans over
+// "book (d)" — a book with 3 title matches (score 0.3 each), 5 location
+// matches (0.3/0.2/0.1/0.1/0.1) and 1 price match (0.2) — evaluated for
+// increasing values of currentTopK with the top-k threshold frozen. The
+// figure plots the number of join-predicate comparisons per plan and shows
+// that no plan is best everywhere: plans joining location first are by far
+// the worst at low currentTopK but become best as the threshold rises.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace whirlpool;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs::Parse(argc, argv);  // accepts the shared flags; unused
+
+  // Build book (d).
+  xml::Document doc;
+  xml::NodeId book = doc.AddChild(doc.root(), "book");
+  std::vector<xml::NodeId> titles, locations, prices;
+  for (int i = 0; i < 3; ++i) {
+    xml::NodeId t = doc.AddChild(book, "title");
+    doc.SetText(t, "wodehouse");
+    titles.push_back(t);
+  }
+  for (int i = 0; i < 5; ++i) locations.push_back(doc.AddChild(book, "location"));
+  prices.push_back(doc.AddChild(book, "price"));
+  doc.Finalize();
+  index::TagIndex idx(doc);
+
+  // Query: top-1 book with title, location and price children (Sec 2).
+  auto q = query::ParseXPath("/book[./title and ./location and ./price]");
+  if (!q.ok()) return 1;
+
+  // Per-binding scores from the paper's example.
+  std::map<xml::NodeId, double> binding_score;
+  for (auto t : titles) binding_score[t] = 0.3;
+  const double loc_scores[5] = {0.3, 0.2, 0.1, 0.1, 0.1};
+  for (int i = 0; i < 5; ++i) binding_score[locations[static_cast<size_t>(i)]] = loc_scores[i];
+  binding_score[prices[0]] = 0.2;
+
+  auto scoring = score::ScoringModel::ComputeTfIdf(idx, *q, score::Normalization::kNone);
+  auto plan_r = exec::QueryPlan::Build(idx, *q, scoring);
+  if (!plan_r.ok()) return 1;
+  exec::QueryPlan plan = std::move(plan_r).value();
+  plan.SetScoreOverride(
+      [&binding_score](int, xml::NodeId node, score::MatchLevel) {
+        auto it = binding_score.find(node);
+        return it == binding_score.end() ? 0.0 : it->second;
+      },
+      /*per_server_max=*/{0.3, 0.3, 0.2});  // title, location, price
+
+  // Six plans: all permutations of (title=0, location=1, price=2); book is
+  // always evaluated first (it seeds the matches).
+  const std::vector<std::vector<int>> plans = bench::AllPermutations(3);
+  auto plan_name = [&](const std::vector<int>& order) {
+    std::string s = "book";
+    for (int srv : order) {
+      s += "-";
+      s += q->node(plan.server(srv).pattern_node).tag;
+    }
+    return s;
+  };
+
+  std::printf("Figure 3: join-predicate comparisons vs currentTopK (k=1)\n\n");
+  std::printf("%-10s", "topk");
+  for (const auto& p : plans) std::printf(" %22s", plan_name(p).c_str());
+  std::printf("\n");
+
+  std::map<double, std::vector<uint64_t>> table;
+  for (double topk = 0.0; topk <= 1.001; topk += 0.05) {
+    std::printf("%-10.2f", topk);
+    std::vector<uint64_t> row;
+    for (const auto& order : plans) {
+      exec::ExecOptions options;
+      options.engine = exec::EngineKind::kLockStep;
+      options.k = 1;
+      options.static_order = order;
+      options.frozen_threshold = topk;
+      auto m = bench::Run(plan, options);
+      row.push_back(m.predicate_comparisons);
+      std::printf(" %22llu", static_cast<unsigned long long>(m.predicate_comparisons));
+    }
+    table[topk] = row;
+    std::printf("\n");
+  }
+
+  // ---- Shape checks against the paper's observations -----------------------
+  // Plan indices: orders are lexicographic permutations of (t=0, l=1, p=2):
+  //   0: t,l,p  1: t,p,l  2: l,t,p  3: l,p,t  4: p,t,l  5: p,l,t
+  const auto& low = table[0.0];     // currentTopK < 0.6
+  const auto& mid = table.lower_bound(0.65)->second;
+  bool ok = true;
+  // (1) At low currentTopK, a location-first plan is the single worst plan
+  // (location produces the most intermediate tuples), and location-first
+  // plans cost more on average than price-first ones.
+  uint64_t global_worst = *std::max_element(low.begin(), low.end());
+  bool loc_first_is_worst = low[2] == global_worst || low[3] == global_worst;
+  double loc_avg = (static_cast<double>(low[2]) + static_cast<double>(low[3])) / 2;
+  double price_avg = (static_cast<double>(low[4]) + static_cast<double>(low[5])) / 2;
+  ok &= bench::ShapeCheck(
+      "fig3.location_first_worst_at_low_topk",
+      loc_first_is_worst && loc_avg > price_avg,
+      "loc-first avg=" + std::to_string(loc_avg) + " price-first avg=" +
+          std::to_string(price_avg));
+  // (2) At 0.6<=topk<=0.7, price-location-title (plan 5) is among the best.
+  uint64_t best_mid = *std::min_element(mid.begin(), mid.end());
+  ok &= bench::ShapeCheck("fig3.price_location_title_best_at_mid",
+                          mid[5] == best_mid,
+                          "plan5=" + std::to_string(mid[5]) + " best=" +
+                              std::to_string(best_mid));
+  // (3) No plan dominates: the argmin changes across the sweep.
+  std::set<size_t> argmins;
+  for (const auto& [t, row] : table) {
+    argmins.insert(static_cast<size_t>(
+        std::min_element(row.begin(), row.end()) - row.begin()));
+  }
+  ok &= bench::ShapeCheck("fig3.no_plan_dominates", argmins.size() >= 2,
+                          std::to_string(argmins.size()) + " distinct best plans");
+  // (4) Location-first plans improve (strictly fewer ops) as topk grows.
+  ok &= bench::ShapeCheck("fig3.location_first_improves",
+                          table[0.0][2] > table.lower_bound(0.75)->second[2],
+                          std::to_string(table[0.0][2]) + " -> " +
+                              std::to_string(table.lower_bound(0.75)->second[2]));
+  return ok ? 0 : 1;
+}

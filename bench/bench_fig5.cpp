@@ -1,0 +1,78 @@
+// Figure 5 (paper Sec 6.3.1): query execution time of Whirlpool-S and
+// Whirlpool-M under the three adaptive routing strategies (max_score,
+// min_score, min_alive_partial_matches) at the default setting (Q2, k=15,
+// sparse scoring) and the paper's ~1.8 msec per-operation cost (Sec 6.3.3:
+// all reported results assume join operations cost around 1.8 msec).
+//
+// Paper finding: max_score is slowest (it destroys pruning opportunities),
+// min_score is reasonable, the size-based min_alive strategy wins for both
+// engines.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace whirlpool;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  // Small corpus: with 1.8 ms per operation the op cost dominates, as in
+  // the paper; the doc size only scales total time.
+  bench::Workload w = bench::MakeXMark(args.SmallBytes() / 2, args.seed);
+  bench::Compiled c = bench::Compile(*w.idx, bench::QueryXPath(2));
+  const double op_cost = 0.0018;
+  std::printf("Figure 5: exec time by adaptive routing strategy "
+              "(Q2, ~%zu KB doc, k=15, op cost %.1fms)\n\n",
+              w.approx_bytes >> 10, op_cost * 1e3);
+
+  const exec::RoutingStrategy strategies[] = {exec::RoutingStrategy::kMaxScore,
+                                              exec::RoutingStrategy::kMinScore,
+                                              exec::RoutingStrategy::kMinAlive};
+  std::printf("%-14s %-28s %12s %12s %12s\n", "engine", "routing", "time(s)",
+              "server_ops", "created");
+  double results[2][3];
+  uint64_t ops[2][3];
+  int ei = 0;
+  for (exec::EngineKind kind :
+       {exec::EngineKind::kWhirlpoolS, exec::EngineKind::kWhirlpoolM}) {
+    int si = 0;
+    for (exec::RoutingStrategy strategy : strategies) {
+      exec::ExecOptions options;
+      options.engine = kind;
+      options.routing = strategy;
+      options.k = 15;
+      options.op_cost_seconds = op_cost;
+      auto m = bench::Run(*c.plan, options);
+      results[ei][si] = m.wall_seconds;
+      ops[ei][si] = m.server_operations;
+      std::printf("%-14s %-28s %12.2f %12llu %12llu\n", exec::EngineKindName(kind),
+                  exec::RoutingStrategyName(strategy), m.wall_seconds,
+                  static_cast<unsigned long long>(m.server_operations),
+                  static_cast<unsigned long long>(m.matches_created));
+      ++si;
+    }
+    ++ei;
+  }
+
+  bool ok = true;
+  // Deterministic workload claim for the sequential engine: the size-based
+  // router does the least work.
+  ok &= bench::ShapeCheck(
+      "fig5.min_alive_fewest_ops_WhirlpoolS",
+      ops[0][2] <= ops[0][0] && ops[0][2] <= ops[0][1],
+      "min_alive=" + std::to_string(ops[0][2]) + " min_score=" +
+          std::to_string(ops[0][1]) + " max_score=" + std::to_string(ops[0][0]));
+  for (int e = 0; e < 2; ++e) {
+    const char* name = e == 0 ? "WhirlpoolS" : "WhirlpoolM";
+    // Allow more scheduling noise for the multi-threaded engine.
+    const double tol = e == 0 ? 1.05 : 1.25;
+    ok &= bench::ShapeCheck(
+        std::string("fig5.min_alive_fastest_") + name,
+        results[e][2] <= results[e][0] * tol && results[e][2] <= results[e][1] * tol,
+        "min_alive=" + std::to_string(results[e][2]) + "s max_score=" +
+            std::to_string(results[e][0]) + "s min_score=" +
+            std::to_string(results[e][1]) + "s");
+  }
+  return ok ? 0 : 1;
+}

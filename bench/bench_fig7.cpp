@@ -1,0 +1,60 @@
+// Figure 7 (paper Sec 6.3.2): the companion of Figure 6 measured in number
+// of server operations (the parallelism-independent workload measure) for
+// LockStep, Whirlpool-S and Whirlpool-M — static min/median/max vs adaptive.
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+
+using namespace whirlpool;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::Workload w = bench::MakeXMark(args.MediumBytes(), args.seed);
+  bench::Compiled c = bench::Compile(*w.idx, bench::QueryXPath(2));
+  std::printf("Figure 7: number of server operations, static min/median/max vs "
+              "adaptive (Q2, ~%zu KB, k=15)\n\n", w.approx_bytes >> 10);
+  std::printf("%-18s %12s %12s %12s %12s\n", "technique", "min", "median", "max",
+              "adaptive");
+
+  struct Row {
+    bench::MinMedMax stat;
+    uint64_t adaptive;
+    bool has_adaptive;
+  };
+  std::vector<Row> rows;
+  for (exec::EngineKind kind : {exec::EngineKind::kLockStep,
+                                exec::EngineKind::kWhirlpoolS,
+                                exec::EngineKind::kWhirlpoolM}) {
+    bench::SweepResult r = bench::PermutationSweep(*c.plan, kind, 15);
+    std::vector<double> ops(r.static_ops.begin(), r.static_ops.end());
+    bench::MinMedMax s = bench::Summarize(ops);
+    bool has_adaptive = r.adaptive_time >= 0;
+    rows.push_back({s, r.adaptive_ops, has_adaptive});
+    if (has_adaptive) {
+      std::printf("%-18s %12.0f %12.0f %12.0f %12llu\n", exec::EngineKindName(kind),
+                  s.min, s.median, s.max,
+                  static_cast<unsigned long long>(r.adaptive_ops));
+    } else {
+      std::printf("%-18s %12.0f %12.0f %12.0f %12s\n", exec::EngineKindName(kind),
+                  s.min, s.median, s.max, "n/a");
+    }
+  }
+
+  bool ok = true;
+  // (1) Whirlpool-S performs fewer operations than LockStep at the median
+  // static order (letting matches progress at different rates pays off).
+  ok &= bench::ShapeCheck("fig7.whirlpool_s_fewer_ops_than_lockstep",
+                          rows[1].stat.median < rows[0].stat.median,
+                          std::to_string(rows[1].stat.median) + " vs " +
+                              std::to_string(rows[0].stat.median));
+  // (2) Adaptive routing needs no more operations than the median static
+  // order for both Whirlpool engines.
+  ok &= bench::ShapeCheck(
+      "fig7.adaptive_ops_beat_median_static",
+      static_cast<double>(rows[1].adaptive) < rows[1].stat.median &&
+          static_cast<double>(rows[2].adaptive) < rows[2].stat.median,
+      "W-S " + std::to_string(rows[1].adaptive) + " / W-M " +
+          std::to_string(rows[2].adaptive));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,145 @@
+// Figure 8 (paper Sec 6.3.3, "Cost of Adaptivity"): ratio of each
+// technique's query execution time over the best LockStep-NoPrun execution
+// time, as a function of the per-operation cost (the paper sweeps
+// 0.00001s .. 1s and finds adaptivity only pays off once operations cost
+// more than ~0.5 msec).
+//
+// Method: execution time decomposes as  time(c) = overhead + ops * c  where
+// `overhead` is the measured zero-injected-cost wall time (it contains the
+// adaptivity/scheduling overhead) and `ops` is the measured operation
+// count. We measure both per technique, validate the model against real
+// injected-cost runs at two points, and print the modeled curve across the
+// paper's full cost range (running every point for real at cost=1s would
+// take hours without changing the shape).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace whirlpool;
+
+namespace {
+
+struct Technique {
+  std::string name;
+  exec::EngineKind kind;
+  exec::RoutingStrategy routing;
+  double overhead = 0;  // zero-cost wall seconds (median of 5)
+  uint64_t ops = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::Workload w = bench::MakeXMark(args.SmallBytes(), args.seed);
+  bench::Compiled c = bench::Compile(*w.idx, bench::QueryXPath(2));
+  std::printf("Figure 8: time ratio over best LockStep-NoPrun vs per-operation "
+              "cost (Q2, ~%zu KB, k=15)\n\n", w.approx_bytes >> 10);
+
+  // Best static order for the static techniques, found by ops.
+  bench::SweepResult lockstep_sweep =
+      bench::PermutationSweep(*c.plan, exec::EngineKind::kLockStep, 15);
+  size_t best_idx = 0;
+  for (size_t i = 1; i < lockstep_sweep.static_ops.size(); ++i) {
+    if (lockstep_sweep.static_ops[i] < lockstep_sweep.static_ops[best_idx]) best_idx = i;
+  }
+  const std::vector<int> best_order =
+      bench::AllPermutations(c.plan->num_servers())[best_idx];
+
+  std::vector<Technique> techniques = {
+      {"Whirlpool-S-ADAPTIVE", exec::EngineKind::kWhirlpoolS,
+       exec::RoutingStrategy::kMinAlive},
+      {"Whirlpool-S-STATIC", exec::EngineKind::kWhirlpoolS,
+       exec::RoutingStrategy::kStatic},
+      {"LockStep", exec::EngineKind::kLockStep, exec::RoutingStrategy::kStatic},
+      {"LockStep-NoPrun", exec::EngineKind::kLockStepNoPrun,
+       exec::RoutingStrategy::kStatic},
+  };
+
+  for (auto& t : techniques) {
+    exec::ExecOptions options;
+    options.engine = t.kind;
+    options.routing = t.routing;
+    if (t.routing == exec::RoutingStrategy::kStatic) options.static_order = best_order;
+    options.k = 15;
+    std::vector<double> times;
+    exec::MetricsSnapshot m{};
+    for (int rep = 0; rep < 5; ++rep) {
+      m = bench::Run(*c.plan, options);
+      times.push_back(m.wall_seconds);
+    }
+    t.overhead = bench::Summarize(times).median;
+    t.ops = m.server_operations;
+    std::printf("measured %-22s overhead=%8.2fms ops=%llu\n", t.name.c_str(),
+                t.overhead * 1e3, static_cast<unsigned long long>(t.ops));
+  }
+
+  // Model validation at two real injected costs.
+  std::printf("\nmodel validation (real runs with injected cost):\n");
+  bool model_ok = true;
+  for (double cost : {0.0002, 0.001}) {
+    for (const auto& t : techniques) {
+      exec::ExecOptions options;
+      options.engine = t.kind;
+      options.routing = t.routing;
+      if (t.routing == exec::RoutingStrategy::kStatic) options.static_order = best_order;
+      options.k = 15;
+      options.op_cost_seconds = cost;
+      auto m = bench::Run(*c.plan, options);
+      const double predicted = t.overhead + static_cast<double>(t.ops) * cost;
+      const double err = m.wall_seconds / predicted;
+      std::printf("  cost=%.4fs %-22s real=%8.1fms predicted=%8.1fms (x%.2f)\n", cost,
+                  t.name.c_str(), m.wall_seconds * 1e3, predicted * 1e3, err);
+      model_ok &= err > 0.5 && err < 2.0;
+    }
+  }
+
+  // The modeled Figure 8 curve.
+  const double noprun_base = techniques[3].overhead;
+  const uint64_t noprun_ops = techniques[3].ops;
+  std::printf("\nratio over best LockStep-NoPrun (modeled):\n%-12s", "cost(s)");
+  for (const auto& t : techniques) std::printf(" %22s", t.name.c_str());
+  std::printf("\n");
+  std::vector<double> adaptive_ratio, static_ratio, costs;
+  for (double cost : {1e-5, 1e-4, 5e-4, 1e-3, 1e-2, 1e-1, 1.0}) {
+    const double noprun_time = noprun_base + static_cast<double>(noprun_ops) * cost;
+    std::printf("%-12g", cost);
+    for (size_t i = 0; i < techniques.size(); ++i) {
+      const double time =
+          techniques[i].overhead + static_cast<double>(techniques[i].ops) * cost;
+      const double ratio = time / noprun_time;
+      if (i == 0) adaptive_ratio.push_back(ratio);
+      if (i == 1) static_ratio.push_back(ratio);
+      std::printf(" %22.3f", ratio);
+    }
+    costs.push_back(cost);
+    std::printf("\n");
+  }
+
+  bool ok = bench::ShapeCheck("fig8.model_within_2x_of_real_runs", model_ok, "see above");
+  // (1) With pruning, both Whirlpool variants stay below NoPrun for
+  // non-trivial op costs.
+  ok &= bench::ShapeCheck("fig8.pruning_wins_at_high_cost",
+                          adaptive_ratio.back() < 1.0 && static_ratio.back() < 1.0,
+                          "adaptive=" + std::to_string(adaptive_ratio.back()) +
+                              " static=" + std::to_string(static_ratio.back()));
+  // (2) The ratio over NoPrun falls as op cost rises: savings in server
+  // operations dominate once operations are expensive (the figure's main
+  // visual trend).
+  ok &= bench::ShapeCheck("fig8.ratio_declines_with_cost",
+                          adaptive_ratio.back() < adaptive_ratio.front(),
+                          std::to_string(adaptive_ratio.front()) + " -> " +
+                              std::to_string(adaptive_ratio.back()));
+  // (3) At high op cost the adaptive version is at least as good as the
+  // best static plan (the paper reports ~10% better past the ~0.5 msec
+  // tipping point). NOTE an honest divergence, recorded in EXPERIMENTS.md:
+  // our min_alive router is cheap enough that the paper's low-cost regime
+  // where adaptivity LOSES to static does not materialize here.
+  ok &= bench::ShapeCheck("fig8.adaptive_at_least_as_good_at_high_cost",
+                          adaptive_ratio.back() <= static_ratio.back() * 1.05,
+                          "adaptive=" + std::to_string(adaptive_ratio.back()) +
+                              " static=" + std::to_string(static_ratio.back()));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Figure 9 (paper Sec 6.3.4): speedup of Whirlpool-M over Whirlpool-S as a
+// function of available parallelism (1, 2, 4, infinity processors), for
+// Q1/Q2/Q3 at k=15 with the paper's ~1.8 msec per-operation cost.
+//
+// Parallelism is simulated with a counting semaphore capping how many
+// server threads may execute an operation concurrently (see
+// util/semaphore.h); injected operation costs sleep, so capped threads
+// genuinely overlap like the paper's multiprocessor runs.
+//
+// Paper findings: Q1 (3 servers) gains little and is hurt by threading
+// overhead; larger queries gain more; speedup saturates once processors
+// exceed servers + 2.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace whirlpool;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  // Fixed small corpus: the per-operation cost dominates, as in the paper.
+  const size_t bytes = static_cast<size_t>(args.scale * (256 << 10));
+  const double op_cost = 0.0018;
+  bench::Workload w = bench::MakeXMark(bytes, args.seed);
+  std::printf("Figure 9: Whirlpool-M speedup over Whirlpool-S by processor count "
+              "(~%zu KB, k=15, op cost %.1f ms)\n\n", w.approx_bytes >> 10,
+              op_cost * 1e3);
+  std::printf("%-4s %14s | %10s %10s %10s %10s\n", "Q", "W-S time(s)", "P=1", "P=2",
+              "P=4", "P=inf");
+
+  const int caps[] = {1, 2, 4, 0};  // 0 = unlimited
+  double speedup[4][4];
+  for (int qn = 1; qn <= 3; ++qn) {
+    bench::Compiled c = bench::Compile(*w.idx, bench::QueryXPath(qn));
+    exec::ExecOptions base;
+    base.k = 15;
+    base.op_cost_seconds = op_cost;
+    base.engine = exec::EngineKind::kWhirlpoolS;
+    auto ws = bench::Run(*c.plan, base);
+    std::printf("Q%-3d %14.2f |", qn, ws.wall_seconds);
+    for (int pi = 0; pi < 4; ++pi) {
+      exec::ExecOptions options = base;
+      options.engine = exec::EngineKind::kWhirlpoolM;
+      options.processor_cap = caps[pi];
+      auto wm = bench::Run(*c.plan, options);
+      speedup[qn][pi] = ws.wall_seconds / wm.wall_seconds;
+      std::printf(" %10.2f", speedup[qn][pi]);
+    }
+    std::printf("\n");
+  }
+
+  bool ok = true;
+  // (1) More processors never hurt (within 10% noise), for each query.
+  for (int qn = 1; qn <= 3; ++qn) {
+    bool monotone = speedup[qn][1] >= speedup[qn][0] * 0.9 &&
+                    speedup[qn][2] >= speedup[qn][1] * 0.9 &&
+                    speedup[qn][3] >= speedup[qn][2] * 0.9;
+    ok &= bench::ShapeCheck("fig9.speedup_grows_with_processors_Q" + std::to_string(qn),
+                            monotone,
+                            std::to_string(speedup[qn][0]) + " -> " +
+                                std::to_string(speedup[qn][3]));
+  }
+  // (2) With parallelism available, the larger queries benefit more than Q1.
+  ok &= bench::ShapeCheck(
+      "fig9.larger_queries_gain_more",
+      speedup[3][3] > speedup[1][3] && speedup[2][3] > speedup[1][3] * 0.9,
+      "Q1=" + std::to_string(speedup[1][3]) + " Q2=" + std::to_string(speedup[2][3]) +
+          " Q3=" + std::to_string(speedup[3][3]));
+  // (3) Multi-processor Whirlpool-M beats Whirlpool-S for the large query.
+  ok &= bench::ShapeCheck("fig9.wm_beats_ws_for_q3_at_inf", speedup[3][3] > 1.0,
+                          std::to_string(speedup[3][3]) + "x");
+  // (4) Serialized (P=1) Whirlpool-M cannot beat Whirlpool-S by much: the
+  // threading overhead shows.
+  ok &= bench::ShapeCheck("fig9.no_free_lunch_at_one_processor",
+                          speedup[1][0] < 1.3,
+                          "Q1 P=1 speedup " + std::to_string(speedup[1][0]));
+  return ok ? 0 : 1;
+}

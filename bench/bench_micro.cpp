@@ -1,0 +1,171 @@
+// Conventional google-benchmark microbenchmarks for the substrates: XML
+// parsing, index construction, Dewey labeling, structural predicates, chain
+// classification, top-k set maintenance and single server operations.
+#include <benchmark/benchmark.h>
+
+#include "whirlpool/whirlpool.h"
+#include "xmlgen/xmark.h"
+
+using namespace whirlpool;
+
+namespace {
+
+std::string& CorpusText() {
+  static std::string text = [] {
+    xmlgen::XMarkOptions opts;
+    opts.seed = 42;
+    opts.target_bytes = 1 << 20;
+    auto doc = xmlgen::GenerateXMark(opts);
+    return xml::SerializeDocument(*doc);
+  }();
+  return text;
+}
+
+xml::Document& CorpusDoc() {
+  static std::unique_ptr<xml::Document> doc = [] {
+    auto r = xml::ParseDocument(CorpusText());
+    return std::move(r).value();
+  }();
+  return *doc;
+}
+
+index::TagIndex& CorpusIndex() {
+  static index::TagIndex idx(CorpusDoc());
+  return idx;
+}
+
+void BM_ParseXMark1MB(benchmark::State& state) {
+  const std::string& text = CorpusText();
+  for (auto _ : state) {
+    auto r = xml::ParseDocument(text);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_ParseXMark1MB);
+
+void BM_GenerateXMark(benchmark::State& state) {
+  xmlgen::XMarkOptions opts;
+  opts.target_bytes = static_cast<size_t>(state.range(0)) << 10;
+  for (auto _ : state) {
+    auto doc = xmlgen::GenerateXMark(opts);
+    benchmark::DoNotOptimize(doc);
+  }
+}
+BENCHMARK(BM_GenerateXMark)->Arg(64)->Arg(512);
+
+void BM_BuildTagIndex(benchmark::State& state) {
+  xml::Document& doc = CorpusDoc();
+  for (auto _ : state) {
+    index::TagIndex idx(doc);
+    benchmark::DoNotOptimize(idx.num_tags());
+  }
+}
+BENCHMARK(BM_BuildTagIndex);
+
+void BM_BuildDeweyIndex(benchmark::State& state) {
+  xml::Document& doc = CorpusDoc();
+  for (auto _ : state) {
+    xml::DeweyIndex dewey(doc);
+    benchmark::DoNotOptimize(dewey.size());
+  }
+}
+BENCHMARK(BM_BuildDeweyIndex);
+
+void BM_StructuralPredicates(benchmark::State& state) {
+  xml::Document& doc = CorpusDoc();
+  const xml::NodeId n = static_cast<xml::NodeId>(doc.num_nodes());
+  uint64_t acc = 0;
+  xml::NodeId a = 1, b = 2;
+  for (auto _ : state) {
+    acc += doc.IsDescendant(a, b);
+    a = (a * 2654435761u) % n;
+    b = (b * 40503u + 1) % n;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_StructuralPredicates);
+
+void BM_DescendantScan(benchmark::State& state) {
+  index::TagIndex& idx = CorpusIndex();
+  const auto& items = idx.Nodes("item");
+  xml::TagId text = CorpusDoc().tags().Lookup("text");
+  size_t i = 0;
+  for (auto _ : state) {
+    auto v = idx.DescendantsWithTag(items[i % items.size()], text);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+BENCHMARK(BM_DescendantScan);
+
+void BM_ChainClassify(benchmark::State& state) {
+  index::TagIndex& idx = CorpusIndex();
+  auto q = query::ParseXPath("//item[./description/parlist]");
+  auto chain = q->Chain(0, 2);
+  const auto& items = idx.Nodes("item");
+  xml::TagId parlist = CorpusDoc().tags().Lookup("parlist");
+  // Precompute (item, parlist) pairs.
+  std::vector<std::pair<xml::NodeId, xml::NodeId>> pairs;
+  for (xml::NodeId item : items) {
+    for (xml::NodeId p : idx.DescendantsWithTag(item, parlist)) {
+      pairs.emplace_back(item, p);
+    }
+  }
+  if (pairs.empty()) {
+    state.SkipWithError("no parlist candidates");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto level = score::ClassifyBinding(idx, pairs[i % pairs.size()].first,
+                                        pairs[i % pairs.size()].second, chain);
+    benchmark::DoNotOptimize(level);
+    ++i;
+  }
+}
+BENCHMARK(BM_ChainClassify);
+
+void BM_TfIdfModel(benchmark::State& state) {
+  index::TagIndex& idx = CorpusIndex();
+  auto q = query::ParseXPath(
+      "//item[./description/parlist and ./mailbox/mail/text]");
+  for (auto _ : state) {
+    auto m = score::ScoringModel::ComputeTfIdf(idx, *q, score::Normalization::kSparse);
+    benchmark::DoNotOptimize(m.MaxTotalScore());
+  }
+}
+BENCHMARK(BM_TfIdfModel);
+
+void BM_TopKSetUpdate(benchmark::State& state) {
+  exec::TopKSet set(15);
+  exec::PartialMatch m;
+  m.bindings = {0};
+  m.levels = {score::MatchLevel::kExact};
+  uint64_t i = 0;
+  for (auto _ : state) {
+    m.bindings[0] = static_cast<xml::NodeId>(i % 4096);
+    m.current_score = static_cast<double>((i * 2654435761u) % 1000) / 1000.0;
+    m.max_final_score = m.current_score + 1;
+    set.Update(m, false);
+    benchmark::DoNotOptimize(set.Threshold());
+    ++i;
+  }
+}
+BENCHMARK(BM_TopKSetUpdate);
+
+void BM_EndToEndTopK(benchmark::State& state) {
+  index::TagIndex& idx = CorpusIndex();
+  auto q = query::ParseXPath("//item[./description/parlist]");
+  auto scoring = score::ScoringModel::ComputeTfIdf(idx, *q, score::Normalization::kSparse);
+  auto plan = exec::QueryPlan::Build(idx, *q, scoring).value();
+  exec::ExecOptions options;
+  options.k = 15;
+  for (auto _ : state) {
+    auto r = exec::RunTopK(plan, options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EndToEndTopK);
+
+}  // namespace

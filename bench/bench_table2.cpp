@@ -1,0 +1,70 @@
+// Table 2 (paper Sec 6.3.6, scalability): percentage of the maximum
+// possible number of partial matches actually created by Whirlpool-M, per
+// query and document size. The maximum is the number a no-pruning run
+// creates, computed analytically from per-root candidate counts (identical
+// to LockStep-NoPrun's matches_created metric; validated in the tests).
+//
+// Paper shape: ~100% for Q1 on 1MB, decreasing sharply with query and
+// document size (Q3/50MB: ~31%).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace whirlpool;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  const std::vector<std::pair<const char*, size_t>> sizes = {
+      {"1M-class", args.SmallBytes()},
+      {"10M-class", args.MediumBytes()},
+      {"50M-class", args.LargeBytes()},
+  };
+  std::printf("Table 2: %% of max possible partial matches created by Whirlpool-M "
+              "(k=15)\n\n");
+  std::printf("%-4s %-10s %14s %14s %9s\n", "Q", "size", "created", "max_possible",
+              "percent");
+
+  double pct[4][3];
+  for (size_t si = 0; si < sizes.size(); ++si) {
+    bench::Workload w = bench::MakeXMark(sizes[si].second, args.seed);
+    for (int qn = 1; qn <= 3; ++qn) {
+      bench::Compiled c = bench::Compile(*w.idx, bench::QueryXPath(qn));
+      // Max possible: identity order (any order gives the same total for
+      // full enumeration only up to stage bookkeeping; use the default
+      // LockStep order, matching the NoPrun metric).
+      std::vector<int> order(static_cast<size_t>(c.plan->num_servers()));
+      for (int s = 0; s < c.plan->num_servers(); ++s) order[static_cast<size_t>(s)] = s;
+      const uint64_t max_possible = bench::AnalyticNoPrunCreated(*c.plan, order);
+
+      exec::ExecOptions options;
+      options.engine = exec::EngineKind::kWhirlpoolM;
+      options.k = 15;
+      auto m = bench::Run(*c.plan, options);
+      pct[qn][si] =
+          100.0 * static_cast<double>(m.matches_created) / static_cast<double>(max_possible);
+      std::printf("Q%-3d %-10s %14llu %14llu %8.2f%%\n", qn, sizes[si].first,
+                  static_cast<unsigned long long>(m.matches_created),
+                  static_cast<unsigned long long>(max_possible), pct[qn][si]);
+    }
+  }
+
+  bool ok = true;
+  // (1) Larger queries prune relatively more (Q3 < Q1 at every size).
+  for (int si = 0; si < 3; ++si) {
+    ok &= bench::ShapeCheck(
+        "table2.larger_queries_prune_more_size" + std::to_string(si),
+        pct[3][si] < pct[1][si],
+        "Q1=" + std::to_string(pct[1][si]) + "% Q3=" + std::to_string(pct[3][si]) + "%");
+  }
+  // (2) For the large query, bigger documents prune relatively more.
+  ok &= bench::ShapeCheck("table2.q3_prunes_more_on_bigger_docs",
+                          pct[3][2] < pct[3][0],
+                          std::to_string(pct[3][0]) + "% -> " +
+                              std::to_string(pct[3][2]) + "%");
+  // (3) Q3 on the large document prunes away the majority of tuples.
+  ok &= bench::ShapeCheck("table2.q3_large_majority_pruned", pct[3][2] < 60.0,
+                          std::to_string(pct[3][2]) + "%");
+  return ok ? 0 : 1;
+}

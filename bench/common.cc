@@ -1,0 +1,160 @@
+#include "bench/common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace whirlpool::bench {
+
+const char* QueryXPath(int qnum) {
+  switch (qnum) {
+    case 1:
+      return "//item[./description/parlist]";
+    case 2:
+      return "//item[./description/parlist and ./mailbox/mail/text]";
+    case 3:
+      return "//item[./mailbox/mail/text[./bold and ./keyword] and ./name and "
+             "./incategory]";
+  }
+  std::fprintf(stderr, "bad query number %d\n", qnum);
+  std::exit(1);
+}
+
+int QueryServers(int qnum) {
+  switch (qnum) {
+    case 1: return 2;
+    case 2: return 5;
+    case 3: return 7;
+  }
+  return 0;
+}
+
+Workload MakeXMark(size_t target_bytes, uint64_t seed) {
+  Workload w;
+  xmlgen::XMarkOptions opts;
+  opts.seed = seed;
+  opts.target_bytes = target_bytes;
+  w.doc = xmlgen::GenerateXMark(opts);
+  w.idx = std::make_unique<index::TagIndex>(*w.doc);
+  w.approx_bytes = w.doc->ApproxContentBytes();
+  return w;
+}
+
+Compiled Compile(const index::TagIndex& idx, const char* xpath,
+                 score::Normalization norm) {
+  Compiled c;
+  auto q = query::ParseXPath(xpath);
+  if (!q.ok()) {
+    std::fprintf(stderr, "query parse error: %s\n", q.status().ToString().c_str());
+    std::exit(1);
+  }
+  c.pattern = std::move(q).value();
+  c.scoring = score::ScoringModel::ComputeTfIdf(idx, c.pattern, norm);
+  auto plan = exec::QueryPlan::Build(idx, c.pattern, c.scoring);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan error: %s\n", plan.status().ToString().c_str());
+    std::exit(1);
+  }
+  c.plan = std::make_unique<exec::QueryPlan>(std::move(plan).value());
+  return c;
+}
+
+exec::MetricsSnapshot Run(const exec::QueryPlan& plan, const exec::ExecOptions& options) {
+  auto r = exec::RunTopK(plan, options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "exec error: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r->metrics;
+}
+
+std::vector<std::vector<int>> AllPermutations(int n) {
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::vector<std::vector<int>> out;
+  do {
+    out.push_back(order);
+  } while (std::next_permutation(order.begin(), order.end()));
+  return out;
+}
+
+MinMedMax Summarize(std::vector<double> values) {
+  MinMedMax s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.median = values[values.size() / 2];
+  return s;
+}
+
+uint64_t AnalyticNoPrunCreated(const exec::QueryPlan& plan,
+                               const std::vector<int>& order) {
+  return exec::NoPruningTupleCount(plan, order);
+}
+
+SweepResult PermutationSweep(const exec::QueryPlan& plan, exec::EngineKind kind,
+                             uint32_t k) {
+  SweepResult r;
+  for (const auto& order : AllPermutations(plan.num_servers())) {
+    exec::ExecOptions options;
+    options.engine = kind;
+    options.k = k;
+    options.routing = exec::RoutingStrategy::kStatic;
+    options.static_order = order;
+    auto m = Run(plan, options);
+    r.static_times.push_back(m.wall_seconds);
+    r.static_ops.push_back(m.server_operations);
+  }
+  if (kind == exec::EngineKind::kWhirlpoolS || kind == exec::EngineKind::kWhirlpoolM) {
+    exec::ExecOptions options;
+    options.engine = kind;
+    options.k = k;
+    options.routing = exec::RoutingStrategy::kMinAlive;
+    auto m = Run(plan, options);
+    r.adaptive_time = m.wall_seconds;
+    r.adaptive_ops = m.server_operations;
+  }
+  return r;
+}
+
+bool ShapeCheck(const std::string& name, bool ok, const std::string& detail) {
+  std::printf("SHAPE-CHECK %s: %s (%s)\n", name.c_str(), ok ? "OK" : "FAIL",
+              detail.c_str());
+  return ok;
+}
+
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--scale=", 8) == 0) {
+      args.scale = std::atof(a + 8);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      args.seed = static_cast<uint64_t>(std::atoll(a + 7));
+    } else if (std::strcmp(a, "--full") == 0) {
+      args.full = true;
+    } else if (std::strcmp(a, "--help") == 0) {
+      std::printf("flags: --scale=F --seed=N --full\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", a);
+      std::exit(1);
+    }
+  }
+  if (args.scale <= 0) args.scale = 1.0;
+  return args;
+}
+
+size_t BenchArgs::SmallBytes() const {
+  return static_cast<size_t>(scale * (full ? (1 << 20) : (1 << 20)));
+}
+size_t BenchArgs::MediumBytes() const {
+  return static_cast<size_t>(scale * (full ? (10 << 20) : (4 << 20)));
+}
+size_t BenchArgs::LargeBytes() const {
+  return static_cast<size_t>(scale * (full ? (50 << 20) : (16 << 20)));
+}
+
+}  // namespace whirlpool::bench

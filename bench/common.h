@@ -1,0 +1,97 @@
+// Shared harness for the per-figure/table benches: workload construction,
+// plan compilation, run helpers, permutation sweeps, the analytic
+// no-pruning tuple count (Table 2 denominator), and SHAPE-CHECK reporting.
+//
+// Every bench accepts:
+//   --scale=F     multiply all document sizes by F (default 1.0)
+//   --seed=N      generator seed (default 42)
+//   --full        run at the paper's full document sizes (1/10/50 MB)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "whirlpool/whirlpool.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::bench {
+
+/// The paper's three queries (Sec 6.2.1).
+const char* QueryXPath(int qnum);
+
+/// Number of servers (non-root pattern nodes) of Q1/Q2/Q3.
+int QueryServers(int qnum);
+
+/// \brief A generated document plus its index.
+struct Workload {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<index::TagIndex> idx;
+  size_t approx_bytes = 0;
+};
+
+Workload MakeXMark(size_t target_bytes, uint64_t seed = 42);
+
+/// \brief A compiled query against one workload.
+struct Compiled {
+  query::TreePattern pattern;
+  score::ScoringModel scoring;
+  std::unique_ptr<exec::QueryPlan> plan;
+};
+
+Compiled Compile(const index::TagIndex& idx, const char* xpath,
+                 score::Normalization norm = score::Normalization::kSparse);
+
+/// Runs and returns metrics; aborts the bench on error.
+exec::MetricsSnapshot Run(const exec::QueryPlan& plan, const exec::ExecOptions& options);
+
+/// All permutations of [0, n). n <= 6 expected.
+std::vector<std::vector<int>> AllPermutations(int n);
+
+/// Min / median / max of a non-empty vector.
+struct MinMedMax {
+  double min = 0, median = 0, max = 0;
+};
+MinMedMax Summarize(std::vector<double> values);
+
+/// \brief Exact number of partial matches LockStep-NoPrun creates for
+/// `order` (computed analytically from per-root candidate counts: roots plus
+/// one extension per candidate — or one deletion row — at every stage).
+/// Validated against real NoPrun runs in tests/bench_support_test.cpp.
+uint64_t AnalyticNoPrunCreated(const exec::QueryPlan& plan, const std::vector<int>& order);
+
+/// Prints "SHAPE-CHECK <name>: OK|FAIL (<detail>)" and returns ok.
+bool ShapeCheck(const std::string& name, bool ok, const std::string& detail);
+
+/// \brief Static-permutation sweep results for one technique (Figures 6/7):
+/// one sample per server permutation, plus the adaptive run where the
+/// technique supports it.
+struct SweepResult {
+  std::vector<double> static_times;
+  std::vector<uint64_t> static_ops;
+  double adaptive_time = -1;   // <0: technique has no adaptive mode
+  uint64_t adaptive_ops = 0;
+};
+
+/// Runs every static permutation (and min_alive adaptive for the Whirlpool
+/// engines) of `kind` over `plan` with k answers.
+SweepResult PermutationSweep(const exec::QueryPlan& plan, exec::EngineKind kind,
+                             uint32_t k);
+
+/// \brief Tiny argv parser for the flags shared by all benches.
+struct BenchArgs {
+  double scale = 1.0;
+  uint64_t seed = 42;
+  bool full = false;
+
+  static BenchArgs Parse(int argc, char** argv);
+  /// target bytes for the paper's "1Mb" / "10Mb" / "50Mb" documents: the
+  /// default mapping is 1/4/16 MB (shape-preserving, laptop-scale);
+  /// --full restores 1/10/50 MB.
+  size_t SmallBytes() const;
+  size_t MediumBytes() const;
+  size_t LargeBytes() const;
+};
+
+}  // namespace whirlpool::bench

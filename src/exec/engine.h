@@ -1,0 +1,33 @@
+// Entry point for top-k evaluation: dispatches to Whirlpool-S, Whirlpool-M,
+// LockStep or LockStep-NoPrun (paper Sec 6.1.2) over a compiled QueryPlan.
+#pragma once
+
+#include <vector>
+
+#include "exec/metrics.h"
+#include "exec/options.h"
+#include "exec/plan.h"
+#include "exec/topk_set.h"
+#include "util/status.h"
+
+namespace whirlpool::exec {
+
+/// \brief Result of a top-k evaluation.
+struct TopKResult {
+  /// The k best answers, highest score first.
+  std::vector<Answer> answers;
+  MetricsSnapshot metrics;
+};
+
+/// \brief Runs the engine selected by `options.engine`.
+///
+/// Thread-safe with respect to the plan: the same QueryPlan can be reused
+/// across runs (it is never mutated by evaluation).
+Result<TopKResult> RunTopK(const QueryPlan& plan, const ExecOptions& options);
+
+// Individual engines (exposed for tests; RunTopK is the normal entry).
+Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& options);
+Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& options);
+Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options);
+
+}  // namespace whirlpool::exec

@@ -1,0 +1,73 @@
+// Per-run memoization of server join results. In relaxed, max-tuple mode a
+// server's candidate set and each candidate's relaxation level depend only
+// on (server, root binding) — but the tuple explosion sends many partial
+// matches with the same root through the same server, re-classifying the
+// same candidates each time. Caching the classified list turns the repeat
+// visits into hash lookups (enable with ExecOptions::cache_server_joins;
+// see bench_ablation_cache for the effect).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "score/scoring.h"
+#include "xml/document.h"
+
+namespace whirlpool::exec {
+
+/// \brief Thread-safe (server, root) -> classified-candidates cache, one
+/// shard (map + mutex) per server. Lives for one engine run.
+class ServerJoinCache {
+ public:
+  /// One classified candidate binding.
+  struct Binding {
+    xml::NodeId node;
+    score::MatchLevel level;
+  };
+  using Entry = std::vector<Binding>;
+
+  explicit ServerJoinCache(int num_servers)
+      : shards_(static_cast<size_t>(num_servers)) {}
+
+  /// Returns the cached entry for (server, root), computing it with
+  /// `compute` on first use. The returned pointer stays valid for the
+  /// lifetime of the cache.
+  std::shared_ptr<const Entry> GetOrCompute(
+      int server, xml::NodeId root, const std::function<Entry()>& compute) {
+    Shard& shard = shards_[static_cast<size_t>(server)];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(root);
+      if (it != shard.map.end()) {
+        ++hits_;
+        return it->second;
+      }
+    }
+    // Compute outside the lock; racing duplicates are harmless (last one
+    // wins, both are identical).
+    auto entry = std::make_shared<const Entry>(compute());
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.emplace(root, std::move(entry));
+    if (!inserted) ++hits_;
+    return it->second;
+  }
+
+  /// Number of lookups served from the cache (approximate under races).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<xml::NodeId, std::shared_ptr<const Entry>> map;
+  };
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+};
+
+}  // namespace whirlpool::exec

@@ -1,0 +1,139 @@
+// LockStep and LockStep-NoPrun (paper Sec 6.1.2): every partial match goes
+// through the same server sequence, one server at a time — the static,
+// non-adaptive baseline (≈ OptThres from EDBT'02 when pruning is on).
+// LockStep-NoPrun additionally disables pruning and is the full-enumeration
+// baseline whose matches-created count is the Table 2 denominator.
+#include <algorithm>
+#include <memory>
+
+#include "exec/engine.h"
+#include "exec/queue_policy.h"
+#include "exec/routing.h"
+#include "exec/server.h"
+#include "util/stopwatch.h"
+
+namespace whirlpool::exec {
+
+Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options) {
+  // Reuse Router::Make purely to validate static_order.
+  Result<Router> router = Router::Make(plan, options);
+  if (!router.ok()) return router.status();
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+  const bool prune = options.engine != EngineKind::kLockStepNoPrun;
+
+  std::vector<int> order = options.static_order;
+  if (order.empty()) {
+    order.resize(static_cast<size_t>(plan.num_servers()));
+    for (int s = 0; s < plan.num_servers(); ++s) order[static_cast<size_t>(s)] = s;
+  }
+
+  Stopwatch wall;
+  ExecMetrics metrics;
+  std::atomic<uint64_t> seq{0};
+  TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed);
+  if (options.has_frozen_threshold() && options.has_min_score_threshold()) {
+    return Status::InvalidArgument(
+        "frozen_threshold and min_score_threshold are mutually exclusive");
+  }
+  if (options.has_frozen_threshold()) topk.FreezeThreshold(options.frozen_threshold);
+  if (options.has_min_score_threshold()) {
+    topk.SetMinScoreMode(options.min_score_threshold);
+  }
+
+  std::unique_ptr<ServerJoinCache> cache;
+  if (options.cache_server_joins) {
+    cache = std::make_unique<ServerJoinCache>(plan.num_servers());
+  }
+  std::vector<PartialMatch> current =
+      GenerateRootMatches(plan, options, &topk, &metrics, &seq);
+  std::vector<PartialMatch> next;
+
+  for (int s : order) {
+    // Server priority queue: process the whole wave through this server in
+    // policy order (scores in the top-k set grow as the wave progresses, so
+    // the order affects pruning).
+    std::stable_sort(current.begin(), current.end(),
+                     [&](const PartialMatch& a, const PartialMatch& b) {
+                       const double pa = QueuePriority(plan, options.queue_policy, a, s);
+                       const double pb = QueuePriority(plan, options.queue_policy, b, s);
+                       if (pa != pb) return pa > pb;
+                       return a.seq < b.seq;
+                     });
+    next.clear();
+    for (const PartialMatch& m : current) {
+      if (prune && !topk.Alive(m)) {
+        metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &next,
+                      cache.get());
+    }
+    current.swap(next);
+  }
+
+  TopKResult result;
+  result.answers = topk.Finalize();
+  result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
+  return result;
+}
+
+Result<TopKResult> RunTopK(const QueryPlan& plan, const ExecOptions& options) {
+  switch (options.engine) {
+    case EngineKind::kWhirlpoolS:
+      return RunWhirlpoolS(plan, options);
+    case EngineKind::kWhirlpoolM:
+      return RunWhirlpoolM(plan, options);
+    case EngineKind::kLockStep:
+    case EngineKind::kLockStepNoPrun:
+      return RunLockStep(plan, options);
+  }
+  return Status::InvalidArgument("unknown engine kind");
+}
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kWhirlpoolS: return "Whirlpool-S";
+    case EngineKind::kWhirlpoolM: return "Whirlpool-M";
+    case EngineKind::kLockStep: return "LockStep";
+    case EngineKind::kLockStepNoPrun: return "LockStep-NoPrun";
+  }
+  return "?";
+}
+
+const char* RoutingStrategyName(RoutingStrategy strategy) {
+  switch (strategy) {
+    case RoutingStrategy::kStatic: return "static";
+    case RoutingStrategy::kMaxScore: return "max_score";
+    case RoutingStrategy::kMinScore: return "min_score";
+    case RoutingStrategy::kMinAlive: return "min_alive_partial_matches";
+  }
+  return "?";
+}
+
+const char* QueuePolicyName(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kFifo: return "fifo";
+    case QueuePolicy::kCurrentScore: return "current_score";
+    case QueuePolicy::kMaxNextScore: return "max_possible_next_score";
+    case QueuePolicy::kMaxFinalScore: return "max_possible_final_score";
+  }
+  return "?";
+}
+
+const char* ScoreAggregationName(ScoreAggregation aggregation) {
+  switch (aggregation) {
+    case ScoreAggregation::kMaxTuple: return "max_tuple";
+    case ScoreAggregation::kSumWitnesses: return "sum_witnesses";
+  }
+  return "?";
+}
+
+const char* MatchSemanticsName(MatchSemantics semantics) {
+  switch (semantics) {
+    case MatchSemantics::kRelaxed: return "relaxed";
+    case MatchSemantics::kExact: return "exact";
+  }
+  return "?";
+}
+
+}  // namespace whirlpool::exec

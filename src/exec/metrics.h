@@ -1,0 +1,70 @@
+// Execution metrics (paper Sec 6.2.3): query execution time, number of
+// server operations, number of partial matches created (plus predicate
+// comparisons, the Figure 3 measure, and pruning counts).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace whirlpool::exec {
+
+/// \brief Plain-value snapshot of the counters, safe to copy and compare.
+struct MetricsSnapshot {
+  /// Partial-match-processed-at-a-server events.
+  uint64_t server_operations = 0;
+  /// Join predicate evaluations (chain classifications / axis checks).
+  uint64_t predicate_comparisons = 0;
+  /// Partial matches materialized (root matches, extensions, deletion rows).
+  uint64_t matches_created = 0;
+  /// Matches discarded because they could not reach the top-k set.
+  uint64_t matches_pruned = 0;
+  /// Matches that completed all servers.
+  uint64_t matches_completed = 0;
+  /// Adaptive routing decisions taken (a bulk-routed batch counts once).
+  uint64_t routing_decisions = 0;
+  /// Wall-clock execution time in seconds.
+  double wall_seconds = 0.0;
+  /// Per-server operation counts (index = server id); sums to
+  /// server_operations.
+  std::vector<uint64_t> per_server_operations;
+
+  std::string ToString() const;
+};
+
+/// \brief Thread-safe counters incremented by the engines.
+struct ExecMetrics {
+  std::atomic<uint64_t> server_operations{0};
+  std::atomic<uint64_t> predicate_comparisons{0};
+  std::atomic<uint64_t> matches_created{0};
+  std::atomic<uint64_t> matches_pruned{0};
+  std::atomic<uint64_t> matches_completed{0};
+  std::atomic<uint64_t> routing_decisions{0};
+  /// Per-server operation counters; patterns are capped at 32 nodes.
+  std::array<std::atomic<uint64_t>, 32> per_server_operations{};
+
+  MetricsSnapshot Snapshot(double wall_seconds) const {
+    return Snapshot(wall_seconds, 0);
+  }
+
+  MetricsSnapshot Snapshot(double wall_seconds, int num_servers) const {
+    MetricsSnapshot s;
+    s.server_operations = server_operations.load(std::memory_order_relaxed);
+    s.predicate_comparisons = predicate_comparisons.load(std::memory_order_relaxed);
+    s.matches_created = matches_created.load(std::memory_order_relaxed);
+    s.matches_pruned = matches_pruned.load(std::memory_order_relaxed);
+    s.matches_completed = matches_completed.load(std::memory_order_relaxed);
+    s.routing_decisions = routing_decisions.load(std::memory_order_relaxed);
+    s.wall_seconds = wall_seconds;
+    s.per_server_operations.reserve(static_cast<size_t>(num_servers));
+    for (int i = 0; i < num_servers && i < 32; ++i) {
+      s.per_server_operations.push_back(
+          per_server_operations[static_cast<size_t>(i)].load(std::memory_order_relaxed));
+    }
+    return s;
+  }
+};
+
+}  // namespace whirlpool::exec

@@ -1,0 +1,34 @@
+#include <sstream>
+
+#include "exec/metrics.h"
+#include "exec/partial_match.h"
+
+namespace whirlpool::exec {
+
+std::string PartialMatch::ToString() const {
+  std::ostringstream os;
+  os << "match{root=" << bindings[0] << " score=" << current_score
+     << " max_final=" << max_final_score << " visited=0x" << std::hex << visited_mask
+     << std::dec << " [";
+  for (size_t i = 1; i < bindings.size(); ++i) {
+    if (i > 1) os << ' ';
+    if (bindings[i] == xml::kInvalidNode) {
+      os << '-';
+    } else {
+      os << bindings[i] << ':' << score::MatchLevelName(levels[i]);
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "ops=" << server_operations << " cmps=" << predicate_comparisons
+     << " created=" << matches_created << " pruned=" << matches_pruned
+     << " completed=" << matches_completed << " routed=" << routing_decisions
+     << " wall=" << wall_seconds << "s";
+  return os.str();
+}
+
+}  // namespace whirlpool::exec

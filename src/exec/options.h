@@ -1,0 +1,115 @@
+// Execution options for the top-k engines: which engine, which queue and
+// routing policies, match semantics, and the experiment knobs (injected
+// per-operation cost, simulated processor count).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace whirlpool::exec {
+
+/// Which top-k evaluation algorithm to run (paper Sec 6.1.2).
+enum class EngineKind : uint8_t {
+  kWhirlpoolS,     ///< single-threaded adaptive (router queue only)
+  kWhirlpoolM,     ///< multi-threaded: thread per server + router thread
+  kLockStep,       ///< static, one server at a time, with pruning (≈ OptThres)
+  kLockStepNoPrun, ///< lock-step without pruning (full enumeration baseline)
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/// How the router picks the next server for a partial match (Sec 6.1.4).
+enum class RoutingStrategy : uint8_t {
+  kStatic,    ///< fixed server permutation (ExecOptions::static_order)
+  kMaxScore,  ///< server expected to increase the score the most
+  kMinScore,  ///< server expected to increase the score the least
+  kMinAlive,  ///< server expected to leave the fewest alive extensions
+};
+
+const char* RoutingStrategyName(RoutingStrategy strategy);
+
+/// Server priority-queue ordering (Sec 6.1.3).
+enum class QueuePolicy : uint8_t {
+  kFifo,          ///< arrival order
+  kCurrentScore,  ///< highest current score first
+  kMaxNextScore,  ///< current + this server's max contribution, highest first
+  kMaxFinalScore, ///< highest maximum possible final score first (default)
+};
+
+const char* QueuePolicyName(QueuePolicy policy);
+
+/// Exact vs approximate (relaxed) matching.
+enum class MatchSemantics : uint8_t {
+  /// Outer-join semantics: every answer is kept with a score reflecting the
+  /// relaxation level of each binding (edge generalization, subtree
+  /// promotion, leaf deletion).
+  kRelaxed,
+  /// Inner-join semantics: only embeddings satisfying the original axes;
+  /// unmatched tuples die.
+  kExact,
+};
+
+const char* MatchSemanticsName(MatchSemantics semantics);
+
+/// How a server's bindings contribute to a match's score.
+enum class ScoreAggregation : uint8_t {
+  /// One extension per candidate binding; an answer's score is its best
+  /// tuple (the engine of the paper's Sec 2 example). Default.
+  kMaxTuple,
+  /// One extension per server accumulating EVERY witness's contribution:
+  /// score(answer) = sum over predicates of sum over witnesses of the
+  /// witness-level idf — the tf*idf of Definition 4.4 (graded by relaxation
+  /// level; restricted to exact semantics it is Def 4.4 verbatim).
+  /// Component predicates are evaluated root-relative (Def 4.1), so the
+  /// pairwise conditional checks do not apply and no tuple explosion
+  /// occurs.
+  kSumWitnesses,
+};
+
+const char* ScoreAggregationName(ScoreAggregation aggregation);
+
+/// \brief All execution knobs. Defaults mirror the paper's defaults
+/// (Table 1 plus the winning policies: max-final queues, min-alive routing).
+struct ExecOptions {
+  EngineKind engine = EngineKind::kWhirlpoolS;
+  uint32_t k = 15;
+  MatchSemantics semantics = MatchSemantics::kRelaxed;
+  ScoreAggregation aggregation = ScoreAggregation::kMaxTuple;
+  RoutingStrategy routing = RoutingStrategy::kMinAlive;
+  /// Server visit order for RoutingStrategy::kStatic and the LockStep
+  /// engines. Empty = identity order. Must be a permutation of
+  /// [0, num_servers).
+  std::vector<int> static_order;
+  QueuePolicy queue_policy = QueuePolicy::kMaxFinalScore;
+  /// Injected cost per server operation, in seconds (Fig 8). 0 = none.
+  double op_cost_seconds = 0.0;
+  /// Simulated processor count for Whirlpool-M: at most this many server/
+  /// router threads make progress concurrently. 0 = unlimited.
+  int processor_cap = 0;
+  /// Threads sharing each server queue in Whirlpool-M (paper future work).
+  int threads_per_server = 1;
+  /// Bulk routing (paper Sec 6.3.3 future work): Whirlpool-S makes one
+  /// routing decision for up to this many consecutive queue entries that
+  /// share the same set of visited servers. 1 = one decision per match.
+  int bulk_batch = 1;
+  /// Memoize each server's classified candidate list per root binding
+  /// (relaxed max-tuple mode only; see exec/join_cache.h). Off by default
+  /// so the paper-faithful work metrics stay comparable.
+  bool cache_server_joins = false;
+  /// If set (not NaN), the top-k set's pruning threshold is frozen at this
+  /// value and never updated — used by the Figure 3 motivating-example bench
+  /// to study plan cost as a function of currentTopK.
+  double frozen_threshold = std::nan("");
+  /// If set (not NaN), run a THRESHOLD query instead of top-k (the paper's
+  /// EDBT'02 predecessor): return every answer whose score is at least this
+  /// value (k still caps the count; set k large for "all"). Mutually
+  /// exclusive with frozen_threshold.
+  double min_score_threshold = std::nan("");
+
+  bool has_frozen_threshold() const { return !std::isnan(frozen_threshold); }
+  bool has_min_score_threshold() const { return !std::isnan(min_score_threshold); }
+};
+
+}  // namespace whirlpool::exec

@@ -1,0 +1,49 @@
+// A partial match: one tuple flowing through the Whirlpool servers. Holds a
+// binding (or deletion marker) per pattern node, the relaxation level each
+// binding satisfies, the set of servers already visited, and the two scores
+// that drive scheduling and pruning: the current score and the maximum
+// possible final score.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "score/scoring.h"
+#include "xml/document.h"
+
+namespace whirlpool::exec {
+
+using score::MatchLevel;
+using xml::NodeId;
+
+/// \brief One tuple in the system. Copyable; extensions are copies with one
+/// more binding.
+struct PartialMatch {
+  /// Binding per pattern node (index 0 = root). kInvalidNode means the
+  /// node's server has not run yet, or ran and deleted the node — disambiguate
+  /// with visited_mask / levels.
+  std::vector<NodeId> bindings;
+  /// Relaxation level per pattern node. kDeleted both for not-yet-visited and
+  /// deleted; visited_mask tells them apart.
+  std::vector<MatchLevel> levels;
+  /// Bit s set = server s (pattern node s+1) has processed this match.
+  uint32_t visited_mask = 0;
+  double current_score = 0.0;
+  double max_final_score = 0.0;
+  /// Monotone creation sequence number; FIFO queue order and tie-breaking.
+  uint64_t seq = 0;
+
+  /// True when every server has run.
+  bool IsComplete(int num_servers) const {
+    return visited_mask == ((num_servers >= 32) ? ~0u : ((1u << num_servers) - 1));
+  }
+
+  bool Visited(int server) const { return (visited_mask >> server) & 1u; }
+
+  NodeId root_binding() const { return bindings[0]; }
+
+  std::string ToString() const;
+};
+
+}  // namespace whirlpool::exec

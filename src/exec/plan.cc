@@ -1,0 +1,149 @@
+#include "exec/plan.h"
+
+#include <algorithm>
+
+#include "query/matcher.h"
+
+namespace whirlpool::exec {
+
+Result<QueryPlan> QueryPlan::Build(const TagIndex& index, const TreePattern& pattern,
+                                   ScoringModel scoring, bool compute_estimates) {
+  if (pattern.size() < 1) return Status::InvalidArgument("empty pattern");
+  if (pattern.size() > 32) {
+    return Status::Unsupported("patterns with more than 32 nodes are not supported");
+  }
+  if (scoring.size() != pattern.size()) {
+    return Status::InvalidArgument("scoring model size does not match pattern size");
+  }
+  QueryPlan plan;
+  plan.index_ = &index;
+  plan.pattern_ = &pattern;
+  plan.scoring_ = std::move(scoring);
+
+  const auto& doc = index.doc();
+  const int n = static_cast<int>(pattern.size());
+  plan.servers_.resize(static_cast<size_t>(n - 1));
+  plan.max_contribution_.resize(static_cast<size_t>(n - 1));
+
+  for (int qi = 1; qi < n; ++qi) {
+    ServerSpec& s = plan.servers_[static_cast<size_t>(qi - 1)];
+    const query::PatternNode& pn = pattern.node(qi);
+    s.pattern_node = qi;
+    s.tag = doc.tags().Lookup(pn.tag);  // may be kInvalidTag: no candidates
+    s.wildcard = pn.tag == index::kWildcardTag;
+    s.value = pn.value;
+    s.chain_from_root = pattern.Chain(pattern.root(), qi);
+    s.pattern_parent = pn.parent;
+    s.axis_from_parent = pn.axis;
+    s.pattern_children = pn.children;
+
+    const score::PredicateScores& ps = plan.scoring_.predicate(qi);
+    plan.max_contribution_[static_cast<size_t>(qi - 1)] = ps.MaxContribution();
+
+    // Level distribution estimate from the idf satisfaction counts when the
+    // scoring model carries them, else uniform-ish defaults.
+    const uint64_t s0 = ps.satisfying[0], s1 = ps.satisfying[1], s2 = ps.satisfying[2];
+    if (s2 > 0) {
+      s.level_prob[0] = static_cast<double>(s0) / static_cast<double>(s2);
+      s.level_prob[1] = static_cast<double>(s1 - s0) / static_cast<double>(s2);
+      s.level_prob[2] = static_cast<double>(s2 - s1) / static_cast<double>(s2);
+    } else {
+      s.level_prob[0] = 0.6;
+      s.level_prob[1] = 0.25;
+      s.level_prob[2] = 0.15;
+    }
+    s.expected_contribution = 0.0;
+    for (int l = 0; l < 3; ++l) {
+      s.expected_contribution += s.level_prob[l] * ps.at_level[l];
+    }
+  }
+
+  if (compute_estimates) {
+    std::vector<NodeId> roots = query::RootCandidates(index, pattern);
+    // Sample at most 512 roots for the fan-out estimate.
+    const size_t stride = std::max<size_t>(1, roots.size() / 512);
+    size_t sampled = 0;
+    std::vector<double> totals(static_cast<size_t>(n - 1), 0.0);
+    for (size_t i = 0; i < roots.size(); i += stride) {
+      ++sampled;
+      for (int srv = 0; srv < n - 1; ++srv) {
+        totals[static_cast<size_t>(srv)] +=
+            static_cast<double>(plan.CandidateCount(roots[i], srv));
+      }
+    }
+    for (int srv = 0; srv < n - 1; ++srv) {
+      plan.servers_[static_cast<size_t>(srv)].avg_candidates_per_root =
+          sampled == 0 ? 0.0 : totals[static_cast<size_t>(srv)] / static_cast<double>(sampled);
+    }
+  } else {
+    for (auto& s : plan.servers_) s.avg_candidates_per_root = 1.0;
+  }
+
+  return plan;
+}
+
+double QueryPlan::RemainingMax(uint32_t visited_mask) const {
+  double sum = 0.0;
+  for (int s = 0; s < num_servers(); ++s) {
+    if (!((visited_mask >> s) & 1u)) sum += max_contribution_[static_cast<size_t>(s)];
+  }
+  return sum;
+}
+
+double QueryPlan::Contribution(int s, NodeId node, MatchLevel level) const {
+  if (score_override_) return score_override_(s, node, level);
+  return scoring_.predicate(servers_[static_cast<size_t>(s)].pattern_node)
+      .Contribution(level);
+}
+
+uint64_t QueryPlan::CandidateCount(NodeId root, int s) const {
+  const ServerSpec& spec = servers_[static_cast<size_t>(s)];
+  if (spec.wildcard) {
+    return index_->CountCandidates(root, index::kWildcardTag, spec.value);
+  }
+  if (spec.tag == xml::kInvalidTag) return 0;
+  return spec.value
+             ? index_->DescendantsWithTagValue(root, spec.tag, *spec.value).size()
+             : index_->CountDescendantsWithTag(root, spec.tag);
+}
+
+double QueryPlan::RemainingSumMax(NodeId root, uint32_t visited_mask) const {
+  double sum = 0.0;
+  for (int s = 0; s < num_servers(); ++s) {
+    if ((visited_mask >> s) & 1u) continue;
+    sum += static_cast<double>(CandidateCount(root, s)) *
+           max_contribution_[static_cast<size_t>(s)];
+  }
+  return sum;
+}
+
+uint64_t NoPruningTupleCount(const QueryPlan& plan, const std::vector<int>& order) {
+  const auto& idx = plan.index();
+  uint64_t total = 0;
+  for (xml::NodeId root : query::RootCandidates(idx, plan.pattern())) {
+    total += 1;  // the root match itself
+    uint64_t wave = 1;
+    for (int s : order) {
+      const ServerSpec& spec = plan.server(s);
+      uint64_t cands = 0;
+      if (spec.tag != xml::kInvalidTag) {
+        cands = spec.value
+                    ? idx.DescendantsWithTagValue(root, spec.tag, *spec.value).size()
+                    : idx.CountDescendantsWithTag(root, spec.tag);
+      }
+      wave *= std::max<uint64_t>(1, cands);
+      total += wave;
+    }
+  }
+  return total;
+}
+
+void QueryPlan::SetScoreOverride(ScoreOverride fn, std::vector<double> per_server_max) {
+  score_override_ = std::move(fn);
+  max_contribution_ = std::move(per_server_max);
+  for (size_t srv = 0; srv < servers_.size(); ++srv) {
+    servers_[srv].expected_contribution = max_contribution_[srv] * 0.6;
+  }
+}
+
+}  // namespace whirlpool::exec

@@ -1,0 +1,127 @@
+// A compiled query: the tree pattern bound to a document's tag index and a
+// scoring model, with one ServerSpec per non-root pattern node. The plan
+// precomputes, per server, the composed chain from the query root
+// (Algorithm 1's root predicate), the adjacency needed for the conditional
+// pairwise checks, and the statistics the adaptive router uses (expected
+// candidates per root, level distribution, expected contribution).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "index/tag_index.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "util/status.h"
+
+namespace whirlpool::exec {
+
+using index::TagIndex;
+using query::Axis;
+using query::ChainStep;
+using query::TreePattern;
+using score::MatchLevel;
+using score::ScoringModel;
+using xml::NodeId;
+using xml::TagId;
+
+/// \brief Per-server compiled data. Server s corresponds to pattern node
+/// s + 1 (node 0 is the root, which seeds the matches).
+struct ServerSpec {
+  int pattern_node = 0;
+  TagId tag = xml::kInvalidTag;
+  /// True when the pattern node's tag is "*" (matches any element).
+  bool wildcard = false;
+  std::optional<std::string> value;
+  /// Composed predicate from the query root to this node (Algorithm 1's
+  /// "Relaxation with rootNode").
+  std::vector<ChainStep> chain_from_root;
+  /// Pattern parent and the axis on the edge into this node (single-edge
+  /// conditional predicate, checked when both endpoints are bound).
+  int pattern_parent = 0;
+  Axis axis_from_parent = Axis::kChild;
+  /// Pattern children of this node (their servers check the edge when they
+  /// bind after us; we check it when we bind after them).
+  std::vector<int> pattern_children;
+
+  // ---- Router statistics (estimates; see QueryPlan::Build) ----------------
+  /// Average number of candidate bindings under one root candidate.
+  double avg_candidates_per_root = 0.0;
+  /// P(best level = exact / edge-generalized / promoted) for a candidate.
+  double level_prob[3] = {1.0, 0.0, 0.0};
+  /// Sum over levels of level_prob * contribution.
+  double expected_contribution = 0.0;
+};
+
+/// \brief Optional per-binding score override for synthetic experiments
+/// (e.g. the Figure 3 motivating example, where each title/location/price
+/// binding carries its own hand-assigned score). Returns the contribution of
+/// binding `node` at server `server` given its structural `level`.
+using ScoreOverride = std::function<double(int server, NodeId node, MatchLevel level)>;
+
+/// \brief Compiled, immutable query plan shared by all engines and threads.
+class QueryPlan {
+ public:
+  /// Compiles `pattern` against `index` with `scoring`. Fails if the pattern
+  /// has more than 32 nodes or a tag that is structurally impossible (the
+  /// root tag missing is allowed — the query simply has no answers).
+  /// `compute_estimates` toggles the router-statistics pass (linear in the
+  /// number of root candidates).
+  static Result<QueryPlan> Build(const TagIndex& index, const TreePattern& pattern,
+                                 ScoringModel scoring, bool compute_estimates = true);
+
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  const ServerSpec& server(int s) const { return servers_[static_cast<size_t>(s)]; }
+  int ServerForPatternNode(int pattern_node) const { return pattern_node - 1; }
+
+  const TagIndex& index() const { return *index_; }
+  const TreePattern& pattern() const { return *pattern_; }
+  const ScoringModel& scoring() const { return scoring_; }
+
+  /// Maximum contribution server `s` can add to a match.
+  double MaxContribution(int s) const { return max_contribution_[static_cast<size_t>(s)]; }
+
+  /// Sum of MaxContribution over servers NOT in `visited_mask` — the
+  /// admissible headroom used for max possible final scores.
+  double RemainingMax(uint32_t visited_mask) const;
+
+  /// Headroom for ScoreAggregation::kSumWitnesses: every unvisited server
+  /// may contribute (candidate count under `root`) x (exact-level idf).
+  /// Admissible because each witness contributes at most the exact idf.
+  double RemainingSumMax(NodeId root, uint32_t visited_mask) const;
+
+  /// Candidate count of server `s` under `root` (one binary search).
+  uint64_t CandidateCount(NodeId root, int s) const;
+
+  /// Contribution of binding `node` at server `s` with structural `level`.
+  double Contribution(int s, NodeId node, MatchLevel level) const;
+
+  /// Installs a per-binding score override. `per_server_max` must upper-bound
+  /// the override's values per server (drives max-final scores).
+  void SetScoreOverride(ScoreOverride fn, std::vector<double> per_server_max);
+
+  bool has_score_override() const { return static_cast<bool>(score_override_); }
+
+ private:
+  QueryPlan() = default;
+
+  const TagIndex* index_ = nullptr;
+  const TreePattern* pattern_ = nullptr;
+  ScoringModel scoring_;
+  std::vector<ServerSpec> servers_;
+  std::vector<double> max_contribution_;
+  ScoreOverride score_override_;
+};
+
+/// \brief Exact number of partial matches a no-pruning (LockStep-NoPrun)
+/// evaluation creates for server order `order`, computed analytically from
+/// per-root candidate counts: each root contributes 1 (the root match) plus,
+/// per stage, the running product of max(1, candidates) — a match spawns one
+/// extension per candidate or a single deletion row. Matches the
+/// matches_created metric of a real NoPrun run (verified in tests); used as
+/// the Table 2 denominator without paying for full enumeration.
+uint64_t NoPruningTupleCount(const QueryPlan& plan, const std::vector<int>& order);
+
+}  // namespace whirlpool::exec

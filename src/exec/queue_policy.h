@@ -1,0 +1,58 @@
+// Priority-queue orderings for partial matches (paper Sec 6.1.3): FIFO,
+// current score, maximum possible next score, maximum possible final score.
+// Priorities are computed at enqueue time (they depend only on the match and
+// the queue's server) and ties break by arrival order for determinism.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "exec/options.h"
+#include "exec/partial_match.h"
+#include "exec/plan.h"
+
+namespace whirlpool::exec {
+
+/// Priority of `m` for a queue belonging to server `server` (-1 for the
+/// router queue, where kMaxNextScore degenerates to kMaxFinalScore since no
+/// single "next" server is fixed). Higher = dequeued first.
+inline double QueuePriority(const QueryPlan& plan, QueuePolicy policy,
+                            const PartialMatch& m, int server) {
+  switch (policy) {
+    case QueuePolicy::kFifo:
+      return -static_cast<double>(m.seq);
+    case QueuePolicy::kCurrentScore:
+      return m.current_score;
+    case QueuePolicy::kMaxNextScore:
+      return server >= 0 ? m.current_score + plan.MaxContribution(server)
+                         : m.max_final_score;
+    case QueuePolicy::kMaxFinalScore:
+      return m.max_final_score;
+  }
+  return 0.0;
+}
+
+/// \brief A match with its frozen priority.
+struct QueuedMatch {
+  double priority;
+  PartialMatch match;
+};
+
+/// Max-heap comparator: higher priority first; ties break toward the most
+/// recently created match (depth-first). Ties are pervasive — an exact
+/// binding leaves the maximum possible final score unchanged, so a
+/// first-created-first order would degenerate into breadth-first processing
+/// where every root advances in lock-step and the top-k threshold grows
+/// slowly. Preferring the newest match drives promising tuples to
+/// completion early, which raises currentTopK and unlocks pruning.
+struct QueuedMatchLess {
+  bool operator()(const QueuedMatch& a, const QueuedMatch& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.match.seq < b.match.seq;
+  }
+};
+
+using MatchPriorityQueue =
+    std::priority_queue<QueuedMatch, std::vector<QueuedMatch>, QueuedMatchLess>;
+
+}  // namespace whirlpool::exec

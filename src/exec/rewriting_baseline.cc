@@ -1,0 +1,142 @@
+#include "exec/rewriting_baseline.h"
+
+#include <algorithm>
+
+#include "query/matcher.h"
+#include "score/scoring.h"
+#include "util/stopwatch.h"
+
+namespace whirlpool::exec {
+
+namespace {
+
+using score::MatchLevel;
+
+/// One relaxed query: a level per non-root pattern node plus its total
+/// score (the score every exact match of this relaxed query receives).
+struct RelaxedQuery {
+  std::vector<MatchLevel> levels;  // index = pattern node, [0] unused
+  double score = 0.0;
+};
+
+/// Materializes the relaxed query as a TreePattern whose exact matches are
+/// precisely the roots where every node attains (at least) its assigned
+/// level: per node, attach the corresponding chain variant directly under
+/// the root (levels are root-relative and independent — Def 4.1).
+query::TreePattern MaterializePattern(const query::TreePattern& original,
+                                      const RelaxedQuery& rq) {
+  query::TreePattern out =
+      query::TreePattern::Root(original.node(0).tag, original.node(0).value);
+  for (int qi = 1; qi < static_cast<int>(original.size()); ++qi) {
+    const MatchLevel level = rq.levels[static_cast<size_t>(qi)];
+    if (level == MatchLevel::kDeleted) continue;
+    const auto chain = original.Chain(0, qi);
+    int parent = 0;
+    if (level == MatchLevel::kPromoted) {
+      // Only the node itself, attached with ad.
+      const auto& last = chain.back();
+      out.AddNode(parent, query::Axis::kDescendant, last.tag, last.value);
+      continue;
+    }
+    for (const auto& step : chain) {
+      const query::Axis axis =
+          level == MatchLevel::kEdgeGeneralized ? query::Axis::kDescendant : step.axis;
+      parent = out.AddNode(parent, axis, step.tag, step.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TopKResult> RunRewritingBaseline(const QueryPlan& plan, const ExecOptions& options,
+                                        RewritingStats* stats) {
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+  if (options.semantics != MatchSemantics::kRelaxed ||
+      options.aggregation != ScoreAggregation::kMaxTuple) {
+    return Status::Unsupported(
+        "the rewriting baseline implements relaxed semantics with max-tuple "
+        "aggregation only");
+  }
+  const query::TreePattern& pattern = plan.pattern();
+  const int n = static_cast<int>(pattern.size());
+  if (n - 1 > 10) {
+    return Status::Unsupported(
+        "rewriting enumeration is exponential; refusing more than 10 non-root "
+        "nodes (" +
+        std::to_string(n - 1) + " given)");
+  }
+
+  Stopwatch wall;
+  ExecMetrics metrics;
+
+  // Enumerate all 4^(n-1) level assignments with their scores.
+  std::vector<RelaxedQuery> queries;
+  const uint64_t total =
+      n <= 1 ? 1 : (1ull << (2 * static_cast<uint64_t>(n - 1)));  // 4^(n-1)
+  queries.reserve(total);
+  for (uint64_t code = 0; code < total; ++code) {
+    RelaxedQuery rq;
+    rq.levels.assign(static_cast<size_t>(n), MatchLevel::kDeleted);
+    uint64_t c = code;
+    for (int qi = 1; qi < n; ++qi) {
+      rq.levels[static_cast<size_t>(qi)] = static_cast<MatchLevel>(c & 3);
+      c >>= 2;
+      rq.score += plan.scoring()
+                      .predicate(qi)
+                      .Contribution(rq.levels[static_cast<size_t>(qi)]);
+    }
+    queries.push_back(std::move(rq));
+  }
+  // Best-score-first: the first relaxed query that matches a root gives the
+  // root its (maximal) score, and once k roots are found every remaining
+  // query can only score lower.
+  std::stable_sort(queries.begin(), queries.end(),
+                   [](const RelaxedQuery& a, const RelaxedQuery& b) {
+                     return a.score > b.score;
+                   });
+
+  if (stats != nullptr) {
+    stats->queries_enumerated = total;
+    stats->queries_evaluated = 0;
+    stats->candidate_checks = 0;
+  }
+
+  const auto& idx = plan.index();
+  TopKSet topk(options.k, /*update_partials=*/true);
+  std::unordered_map<xml::NodeId, char> assigned;
+  const std::vector<xml::NodeId> roots = query::RootCandidates(idx, pattern);
+
+  for (const RelaxedQuery& rq : queries) {
+    if (assigned.size() >= roots.size()) break;  // every root already scored
+    if (topk.NumRoots() >= options.k && rq.score <= topk.Threshold()) {
+      break;  // early exit: nothing below can enter the top-k
+    }
+    if (stats != nullptr) ++stats->queries_evaluated;
+    query::TreePattern relaxed = MaterializePattern(pattern, rq);
+    for (xml::NodeId r : roots) {
+      if (assigned.count(r)) continue;  // already got its best score
+      if (stats != nullptr) ++stats->candidate_checks;
+      metrics.predicate_comparisons.fetch_add(1, std::memory_order_relaxed);
+      if (!query::SubtreeMatches(idx, relaxed, relaxed.root(), r)) continue;
+      assigned.emplace(r, 1);
+      PartialMatch m;
+      m.bindings.assign(static_cast<size_t>(n), xml::kInvalidNode);
+      m.levels = rq.levels;
+      m.levels[0] = MatchLevel::kExact;
+      m.bindings[0] = r;
+      m.current_score = rq.score;
+      m.max_final_score = rq.score;
+      metrics.matches_created.fetch_add(1, std::memory_order_relaxed);
+      metrics.matches_completed.fetch_add(1, std::memory_order_relaxed);
+      topk.Update(m, /*complete=*/true);
+    }
+  }
+
+  TopKResult result;
+  result.answers = topk.Finalize();
+  result.metrics = metrics.Snapshot(wall.ElapsedSeconds());
+  return result;
+}
+
+}  // namespace whirlpool::exec

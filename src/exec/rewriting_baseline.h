@@ -1,0 +1,41 @@
+// The rewriting-based evaluation baseline (paper Sec 3, related work):
+// instead of encoding relaxations into one outer-join plan, enumerate every
+// relaxed query, evaluate them best-score-first, and collect answers. The
+// paper cites EDBT'02: "Outer-join plans were shown to be more efficient
+// than rewriting-based ones ... due to the exponential number of relaxed
+// queries" — this module exists to reproduce that comparison
+// (bench_ablation_rewriting).
+//
+// Enumeration: each non-root pattern node independently takes one of four
+// relaxation levels (exact chain / edge-generalized chain / promoted /
+// deleted), matching the engine's per-binding level semantics, so the
+// baseline's top-k agrees exactly with the adaptive engines (verified in
+// tests). That independence is also why there are 4^(n-1) relaxed queries.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/engine.h"
+
+namespace whirlpool::exec {
+
+/// \brief Statistics of a rewriting-based run.
+struct RewritingStats {
+  /// Number of relaxed queries enumerated (4^(n-1)).
+  uint64_t queries_enumerated = 0;
+  /// Number actually evaluated before the top-k early exit.
+  uint64_t queries_evaluated = 0;
+  /// Root candidates tested across all evaluated queries.
+  uint64_t candidate_checks = 0;
+};
+
+/// \brief Evaluates the relaxed top-k query by query rewriting.
+///
+/// Supports relaxed semantics with max-tuple aggregation (the setting of
+/// the paper's comparison); rejects patterns with more than 10 non-root
+/// nodes (4^10 ≈ 1M queries — the point of the exercise is that this
+/// explodes). Returns the same answers as RunTopK on the same plan.
+Result<TopKResult> RunRewritingBaseline(const QueryPlan& plan, const ExecOptions& options,
+                                        RewritingStats* stats = nullptr);
+
+}  // namespace whirlpool::exec

@@ -1,0 +1,111 @@
+#include "exec/routing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace whirlpool::exec {
+
+Router::Router(const QueryPlan& plan, const ExecOptions& options, std::vector<int> order)
+    : plan_(&plan), strategy_(options.routing), order_(std::move(order)) {}
+
+Result<Router> Router::Make(const QueryPlan& plan, const ExecOptions& options) {
+  std::vector<int> order = options.static_order;
+  if (order.empty()) {
+    order.resize(static_cast<size_t>(plan.num_servers()));
+    for (int s = 0; s < plan.num_servers(); ++s) order[static_cast<size_t>(s)] = s;
+  }
+  if (static_cast<int>(order.size()) != plan.num_servers()) {
+    return Status::InvalidArgument("static_order size must equal the number of servers");
+  }
+  std::vector<char> seen(static_cast<size_t>(plan.num_servers()), 0);
+  for (int s : order) {
+    if (s < 0 || s >= plan.num_servers() || seen[static_cast<size_t>(s)]) {
+      return Status::InvalidArgument("static_order must be a permutation of [0, servers)");
+    }
+    seen[static_cast<size_t>(s)] = 1;
+  }
+  return Router(plan, options, std::move(order));
+}
+
+double Router::EstimateAlive(const PartialMatch& m, int s, double threshold) const {
+  const ServerSpec& spec = plan_->server(s);
+  // Exact candidate count for this match's root binding: one binary search
+  // in the tag index, much sharper than the global per-root average (the
+  // paper suggests selectivity estimation; with Dewey-ordered posting lists
+  // the true count is just as cheap).
+  const double cands = static_cast<double>(plan_->CandidateCount(m.root_binding(), s));
+  // Headroom after this server runs: every other unvisited server may still
+  // contribute its maximum.
+  const double rest_after =
+      m.max_final_score - m.current_score - plan_->MaxContribution(s);
+  if (threshold == -std::numeric_limits<double>::infinity()) {
+    return cands;
+  }
+  const score::PredicateScores& ps = plan_->scoring().predicate(spec.pattern_node);
+  double survivors = 0.0;
+  for (int l = 0; l < 3; ++l) {
+    const double ext_max_final = m.current_score + ps.at_level[l] + rest_after;
+    if (ext_max_final > threshold) survivors += spec.level_prob[l] * cands;
+  }
+  if (cands == 0.0) {
+    // Outer join: the deletion row survives iff the match can still reach
+    // the threshold without this server's contribution.
+    survivors = (m.current_score + rest_after > threshold) ? 1.0 : 0.0;
+  }
+  return survivors;
+}
+
+int Router::NextServer(const PartialMatch& m, double threshold) const {
+  switch (strategy_) {
+    case RoutingStrategy::kStatic: {
+      for (int s : order_) {
+        if (!m.Visited(s)) return s;
+      }
+      break;
+    }
+    case RoutingStrategy::kMaxScore:
+    case RoutingStrategy::kMinScore: {
+      int best = -1;
+      double best_val = 0.0;
+      for (int s = 0; s < plan_->num_servers(); ++s) {
+        if (m.Visited(s)) continue;
+        const double v = plan_->server(s).expected_contribution;
+        const bool better = strategy_ == RoutingStrategy::kMaxScore ? v > best_val
+                                                                    : v < best_val;
+        if (best == -1 || better) {
+          best = s;
+          best_val = v;
+        }
+      }
+      if (best != -1) return best;
+      break;
+    }
+    case RoutingStrategy::kMinAlive: {
+      int best = -1;
+      double best_est = 0.0;
+      double best_cands = 0.0;
+      for (int s = 0; s < plan_->num_servers(); ++s) {
+        if (m.Visited(s)) continue;
+        const double est = EstimateAlive(m, s, threshold);
+        const double cands = plan_->server(s).avg_candidates_per_root;
+        if (best == -1 || est < best_est ||
+            (est == best_est && cands < best_cands)) {
+          best = s;
+          best_est = est;
+          best_cands = cands;
+        }
+      }
+      if (best != -1) return best;
+      break;
+    }
+  }
+  // Precondition violated (complete match); fall back to the lowest
+  // unvisited or 0.
+  for (int s = 0; s < plan_->num_servers(); ++s) {
+    if (!m.Visited(s)) return s;
+  }
+  return 0;
+}
+
+}  // namespace whirlpool::exec

@@ -1,0 +1,38 @@
+// Routing decisions (paper Sec 6.1.4): given a partial match, which server
+// should process it next? Static permutations, score-based (max_score /
+// min_score) and the size-based min_alive_partial_matches strategy that wins
+// in the paper's evaluation.
+#pragma once
+
+#include <vector>
+
+#include "exec/options.h"
+#include "exec/partial_match.h"
+#include "exec/plan.h"
+
+namespace whirlpool::exec {
+
+/// \brief Stateless (thread-safe) routing policy dispatcher.
+class Router {
+ public:
+  /// Validates options (static_order must be a permutation when required).
+  static Result<Router> Make(const QueryPlan& plan, const ExecOptions& options);
+
+  /// The next unvisited server for `m`. `threshold` is the current
+  /// currentTopK value (-infinity while the set is not full). Precondition:
+  /// `m` is incomplete.
+  int NextServer(const PartialMatch& m, double threshold) const;
+
+  /// Estimated number of alive extensions if `m` were processed at server
+  /// `s` now (the min_alive objective; exposed for tests and benches).
+  double EstimateAlive(const PartialMatch& m, int s, double threshold) const;
+
+ private:
+  Router(const QueryPlan& plan, const ExecOptions& options, std::vector<int> order);
+
+  const QueryPlan* plan_;
+  RoutingStrategy strategy_;
+  std::vector<int> order_;  // for kStatic
+};
+
+}  // namespace whirlpool::exec

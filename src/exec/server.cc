@@ -1,0 +1,262 @@
+#include "exec/server.h"
+
+#include <chrono>
+#include <thread>
+
+#include "query/matcher.h"
+#include "util/stopwatch.h"
+
+namespace whirlpool::exec {
+
+void SpinFor(double seconds) {
+  if (seconds <= 0) return;
+  if (seconds >= 0.0005) {
+    // Sleep rather than spin: injected costs must overlap across server
+    // threads (that is what gives Whirlpool-M its parallelism in the
+    // paper's 1.8 msec/op setting), and OS timer accuracy is fine here.
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    return;
+  }
+  Stopwatch sw;
+  while (sw.ElapsedSeconds() < seconds) {
+    // busy wait; granularity of sleep is too coarse below ~2ms
+  }
+}
+
+std::vector<PartialMatch> GenerateRootMatches(const QueryPlan& plan,
+                                              const ExecOptions& options, TopKSet* topk,
+                                              ExecMetrics* metrics,
+                                              std::atomic<uint64_t>* seq) {
+  std::vector<PartialMatch> out;
+  const size_t n = plan.pattern().size();
+  const bool complete_at_root = plan.num_servers() == 0;
+  for (NodeId r : query::RootCandidates(plan.index(), plan.pattern())) {
+    PartialMatch m;
+    m.bindings.assign(n, xml::kInvalidNode);
+    m.levels.assign(n, MatchLevel::kDeleted);
+    m.bindings[0] = r;
+    m.levels[0] = MatchLevel::kExact;
+    m.current_score = 0.0;
+    m.max_final_score = options.aggregation == ScoreAggregation::kSumWitnesses
+                            ? plan.RemainingSumMax(r, 0)
+                            : plan.RemainingMax(0);
+    m.seq = seq->fetch_add(1, std::memory_order_relaxed);
+    metrics->matches_created.fetch_add(1, std::memory_order_relaxed);
+    topk->Update(m, complete_at_root);
+    if (complete_at_root) {
+      metrics->matches_completed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (options.semantics == MatchSemantics::kRelaxed && !topk->Alive(m)) {
+      // Can only happen with a frozen threshold above the max total score.
+      metrics->matches_pruned.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+namespace {
+
+/// Walks up the pattern from `spec.pattern_node` to the nearest node bound
+/// in `m` (the root is always bound).
+int NearestBoundPatternAncestor(const TreePattern& pattern, const PartialMatch& m,
+                                int pattern_node) {
+  int p = pattern.node(pattern_node).parent;
+  while (p > 0 && m.bindings[static_cast<size_t>(p)] == xml::kInvalidNode) {
+    p = pattern.node(p).parent;
+  }
+  return p < 0 ? 0 : p;
+}
+
+}  // namespace
+
+void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
+                     const PartialMatch& m, int s, TopKSet* topk, ExecMetrics* metrics,
+                     std::atomic<uint64_t>* seq, std::vector<PartialMatch>* out_survivors,
+                     ServerJoinCache* cache) {
+  metrics->server_operations.fetch_add(1, std::memory_order_relaxed);
+  metrics->per_server_operations[static_cast<size_t>(s)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (options.op_cost_seconds > 0) SpinFor(options.op_cost_seconds);
+
+  const ServerSpec& spec = plan.server(s);
+  const TagIndex& index = plan.index();
+  const auto& doc = index.doc();
+  const TreePattern& pattern = plan.pattern();
+  const size_t qi = static_cast<size_t>(spec.pattern_node);
+  const bool exact = options.semantics == MatchSemantics::kExact;
+  const bool prune = options.engine != EngineKind::kLockStepNoPrun;
+  const bool sum_mode = options.aggregation == ScoreAggregation::kSumWitnesses;
+
+  // Candidate source: relaxed matches attach anywhere under the ROOT
+  // binding (subtree-promotion closure); exact matches must pass through the
+  // nearest bound pattern ancestor. Sum-witness aggregation evaluates
+  // component predicates root-relative (Def 4.1), so its anchor is always
+  // the root.
+  NodeId anchor;
+  std::vector<ChainStep> anchor_chain;
+  if (exact && !sum_mode) {
+    int anc = NearestBoundPatternAncestor(pattern, m, spec.pattern_node);
+    anchor = m.bindings[static_cast<size_t>(anc)];
+    anchor_chain = pattern.Chain(anc, spec.pattern_node);
+  } else {
+    anchor = m.root_binding();
+    anchor_chain = spec.chain_from_root;
+  }
+
+  std::vector<NodeId> candidates;
+  if (spec.wildcard) {
+    candidates = index.Candidates(anchor, index::kWildcardTag, spec.value);
+  } else if (spec.tag != xml::kInvalidTag) {
+    candidates = spec.value
+                     ? index.DescendantsWithTagValue(anchor, spec.tag, *spec.value)
+                     : index.DescendantsWithTag(anchor, spec.tag);
+  }
+
+  uint64_t emitted = 0;
+  auto handle_extension = [&](PartialMatch&& ext) {
+    ++emitted;
+    metrics->matches_created.fetch_add(1, std::memory_order_relaxed);
+    const bool complete = ext.IsComplete(plan.num_servers());
+    topk->Update(ext, complete);
+    if (complete) {
+      metrics->matches_completed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!prune || topk->Alive(ext)) {
+      out_survivors->push_back(std::move(ext));
+    } else {
+      metrics->matches_pruned.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  if (sum_mode) {
+    // One extension accumulating every witness's contribution (Def 4.4
+    // with relaxation-graded tf). The binding records the best witness.
+    double total = 0.0;
+    double best_contrib = -1.0;
+    NodeId best_binding = xml::kInvalidNode;
+    MatchLevel best_level = MatchLevel::kDeleted;
+    for (NodeId c : candidates) {
+      metrics->predicate_comparisons.fetch_add(1, std::memory_order_relaxed);
+      MatchLevel level = score::ClassifyBinding(index, anchor, c, anchor_chain);
+      if (exact && level != MatchLevel::kExact) continue;
+      const double contrib = plan.Contribution(s, c, level);
+      total += contrib;
+      if (contrib > best_contrib) {
+        best_contrib = contrib;
+        best_binding = c;
+        best_level = level;
+      }
+    }
+    if (best_binding == xml::kInvalidNode && exact) return;  // no exact witness
+    PartialMatch ext = m;
+    ext.bindings[qi] = best_binding;
+    ext.levels[qi] = best_binding == xml::kInvalidNode ? MatchLevel::kDeleted
+                                                       : best_level;
+    ext.visited_mask |= (1u << s);
+    ext.current_score += total;
+    ext.max_final_score =
+        ext.current_score + plan.RemainingSumMax(m.root_binding(), ext.visited_mask);
+    ext.seq = seq->fetch_add(1, std::memory_order_relaxed);
+    handle_extension(std::move(ext));
+    return;
+  }
+
+  if (cache != nullptr && !exact && !plan.has_score_override()) {
+    // Memoized path: levels for (server, root) are reusable across all
+    // tuples of this root.
+    auto entry = cache->GetOrCompute(s, m.root_binding(), [&] {
+      ServerJoinCache::Entry computed;
+      computed.reserve(candidates.size());
+      for (NodeId c : candidates) {
+        metrics->predicate_comparisons.fetch_add(1, std::memory_order_relaxed);
+        computed.push_back({c, score::ClassifyBinding(index, anchor, c, anchor_chain)});
+      }
+      return computed;
+    });
+    for (const ServerJoinCache::Binding& b : *entry) {
+      PartialMatch ext = m;
+      ext.bindings[qi] = b.node;
+      ext.levels[qi] = b.level;
+      ext.visited_mask |= (1u << s);
+      ext.current_score += plan.Contribution(s, b.node, b.level);
+      ext.max_final_score = ext.current_score + plan.RemainingMax(ext.visited_mask);
+      ext.seq = seq->fetch_add(1, std::memory_order_relaxed);
+      handle_extension(std::move(ext));
+    }
+    if (emitted == 0) {
+      PartialMatch ext = m;
+      ext.levels[qi] = MatchLevel::kDeleted;
+      ext.visited_mask |= (1u << s);
+      ext.max_final_score = ext.current_score + plan.RemainingMax(ext.visited_mask);
+      ext.seq = seq->fetch_add(1, std::memory_order_relaxed);
+      handle_extension(std::move(ext));
+    }
+    return;
+  }
+
+  for (NodeId c : candidates) {
+    metrics->predicate_comparisons.fetch_add(1, std::memory_order_relaxed);
+    MatchLevel level;
+    if (exact) {
+      if (!score::MatchChainExact(index, anchor, c, anchor_chain)) continue;
+      // Conditional pairwise predicates against already-bound neighbors
+      // (Algorithm 1): the edge to a bound pattern child is checked now; the
+      // edge to the parent was covered by the anchor chain when the parent
+      // is the anchor, and will be checked by whichever binds later
+      // otherwise.
+      bool ok = true;
+      for (int ch : spec.pattern_children) {
+        NodeId cb = m.bindings[static_cast<size_t>(ch)];
+        if (cb == xml::kInvalidNode) continue;
+        metrics->predicate_comparisons.fetch_add(1, std::memory_order_relaxed);
+        const bool holds = pattern.node(ch).axis == Axis::kChild
+                               ? doc.IsChild(c, cb)
+                               : doc.IsDescendant(c, cb);
+        if (!holds) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      if (spec.pattern_parent > 0) {
+        NodeId pb = m.bindings[static_cast<size_t>(spec.pattern_parent)];
+        if (pb != xml::kInvalidNode) {
+          metrics->predicate_comparisons.fetch_add(1, std::memory_order_relaxed);
+          const bool holds = spec.axis_from_parent == Axis::kChild
+                                 ? doc.IsChild(pb, c)
+                                 : doc.IsDescendant(pb, c);
+          if (!holds) continue;
+        }
+      }
+      level = MatchLevel::kExact;
+    } else {
+      level = score::ClassifyBinding(index, anchor, c, anchor_chain);
+    }
+
+    PartialMatch ext = m;
+    ext.bindings[qi] = c;
+    ext.levels[qi] = level;
+    ext.visited_mask |= (1u << s);
+    ext.current_score += plan.Contribution(s, c, level);
+    ext.max_final_score = ext.current_score + plan.RemainingMax(ext.visited_mask);
+    ext.seq = seq->fetch_add(1, std::memory_order_relaxed);
+    handle_extension(std::move(ext));
+  }
+
+  if (emitted == 0 && !exact) {
+    // Outer-join deletion row: the node is absent; the match lives on with
+    // no contribution from this server.
+    PartialMatch ext = m;
+    ext.levels[qi] = MatchLevel::kDeleted;
+    ext.visited_mask |= (1u << s);
+    ext.max_final_score = ext.current_score + plan.RemainingMax(ext.visited_mask);
+    ext.seq = seq->fetch_add(1, std::memory_order_relaxed);
+    handle_extension(std::move(ext));
+  }
+}
+
+}  // namespace whirlpool::exec

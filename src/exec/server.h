@@ -1,0 +1,45 @@
+// The server operation (paper Sec 5.2.1): extend one partial match with
+// every binding of the server's pattern node at once (outer join), classify
+// each binding's relaxation level, assign incremental scores, and check each
+// extension against the top-k set. Shared by all engines; the engines only
+// differ in scheduling.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "exec/join_cache.h"
+#include "exec/metrics.h"
+#include "exec/options.h"
+#include "exec/partial_match.h"
+#include "exec/plan.h"
+#include "exec/topk_set.h"
+
+namespace whirlpool::exec {
+
+/// \brief Seeds the evaluation: one partial match per root candidate.
+/// In relaxed semantics each root is also recorded in the top-k set (its
+/// everything-deleted completion is a valid answer of score 0).
+std::vector<PartialMatch> GenerateRootMatches(const QueryPlan& plan,
+                                              const ExecOptions& options, TopKSet* topk,
+                                              ExecMetrics* metrics,
+                                              std::atomic<uint64_t>* seq);
+
+/// \brief Processes `m` at server `s`: joins, scores, prunes.
+///
+/// Complete extensions are folded into `topk` and not returned; surviving
+/// incomplete extensions are appended to `out_survivors` (ready for
+/// routing). Pruned and dead extensions are counted in `metrics`.
+/// `cache` (optional) memoizes classified candidates per (server, root) —
+/// only consulted in relaxed, max-tuple, non-override mode, where results
+/// depend on nothing else.
+void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
+                     const PartialMatch& m, int s, TopKSet* topk, ExecMetrics* metrics,
+                     std::atomic<uint64_t>* seq, std::vector<PartialMatch>* out_survivors,
+                     ServerJoinCache* cache = nullptr);
+
+/// Busy-waits for `seconds` (used to inject synthetic per-operation cost;
+/// sleeps when the cost is long enough for the OS timer to be accurate).
+void SpinFor(double seconds);
+
+}  // namespace whirlpool::exec

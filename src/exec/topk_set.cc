@@ -1,0 +1,94 @@
+#include "exec/topk_set.h"
+
+#include <algorithm>
+
+namespace whirlpool::exec {
+
+TopKSet::TopKSet(uint32_t k, bool update_partials)
+    : k_(k), update_partials_(update_partials) {}
+
+void TopKSet::FreezeThreshold(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frozen_ = true;
+  frozen_value_ = value;
+}
+
+void TopKSet::SetMinScoreMode(double min_score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_score_mode_ = true;
+  min_score_ = min_score;
+}
+
+void TopKSet::Update(const PartialMatch& m, bool complete) {
+  if (!complete && !update_partials_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = best_[m.root_binding()];
+  if (m.current_score > e.score) {
+    if (e.score != -std::numeric_limits<double>::infinity()) {
+      scores_.erase(scores_.find(e.score));
+    }
+    e.score = m.current_score;
+    e.bindings = m.bindings;
+    e.levels = m.levels;
+    e.complete = complete;
+    scores_.insert(e.score);
+  } else if (complete && !e.complete && m.current_score == e.score) {
+    // Prefer a complete witness at equal score.
+    e.bindings = m.bindings;
+    e.levels = m.levels;
+    e.complete = true;
+  }
+}
+
+double TopKSet::ThresholdLocked() const {
+  if (min_score_mode_) return min_score_;
+  if (frozen_) return frozen_value_;
+  if (scores_.size() < k_) return -std::numeric_limits<double>::infinity();
+  auto it = scores_.rbegin();
+  std::advance(it, k_ - 1);
+  return *it;
+}
+
+double TopKSet::Threshold() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ThresholdLocked();
+}
+
+bool TopKSet::Alive(const PartialMatch& m) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (min_score_mode_) {
+    // Inclusive: a match that can still exactly reach the bar is wanted.
+    return m.max_final_score >= min_score_;
+  }
+  double threshold = ThresholdLocked();
+  if (threshold == -std::numeric_limits<double>::infinity()) return true;
+  return m.max_final_score > threshold;
+}
+
+size_t TopKSet::NumRoots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_.size();
+}
+
+std::vector<Answer> TopKSet::Finalize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Answer> all;
+  all.reserve(best_.size());
+  for (const auto& [root, e] : best_) {
+    if (min_score_mode_ && e.score < min_score_) continue;
+    Answer a;
+    a.root = root;
+    a.score = e.score;
+    a.bindings = e.bindings;
+    a.levels = e.levels;
+    all.push_back(std::move(a));
+  }
+  std::sort(all.begin(), all.end(), [](const Answer& a, const Answer& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.root < b.root;
+  });
+  if (all.size() > k_) all.resize(k_);
+  return all;
+}
+
+}  // namespace whirlpool::exec

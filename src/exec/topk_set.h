@@ -1,0 +1,94 @@
+// The shared top-k set (paper Sec 5.1): the k best candidate answers seen so
+// far, at most one per distinct root binding. A newly computed (partial or
+// complete) match updates its root's recorded score, and partial matches are
+// pruned when their maximum possible final score cannot beat the current
+// k-th best score (currentTopK).
+//
+// In relaxed semantics a partial match's current score is itself an
+// achievable answer score (bind this prefix, delete the rest), so partial
+// matches legitimately update the set. In exact semantics only complete
+// matches do (pass update_partials = false).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/partial_match.h"
+
+namespace whirlpool::exec {
+
+/// \brief One final answer.
+struct Answer {
+  NodeId root = xml::kInvalidNode;
+  double score = 0.0;
+  std::vector<NodeId> bindings;
+  std::vector<MatchLevel> levels;
+};
+
+/// \brief Thread-safe top-k candidate set.
+class TopKSet {
+ public:
+  /// \param k          number of answers to return
+  /// \param update_partials  whether partial matches update root scores
+  ///                         (true for relaxed semantics)
+  explicit TopKSet(uint32_t k, bool update_partials = true);
+
+  /// Freezes the pruning threshold at `value`: Update still records answers
+  /// but Threshold() always returns `value`. Used by the Figure 3 bench to
+  /// study cost as a function of currentTopK.
+  void FreezeThreshold(double value);
+
+  /// Threshold-query mode (the paper's EDBT'02 predecessor: return ALL
+  /// answers scoring at least `min_score`, not the k best). Pruning keeps a
+  /// match alive iff it can still reach `min_score` (inclusive), and
+  /// Finalize() returns every root at or above it (k still caps the count).
+  void SetMinScoreMode(double min_score);
+
+  /// Records `m`'s current score for its root (if it improves the root's
+  /// best). `complete` marks a fully-processed match; in exact semantics
+  /// only complete matches are recorded.
+  void Update(const PartialMatch& m, bool complete);
+
+  /// currentTopK: the k-th best per-root score, or -infinity while fewer
+  /// than k distinct roots are recorded.
+  double Threshold() const;
+
+  /// Pruning test for a partial match: alive iff the set is not full or
+  /// m.max_final_score strictly beats the threshold. (A tie cannot displace
+  /// an entry of a full set, so tied matches are pruned — the returned set
+  /// is still a valid top-k.)
+  bool Alive(const PartialMatch& m) const;
+
+  /// Number of distinct roots recorded.
+  size_t NumRoots() const;
+
+  /// The k best answers, highest score first (ties by root id for
+  /// determinism). Call after evaluation has drained.
+  std::vector<Answer> Finalize() const;
+
+ private:
+  double ThresholdLocked() const;
+
+  mutable std::mutex mu_;
+  uint32_t k_;
+  bool update_partials_;
+  bool frozen_ = false;
+  double frozen_value_ = 0.0;
+  bool min_score_mode_ = false;
+  double min_score_ = 0.0;
+  struct Entry {
+    double score = -std::numeric_limits<double>::infinity();
+    std::vector<NodeId> bindings;
+    std::vector<MatchLevel> levels;
+    bool complete = false;
+  };
+  std::unordered_map<NodeId, Entry> best_;
+  /// Multiset of per-root best scores; k-th largest is the threshold.
+  std::multiset<double> scores_;
+};
+
+}  // namespace whirlpool::exec

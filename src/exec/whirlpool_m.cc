@@ -1,0 +1,192 @@
+// Whirlpool-M (paper Sec 6.1.2): the multi-threaded adaptive engine. One
+// thread per server (optionally more, the paper's future-work extension),
+// one router thread, and the calling thread acts as the "main thread" that
+// detects termination: the top-k answer is known when no partial match
+// remains in any server queue, the router queue, or in processing.
+//
+// A simulated processor count (ExecOptions::processor_cap) bounds how many
+// server threads do useful work concurrently, reproducing the paper's
+// 1/2/4/infinity-processor study (Fig 9) on a single host.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "exec/engine.h"
+#include "exec/queue_policy.h"
+#include "exec/routing.h"
+#include "exec/server.h"
+#include "util/semaphore.h"
+#include "util/stopwatch.h"
+
+namespace whirlpool::exec {
+
+namespace {
+
+/// Blocking priority queue with a stop flag.
+class SyncMatchQueue {
+ public:
+  void Push(QueuedMatch&& qm) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push(std::move(qm));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a match is available or Stop() was called and the queue is
+  /// empty. Returns false on shutdown.
+  bool Pop(PartialMatch* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    *out = std::move(const_cast<QueuedMatch&>(queue_.top()).match);
+    queue_.pop();
+    return true;
+  }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  MatchPriorityQueue queue_;
+  bool stop_ = false;
+};
+
+/// Tracks the number of live partial matches in the system; main blocks in
+/// WaitForDrain until it hits zero.
+class InFlightTracker {
+ public:
+  void Add(uint64_t n) { count_.fetch_add(n, std::memory_order_acq_rel); }
+
+  void Retire() {
+    if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+  }
+
+  void WaitForDrain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_.load(std::memory_order_acquire) == 0; });
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace
+
+Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& options) {
+  Result<Router> router = Router::Make(plan, options);
+  if (!router.ok()) return router.status();
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+  if (options.threads_per_server < 1) {
+    return Status::InvalidArgument("threads_per_server must be >= 1");
+  }
+
+  Stopwatch wall;
+  ExecMetrics metrics;
+  std::atomic<uint64_t> seq{0};
+  TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed);
+  if (options.has_frozen_threshold() && options.has_min_score_threshold()) {
+    return Status::InvalidArgument(
+        "frozen_threshold and min_score_threshold are mutually exclusive");
+  }
+  if (options.has_frozen_threshold()) topk.FreezeThreshold(options.frozen_threshold);
+  if (options.has_min_score_threshold()) {
+    topk.SetMinScoreMode(options.min_score_threshold);
+  }
+
+  const int num_servers = plan.num_servers();
+  ProcessorCap cap(options.processor_cap <= 0 ? ProcessorCap::kUnlimited
+                                              : options.processor_cap);
+  InFlightTracker in_flight;
+  std::unique_ptr<ServerJoinCache> cache;
+  if (options.cache_server_joins) {
+    cache = std::make_unique<ServerJoinCache>(num_servers);
+  }
+  SyncMatchQueue router_queue;
+  std::vector<SyncMatchQueue> server_queues(static_cast<size_t>(num_servers));
+
+  // Seed the system before starting any thread so a fast drain cannot reach
+  // zero prematurely.
+  {
+    std::vector<PartialMatch> roots =
+        GenerateRootMatches(plan, options, &topk, &metrics, &seq);
+    in_flight.Add(roots.size());
+    for (PartialMatch& m : roots) {
+      const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, m, -1);
+      router_queue.Push({prio, std::move(m)});
+    }
+  }
+
+  auto server_loop = [&](int s) {
+    PartialMatch m;
+    std::vector<PartialMatch> survivors;
+    while (server_queues[static_cast<size_t>(s)].Pop(&m)) {
+      // Late pruning: the threshold may have grown while queued.
+      if (!topk.Alive(m) && options.engine != EngineKind::kLockStepNoPrun) {
+        metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
+        in_flight.Retire();
+        continue;
+      }
+      survivors.clear();
+      {
+        ProcessorCapGuard guard(&cap);
+        ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &survivors,
+                        cache.get());
+      }
+      in_flight.Add(survivors.size());
+      for (PartialMatch& ext : survivors) {
+        const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, ext, -1);
+        router_queue.Push({prio, std::move(ext)});
+      }
+      in_flight.Retire();
+    }
+  };
+
+  auto router_loop = [&] {
+    PartialMatch m;
+    while (router_queue.Pop(&m)) {
+      if (!topk.Alive(m)) {
+        metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
+        in_flight.Retire();
+        continue;
+      }
+      const int s = router->NextServer(m, topk.Threshold());
+      metrics.routing_decisions.fetch_add(1, std::memory_order_relaxed);
+      const double prio = QueuePriority(plan, options.queue_policy, m, s);
+      server_queues[static_cast<size_t>(s)].Push({prio, std::move(m)});
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_servers * options.threads_per_server) + 1);
+  for (int s = 0; s < num_servers; ++s) {
+    for (int t = 0; t < options.threads_per_server; ++t) {
+      threads.emplace_back(server_loop, s);
+    }
+  }
+  threads.emplace_back(router_loop);
+
+  in_flight.WaitForDrain();
+  router_queue.Stop();
+  for (auto& q : server_queues) q.Stop();
+  for (auto& t : threads) t.join();
+
+  TopKResult result;
+  result.answers = topk.Finalize();
+  result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
+  return result;
+}
+
+}  // namespace whirlpool::exec

@@ -1,0 +1,87 @@
+// Whirlpool-S (paper Sec 6.1.2): the single-threaded adaptive engine. A
+// partial match is processed by a server as soon as it is routed to it, so
+// there are no server queues — only the router's queue, ordered by maximum
+// possible final score (the Upper/MPro discipline: the match with the
+// highest possible final score must be processed before a top-k answer can
+// be finalized).
+#include <memory>
+
+#include "exec/engine.h"
+#include "exec/queue_policy.h"
+#include "exec/routing.h"
+#include "exec/server.h"
+#include "util/stopwatch.h"
+
+namespace whirlpool::exec {
+
+Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& options) {
+  Result<Router> router = Router::Make(plan, options);
+  if (!router.ok()) return router.status();
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+
+  Stopwatch wall;
+  ExecMetrics metrics;
+  std::atomic<uint64_t> seq{0};
+  TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed);
+  if (options.has_frozen_threshold() && options.has_min_score_threshold()) {
+    return Status::InvalidArgument(
+        "frozen_threshold and min_score_threshold are mutually exclusive");
+  }
+  if (options.has_frozen_threshold()) topk.FreezeThreshold(options.frozen_threshold);
+  if (options.has_min_score_threshold()) {
+    topk.SetMinScoreMode(options.min_score_threshold);
+  }
+
+  std::unique_ptr<ServerJoinCache> cache;
+  if (options.cache_server_joins) {
+    cache = std::make_unique<ServerJoinCache>(plan.num_servers());
+  }
+  MatchPriorityQueue queue;
+  std::vector<PartialMatch> survivors;
+  for (PartialMatch& m : GenerateRootMatches(plan, options, &topk, &metrics, &seq)) {
+    const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, m, -1);
+    queue.push({prio, std::move(m)});
+  }
+
+  const int bulk = options.bulk_batch < 1 ? 1 : options.bulk_batch;
+  while (!queue.empty()) {
+    PartialMatch m = std::move(const_cast<QueuedMatch&>(queue.top()).match);
+    queue.pop();
+    // The threshold may have grown since this match was enqueued.
+    if (!topk.Alive(m)) {
+      metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const int s = router->NextServer(m, topk.Threshold());
+    metrics.routing_decisions.fetch_add(1, std::memory_order_relaxed);
+    survivors.clear();
+    ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &survivors,
+                    cache.get());
+    // Bulk routing (Sec 6.3.3 future work): reuse this decision for queue
+    // neighbours that have visited the same servers — they are "similar"
+    // matches for which the router would very likely pick the same server.
+    for (int extra = 1; extra < bulk && !queue.empty(); ++extra) {
+      const QueuedMatch& peek = queue.top();
+      if (peek.match.visited_mask != m.visited_mask) break;
+      PartialMatch other = std::move(const_cast<QueuedMatch&>(peek).match);
+      queue.pop();
+      if (!topk.Alive(other)) {
+        metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      ProcessAtServer(plan, options, other, s, &topk, &metrics, &seq, &survivors,
+                      cache.get());
+    }
+    for (PartialMatch& ext : survivors) {
+      const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, ext, -1);
+      queue.push({prio, std::move(ext)});
+    }
+  }
+
+  TopKResult result;
+  result.answers = topk.Finalize();
+  result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
+  return result;
+}
+
+}  // namespace whirlpool::exec

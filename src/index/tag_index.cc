@@ -1,0 +1,152 @@
+#include "index/tag_index.h"
+
+#include <algorithm>
+
+namespace whirlpool::index {
+
+const std::vector<NodeId> TagIndex::kEmpty;
+
+TagIndex::TagIndex(const Document& doc, bool index_values) : doc_(&doc) {
+  by_tag_.resize(doc.tags().size());
+  // The arena is not necessarily in document order for arbitrary builders,
+  // so collect then sort by preorder rank.
+  for (NodeId id = 1; id < doc.num_nodes(); ++id) {
+    by_tag_[doc.tag(id)].nodes.push_back(id);
+    if (IsElementTagName(doc.tag_name(id))) all_elements_.push_back(id);
+    if (index_values && doc.has_text(id)) {
+      by_tag_value_[{doc.tag(id), std::string(doc.text(id))}].nodes.push_back(id);
+    }
+  }
+  auto by_order = [&doc](NodeId a, NodeId b) {
+    return doc.node(a).order < doc.node(b).order;
+  };
+  for (auto& pl : by_tag_) std::sort(pl.nodes.begin(), pl.nodes.end(), by_order);
+  std::sort(all_elements_.begin(), all_elements_.end(), by_order);
+  for (auto& [key, pl] : by_tag_value_) std::sort(pl.nodes.begin(), pl.nodes.end(), by_order);
+}
+
+const std::vector<NodeId>& TagIndex::Nodes(std::string_view tag) const {
+  TagId id = doc_->tags().Lookup(tag);
+  if (id == xml::kInvalidTag) return kEmpty;
+  return Nodes(id);
+}
+
+const std::vector<NodeId>& TagIndex::Nodes(TagId tag) const {
+  if (tag >= by_tag_.size()) return kEmpty;
+  return by_tag_[tag].nodes;
+}
+
+const std::vector<NodeId>& TagIndex::NodesWithValue(std::string_view tag,
+                                                    std::string_view value) const {
+  TagId id = doc_->tags().Lookup(tag);
+  if (id == xml::kInvalidTag) return kEmpty;
+  auto it = by_tag_value_.find({id, std::string(value)});
+  if (it == by_tag_value_.end()) return kEmpty;
+  return it->second.nodes;
+}
+
+std::pair<size_t, size_t> TagIndex::DescendantRange(const std::vector<NodeId>& list,
+                                                    NodeId ancestor) const {
+  const auto& a = doc_->node(ancestor);
+  auto lo = std::lower_bound(list.begin(), list.end(), a.order + 1,
+                             [this](NodeId n, uint32_t order) {
+                               return doc_->node(n).order < order;
+                             });
+  auto hi = std::upper_bound(lo, list.end(), a.subtree_end,
+                             [this](uint32_t order, NodeId n) {
+                               return order < doc_->node(n).order;
+                             });
+  return {static_cast<size_t>(lo - list.begin()), static_cast<size_t>(hi - list.begin())};
+}
+
+std::vector<NodeId> TagIndex::DescendantsWithTag(NodeId ancestor, TagId tag) const {
+  const auto& list = Nodes(tag);
+  auto [lo, hi] = DescendantRange(list, ancestor);
+  return std::vector<NodeId>(list.begin() + lo, list.begin() + hi);
+}
+
+std::vector<NodeId> TagIndex::DescendantsWithTagValue(NodeId ancestor, TagId tag,
+                                                      std::string_view value) const {
+  auto it = by_tag_value_.find({tag, std::string(value)});
+  if (it == by_tag_value_.end()) return {};
+  const auto& list = it->second.nodes;
+  auto [lo, hi] = DescendantRange(list, ancestor);
+  return std::vector<NodeId>(list.begin() + lo, list.begin() + hi);
+}
+
+size_t TagIndex::CountDescendantsWithTag(NodeId ancestor, TagId tag) const {
+  const auto& list = Nodes(tag);
+  auto [lo, hi] = DescendantRange(list, ancestor);
+  return hi - lo;
+}
+
+std::vector<NodeId> TagIndex::ChildrenWithTag(NodeId ancestor, TagId tag) const {
+  std::vector<NodeId> out;
+  for (NodeId n : DescendantsWithTag(ancestor, tag)) {
+    if (doc_->parent(n) == ancestor) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> TagIndex::AllElementDescendants(NodeId ancestor) const {
+  auto [lo, hi] = DescendantRange(all_elements_, ancestor);
+  return std::vector<NodeId>(all_elements_.begin() + lo, all_elements_.begin() + hi);
+}
+
+size_t TagIndex::CountAllElementDescendants(NodeId ancestor) const {
+  auto [lo, hi] = DescendantRange(all_elements_, ancestor);
+  return hi - lo;
+}
+
+std::vector<NodeId> TagIndex::Candidates(NodeId anchor, std::string_view tag,
+                                         const std::optional<std::string>& value) const {
+  if (tag == kWildcardTag) {
+    std::vector<NodeId> all = AllElementDescendants(anchor);
+    if (!value) return all;
+    std::vector<NodeId> out;
+    for (NodeId n : all) {
+      if (doc_->text(n) == *value) out.push_back(n);
+    }
+    return out;
+  }
+  TagId id = doc_->tags().Lookup(tag);
+  if (id == xml::kInvalidTag) return {};
+  return value ? DescendantsWithTagValue(anchor, id, *value)
+               : DescendantsWithTag(anchor, id);
+}
+
+size_t TagIndex::CountCandidates(NodeId anchor, std::string_view tag,
+                                 const std::optional<std::string>& value) const {
+  if (tag == kWildcardTag) {
+    if (!value) return CountAllElementDescendants(anchor);
+    return Candidates(anchor, tag, value).size();
+  }
+  TagId id = doc_->tags().Lookup(tag);
+  if (id == xml::kInvalidTag) return 0;
+  if (value) return DescendantsWithTagValue(anchor, id, *value).size();
+  return CountDescendantsWithTag(anchor, id);
+}
+
+TagStats TagIndex::Stats(TagId tag) const {
+  TagStats s;
+  if (tag >= by_tag_.size()) return s;
+  s.count = by_tag_[tag].nodes.size();
+  // avg fanout: average posting-list hits under each distinct parent-of-tag
+  // subtree. Approximate with count / number of distinct parents.
+  if (s.count > 0) {
+    size_t distinct_parents = 0;
+    NodeId prev_parent = xml::kInvalidNode;
+    for (NodeId n : by_tag_[tag].nodes) {
+      NodeId p = doc_->parent(n);
+      if (p != prev_parent) {
+        ++distinct_parents;
+        prev_parent = p;
+      }
+    }
+    s.avg_fanout_under_ancestor =
+        static_cast<double>(s.count) / static_cast<double>(std::max<size_t>(1, distinct_parents));
+  }
+  return s;
+}
+
+}  // namespace whirlpool::index

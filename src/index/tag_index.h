@@ -1,0 +1,115 @@
+// Tag indexes over a finalized Document (paper Sec 6.2.1: "the document is
+// parsed and nodes involved in the query are stored in indexes along with
+// their Dewey encoding"). We store, per tag (optionally per (tag, text
+// value)), the node list in document order. Because preorder ranks of a
+// subtree are contiguous, "all nodes with tag t that are descendants of n"
+// is a binary-searched contiguous range.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace whirlpool::index {
+
+using xml::Document;
+using xml::NodeId;
+using xml::TagId;
+
+/// \brief A posting list: node ids with one tag, in document order.
+struct PostingList {
+  std::vector<NodeId> nodes;  // sorted by Document order
+};
+
+/// \brief Per-tag statistics used by the size-based (min_alive) router.
+struct TagStats {
+  /// Number of nodes with this tag.
+  uint64_t count = 0;
+  /// Average number of same-tag nodes inside one top-level item subtree that
+  /// contains at least one (a cheap stand-in for selectivity estimation).
+  double avg_fanout_under_ancestor = 0.0;
+};
+
+/// The wildcard tag "*": matches any ELEMENT (never the synthetic #root or
+/// "@attr" attribute nodes).
+inline constexpr std::string_view kWildcardTag = "*";
+
+/// True if `tag_name` names a real element (not #root / @attribute).
+inline bool IsElementTagName(std::string_view tag_name) {
+  return !tag_name.empty() && tag_name[0] != '#' && tag_name[0] != '@';
+}
+
+/// \brief Tag (and tag+value) index over one Document.
+class TagIndex {
+ public:
+  /// Builds posting lists for every tag in `doc`. If `index_values` is true,
+  /// additionally builds (tag, text) posting lists for nodes with text.
+  explicit TagIndex(const Document& doc, bool index_values = true);
+
+  const Document& doc() const { return *doc_; }
+
+  /// Posting list for `tag` (empty if tag unknown).
+  const std::vector<NodeId>& Nodes(std::string_view tag) const;
+  const std::vector<NodeId>& Nodes(TagId tag) const;
+
+  /// Posting list for nodes with `tag` whose text equals `value`.
+  const std::vector<NodeId>& NodesWithValue(std::string_view tag,
+                                            std::string_view value) const;
+
+  /// All nodes with `tag` that are proper descendants of `ancestor`,
+  /// in document order. O(log n + answer).
+  std::vector<NodeId> DescendantsWithTag(NodeId ancestor, TagId tag) const;
+
+  /// Same, restricted to nodes whose text equals `value`.
+  std::vector<NodeId> DescendantsWithTagValue(NodeId ancestor, TagId tag,
+                                              std::string_view value) const;
+
+  /// Count of `tag` descendants of `ancestor` without materializing them.
+  size_t CountDescendantsWithTag(NodeId ancestor, TagId tag) const;
+
+  /// Children of `ancestor` with `tag`, in document order.
+  std::vector<NodeId> ChildrenWithTag(NodeId ancestor, TagId tag) const;
+
+  /// All ELEMENT nodes, in document order (the "*" posting list).
+  const std::vector<NodeId>& AllElements() const { return all_elements_; }
+
+  /// All element descendants of `ancestor`, in document order.
+  std::vector<NodeId> AllElementDescendants(NodeId ancestor) const;
+
+  /// Count of element descendants of `ancestor`.
+  size_t CountAllElementDescendants(NodeId ancestor) const;
+
+  /// Wildcard-aware candidate scan: descendants of `anchor` matching `tag`
+  /// (kWildcardTag = any element) and, if given, whose text equals `value`.
+  std::vector<NodeId> Candidates(NodeId anchor, std::string_view tag,
+                                 const std::optional<std::string>& value) const;
+
+  /// Count variant of Candidates.
+  size_t CountCandidates(NodeId anchor, std::string_view tag,
+                         const std::optional<std::string>& value) const;
+
+  /// Number of distinct tags indexed.
+  size_t num_tags() const { return by_tag_.size(); }
+
+  /// Statistics for a tag (zeros if unknown).
+  TagStats Stats(TagId tag) const;
+
+ private:
+  /// Returns [lo, hi) bounds into a posting list for descendants of `a`.
+  std::pair<size_t, size_t> DescendantRange(const std::vector<NodeId>& list,
+                                            NodeId ancestor) const;
+
+  const Document* doc_;
+  std::vector<PostingList> by_tag_;  // indexed by TagId
+  std::vector<NodeId> all_elements_;  // every element node, document order
+  std::map<std::pair<TagId, std::string>, PostingList> by_tag_value_;
+  static const std::vector<NodeId> kEmpty;
+};
+
+}  // namespace whirlpool::index

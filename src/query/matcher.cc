@@ -1,0 +1,59 @@
+#include "query/matcher.h"
+
+namespace whirlpool::query {
+
+namespace {
+
+bool NodeSatisfies(const TagIndex& index, const PatternNode& pn, NodeId n) {
+  const auto& doc = index.doc();
+  if (pn.tag == index::kWildcardTag) {
+    if (!index::IsElementTagName(doc.tag_name(n))) return false;
+  } else if (doc.tag_name(n) != pn.tag) {
+    return false;
+  }
+  if (pn.value && doc.text(n) != *pn.value) return false;
+  return true;
+}
+
+}  // namespace
+
+bool SubtreeMatches(const TagIndex& index, const TreePattern& pattern, int pnode,
+                    NodeId binding) {
+  const auto& doc = index.doc();
+  const PatternNode& pn = pattern.node(pnode);
+  if (!NodeSatisfies(index, pn, binding)) return false;
+  for (int child : pn.children) {
+    const PatternNode& cn = pattern.node(child);
+    bool found = false;
+    std::vector<NodeId> candidates = index.Candidates(binding, cn.tag, std::nullopt);
+    for (NodeId c : candidates) {
+      if (cn.axis == Axis::kChild && doc.parent(c) != binding) continue;
+      if (SubtreeMatches(index, pattern, child, c)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found && !cn.optional) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> RootCandidates(const TagIndex& index, const TreePattern& pattern) {
+  const PatternNode& root = pattern.node(pattern.root());
+  if (root.tag == index::kWildcardTag || root.value) {
+    // Wildcard roots and value-filtered wildcards share the generic scan
+    // anchored at the forest root.
+    return index.Candidates(index.doc().root(), root.tag, root.value);
+  }
+  return index.Nodes(root.tag);
+}
+
+std::vector<NodeId> EvaluatePattern(const TagIndex& index, const TreePattern& pattern) {
+  std::vector<NodeId> out;
+  for (NodeId r : RootCandidates(index, pattern)) {
+    if (SubtreeMatches(index, pattern, pattern.root(), r)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace whirlpool::query

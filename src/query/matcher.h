@@ -1,0 +1,30 @@
+// Naive, obviously-correct tree-pattern evaluation used as ground truth by
+// the tests and by the answer-level tf*idf scorer. Exponential in the worst
+// case; the engines in src/exec are the real evaluators.
+#pragma once
+
+#include <vector>
+
+#include "index/tag_index.h"
+#include "query/tree_pattern.h"
+
+namespace whirlpool::query {
+
+using index::TagIndex;
+using xml::NodeId;
+
+/// \brief True iff `binding` can be the image of pattern node `pnode` in a
+/// full embedding of the subtree rooted at `pnode` (respecting axes, value
+/// predicates and optional flags).
+bool SubtreeMatches(const TagIndex& index, const TreePattern& pattern, int pnode,
+                    NodeId binding);
+
+/// \brief All document nodes that are exact matches of the pattern's root
+/// (i.e. roots of at least one full embedding), in document order.
+std::vector<NodeId> EvaluatePattern(const TagIndex& index, const TreePattern& pattern);
+
+/// \brief Candidate bindings for the pattern root: nodes with the root's tag
+/// (and value, if constrained), in document order.
+std::vector<NodeId> RootCandidates(const TagIndex& index, const TreePattern& pattern);
+
+}  // namespace whirlpool::query

@@ -1,0 +1,334 @@
+#include "query/tree_pattern.h"
+
+#include <algorithm>
+
+namespace whirlpool::query {
+
+const char* AxisName(Axis axis) {
+  return axis == Axis::kChild ? "pc" : "ad";
+}
+
+TreePattern TreePattern::Root(std::string_view tag, std::optional<std::string> value) {
+  TreePattern p;
+  PatternNode root;
+  root.tag = std::string(tag);
+  root.value = std::move(value);
+  root.parent = -1;
+  p.nodes_.push_back(std::move(root));
+  return p;
+}
+
+int TreePattern::AddNode(int parent, Axis axis, std::string_view tag,
+                         std::optional<std::string> value) {
+  PatternNode n;
+  n.tag = std::string(tag);
+  n.value = std::move(value);
+  n.axis = axis;
+  n.parent = parent;
+  int idx = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  nodes_[static_cast<size_t>(parent)].children.push_back(idx);
+  return idx;
+}
+
+bool TreePattern::IsAncestor(int anc, int node) const {
+  int p = nodes_[static_cast<size_t>(node)].parent;
+  while (p != -1) {
+    if (p == anc) return true;
+    p = nodes_[static_cast<size_t>(p)].parent;
+  }
+  return false;
+}
+
+std::vector<ChainStep> TreePattern::Chain(int from, int to) const {
+  std::vector<ChainStep> rev;
+  int cur = to;
+  while (cur != from && cur != -1) {
+    const PatternNode& n = nodes_[static_cast<size_t>(cur)];
+    rev.push_back({n.axis, n.tag, n.value});
+    cur = n.parent;
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+std::vector<int> TreePattern::Preorder() const {
+  std::vector<int> out;
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    const auto& kids = nodes_[static_cast<size_t>(n)].children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+namespace {
+void RenderNode(const TreePattern& p, int idx, std::string* out) {
+  const PatternNode& n = p.node(idx);
+  if (idx != 0) {
+    out->append(AxisName(n.axis));
+    out->push_back(':');
+  }
+  out->append(n.tag);
+  if (n.optional) out->push_back('?');
+  if (n.value) {
+    out->append("='");
+    out->append(*n.value);
+    out->push_back('\'');
+  }
+  if (!n.children.empty()) {
+    out->push_back('[');
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i > 0) out->push_back(' ');
+      RenderNode(p, n.children[i], out);
+    }
+    out->push_back(']');
+  }
+}
+}  // namespace
+
+std::string TreePattern::ToString() const {
+  std::string out;
+  RenderNode(*this, 0, &out);
+  return out;
+}
+
+Result<TreePattern> TreePattern::EdgeGeneralization(int node) const {
+  if (node <= 0 || static_cast<size_t>(node) >= nodes_.size()) {
+    return Status::InvalidArgument("edge generalization: bad node index");
+  }
+  if (nodes_[static_cast<size_t>(node)].axis == Axis::kDescendant) {
+    return Status::InvalidArgument("edge generalization: edge is already ad");
+  }
+  TreePattern out = *this;
+  out.nodes_[static_cast<size_t>(node)].axis = Axis::kDescendant;
+  return out;
+}
+
+Result<TreePattern> TreePattern::LeafDeletion(int node) const {
+  if (node <= 0 || static_cast<size_t>(node) >= nodes_.size()) {
+    return Status::InvalidArgument("leaf deletion: bad node index");
+  }
+  if (!IsLeaf(node)) return Status::InvalidArgument("leaf deletion: node is not a leaf");
+  if (nodes_[static_cast<size_t>(node)].optional) {
+    return Status::InvalidArgument("leaf deletion: node already optional");
+  }
+  TreePattern out = *this;
+  out.nodes_[static_cast<size_t>(node)].optional = true;
+  return out;
+}
+
+Result<TreePattern> TreePattern::SubtreePromotion(int node) const {
+  if (node <= 0 || static_cast<size_t>(node) >= nodes_.size()) {
+    return Status::InvalidArgument("subtree promotion: bad node index");
+  }
+  int parent = nodes_[static_cast<size_t>(node)].parent;
+  if (parent <= 0) {
+    return Status::InvalidArgument("subtree promotion: parent is the root (or missing)");
+  }
+  int grandparent = nodes_[static_cast<size_t>(parent)].parent;
+  TreePattern out = *this;
+  auto& kids = out.nodes_[static_cast<size_t>(parent)].children;
+  kids.erase(std::remove(kids.begin(), kids.end(), node), kids.end());
+  out.nodes_[static_cast<size_t>(node)].parent = grandparent;
+  out.nodes_[static_cast<size_t>(node)].axis = Axis::kDescendant;
+  out.nodes_[static_cast<size_t>(grandparent)].children.push_back(node);
+  return out;
+}
+
+TreePattern TreePattern::FullyRelaxed() const {
+  TreePattern out = *this;
+  for (size_t i = 1; i < out.nodes_.size(); ++i) {
+    out.nodes_[i].axis = Axis::kDescendant;
+    out.nodes_[i].optional = true;
+    // Promotion closure: everything hangs off the root with ad.
+    out.nodes_[i].parent = 0;
+    out.nodes_[i].children.clear();
+  }
+  out.nodes_[0].children.clear();
+  for (size_t i = 1; i < out.nodes_.size(); ++i) {
+    out.nodes_[0].children.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+bool TreePattern::operator==(const TreePattern& other) const {
+  if (nodes_.size() != other.nodes_.size()) return false;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& a = nodes_[i];
+    const auto& b = other.nodes_[i];
+    if (a.tag != b.tag || a.value != b.value || a.parent != b.parent ||
+        a.optional != b.optional || a.children != b.children) {
+      return false;
+    }
+    if (i != 0 && a.axis != b.axis) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// XPath-subset parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class XPathParser {
+ public:
+  explicit XPathParser(std::string_view in) : in_(in) {}
+
+  Result<TreePattern> Parse() {
+    SkipSpace();
+    Axis axis;
+    if (!ReadAxis(&axis)) return Error("query must start with '/' or '//'");
+    std::string name;
+    if (!ReadName(&name)) return Error("expected element name");
+    TreePattern pattern = TreePattern::Root(name);
+    Status st = ParsePredicates(&pattern, 0);
+    if (!st.ok()) return st;
+    SkipSpace();
+    if (pos_ != in_.size()) {
+      if (Peek() == '/') {
+        return Status::Unsupported(
+            "multi-step return paths are not supported: the returned node must be "
+            "the single top-level step (got trailing '" +
+            std::string(in_.substr(pos_)) + "')");
+      }
+      return Error("trailing input");
+    }
+    return pattern;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' || Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Match(std::string_view tok) {
+    if (in_.size() - pos_ < tok.size() || in_.substr(pos_, tok.size()) != tok) return false;
+    pos_ += tok.size();
+    return true;
+  }
+
+  /// Reads '//' (descendant) or '/' (child). Returns false if neither.
+  bool ReadAxis(Axis* axis) {
+    if (Match("//")) {
+      *axis = Axis::kDescendant;
+      return true;
+    }
+    if (Match("/")) {
+      *axis = Axis::kChild;
+      return true;
+    }
+    return false;
+  }
+
+  static bool IsNameChar(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '_' || c == '-' || c == '.' || c == ':' || c == '@';
+  }
+
+  bool ReadName(std::string* out) {
+    SkipSpace();
+    if (!AtEnd() && Peek() == '*') {
+      ++pos_;
+      out->assign("*");
+      return true;
+    }
+    size_t start = pos_;
+    // Disallow a leading '.' so relative-path dots are not eaten as names.
+    if (!AtEnd() && Peek() == '.') return false;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return false;
+    out->assign(in_.substr(start, pos_ - start));
+    return true;
+  }
+
+  /// Parses zero or more [...] predicate blocks attached to `node`.
+  Status ParsePredicates(TreePattern* pattern, int node) {
+    while (true) {
+      SkipSpace();
+      if (AtEnd() || Peek() != '[') return Status::OK();
+      ++pos_;  // '['
+      Status st = ParseConjunction(pattern, node);
+      if (!st.ok()) return st;
+      SkipSpace();
+      if (AtEnd() || Peek() != ']') return Error("expected ']'").status();
+      ++pos_;
+    }
+  }
+
+  Status ParseConjunction(TreePattern* pattern, int node) {
+    while (true) {
+      Status st = ParseTerm(pattern, node);
+      if (!st.ok()) return st;
+      SkipSpace();
+      if (Match("and") || Match("AND")) continue;
+      return Status::OK();
+    }
+  }
+
+  /// term := relpath ('=' STRING)? — builds a chain of pattern nodes under
+  /// `node`; the value predicate (if any) applies to the last node.
+  Status ParseTerm(TreePattern* pattern, int node) {
+    SkipSpace();
+    // Optional leading '.' for relative paths.
+    if (!AtEnd() && Peek() == '.') ++pos_;
+    int current = node;
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      Axis axis;
+      if (!ReadAxis(&axis)) {
+        if (first) return Error("expected './', './/', '/' or '//' in predicate").status();
+        break;
+      }
+      std::string name;
+      if (!ReadName(&name)) return Error("expected element name in predicate").status();
+      current = pattern->AddNode(current, axis, name);
+      Status st = ParsePredicates(pattern, current);
+      if (!st.ok()) return st;
+      first = false;
+      SkipSpace();
+      if (AtEnd() || (Peek() != '/' )) break;
+    }
+    SkipSpace();
+    if (!AtEnd() && Peek() == '=') {
+      ++pos_;
+      SkipSpace();
+      if (AtEnd() || (Peek() != '\'' && Peek() != '"')) {
+        return Error("expected quoted string after '='").status();
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t end = in_.find(quote, pos_);
+      if (end == std::string_view::npos) return Error("unterminated string").status();
+      pattern->node(current).value = std::string(in_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+    return Status::OK();
+  }
+
+  Result<TreePattern> Error(const std::string& msg) const {
+    return Status::ParseError("XPath: " + msg + " (offset " + std::to_string(pos_) + ")");
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TreePattern> ParseXPath(std::string_view xpath) {
+  XPathParser p(xpath);
+  return p.Parse();
+}
+
+}  // namespace whirlpool::query

@@ -1,0 +1,134 @@
+// Tree pattern queries (paper Sec 2): a rooted tree whose nodes are labeled
+// by element tags (leaves optionally carry a value equality predicate) and
+// whose edges are XPath axes pc (parent/child) or ad (ancestor/descendant).
+// The root is the returned node. Also: the three relaxation operations (edge
+// generalization, leaf deletion, subtree promotion) and relaxed-query
+// enumeration used by the property tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace whirlpool::query {
+
+/// XPath axis on a pattern edge.
+enum class Axis : uint8_t {
+  kChild,       // pc
+  kDescendant,  // ad
+};
+
+/// Renders "pc" / "ad".
+const char* AxisName(Axis axis);
+
+/// \brief One node of a tree pattern.
+struct PatternNode {
+  std::string tag;
+  /// Value equality predicate on the node's text (leaf predicates like
+  /// [.//title = 'wodehouse']). Empty optional = no value constraint.
+  std::optional<std::string> value;
+  /// Axis on the edge from the parent (meaningless for the root).
+  Axis axis = Axis::kChild;
+  /// Parent index, -1 for the root.
+  int parent = -1;
+  /// Children indices in insertion order.
+  std::vector<int> children;
+  /// If true, this node is optional (set by the leaf-deletion relaxation;
+  /// in the engine's relaxed mode every non-root node is treated as
+  /// deletable).
+  bool optional = false;
+};
+
+/// \brief A step along a pattern path: the axis leading into a node plus the
+/// node's tag/value. Used to express composed predicates between two pattern
+/// nodes (Algorithm 1).
+struct ChainStep {
+  Axis axis;
+  std::string tag;
+  std::optional<std::string> value;
+};
+
+/// \brief A tree-pattern query. Node 0 is the root (the returned node).
+class TreePattern {
+ public:
+  TreePattern() = default;
+
+  /// Creates a pattern with just a root node.
+  static TreePattern Root(std::string_view tag,
+                          std::optional<std::string> value = std::nullopt);
+
+  /// Adds a node under `parent` connected with `axis`; returns its index.
+  int AddNode(int parent, Axis axis, std::string_view tag,
+              std::optional<std::string> value = std::nullopt);
+
+  size_t size() const { return nodes_.size(); }
+  const PatternNode& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+  PatternNode& node(int i) { return nodes_[static_cast<size_t>(i)]; }
+  int root() const { return 0; }
+
+  /// True if `i` has no children.
+  bool IsLeaf(int i) const { return nodes_[static_cast<size_t>(i)].children.empty(); }
+
+  /// True iff `anc` is a proper pattern-ancestor of `node`.
+  bool IsAncestor(int anc, int node) const;
+
+  /// The chain of steps from pattern node `from` down to `to` (exclusive of
+  /// `from`, inclusive of `to`). Precondition: IsAncestor(from, to) or
+  /// from == parent chain head. Used to build composed predicates.
+  std::vector<ChainStep> Chain(int from, int to) const;
+
+  /// Nodes in a stable order (preorder).
+  std::vector<int> Preorder() const;
+
+  /// Human-readable rendering, e.g.
+  /// "book[pc:info[pc:publisher[pc:name='psmith']] ad:title='wodehouse']".
+  std::string ToString() const;
+
+  // -- Relaxations (paper Sec 2) --------------------------------------------
+  // Each returns a NEW pattern; exact matches of *this remain matches of the
+  // result (containment property, verified by tests).
+
+  /// Edge generalization: pc -> ad on the edge into `node`.
+  /// Error if the edge is already ad or `node` is the root.
+  Result<TreePattern> EdgeGeneralization(int node) const;
+
+  /// Leaf deletion: marks leaf `node` optional.
+  /// Error if `node` is not a leaf, is the root, or is already optional.
+  Result<TreePattern> LeafDeletion(int node) const;
+
+  /// Subtree promotion: re-attaches the subtree rooted at `node` to its
+  /// grandparent with an ad edge. Error if `node`'s parent is the root or
+  /// `node` is the root.
+  Result<TreePattern> SubtreePromotion(int node) const;
+
+  /// The fully relaxed version: every edge generalized to ad from the root,
+  /// every non-root node optional (= closure of all three relaxations
+  /// composed, as encoded by the engine's outer-join plan).
+  TreePattern FullyRelaxed() const;
+
+  bool operator==(const TreePattern& other) const;
+
+ private:
+  std::vector<PatternNode> nodes_;
+};
+
+/// \brief Parses an XPath subset into a TreePattern.
+///
+/// Grammar (whitespace-insensitive):
+///   query  := ('/' | '//') NAME predicate*
+///   predicate := '[' conj ']'
+///   conj   := term (('and'|'AND') term)*
+///   term   := relpath ('=' STRING)?
+///   relpath:= ('.')? (('/' | '//') NAME predicate*)+
+///   STRING := '\'' ... '\''
+///
+/// The single top-level step is the returned node. Examples:
+///   /book[.//title = 'wodehouse' and ./info/publisher/name = 'psmith']
+///   //item[./mailbox/mail/text[./bold and ./keyword] and ./name]
+Result<TreePattern> ParseXPath(std::string_view xpath);
+
+}  // namespace whirlpool::query

@@ -1,0 +1,301 @@
+#include "score/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "query/matcher.h"
+
+namespace whirlpool::score {
+
+const char* MatchLevelName(MatchLevel level) {
+  switch (level) {
+    case MatchLevel::kExact: return "exact";
+    case MatchLevel::kEdgeGeneralized: return "edge-gen";
+    case MatchLevel::kPromoted: return "promoted";
+    case MatchLevel::kDeleted: return "deleted";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Collects the unique node path from `from` (exclusive) down to `to`
+/// (inclusive), in top-down order. Returns false if `to` is not a
+/// descendant of `from`.
+bool CollectPath(const xml::Document& doc, NodeId from, NodeId to,
+                 std::vector<NodeId>* path) {
+  path->clear();
+  NodeId cur = to;
+  while (cur != xml::kInvalidNode && cur != from) {
+    path->push_back(cur);
+    cur = doc.parent(cur);
+  }
+  if (cur != from) return false;
+  std::reverse(path->begin(), path->end());
+  return true;
+}
+
+bool StepSatisfied(const xml::Document& doc, const ChainStep& step, NodeId n) {
+  if (step.tag == index::kWildcardTag) {
+    if (!index::IsElementTagName(doc.tag_name(n))) return false;
+  } else if (doc.tag_name(n) != step.tag) {
+    return false;
+  }
+  if (step.value && doc.text(n) != *step.value) return false;
+  return true;
+}
+
+/// Order-preserving embedding of `steps` into `path` where the last step
+/// must land on the last path node. pc consumes exactly the next node; ad
+/// consumes one node after skipping any number. `force_ad` generalizes all
+/// axes.
+bool MatchSteps(const xml::Document& doc, const std::vector<ChainStep>& steps,
+                const std::vector<NodeId>& path, bool force_ad) {
+  const size_t m = steps.size();
+  const size_t t = path.size();
+  if (m == 0 || t == 0 || m > t) return false;
+  // reach[j] = true if steps[0..i) can consume path[0..j). Rolling DP.
+  std::vector<char> reach(t + 1, 0);
+  reach[0] = 1;
+  std::vector<char> next(t + 1, 0);
+  for (size_t i = 0; i < m; ++i) {
+    std::fill(next.begin(), next.end(), 0);
+    const ChainStep& step = steps[i];
+    const bool is_pc = !force_ad && step.axis == query::Axis::kChild;
+    for (size_t j = 0; j < t; ++j) {
+      if (!reach[j]) continue;
+      if (is_pc) {
+        if (StepSatisfied(doc, step, path[j])) next[j + 1] = 1;
+      } else {
+        // ad: match at any position jj >= j.
+        for (size_t jj = j; jj < t; ++jj) {
+          if (StepSatisfied(doc, step, path[jj])) next[jj + 1] = 1;
+        }
+      }
+    }
+    reach.swap(next);
+  }
+  return reach[t] != 0;
+}
+
+}  // namespace
+
+bool MatchChainExact(const TagIndex& index, NodeId from, NodeId to,
+                     const std::vector<ChainStep>& steps) {
+  std::vector<NodeId> path;
+  if (!CollectPath(index.doc(), from, to, &path)) return false;
+  return MatchSteps(index.doc(), steps, path, /*force_ad=*/false);
+}
+
+bool MatchChainAllAd(const TagIndex& index, NodeId from, NodeId to,
+                     const std::vector<ChainStep>& steps) {
+  std::vector<NodeId> path;
+  if (!CollectPath(index.doc(), from, to, &path)) return false;
+  return MatchSteps(index.doc(), steps, path, /*force_ad=*/true);
+}
+
+MatchLevel ClassifyBinding(const TagIndex& index, NodeId from, NodeId to,
+                           const std::vector<ChainStep>& steps) {
+  std::vector<NodeId> path;
+  if (!CollectPath(index.doc(), from, to, &path)) return MatchLevel::kPromoted;
+  if (MatchSteps(index.doc(), steps, path, /*force_ad=*/false)) return MatchLevel::kExact;
+  if (MatchSteps(index.doc(), steps, path, /*force_ad=*/true)) {
+    return MatchLevel::kEdgeGeneralized;
+  }
+  return MatchLevel::kPromoted;
+}
+
+// ---------------------------------------------------------------------------
+// ScoringModel
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double IdfFromCounts(uint64_t total_roots, uint64_t satisfying) {
+  // Def 4.2: log(|q0 nodes| / |q0 nodes satisfying p|). A predicate no q0
+  // node satisfies can never contribute to any answer; clamp to the largest
+  // meaningful value so the ladder stays monotone.
+  const double num = static_cast<double>(std::max<uint64_t>(1, total_roots));
+  const double den = satisfying == 0 ? 0.5 : static_cast<double>(satisfying);
+  return std::log(num / den);
+}
+
+}  // namespace
+
+ScoringModel ScoringModel::ComputeTfIdf(const TagIndex& index, const TreePattern& pattern,
+                                        Normalization norm) {
+  ScoringModel model;
+  model.tables_.resize(pattern.size());
+  const auto& doc = index.doc();
+  std::vector<NodeId> roots = query::RootCandidates(index, pattern);
+  const uint64_t total_roots = roots.size();
+
+  for (size_t qi = 1; qi < pattern.size(); ++qi) {
+    const query::PatternNode& pn = pattern.node(static_cast<int>(qi));
+    std::vector<ChainStep> chain = pattern.Chain(pattern.root(), static_cast<int>(qi));
+    uint64_t sat[3] = {0, 0, 0};
+    {
+      for (NodeId r : roots) {
+        std::vector<NodeId> cands = index.Candidates(r, pn.tag, pn.value);
+        bool any_exact = false, any_edge = false, any_prom = !cands.empty();
+        for (NodeId c : cands) {
+          MatchLevel level = ClassifyBinding(index, r, c, chain);
+          if (level == MatchLevel::kExact) {
+            any_exact = any_edge = true;
+            break;  // exact implies edge-gen implies promoted
+          }
+          if (level == MatchLevel::kEdgeGeneralized) any_edge = true;
+        }
+        sat[0] += any_exact ? 1 : 0;
+        sat[1] += any_edge ? 1 : 0;
+        sat[2] += any_prom ? 1 : 0;
+      }
+    }
+    PredicateScores& ps = model.tables_[qi];
+    for (int l = 0; l < 3; ++l) {
+      ps.satisfying[l] = sat[l];
+      ps.at_level[l] = IdfFromCounts(total_roots, sat[l]);
+    }
+    // The ladder must be monotone non-increasing (exact is the most
+    // selective). Counts guarantee sat[0] <= sat[1] <= sat[2], hence idf is
+    // already monotone; enforce anyway against clamping artifacts.
+    ps.at_level[1] = std::min(ps.at_level[1], ps.at_level[0]);
+    ps.at_level[2] = std::min(ps.at_level[2], ps.at_level[1]);
+  }
+
+  // Normalization (Sec 6.2.2).
+  if (norm == Normalization::kSparse) {
+    for (size_t qi = 1; qi < model.tables_.size(); ++qi) {
+      PredicateScores& ps = model.tables_[qi];
+      double top = ps.at_level[0];
+      if (top <= 0) {
+        // Degenerate: every root satisfies even the exact predicate; weight
+        // the predicate uniformly so it still distinguishes deletion.
+        ps.at_level[0] = 1.0;
+        ps.at_level[1] = ps.at_level[1] <= 0 ? 1.0 : ps.at_level[1];
+        ps.at_level[2] = ps.at_level[2] <= 0 ? 1.0 : ps.at_level[2];
+        ps.at_level[1] = std::min(ps.at_level[1], 1.0);
+        ps.at_level[2] = std::min(ps.at_level[2], ps.at_level[1]);
+        continue;
+      }
+      for (double& v : ps.at_level) v = std::max(0.0, v / top);
+    }
+  } else if (norm == Normalization::kDense) {
+    double global = 0.0;
+    for (size_t qi = 1; qi < model.tables_.size(); ++qi) {
+      global = std::max(global, model.tables_[qi].at_level[0]);
+    }
+    if (global > 0) {
+      for (size_t qi = 1; qi < model.tables_.size(); ++qi) {
+        for (double& v : model.tables_[qi].at_level) v = std::max(0.0, v / global);
+      }
+    }
+  } else {
+    for (size_t qi = 1; qi < model.tables_.size(); ++qi) {
+      for (double& v : model.tables_[qi].at_level) v = std::max(0.0, v);
+    }
+  }
+  return model;
+}
+
+ScoringModel ScoringModel::Synthetic(const TreePattern& pattern, whirlpool::Rng* rng,
+                                     Normalization norm) {
+  ScoringModel model;
+  model.tables_.resize(pattern.size());
+  const size_t n = pattern.size();
+  for (size_t qi = 1; qi < n; ++qi) {
+    PredicateScores& ps = model.tables_[qi];
+    double exact;
+    if (norm == Normalization::kDense) {
+      // Skewed: the first predicate dominates; the rest contribute little,
+      // so final scores cluster.
+      exact = qi == 1 ? 1.0 : 0.05 + 0.05 * rng->NextDouble();
+    } else {
+      // Uniformish per-predicate weights in (0.5, 1].
+      exact = 0.5 + 0.5 * rng->NextDouble();
+    }
+    double edge = exact * (0.5 + 0.4 * rng->NextDouble());
+    double prom = edge * (0.3 + 0.4 * rng->NextDouble());
+    ps.at_level[0] = exact;
+    ps.at_level[1] = edge;
+    ps.at_level[2] = prom;
+  }
+  return model;
+}
+
+ScoringModel ScoringModel::FromTables(std::vector<PredicateScores> tables) {
+  ScoringModel model;
+  model.tables_ = std::move(tables);
+  return model;
+}
+
+double ScoringModel::MaxTotalScore() const {
+  double sum = 0.0;
+  for (size_t i = 1; i < tables_.size(); ++i) sum += tables_[i].MaxContribution();
+  return sum;
+}
+
+std::string ScoringModel::ToString(const TreePattern& pattern) const {
+  std::ostringstream os;
+  for (size_t i = 1; i < tables_.size(); ++i) {
+    const PredicateScores& ps = tables_[i];
+    os << "p(" << pattern.node(0).tag << ", " << pattern.node(static_cast<int>(i)).tag
+       << "): exact=" << ps.at_level[0] << " edge-gen=" << ps.at_level[1]
+       << " promoted=" << ps.at_level[2] << " (sat " << ps.satisfying[0] << "/"
+       << ps.satisfying[1] << "/" << ps.satisfying[2] << ")\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// TfIdfScorer (Def 4.4, original query)
+// ---------------------------------------------------------------------------
+
+TfIdfScorer::TfIdfScorer(const TagIndex& index, const TreePattern& pattern)
+    : index_(&index), pattern_(&pattern) {
+  idf_.resize(pattern.size(), 0.0);
+  chains_.resize(pattern.size());
+  std::vector<NodeId> roots = query::RootCandidates(index, pattern);
+  const uint64_t total_roots = roots.size();
+  const auto& doc = index.doc();
+  (void)doc;
+  for (size_t qi = 1; qi < pattern.size(); ++qi) {
+    chains_[qi] = pattern.Chain(pattern.root(), static_cast<int>(qi));
+    const query::PatternNode& pn = pattern.node(static_cast<int>(qi));
+    uint64_t sat = 0;
+    for (NodeId r : roots) {
+      for (NodeId c : index.Candidates(r, pn.tag, pn.value)) {
+        if (MatchChainExact(index, r, c, chains_[qi])) {
+          ++sat;
+          break;
+        }
+      }
+    }
+    idf_[qi] = IdfFromCounts(total_roots, sat);
+  }
+}
+
+double TfIdfScorer::Idf(int pattern_node) const {
+  return idf_[static_cast<size_t>(pattern_node)];
+}
+
+uint64_t TfIdfScorer::Tf(int pattern_node, NodeId n) const {
+  const query::PatternNode& pn = pattern_->node(pattern_node);
+  std::vector<NodeId> cands = index_->Candidates(n, pn.tag, pn.value);
+  uint64_t tf = 0;
+  for (NodeId c : cands) {
+    if (MatchChainExact(*index_, n, c, chains_[static_cast<size_t>(pattern_node)])) ++tf;
+  }
+  return tf;
+}
+
+double TfIdfScorer::Score(NodeId n) const {
+  double s = 0.0;
+  for (size_t qi = 1; qi < pattern_->size(); ++qi) {
+    s += idf_[qi] * static_cast<double>(Tf(static_cast<int>(qi), n));
+  }
+  return s;
+}
+
+}  // namespace whirlpool::score

@@ -1,0 +1,148 @@
+// XML tf*idf scoring (paper Sec 4) and its engine-facing form.
+//
+// A query decomposes into component predicates p(q0, qi) linking the
+// returned node to every other query node (Def 4.1). Relaxation gives each
+// predicate a ladder of levels, most specific first:
+//   kExact          — the original composed axis chain root -> qi holds
+//   kEdgeGeneralized— the all-ad version of the chain holds (every pc
+//                     generalized, intermediates still present)
+//   kPromoted       — only ad(root, qi) holds (subtree promotion closure)
+//   kDeleted        — qi is absent (leaf deletion); contributes 0
+// idf is computed per level (Def 4.2 against the level's predicate); more
+// relaxed levels are satisfied by no fewer q0 nodes, so idf never increases
+// down the ladder — a binding scores by the most specific level it satisfies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/tag_index.h"
+#include "query/tree_pattern.h"
+#include "util/rng.h"
+
+namespace whirlpool::score {
+
+using index::TagIndex;
+using query::ChainStep;
+using query::TreePattern;
+using xml::NodeId;
+
+/// Relaxation level a binding satisfies for its component predicate.
+enum class MatchLevel : uint8_t {
+  kExact = 0,
+  kEdgeGeneralized = 1,
+  kPromoted = 2,
+  kDeleted = 3,
+};
+
+const char* MatchLevelName(MatchLevel level);
+
+/// \brief Structural chain matching between two data nodes.
+///
+/// The node path from `from` down to `to` in a tree is unique; the chain of
+/// pattern steps must embed into that path order-preservingly (pc consumes
+/// exactly the next path node, ad skips any number first). Tags and value
+/// predicates on steps must match.
+bool MatchChainExact(const TagIndex& index, NodeId from, NodeId to,
+                     const std::vector<ChainStep>& steps);
+
+/// Same, but with every axis generalized to ad.
+bool MatchChainAllAd(const TagIndex& index, NodeId from, NodeId to,
+                     const std::vector<ChainStep>& steps);
+
+/// Most specific level that `to` satisfies for the chain from `from`.
+/// Precondition: `to` is a descendant of `from` with the chain's final tag
+/// (so kPromoted always holds); returns kExact/kEdgeGeneralized/kPromoted.
+MatchLevel ClassifyBinding(const TagIndex& index, NodeId from, NodeId to,
+                           const std::vector<ChainStep>& steps);
+
+/// How per-predicate scores are normalized (paper Sec 6.2.2).
+enum class Normalization : uint8_t {
+  /// Raw idf values.
+  kNone,
+  /// Each predicate normalized independently into [0,1] (exact level = 1).
+  /// Final scores spread out; pruning kicks in early ("sparse").
+  kSparse,
+  /// One global normalization across all predicates; idf skew is preserved
+  /// and final scores cluster ("dense").
+  kDense,
+};
+
+/// \brief Scores for one component predicate at each relaxation level.
+struct PredicateScores {
+  /// Contribution at kExact / kEdgeGeneralized / kPromoted (kDeleted = 0).
+  double at_level[3] = {0, 0, 0};
+  /// Raw counts of q0 nodes satisfying the level predicate (for reporting).
+  uint64_t satisfying[3] = {0, 0, 0};
+
+  double Contribution(MatchLevel level) const {
+    return level == MatchLevel::kDeleted ? 0.0 : at_level[static_cast<int>(level)];
+  }
+  double MaxContribution() const { return at_level[0]; }
+};
+
+/// \brief The per-query scoring model used by the engines: one
+/// PredicateScores per non-root pattern node, indexed by pattern node id
+/// (entry 0, the root, is all zeros).
+class ScoringModel {
+ public:
+  ScoringModel() = default;
+
+  /// Computes idf-based scores from the data (Def 4.2) at all three levels
+  /// and applies `norm`. Counting walks every root candidate once per
+  /// predicate; done once per (document, query).
+  static ScoringModel ComputeTfIdf(const TagIndex& index, const TreePattern& pattern,
+                                   Normalization norm);
+
+  /// Synthetic scores drawn from `rng`: exact level uniform in (0,1], then
+  /// scaled per normalization kind. kSparse draws are independent per
+  /// predicate; kDense makes one predicate dominate (skew), clustering final
+  /// scores. Used by tests and score-sensitivity benches.
+  static ScoringModel Synthetic(const TreePattern& pattern, whirlpool::Rng* rng,
+                                Normalization norm);
+
+  /// Builds a model from explicit per-level tables (tests, Figure-3 bench).
+  static ScoringModel FromTables(std::vector<PredicateScores> tables);
+
+  size_t size() const { return tables_.size(); }
+  const PredicateScores& predicate(int pattern_node) const {
+    return tables_[static_cast<size_t>(pattern_node)];
+  }
+
+  /// Sum of exact-level contributions over all non-root nodes: the highest
+  /// score any answer can have.
+  double MaxTotalScore() const;
+
+  std::string ToString(const TreePattern& pattern) const;
+
+ private:
+  std::vector<PredicateScores> tables_;
+};
+
+/// \brief Answer-level tf*idf scorer (Def 4.4): score(n) = sum over
+/// component predicates of idf(p) * tf(p, n), computed against the ORIGINAL
+/// (unrelaxed) query. Used to validate the scoring function and by the
+/// examples to rank exact answers.
+class TfIdfScorer {
+ public:
+  TfIdfScorer(const TagIndex& index, const TreePattern& pattern);
+
+  /// idf of the component predicate for pattern node `i` (exact level).
+  double Idf(int pattern_node) const;
+
+  /// tf of pattern node `i`'s predicate against root candidate `n`
+  /// (Def 4.3: number of distinct witnesses).
+  uint64_t Tf(int pattern_node, NodeId n) const;
+
+  /// Def 4.4 score of root candidate `n`.
+  double Score(NodeId n) const;
+
+ private:
+  const TagIndex* index_;
+  const TreePattern* pattern_;
+  std::vector<double> idf_;                       // per pattern node
+  std::vector<std::vector<ChainStep>> chains_;    // per pattern node
+};
+
+}  // namespace whirlpool::score

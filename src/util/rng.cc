@@ -1,0 +1,24 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace whirlpool {
+
+size_t Rng::Zipf(size_t n, double theta) {
+  if (n <= 1) return 0;
+  if (theta <= 0.0) return Uniform(n);
+  // Inverse-CDF sampling over the (small) rank space. n is bounded by the
+  // vocabulary sizes used in generation (tens to thousands), so a linear
+  // scan is fine and keeps the generator dependency-free.
+  double norm = 0.0;
+  for (size_t r = 0; r < n; ++r) norm += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+  double u = NextDouble() * norm;
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    if (u <= acc) return r;
+  }
+  return n - 1;
+}
+
+}  // namespace whirlpool

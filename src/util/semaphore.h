@@ -1,0 +1,64 @@
+// Counting semaphore used to cap the number of server threads doing useful
+// work concurrently. This is how the benches simulate machines with 1, 2, 4
+// or unlimited processors (paper Sec 6.3.4) on a single host.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+
+namespace whirlpool {
+
+/// \brief Counting semaphore with an "unlimited" mode.
+///
+/// When constructed with permits == kUnlimited, Acquire/Release are no-ops,
+/// so an uncapped run pays no synchronization cost.
+class ProcessorCap {
+ public:
+  static constexpr int kUnlimited = std::numeric_limits<int>::max();
+
+  explicit ProcessorCap(int permits = kUnlimited) : permits_(permits), limited_(permits != kUnlimited) {}
+
+  void Acquire() {
+    if (!limited_) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return permits_ > 0; });
+    --permits_;
+  }
+
+  void Release() {
+    if (!limited_) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++permits_;
+    }
+    cv_.notify_one();
+  }
+
+  bool limited() const { return limited_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int permits_;
+  const bool limited_;
+};
+
+/// RAII guard that holds a ProcessorCap permit for its scope.
+class ProcessorCapGuard {
+ public:
+  explicit ProcessorCapGuard(ProcessorCap* cap) : cap_(cap) {
+    if (cap_ != nullptr) cap_->Acquire();
+  }
+  ~ProcessorCapGuard() {
+    if (cap_ != nullptr) cap_->Release();
+  }
+  ProcessorCapGuard(const ProcessorCapGuard&) = delete;
+  ProcessorCapGuard& operator=(const ProcessorCapGuard&) = delete;
+
+ private:
+  ProcessorCap* cap_;
+};
+
+}  // namespace whirlpool

@@ -1,0 +1,117 @@
+// Status / Result error handling, in the style of Arrow / RocksDB: library
+// code never throws for recoverable errors; it returns a Status (or Result<T>)
+// that callers must inspect.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace whirlpool {
+
+/// Error category for a failed operation.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+  kUnsupported,
+};
+
+/// \brief Outcome of an operation that can fail.
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// code plus human-readable message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<Document> r = ParseDocument(text);
+///   if (!r.ok()) return r.status();
+///   Document doc = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : var_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// Error status; Status::OK() when this holds a value.
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(var_);
+  }
+
+  const T& value() const& { return std::get<T>(var_); }
+  T& value() & { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define WHIRLPOOL_RETURN_NOT_OK(expr)                  \
+  do {                                                 \
+    ::whirlpool::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+}  // namespace whirlpool

@@ -1,0 +1,33 @@
+// Monotonic wall-clock stopwatch used by the engine metrics and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace whirlpool {
+
+/// \brief Simple monotonic stopwatch. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace whirlpool

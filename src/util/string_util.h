@@ -1,0 +1,25 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace whirlpool {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits);
+
+}  // namespace whirlpool

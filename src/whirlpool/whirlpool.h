@@ -1,0 +1,40 @@
+// Umbrella header: the full public API of the Whirlpool library.
+//
+// Quickstart:
+//
+//   #include "whirlpool/whirlpool.h"
+//   using namespace whirlpool;
+//
+//   auto doc = xml::ParseDocument(xml_text).value();        // parse
+//   index::TagIndex idx(*doc);                               // index
+//   auto pattern = query::ParseXPath("//item[./name]").value();
+//   auto scoring = score::ScoringModel::ComputeTfIdf(
+//       idx, pattern, score::Normalization::kSparse);        // score
+//   auto plan = exec::QueryPlan::Build(idx, pattern, scoring).value();
+//   exec::ExecOptions options;
+//   options.k = 10;
+//   auto result = exec::RunTopK(plan, options).value();      // evaluate
+//   for (const auto& a : result.answers) { ... }
+#pragma once
+
+#include "exec/engine.h"
+#include "exec/join_cache.h"
+#include "exec/metrics.h"
+#include "exec/options.h"
+#include "exec/partial_match.h"
+#include "exec/plan.h"
+#include "exec/rewriting_baseline.h"
+#include "exec/routing.h"
+#include "exec/server.h"
+#include "exec/topk_set.h"
+#include "index/tag_index.h"
+#include "query/matcher.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "xml/dewey.h"
+#include "xml/document.h"
+#include "xml/parser.h"
+#include "xml/snapshot.h"

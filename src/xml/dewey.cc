@@ -1,0 +1,44 @@
+#include "xml/dewey.h"
+
+namespace whirlpool::xml {
+
+bool DeweyLabel::IsParentOf(const DeweyLabel& other) const {
+  if (other.components_.size() != components_.size() + 1) return false;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return true;
+}
+
+bool DeweyLabel::IsAncestorOf(const DeweyLabel& other) const {
+  if (other.components_.size() <= components_.size()) return false;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return true;
+}
+
+std::string DeweyLabel::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+DeweyIndex::DeweyIndex(const Document& doc) {
+  labels_.resize(doc.num_nodes());
+  // Nodes were created parent-before-child, so a forward arena pass sees
+  // every parent before its children. Track the next sibling ordinal per
+  // parent as we go.
+  std::vector<uint32_t> next_ordinal(doc.num_nodes(), 1);
+  for (NodeId id = 1; id < doc.num_nodes(); ++id) {
+    NodeId p = doc.parent(id);
+    std::vector<uint32_t> comps = labels_[p].components();
+    comps.push_back(next_ordinal[p]++);
+    labels_[id] = DeweyLabel(std::move(comps));
+  }
+}
+
+}  // namespace whirlpool::xml

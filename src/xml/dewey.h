@@ -1,0 +1,63 @@
+// Dewey node labels (paper Sec 6.2.1): each node is identified by the path
+// of sibling ordinals from the root, e.g. 1.3.2. Parent/child and
+// ancestor/descendant checks reduce to prefix tests. The top-k engines use
+// the interval encoding in Document for speed; Dewey labels are kept as the
+// paper-faithful alternative, used for display and cross-checked against the
+// interval predicates in the property tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace whirlpool::xml {
+
+/// \brief A Dewey label: sibling ordinals from the forest root (exclusive)
+/// down to the node. The forest root itself has the empty label.
+class DeweyLabel {
+ public:
+  DeweyLabel() = default;
+  explicit DeweyLabel(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+
+  const std::vector<uint32_t>& components() const { return components_; }
+  size_t depth() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+
+  /// True iff this label is the parent of `other` (other = this + one step).
+  bool IsParentOf(const DeweyLabel& other) const;
+
+  /// True iff this label is a proper ancestor of `other` (proper prefix).
+  bool IsAncestorOf(const DeweyLabel& other) const;
+
+  /// Dotted rendering, e.g. "1.3.2"; "" for the root.
+  std::string ToString() const;
+
+  /// Lexicographic comparison = document order for siblings-first layouts.
+  bool operator<(const DeweyLabel& other) const { return components_ < other.components_; }
+  bool operator==(const DeweyLabel& other) const { return components_ == other.components_; }
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+/// \brief Precomputed Dewey labels for every node of a finalized Document.
+class DeweyIndex {
+ public:
+  /// Builds labels for all nodes. O(total label length).
+  explicit DeweyIndex(const Document& doc);
+
+  const DeweyLabel& label(NodeId id) const { return labels_[id]; }
+  size_t size() const { return labels_.size(); }
+
+  /// Predicate helpers mirroring Document::IsChild / IsDescendant.
+  bool IsChild(NodeId a, NodeId b) const { return labels_[a].IsParentOf(labels_[b]); }
+  bool IsDescendant(NodeId a, NodeId b) const { return labels_[a].IsAncestorOf(labels_[b]); }
+
+ private:
+  std::vector<DeweyLabel> labels_;
+};
+
+}  // namespace whirlpool::xml

@@ -1,0 +1,140 @@
+#include "xml/document.h"
+
+#include <cassert>
+
+namespace whirlpool::xml {
+
+TagId TagPool::Intern(std::string_view tag) {
+  auto it = ids_.find(std::string(tag));
+  if (it != ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(tag);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+TagId TagPool::Lookup(std::string_view tag) const {
+  auto it = ids_.find(std::string(tag));
+  return it == ids_.end() ? kInvalidTag : it->second;
+}
+
+Document::Document() {
+  Node root;
+  root.tag = tags_.Intern("#root");
+  nodes_.push_back(root);
+  last_child_.push_back(kInvalidNode);
+}
+
+NodeId Document::AddChild(NodeId parent, std::string_view tag) {
+  assert(!finalized_);
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.tag = tags_.Intern(tag);
+  n.parent = parent;
+  nodes_.push_back(n);
+  last_child_.push_back(kInvalidNode);
+  if (last_child_[parent] == kInvalidNode) {
+    nodes_[parent].first_child = id;
+  } else {
+    nodes_[last_child_[parent]].next_sibling = id;
+  }
+  last_child_[parent] = id;
+  return id;
+}
+
+void Document::SetText(NodeId node, std::string_view text) {
+  if (nodes_[node].text == Node::kNoText) {
+    nodes_[node].text = static_cast<uint32_t>(texts_.size());
+    texts_.emplace_back(text);
+  } else {
+    texts_[nodes_[node].text].assign(text);
+  }
+}
+
+void Document::AppendText(NodeId node, std::string_view text) {
+  if (nodes_[node].text == Node::kNoText) {
+    SetText(node, text);
+  } else {
+    texts_[nodes_[node].text].append(text);
+  }
+}
+
+std::string_view Document::text(NodeId id) const {
+  if (nodes_[id].text == Node::kNoText) return {};
+  return texts_[nodes_[id].text];
+}
+
+void Document::Finalize() {
+  assert(!finalized_);
+  // Iterative preorder traversal assigning order and depth.
+  uint32_t counter = 0;
+  struct Frame {
+    NodeId id;
+    uint32_t depth;
+  };
+  std::vector<Frame> frames;
+  std::vector<NodeId> kids;
+  frames.push_back({0, 0});
+  while (!frames.empty()) {
+    Frame f = frames.back();
+    frames.pop_back();
+    Node& n = nodes_[f.id];
+    n.order = counter++;
+    n.depth = f.depth;
+    // Push children in reverse sibling order so they pop in document order.
+    kids.clear();
+    for (NodeId c = n.first_child; c != kInvalidNode; c = nodes_[c].next_sibling) {
+      kids.push_back(c);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      frames.push_back({*it, f.depth + 1});
+    }
+  }
+  // subtree_end: nodes were created parent-before-child, so a reverse pass
+  // over the arena sees every child before its parent.
+  for (auto& n : nodes_) n.subtree_end = n.order;
+  for (size_t i = nodes_.size(); i-- > 1;) {
+    Node& n = nodes_[i];
+    Node& p = nodes_[n.parent];
+    if (n.subtree_end > p.subtree_end) p.subtree_end = n.subtree_end;
+  }
+  last_child_.clear();
+  last_child_.shrink_to_fit();
+  finalized_ = true;
+}
+
+std::vector<NodeId> Document::Children(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId c = nodes_[id].first_child; c != kInvalidNode; c = nodes_[c].next_sibling) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<NodeId> Document::Descendants(NodeId id) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack = Children(id);
+  // Maintain document order with an explicit stack (children pushed reversed).
+  std::vector<NodeId> work;
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) work.push_back(*it);
+  while (!work.empty()) {
+    NodeId n = work.back();
+    work.pop_back();
+    out.push_back(n);
+    std::vector<NodeId> kids = Children(n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) work.push_back(*it);
+  }
+  return out;
+}
+
+size_t Document::ApproxContentBytes() const {
+  size_t bytes = 0;
+  for (const auto& t : texts_) bytes += t.size();
+  for (const auto& n : nodes_) {
+    // "<tag></tag>" overhead per element.
+    bytes += 2 * tags_.Name(n.tag).size() + 5;
+  }
+  return bytes;
+}
+
+}  // namespace whirlpool::xml

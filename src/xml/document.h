@@ -1,0 +1,146 @@
+// In-memory XML data model: a forest of node-labeled trees stored in a flat
+// arena, with interned tags, preorder/subtree-end intervals for O(1)
+// structural predicates, and parent links. This is the substrate every other
+// module (indexes, scoring, the top-k engines) is built on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace whirlpool::xml {
+
+/// Index of a node in a Document's arena. Node 0 is always the synthetic
+/// forest root with tag "#root".
+using NodeId = uint32_t;
+
+/// Interned tag identifier (dense, per Document).
+using TagId = uint32_t;
+
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+constexpr TagId kInvalidTag = std::numeric_limits<TagId>::max();
+
+/// \brief Interns tag strings to dense ids.
+class TagPool {
+ public:
+  /// Returns the id for `tag`, creating it if needed.
+  TagId Intern(std::string_view tag);
+
+  /// Returns the id for `tag` or kInvalidTag if never interned.
+  TagId Lookup(std::string_view tag) const;
+
+  /// The string for an id. Precondition: id < size().
+  const std::string& Name(TagId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TagId> ids_;
+};
+
+/// \brief One XML node. Element nodes carry a tag; text content is stored on
+/// the element that directly contains it (concatenated). Attributes are
+/// modeled as child elements tagged "@name" holding the value as text, so
+/// the query layer sees one uniform tree.
+struct Node {
+  TagId tag = kInvalidTag;
+  NodeId parent = kInvalidNode;
+  NodeId first_child = kInvalidNode;
+  NodeId next_sibling = kInvalidNode;
+  /// Preorder rank (assigned by Document::Finalize); document order.
+  uint32_t order = 0;
+  /// Largest preorder rank in this node's subtree (inclusive).
+  uint32_t subtree_end = 0;
+  /// Depth; the synthetic root has depth 0.
+  uint32_t depth = 0;
+  /// Index into Document's text table, or kNoText.
+  uint32_t text = kNoText;
+
+  static constexpr uint32_t kNoText = std::numeric_limits<uint32_t>::max();
+};
+
+/// \brief An XML document (or forest). Build with AddChild()/SetText(), then
+/// call Finalize() exactly once before using structural predicates or
+/// handing the document to an index.
+class Document {
+ public:
+  Document();
+
+  /// The synthetic forest root (tag "#root", depth 0).
+  NodeId root() const { return 0; }
+
+  /// Appends a new element child of `parent` with tag `tag`. Children must
+  /// be added in document order. Returns the new node's id.
+  NodeId AddChild(NodeId parent, std::string_view tag);
+
+  /// Sets (replaces) the text content of `node`.
+  void SetText(NodeId node, std::string_view text);
+
+  /// Appends to the text content of `node` (used by the parser for mixed
+  /// content split by child elements).
+  void AppendText(NodeId node, std::string_view text);
+
+  /// Assigns preorder ranks, subtree ends and depths. Must be called once
+  /// after construction and before structural predicates are evaluated.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // -- Accessors ------------------------------------------------------------
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  TagId tag(NodeId id) const { return nodes_[id].tag; }
+  const std::string& tag_name(NodeId id) const { return tags_.Name(nodes_[id].tag); }
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+
+  /// Text directly contained in `node` ("" if none).
+  std::string_view text(NodeId id) const;
+
+  /// True if `node` has any direct text content.
+  bool has_text(NodeId id) const { return nodes_[id].text != Node::kNoText; }
+
+  TagPool& tags() { return tags_; }
+  const TagPool& tags() const { return tags_; }
+
+  // -- Structural predicates (require Finalize) -----------------------------
+
+  /// parent/child: true iff `a` is the parent of `b`.
+  bool IsChild(NodeId a, NodeId b) const { return nodes_[b].parent == a; }
+
+  /// ancestor/descendant: true iff `a` is a proper ancestor of `b`.
+  bool IsDescendant(NodeId a, NodeId b) const {
+    return nodes_[a].order < nodes_[b].order && nodes_[b].order <= nodes_[a].subtree_end;
+  }
+
+  /// ancestor-or-self.
+  bool IsSelfOrDescendant(NodeId a, NodeId b) const {
+    return nodes_[a].order <= nodes_[b].order && nodes_[b].order <= nodes_[a].subtree_end;
+  }
+
+  // -- Iteration -------------------------------------------------------------
+
+  /// Children of `id` in document order.
+  std::vector<NodeId> Children(NodeId id) const;
+
+  /// All descendants of `id` in document order (excluding `id`).
+  std::vector<NodeId> Descendants(NodeId id) const;
+
+  /// Total bytes of text + tag storage; a rough size-on-disk proxy.
+  size_t ApproxContentBytes() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::string> texts_;
+  TagPool tags_;
+  std::vector<NodeId> last_child_;  // build-time helper, cleared by Finalize
+  bool finalized_ = false;
+};
+
+}  // namespace whirlpool::xml

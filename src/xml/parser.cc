@@ -1,0 +1,366 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace whirlpool::xml {
+
+namespace {
+
+// Local variant of the Status macro that works inside a Result-returning
+// function.
+#define WHIRLPOOL_RETURN_NOT_OK_RESULT(expr)     \
+  do {                                           \
+    ::whirlpool::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Hand-rolled recursive-descent-free (iterative) XML tokenizer + builder.
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : in_(input), options_(options), doc_(std::make_unique<Document>()) {}
+
+  Result<std::unique_ptr<Document>> Run() {
+    NodeId current = doc_->root();
+    std::vector<NodeId> stack;  // open elements, excluding the forest root
+    std::string text_buf;
+
+    while (!AtEnd()) {
+      if (Peek() == '<') {
+        FlushText(current, &text_buf);
+        if (Match("<?")) {
+          WHIRLPOOL_RETURN_NOT_OK_RESULT(SkipUntil("?>"));
+        } else if (Match("<!--")) {
+          WHIRLPOOL_RETURN_NOT_OK_RESULT(SkipUntil("-->"));
+        } else if (Match("<![CDATA[")) {
+          size_t end = in_.find("]]>", pos_);
+          if (end == std::string_view::npos) return Error("unterminated CDATA section");
+          text_buf.append(in_.substr(pos_, end - pos_));
+          pos_ = end + 3;
+        } else if (Match("<!")) {
+          // DOCTYPE or other declaration: skip to matching '>' (handles one
+          // level of [] internal subset).
+          WHIRLPOOL_RETURN_NOT_OK_RESULT(SkipDecl());
+        } else if (Match("</")) {
+          std::string name;
+          WHIRLPOOL_RETURN_NOT_OK_RESULT(ReadName(&name));
+          SkipSpace();
+          if (!Match(">")) return Error("expected '>' in closing tag");
+          if (stack.empty()) return Error("closing tag '" + name + "' with no open element");
+          if (doc_->tag_name(stack.back()) != name) {
+            return Error("mismatched closing tag '" + name + "', expected '" +
+                         doc_->tag_name(stack.back()) + "'");
+          }
+          stack.pop_back();
+          current = stack.empty() ? doc_->root() : stack.back();
+        } else {
+          if (!Match("<")) return Error("expected '<'");
+          std::string name;
+          WHIRLPOOL_RETURN_NOT_OK_RESULT(ReadName(&name));
+          NodeId elem = doc_->AddChild(current, name);
+          // Attributes.
+          while (true) {
+            SkipSpace();
+            if (AtEnd()) return Error("unterminated start tag '" + name + "'");
+            if (Peek() == '>' || Peek() == '/') break;
+            std::string attr_name, attr_value;
+            WHIRLPOOL_RETURN_NOT_OK_RESULT(ReadName(&attr_name));
+            SkipSpace();
+            if (!Match("=")) return Error("expected '=' after attribute name");
+            SkipSpace();
+            WHIRLPOOL_RETURN_NOT_OK_RESULT(ReadQuoted(&attr_value));
+            if (options_.keep_attributes) {
+              NodeId attr = doc_->AddChild(elem, "@" + attr_name);
+              doc_->SetText(attr, attr_value);
+            }
+          }
+          if (Match("/>")) {
+            // Empty element; nothing opened.
+          } else if (Match(">")) {
+            stack.push_back(elem);
+            current = elem;
+          } else {
+            return Error("malformed start tag '" + name + "'");
+          }
+        }
+      } else {
+        // Character data until next '<'.
+        size_t lt = in_.find('<', pos_);
+        if (lt == std::string_view::npos) lt = in_.size();
+        std::string_view raw = in_.substr(pos_, lt - pos_);
+        pos_ = lt;
+        WHIRLPOOL_RETURN_NOT_OK_RESULT(DecodeEntities(raw, &text_buf));
+      }
+    }
+    FlushText(current, &text_buf);
+    if (!stack.empty()) {
+      return Error("unterminated element '" + doc_->tag_name(stack.back()) + "'");
+    }
+    if (doc_->node(doc_->root()).first_child == kInvalidNode) {
+      return Error("document contains no elements");
+    }
+    doc_->Finalize();
+    return std::move(doc_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+
+  bool Match(std::string_view token) {
+    if (in_.size() - pos_ < token.size()) return false;
+    if (in_.substr(pos_, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  Status SkipUntil(std::string_view terminator) {
+    size_t end = in_.find(terminator, pos_);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated construct, expected '" +
+                                std::string(terminator) + "' (offset " +
+                                std::to_string(pos_) + ")");
+    }
+    pos_ = end + terminator.size();
+    return Status::OK();
+  }
+
+  Status SkipDecl() {
+    int bracket_depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      ++pos_;
+      if (c == '[') ++bracket_depth;
+      else if (c == ']') --bracket_depth;
+      else if (c == '>' && bracket_depth <= 0) return Status::OK();
+    }
+    return Status::ParseError("unterminated '<!' declaration");
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+           c == '-' || c == '.';
+  }
+
+  Status ReadName(std::string* out) {
+    if (AtEnd() || !IsNameStart(Peek())) {
+      return Status::ParseError("expected name at offset " + std::to_string(pos_));
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    out->assign(in_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Status ReadQuoted(std::string* out) {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Status::ParseError("expected quoted value at offset " + std::to_string(pos_));
+    }
+    char quote = Peek();
+    ++pos_;
+    size_t end = in_.find(quote, pos_);
+    if (end == std::string_view::npos) return Status::ParseError("unterminated quoted value");
+    std::string decoded;
+    Status st = DecodeEntities(in_.substr(pos_, end - pos_), &decoded);
+    if (!st.ok()) return st;
+    *out = std::move(decoded);
+    pos_ = end + 1;
+    return Status::OK();
+  }
+
+  Status DecodeEntities(std::string_view raw, std::string* out) {
+    size_t i = 0;
+    while (i < raw.size()) {
+      char c = raw[i];
+      if (c != '&') {
+        out->push_back(c);
+        ++i;
+        continue;
+      }
+      size_t semi = raw.find(';', i + 1);
+      if (semi == std::string_view::npos) {
+        return Status::ParseError("unterminated entity reference");
+      }
+      std::string_view name = raw.substr(i + 1, semi - i - 1);
+      if (name == "lt") out->push_back('<');
+      else if (name == "gt") out->push_back('>');
+      else if (name == "amp") out->push_back('&');
+      else if (name == "quot") out->push_back('"');
+      else if (name == "apos") out->push_back('\'');
+      else if (!name.empty() && name[0] == '#') {
+        int base = 10;
+        std::string_view digits = name.substr(1);
+        if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+          base = 16;
+          digits = digits.substr(1);
+        }
+        if (digits.empty()) return Status::ParseError("empty character reference");
+        unsigned long code = 0;
+        for (char d : digits) {
+          int v;
+          if (d >= '0' && d <= '9') v = d - '0';
+          else if (base == 16 && d >= 'a' && d <= 'f') v = d - 'a' + 10;
+          else if (base == 16 && d >= 'A' && d <= 'F') v = d - 'A' + 10;
+          else return Status::ParseError("bad character reference '&" + std::string(name) + ";'");
+          code = code * base + static_cast<unsigned long>(v);
+        }
+        AppendUtf8(code, out);
+      } else {
+        return Status::ParseError("unknown entity '&" + std::string(name) + ";'");
+      }
+      i = semi + 1;
+    }
+    return Status::OK();
+  }
+
+  static void AppendUtf8(unsigned long code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  void FlushText(NodeId current, std::string* buf) {
+    if (buf->empty()) return;
+    bool all_space = true;
+    for (char c : *buf) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        all_space = false;
+        break;
+      }
+    }
+    if (!(all_space && options_.skip_whitespace_text) && current != doc_->root()) {
+      std::string_view trimmed = TrimWhitespace(*buf);
+      if (!trimmed.empty()) {
+        // Mixed content: separate runs split by child elements with a space.
+        if (doc_->has_text(current)) doc_->AppendText(current, " ");
+        doc_->AppendText(current, trimmed);
+      }
+    }
+    buf->clear();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " (offset " + std::to_string(pos_) + ")");
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  ParseOptions options_;
+  std::unique_ptr<Document> doc_;
+};
+
+#undef WHIRLPOOL_RETURN_NOT_OK_RESULT
+
+}  // namespace
+
+Result<std::unique_ptr<Document>> ParseDocument(std::string_view input,
+                                                const ParseOptions& options) {
+  Parser p(input, options);
+  return p.Run();
+}
+
+Result<std::unique_ptr<Document>> ParseFile(const std::string& path,
+                                            const ParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string content = ss.str();
+  return ParseDocument(content, options);
+}
+
+std::string EscapeXml(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void SerializeNode(const Document& doc, NodeId id, int depth, std::string* out) {
+  const std::string& tag = doc.tag_name(id);
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  out->append(indent);
+  out->push_back('<');
+  out->append(tag);
+  // Attribute children first.
+  std::vector<NodeId> element_children;
+  for (NodeId c : doc.Children(id)) {
+    const std::string& child_tag = doc.tag_name(c);
+    if (!child_tag.empty() && child_tag[0] == '@') {
+      out->push_back(' ');
+      out->append(child_tag.substr(1));
+      out->append("=\"");
+      out->append(EscapeXml(doc.text(c)));
+      out->push_back('"');
+    } else {
+      element_children.push_back(c);
+    }
+  }
+  std::string_view text = doc.text(id);
+  if (element_children.empty() && text.empty()) {
+    out->append("/>\n");
+    return;
+  }
+  out->push_back('>');
+  if (!text.empty()) out->append(EscapeXml(text));
+  if (!element_children.empty()) {
+    out->push_back('\n');
+    for (NodeId c : element_children) SerializeNode(doc, c, depth + 1, out);
+    out->append(indent);
+  }
+  out->append("</");
+  out->append(tag);
+  out->append(">\n");
+}
+
+}  // namespace
+
+std::string SerializeSubtree(const Document& doc, NodeId id, int indent) {
+  std::string out;
+  if (id == doc.root()) {
+    for (NodeId c : doc.Children(id)) SerializeNode(doc, c, indent, &out);
+  } else {
+    SerializeNode(doc, id, indent, &out);
+  }
+  return out;
+}
+
+std::string SerializeDocument(const Document& doc) {
+  return SerializeSubtree(doc, doc.root(), 0);
+}
+
+}  // namespace whirlpool::xml

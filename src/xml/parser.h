@@ -1,0 +1,49 @@
+// A from-scratch, non-validating XML parser sufficient for the document
+// classes the paper evaluates on (XMark output and small hand-written
+// collections): elements, attributes, character data, entity references,
+// comments, CDATA, processing instructions and an XML declaration.
+// Namespaces are treated literally (a tag "ns:item" is the tag "ns:item").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace whirlpool::xml {
+
+/// Parser configuration.
+struct ParseOptions {
+  /// If true (default), attributes become child nodes tagged "@name" whose
+  /// text is the attribute value. If false, attributes are dropped.
+  bool keep_attributes = true;
+  /// If true, runs of whitespace-only character data are ignored.
+  bool skip_whitespace_text = true;
+};
+
+/// \brief Parses `input` into a Document (finalized, ready for indexing).
+///
+/// Multiple top-level elements are allowed (forest). On error, returns a
+/// ParseError status with a byte offset and message.
+Result<std::unique_ptr<Document>> ParseDocument(std::string_view input,
+                                                const ParseOptions& options = {});
+
+/// \brief Parses the file at `path`.
+Result<std::unique_ptr<Document>> ParseFile(const std::string& path,
+                                            const ParseOptions& options = {});
+
+/// \brief Serializes a document subtree back to XML text (indented).
+///
+/// Attribute children ("@name") are rendered as attributes. The synthetic
+/// "#root" node renders its children as a sequence of top-level elements.
+std::string SerializeSubtree(const Document& doc, NodeId id, int indent = 0);
+
+/// Serializes the whole document (all top-level elements).
+std::string SerializeDocument(const Document& doc);
+
+/// Escapes &, <, >, ", ' for use in XML text/attribute values.
+std::string EscapeXml(std::string_view s);
+
+}  // namespace whirlpool::xml

@@ -1,0 +1,135 @@
+#include "xml/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+namespace whirlpool::xml {
+
+namespace {
+
+constexpr char kMagic[8] = {'W', 'P', 'L', 'S', 'N', 'A', 'P', '1'};
+/// Upper bound on any count field; rejects absurd (corrupt) headers before
+/// allocation.
+constexpr uint32_t kMaxCount = 1u << 28;
+
+void PutU32(std::ostream& out, uint32_t v) {
+  char buf[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out.write(buf, 4);
+}
+
+bool GetU32(std::istream& in, uint32_t* v) {
+  unsigned char buf[4];
+  if (!in.read(reinterpret_cast<char*>(buf), 4)) return false;
+  *v = static_cast<uint32_t>(buf[0]) | (static_cast<uint32_t>(buf[1]) << 8) |
+       (static_cast<uint32_t>(buf[2]) << 16) | (static_cast<uint32_t>(buf[3]) << 24);
+  return true;
+}
+
+void PutString(std::ostream& out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Status GetString(std::istream& in, std::string* s) {
+  uint32_t len;
+  if (!GetU32(in, &len)) return Status::ParseError("snapshot truncated (string length)");
+  if (len > kMaxCount) return Status::ParseError("snapshot string length implausible");
+  s->resize(len);
+  if (len > 0 && !in.read(s->data(), len)) {
+    return Status::ParseError("snapshot truncated (string body)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSnapshot(const Document& doc, std::ostream& out) {
+  if (!doc.finalized()) return Status::InvalidArgument("document must be finalized");
+  out.write(kMagic, sizeof(kMagic));
+
+  const TagPool& tags = doc.tags();
+  PutU32(out, static_cast<uint32_t>(tags.size()));
+  for (TagId t = 0; t < tags.size(); ++t) PutString(out, tags.Name(t));
+
+  // Texts: emit one entry per node with text, as (node id, text) pairs
+  // folded into the node table below — simpler: write per-node text inline
+  // via an index table. We write the count of nodes first, then rows.
+  PutU32(out, static_cast<uint32_t>(doc.num_nodes()));
+  for (NodeId id = 1; id < doc.num_nodes(); ++id) {
+    PutU32(out, doc.tag(id));
+    PutU32(out, doc.parent(id));
+    if (doc.has_text(id)) {
+      PutU32(out, 1);
+      PutString(out, doc.text(id));
+    } else {
+      PutU32(out, 0);
+    }
+  }
+  if (!out) return Status::Internal("snapshot write failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Document>> ReadSnapshot(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(magic)) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not a whirlpool snapshot (bad magic)");
+  }
+  uint32_t num_tags;
+  if (!GetU32(in, &num_tags) || num_tags > kMaxCount) {
+    return Status::ParseError("snapshot corrupt (tag count)");
+  }
+  std::vector<std::string> tag_names(num_tags);
+  for (auto& name : tag_names) {
+    WHIRLPOOL_RETURN_NOT_OK(GetString(in, &name));
+  }
+  if (num_tags == 0 || tag_names[0] != "#root") {
+    return Status::ParseError("snapshot corrupt (missing #root tag)");
+  }
+
+  uint32_t num_nodes;
+  if (!GetU32(in, &num_nodes) || num_nodes > kMaxCount || num_nodes == 0) {
+    return Status::ParseError("snapshot corrupt (node count)");
+  }
+
+  auto doc = std::make_unique<Document>();
+  for (NodeId id = 1; id < num_nodes; ++id) {
+    uint32_t tag, parent, has_text;
+    if (!GetU32(in, &tag) || !GetU32(in, &parent) || !GetU32(in, &has_text)) {
+      return Status::ParseError("snapshot truncated (node row)");
+    }
+    if (tag >= num_tags) return Status::ParseError("snapshot corrupt (tag id)");
+    if (parent >= id) {
+      // Arena order guarantees parents precede children; equality would be
+      // a self-loop.
+      return Status::ParseError("snapshot corrupt (parent id)");
+    }
+    NodeId created = doc->AddChild(parent, tag_names[tag]);
+    if (created != id) return Status::Internal("snapshot replay id mismatch");
+    if (has_text == 1) {
+      std::string text;
+      WHIRLPOOL_RETURN_NOT_OK(GetString(in, &text));
+      doc->SetText(created, text);
+    } else if (has_text != 0) {
+      return Status::ParseError("snapshot corrupt (text flag)");
+    }
+  }
+  doc->Finalize();
+  return doc;
+}
+
+Status SaveSnapshot(const Document& doc, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  return WriteSnapshot(doc, out);
+}
+
+Result<std::unique_ptr<Document>> LoadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open snapshot: " + path);
+  return ReadSnapshot(in);
+}
+
+}  // namespace whirlpool::xml

@@ -1,0 +1,35 @@
+// Binary document snapshots: persist a parsed Document and reload it
+// without re-parsing (the paper's setting parses + indexes before querying;
+// snapshots make the parse step a one-time cost for large corpora).
+//
+// Format (little-endian):
+//   magic "WPLSNAP1" | u32 num_tags | tags (u32 len + bytes)...
+//   u32 num_texts | texts (u32 len + bytes)...
+//   u32 num_nodes | per non-root node: u32 tag, u32 parent, u32 text-or-~0
+// Nodes are stored in arena order (parents always precede children), so
+// loading replays AddChild calls and re-finalizes; the reconstructed
+// document is structurally identical (verified field-by-field in tests).
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace whirlpool::xml {
+
+/// Writes `doc` (must be finalized) to `out`.
+Status WriteSnapshot(const Document& doc, std::ostream& out);
+
+/// Reads a snapshot; returns a finalized document. Corrupt input yields a
+/// ParseError (never crashes or over-allocates unchecked).
+Result<std::unique_ptr<Document>> ReadSnapshot(std::istream& in);
+
+/// File convenience wrappers.
+Status SaveSnapshot(const Document& doc, const std::string& path);
+Result<std::unique_ptr<Document>> LoadSnapshot(const std::string& path);
+
+}  // namespace whirlpool::xml

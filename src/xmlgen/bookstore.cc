@@ -1,0 +1,109 @@
+#include "xmlgen/bookstore.h"
+
+#include "util/rng.h"
+
+namespace whirlpool::xmlgen {
+
+namespace {
+using xml::Document;
+using xml::NodeId;
+
+NodeId Child(Document* d, NodeId p, const char* tag, const char* text = nullptr) {
+  NodeId n = d->AddChild(p, tag);
+  if (text != nullptr) d->SetText(n, text);
+  return n;
+}
+}  // namespace
+
+std::unique_ptr<xml::Document> Figure1Bookstore() {
+  auto doc = std::make_unique<Document>();
+  NodeId root = doc->root();
+
+  // Book (a): the exact match for /book[./title='wodehouse' and
+  // ./info/publisher/name='psmith'].
+  {
+    NodeId book = Child(doc.get(), root, "book");
+    Child(doc.get(), book, "title", "wodehouse");
+    NodeId info = Child(doc.get(), book, "info");
+    NodeId publisher = Child(doc.get(), info, "publisher");
+    Child(doc.get(), publisher, "name", "psmith");
+    Child(doc.get(), info, "isbn", "1234");
+    Child(doc.get(), info, "price", "48.95");
+  }
+
+  // Book (b): publisher directly under book (not under info).
+  {
+    NodeId book = Child(doc.get(), root, "book");
+    Child(doc.get(), book, "title", "wodehouse");
+    NodeId publisher = Child(doc.get(), book, "publisher");
+    Child(doc.get(), publisher, "name", "psmith");
+    Child(doc.get(), publisher, "location", "london");
+    Child(doc.get(), book, "isbn", "1234");
+  }
+
+  // Book (c): title nested under info; no publisher at all.
+  {
+    NodeId book = Child(doc.get(), root, "book");
+    NodeId info = Child(doc.get(), book, "info");
+    Child(doc.get(), info, "title", "wodehouse");
+    Child(doc.get(), info, "isbn", "1234");
+    Child(doc.get(), info, "location", "london");
+    Child(doc.get(), book, "reviews");
+    Child(doc.get(), info, "price", "48.95");
+  }
+
+  doc->Finalize();
+  return doc;
+}
+
+std::unique_ptr<xml::Document> GenerateBookstore(const BookstoreOptions& options) {
+  auto doc = std::make_unique<Document>();
+  Rng rng(options.seed);
+  NodeId root = doc->root();
+
+  static const char* const kTitles[] = {"wodehouse", "leave it to psmith",
+                                        "right ho jeeves", "the code of the woosters",
+                                        "summer lightning", "heavy weather"};
+  static const char* const kPublishers[] = {"psmith", "penguin", "herbert jenkins",
+                                            "doubleday", "vintage"};
+  static const char* const kLocations[] = {"london", "new york", "paris", "berlin"};
+
+  for (int i = 0; i < options.num_books; ++i) {
+    const char* title = kTitles[rng.Zipf(6, 0.9)];
+    const char* publisher = kPublishers[rng.Zipf(5, 0.9)];
+    const char* location = kLocations[rng.Uniform(4)];
+    std::string isbn = std::to_string(1000 + i);
+    std::string price = std::to_string(rng.UniformRange(5, 99)) + "." +
+                        std::to_string(rng.UniformRange(0, 99));
+
+    NodeId book = Child(doc.get(), root, "book");
+    const double u = rng.NextDouble();
+    if (u < options.p_schema_a) {
+      Child(doc.get(), book, "title", title);
+      NodeId info = Child(doc.get(), book, "info");
+      NodeId pub = Child(doc.get(), info, "publisher");
+      Child(doc.get(), pub, "name", publisher);
+      Child(doc.get(), info, "isbn", isbn.c_str());
+      Child(doc.get(), info, "price", price.c_str());
+    } else if (u < options.p_schema_a + options.p_schema_b) {
+      Child(doc.get(), book, "title", title);
+      NodeId pub = Child(doc.get(), book, "publisher");
+      Child(doc.get(), pub, "name", publisher);
+      Child(doc.get(), pub, "location", location);
+      Child(doc.get(), book, "isbn", isbn.c_str());
+      if (rng.Chance(0.5)) Child(doc.get(), book, "price", price.c_str());
+    } else {
+      NodeId info = Child(doc.get(), book, "info");
+      Child(doc.get(), info, "title", title);
+      Child(doc.get(), info, "isbn", isbn.c_str());
+      Child(doc.get(), info, "location", location);
+      if (rng.Chance(0.6)) Child(doc.get(), info, "price", price.c_str());
+      Child(doc.get(), book, "reviews");
+    }
+  }
+
+  doc->Finalize();
+  return doc;
+}
+
+}  // namespace whirlpool::xmlgen

@@ -1,0 +1,36 @@
+// The heterogeneous bookstore of the paper's Figure 1 (three books with
+// different structure from different online sellers) plus a scalable
+// generator of similarly heterogeneous book collections for the examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "xml/document.h"
+
+namespace whirlpool::xmlgen {
+
+/// \brief Exactly the three books of Figure 1:
+///  (a) book/title, book/info/publisher/name, book/info/isbn,
+///      book/info/price                                        — exact match
+///  (b) book/title, book/publisher/{name,location}, book/isbn  — flat variant
+///  (c) book/info/{title,isbn,location}, book/reviews          — title nested,
+///      publisher info missing
+std::unique_ptr<xml::Document> Figure1Bookstore();
+
+/// Options for the scalable heterogeneous collection.
+struct BookstoreOptions {
+  uint64_t seed = 7;
+  int num_books = 100;
+  /// Probability a book follows Figure 1(a)'s schema; remaining mass splits
+  /// between (b)-like and (c)-like schemas.
+  double p_schema_a = 0.4;
+  double p_schema_b = 0.35;
+};
+
+/// \brief Generates `num_books` books randomly drawn from the three Figure-1
+/// schema shapes, with titles/authors/prices from small vocabularies so
+/// value predicates have selective and non-selective variants.
+std::unique_ptr<xml::Document> GenerateBookstore(const BookstoreOptions& options);
+
+}  // namespace whirlpool::xmlgen

@@ -1,0 +1,270 @@
+#include "xmlgen/xmark.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace whirlpool::xmlgen {
+
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+const char* const kWords[] = {
+    "auction",  "vintage", "rare",     "mint",   "boxed",   "signed",  "limited",
+    "edition",  "classic", "antique",  "modern", "pristine", "refurbished",
+    "wooden",   "silver",  "golden",   "ceramic", "leather", "crystal", "marble",
+    "painting", "clock",   "camera",   "radio",  "guitar",  "violin",  "atlas",
+    "folio",    "map",     "print",    "poster", "stamp",   "coin",    "medal",
+    "lamp",     "vase",    "mirror",   "chair",  "table",   "cabinet", "desk",
+    "excellent","good",    "fair",     "worn",   "restored","original","complete",
+    "shipping", "insured", "tracked",  "express","standard","economy", "global",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+const char* const kKeywords[] = {
+    "bargain", "collector", "authentic", "certified", "appraised",
+    "estate",  "heirloom",  "provenance", "museum",   "archive",
+};
+constexpr size_t kNumKeywords = sizeof(kKeywords) / sizeof(kKeywords[0]);
+
+const char* const kRegions[] = {"africa", "asia", "australia", "europe",
+                                "namerica", "samerica"};
+constexpr size_t kNumRegions = sizeof(kRegions) / sizeof(kRegions[0]);
+
+const char* const kFirstNames[] = {"alice", "bharat", "chen", "dara", "emeka",
+                                   "fatima", "goran", "hana", "ivan", "june"};
+const char* const kLastNames[] = {"okafor", "smith", "tanaka", "garcia", "novak",
+                                  "haddad", "kim", "olsen", "rossi", "zhang"};
+
+class XMarkBuilder {
+ public:
+  explicit XMarkBuilder(const XMarkOptions& options)
+      : options_(options), rng_(options.seed) {
+    options_.max_mails = std::max(1, options_.max_mails);
+    options_.max_incategory = std::max(0, options_.max_incategory);
+    options_.max_parlist_depth = std::clamp(options_.max_parlist_depth, 1, 8);
+  }
+
+  std::unique_ptr<Document> Build() {
+    doc_ = std::make_unique<Document>();
+    NodeId site = doc_->AddChild(doc_->root(), "site");
+
+    NodeId categories = doc_->AddChild(site, "categories");
+    NodeId regions = doc_->AddChild(site, "regions");
+    std::vector<NodeId> region_nodes;
+    for (const char* r : kRegions) region_nodes.push_back(doc_->AddChild(regions, r));
+    NodeId people = doc_->AddChild(site, "people");
+    NodeId open_auctions = doc_->AddChild(site, "open_auctions");
+    NodeId closed_auctions = doc_->AddChild(site, "closed_auctions");
+
+    // A fixed base of categories so incategory references mean something.
+    for (int i = 0; i < 12; ++i) AddCategory(categories, i);
+
+    size_t bytes = 0;
+    int serial = 0;
+    while (bytes < options_.target_bytes) {
+      const size_t before = doc_->num_nodes();
+      NodeId region = region_nodes[rng_.Uniform(region_nodes.size())];
+      AddItem(region, serial);
+      if (serial % 3 == 0) AddPerson(people, serial);
+      if (serial % 4 == 0) AddOpenAuction(open_auctions, serial);
+      if (serial % 7 == 0) AddClosedAuction(closed_auctions, serial);
+      ++serial;
+      // Rough per-node byte estimate avoids recomputing ApproxContentBytes
+      // (O(n)) every iteration: tags+text average ~24 bytes serialized.
+      bytes += (doc_->num_nodes() - before) * 24;
+    }
+
+    doc_->Finalize();
+    return std::move(doc_);
+  }
+
+ private:
+  std::string Words(int lo, int hi) {
+    int n = static_cast<int>(rng_.UniformRange(lo, hi));
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) out.push_back(' ');
+      out += kWords[rng_.Zipf(kNumWords, 0.8)];
+    }
+    return out;
+  }
+
+  void AddCategory(NodeId categories, int i) {
+    NodeId cat = doc_->AddChild(categories, "category");
+    NodeId id = doc_->AddChild(cat, "@id");
+    doc_->SetText(id, "category" + std::to_string(i));
+    NodeId name = doc_->AddChild(cat, "name");
+    doc_->SetText(name, Words(1, 3));
+    NodeId descr = doc_->AddChild(cat, "description");
+    AddText(descr, /*allow_parlist=*/false, 0);
+  }
+
+  /// A <text> block: character data plus optional bold/keyword/emph children
+  /// and (rarely) an embedded parlist — the edge-generalization fodder.
+  void AddText(NodeId parent, bool allow_parlist, int depth) {
+    NodeId text = doc_->AddChild(parent, "text");
+    doc_->SetText(text, Words(4, 14));
+    if (rng_.Chance(options_.p_bold_in_text)) {
+      NodeId b = doc_->AddChild(text, "bold");
+      doc_->SetText(b, Words(1, 3));
+    }
+    if (rng_.Chance(options_.p_keyword_in_text)) {
+      NodeId kw = doc_->AddChild(text, "keyword");
+      doc_->SetText(kw, kKeywords[rng_.Zipf(kNumKeywords, 0.7)]);
+    }
+    if (rng_.Chance(options_.p_emph_in_text)) {
+      NodeId e = doc_->AddChild(text, "emph");
+      doc_->SetText(e, Words(1, 2));
+    }
+    if (allow_parlist && depth < options_.max_parlist_depth &&
+        rng_.Chance(options_.p_parlist_in_text)) {
+      AddParlist(text, depth + 1);
+    }
+  }
+
+  void AddParlist(NodeId parent, int depth) {
+    NodeId parlist = doc_->AddChild(parent, "parlist");
+    const int items = static_cast<int>(rng_.UniformRange(1, 3));
+    for (int i = 0; i < items; ++i) {
+      NodeId listitem = doc_->AddChild(parlist, "listitem");
+      if (depth < options_.max_parlist_depth && rng_.Chance(options_.p_nested_parlist)) {
+        AddParlist(listitem, depth + 1);
+      } else {
+        AddText(listitem, /*allow_parlist=*/false, depth);
+      }
+    }
+  }
+
+  void AddDescription(NodeId parent) {
+    NodeId descr = doc_->AddChild(parent, "description");
+    if (rng_.Chance(options_.p_parlist_in_description)) {
+      AddParlist(descr, 1);
+    } else {
+      AddText(descr, /*allow_parlist=*/true, 1);
+    }
+  }
+
+  void AddItem(NodeId region, int serial) {
+    NodeId item = doc_->AddChild(region, "item");
+    NodeId id = doc_->AddChild(item, "@id");
+    doc_->SetText(id, "item" + std::to_string(serial));
+
+    NodeId location = doc_->AddChild(item, "location");
+    doc_->SetText(location, Words(1, 2));
+    NodeId quantity = doc_->AddChild(item, "quantity");
+    doc_->SetText(quantity, std::to_string(rng_.UniformRange(1, 5)));
+    if (rng_.Chance(options_.p_item_name)) {
+      NodeId name = doc_->AddChild(item, "name");
+      doc_->SetText(name, Words(2, 5));
+    }
+    NodeId payment = doc_->AddChild(item, "payment");
+    doc_->SetText(payment, Words(1, 3));
+
+    AddDescription(item);
+
+    NodeId shipping = doc_->AddChild(item, "shipping");
+    doc_->SetText(shipping, Words(1, 4));
+
+    const int cats = static_cast<int>(rng_.UniformRange(0, options_.max_incategory));
+    for (int i = 0; i < cats; ++i) {
+      NodeId inc = doc_->AddChild(item, "incategory");
+      NodeId cat = doc_->AddChild(inc, "@category");
+      doc_->SetText(cat, "category" + std::to_string(rng_.Uniform(12)));
+    }
+
+    if (rng_.Chance(options_.p_mailbox)) {
+      NodeId mailbox = doc_->AddChild(item, "mailbox");
+      const int mails = static_cast<int>(rng_.UniformRange(1, options_.max_mails));
+      for (int i = 0; i < mails; ++i) {
+        NodeId mail = doc_->AddChild(mailbox, "mail");
+        NodeId from = doc_->AddChild(mail, "from");
+        doc_->SetText(from, PersonName());
+        NodeId to = doc_->AddChild(mail, "to");
+        doc_->SetText(to, PersonName());
+        NodeId date = doc_->AddChild(mail, "date");
+        doc_->SetText(date, Date());
+        AddText(mail, /*allow_parlist=*/true, 1);
+      }
+    }
+  }
+
+  void AddPerson(NodeId people, int serial) {
+    NodeId person = doc_->AddChild(people, "person");
+    NodeId id = doc_->AddChild(person, "@id");
+    doc_->SetText(id, "person" + std::to_string(serial));
+    NodeId name = doc_->AddChild(person, "name");
+    doc_->SetText(name, PersonName());
+    NodeId email = doc_->AddChild(person, "emailaddress");
+    doc_->SetText(email, "mailto:user" + std::to_string(serial) + "@example.com");
+    if (rng_.Chance(0.5)) {
+      NodeId profile = doc_->AddChild(person, "profile");
+      NodeId interest = doc_->AddChild(profile, "interest");
+      NodeId cat = doc_->AddChild(interest, "@category");
+      doc_->SetText(cat, "category" + std::to_string(rng_.Uniform(12)));
+    }
+  }
+
+  void AddOpenAuction(NodeId auctions, int serial) {
+    NodeId auction = doc_->AddChild(auctions, "open_auction");
+    NodeId id = doc_->AddChild(auction, "@id");
+    doc_->SetText(id, "open_auction" + std::to_string(serial));
+    NodeId initial = doc_->AddChild(auction, "initial");
+    doc_->SetText(initial, Price());
+    const int bidders = static_cast<int>(rng_.UniformRange(0, 3));
+    for (int i = 0; i < bidders; ++i) {
+      NodeId bidder = doc_->AddChild(auction, "bidder");
+      NodeId date = doc_->AddChild(bidder, "date");
+      doc_->SetText(date, Date());
+      NodeId increase = doc_->AddChild(bidder, "increase");
+      doc_->SetText(increase, Price());
+    }
+    NodeId annotation = doc_->AddChild(auction, "annotation");
+    NodeId descr = doc_->AddChild(annotation, "description");
+    AddText(descr, /*allow_parlist=*/true, 1);
+  }
+
+  void AddClosedAuction(NodeId auctions, int serial) {
+    NodeId auction = doc_->AddChild(auctions, "closed_auction");
+    NodeId id = doc_->AddChild(auction, "@id");
+    doc_->SetText(id, "closed_auction" + std::to_string(serial));
+    NodeId price = doc_->AddChild(auction, "price");
+    doc_->SetText(price, Price());
+    NodeId date = doc_->AddChild(auction, "date");
+    doc_->SetText(date, Date());
+    NodeId quantity = doc_->AddChild(auction, "quantity");
+    doc_->SetText(quantity, std::to_string(rng_.UniformRange(1, 3)));
+  }
+
+  std::string PersonName() {
+    return std::string(kFirstNames[rng_.Uniform(10)]) + " " + kLastNames[rng_.Uniform(10)];
+  }
+
+  std::string Date() {
+    return std::to_string(rng_.UniformRange(1998, 2004)) + "-" +
+           std::to_string(rng_.UniformRange(1, 12)) + "-" +
+           std::to_string(rng_.UniformRange(1, 28));
+  }
+
+  std::string Price() {
+    return std::to_string(rng_.UniformRange(1, 999)) + "." +
+           std::to_string(rng_.UniformRange(0, 99));
+  }
+
+  XMarkOptions options_;
+  Rng rng_;
+  std::unique_ptr<Document> doc_;
+};
+
+}  // namespace
+
+std::unique_ptr<xml::Document> GenerateXMark(const XMarkOptions& options) {
+  XMarkBuilder builder(options);
+  return builder.Build();
+}
+
+}  // namespace whirlpool::xmlgen

@@ -1,0 +1,49 @@
+// From-scratch XMark-style document generator (substitute for the original
+// XMark tool, which is not available offline; see DESIGN.md Sec 2). Produces
+// auction-site documents with the structural features the paper's queries
+// and relaxations exercise:
+//   - recursive `parlist` under item descriptions (enables edge
+//     generalization: some parlists are direct children of description,
+//     some are nested deeper),
+//   - optional `incategory`, `name`, `mailbox` on items (enables leaf
+//     deletion),
+//   - `text` shared between description content and mail bodies (enables
+//     subtree promotion),
+//   - surrounding realistic structure (regions, categories, people,
+//     auctions) so tag indexes and selectivities behave like a real corpus.
+// Output is deterministic for a given seed and scales to a target byte size.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "xml/document.h"
+
+namespace whirlpool::xmlgen {
+
+/// Generator knobs. Defaults are tuned so that Q1-Q3 (paper Sec 6.2.1) have
+/// a healthy mix of exact, edge-generalized, promoted and deleted matches.
+struct XMarkOptions {
+  uint64_t seed = 42;
+  /// Approximate serialized size to aim for. The generator adds whole items
+  /// (plus proportional people/categories/auctions) until this is reached.
+  size_t target_bytes = 1 << 20;  // ~1 MB
+
+  // Structural probabilities.
+  double p_item_name = 0.92;             ///< item has a <name>
+  double p_mailbox = 0.70;               ///< item has a <mailbox>
+  double p_parlist_in_description = 0.45;///< description starts with parlist (else text)
+  double p_nested_parlist = 0.35;        ///< a listitem recurses into another parlist
+  double p_parlist_in_text = 0.12;       ///< a text block embeds a parlist (edge-gen fodder)
+  double p_bold_in_text = 0.45;          ///< text has a <bold> child
+  double p_keyword_in_text = 0.40;       ///< text has a <keyword> child
+  double p_emph_in_text = 0.35;          ///< text has an <emph> child
+  int max_mails = 4;                     ///< mails per mailbox: 1..max_mails
+  int max_incategory = 4;                ///< incategory per item: 0..max_incategory
+  int max_parlist_depth = 4;             ///< recursion cap
+};
+
+/// \brief Generates a finalized document. Never fails; clamps insane options.
+std::unique_ptr<xml::Document> GenerateXMark(const XMarkOptions& options);
+
+}  // namespace whirlpool::xmlgen

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tools/cli.h"
+
+namespace whirlpool::cli {
+namespace {
+
+struct CliRun {
+  Status status;
+  std::string output;
+};
+
+CliRun RunArgs(std::vector<std::string> args) {
+  std::ostringstream out;
+  Status st = RunCli(args, out);
+  return {st, out.str()};
+}
+
+/// Writes a small fixture XML file and removes it on destruction.
+class TempXmlFile {
+ public:
+  explicit TempXmlFile(const std::string& content) {
+    path_ = std::string(::testing::TempDir()) + "cli_test_fixture.xml";
+    std::ofstream f(path_);
+    f << content;
+  }
+  ~TempXmlFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(CliTest, HelpPrintsUsage) {
+  auto r = RunArgs({"help"});
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_NE(r.output.find("usage: whirlpool"), std::string::npos);
+  EXPECT_TRUE(RunArgs({}).status.ok());
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  auto r = RunArgs({"frobnicate"});
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, UnknownFlagFails) {
+  auto r = RunArgs({"generate", "--bytes=1024", "--bogus=1"});
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_NE(r.status.message().find("bogus"), std::string::npos);
+}
+
+TEST(CliTest, GenerateEmitsParseableXml) {
+  auto r = RunArgs({"generate", "--bytes=8192", "--seed=5"});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_NE(r.output.find("<site>"), std::string::npos);
+  EXPECT_NE(r.output.find("<item"), std::string::npos);
+}
+
+TEST(CliTest, GenerateToFile) {
+  std::string path = std::string(::testing::TempDir()) + "cli_gen.xml";
+  auto r = RunArgs({"generate", "--bytes=4096", "--out=" + path});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_NE(r.output.find("wrote"), std::string::npos);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, InspectGeneratedDocument) {
+  auto r = RunArgs({"inspect", "--generate-kb=16", "--top=5"});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_NE(r.output.find("nodes:"), std::string::npos);
+  EXPECT_NE(r.output.find("top tags:"), std::string::npos);
+}
+
+TEST(CliTest, InspectRequiresExactlyOneSource) {
+  EXPECT_FALSE(RunArgs({"inspect"}).status.ok());
+  EXPECT_FALSE(RunArgs({"inspect", "--xml=a.xml", "--generate-kb=1"}).status.ok());
+}
+
+TEST(CliTest, QueryOnFixtureFile) {
+  TempXmlFile fixture(
+      "<lib>"
+      "<book><title>wodehouse</title><isbn>1</isbn></book>"
+      "<book><title>other</title></book>"
+      "</lib>");
+  auto r = RunArgs({"query", "--xml=" + fixture.path(),
+                "--xpath=/book[./title='wodehouse' and ./isbn]", "--k=2",
+                "--show-metrics"});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_NE(r.output.find("#1 score="), std::string::npos);
+  EXPECT_NE(r.output.find("metrics:"), std::string::npos);
+}
+
+TEST(CliTest, QueryCsvFormat) {
+  auto r = RunArgs({"query", "--generate-kb=16", "--xpath=//item[./name]", "--k=3",
+                "--format=csv"});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_NE(r.output.find("rank,score,dewey,name_level"), std::string::npos);
+  // header + 3 rows
+  EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 4);
+}
+
+TEST(CliTest, QueryAllEnginesAgreeOnTopScore) {
+  std::string first_line;
+  for (const char* engine : {"ws", "wm", "lockstep", "noprun"}) {
+    auto r = RunArgs({"query", "--generate-kb=16", "--xpath=//item[./description/parlist]",
+                  "--k=1", "--format=csv", std::string("--engine=") + engine});
+    ASSERT_TRUE(r.status.ok()) << engine << ": " << r.status;
+    std::string row = r.output.substr(r.output.find('\n') + 1);
+    std::string score = row.substr(row.find(',') + 1);
+    score = score.substr(0, score.find(','));
+    if (first_line.empty()) first_line = score;
+    else EXPECT_EQ(score, first_line) << engine;
+  }
+}
+
+TEST(CliTest, QueryExactSemanticsAndSumAggregation) {
+  auto r = RunArgs({"query", "--generate-kb=16", "--xpath=//item[./description/parlist]",
+                "--semantics=exact", "--aggregation=sum", "--k=3"});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+}
+
+TEST(CliTest, QueryRejectsBadEnumValues) {
+  EXPECT_FALSE(RunArgs({"query", "--generate-kb=4", "--xpath=//item", "--engine=warp"})
+                   .status.ok());
+  EXPECT_FALSE(RunArgs({"query", "--generate-kb=4", "--xpath=//item", "--norm=loud"})
+                   .status.ok());
+  EXPECT_FALSE(RunArgs({"query", "--generate-kb=4", "--xpath=//item", "--k=0"}).status.ok());
+  EXPECT_FALSE(RunArgs({"query", "--generate-kb=4", "--xpath=//item", "--format=yaml"})
+                   .status.ok());
+}
+
+TEST(CliTest, QueryRequiresXPath) {
+  auto r = RunArgs({"query", "--generate-kb=4"});
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_NE(r.status.message().find("xpath"), std::string::npos);
+}
+
+TEST(CliTest, QueryBadXPathSurfacesParseError) {
+  auto r = RunArgs({"query", "--generate-kb=4", "--xpath=item["});
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kParseError);
+}
+
+TEST(CliTest, MissingFileSurfacesNotFound) {
+  auto r = RunArgs({"query", "--xml=/definitely/not/here.xml", "--xpath=//a"});
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+}
+
+TEST(CliTest, SnapshotRoundTripThroughCli) {
+  std::string snap = std::string(::testing::TempDir()) + "cli_snap.bin";
+  auto gen = RunArgs({"generate", "--bytes=8192", "--snapshot-out=" + snap});
+  ASSERT_TRUE(gen.status.ok()) << gen.status;
+  auto direct = RunArgs({"query", "--generate-kb=8",
+                         "--xpath=//item[./description/parlist]", "--k=3",
+                         "--format=csv"});
+  auto via_snap = RunArgs({"query", "--snapshot=" + snap,
+                           "--xpath=//item[./description/parlist]", "--k=3",
+                           "--format=csv"});
+  ASSERT_TRUE(direct.status.ok()) << direct.status;
+  ASSERT_TRUE(via_snap.status.ok()) << via_snap.status;
+  // generate --bytes=8192 and --generate-kb=8 build the same corpus (same
+  // default seed), so scores must agree exactly.
+  EXPECT_EQ(direct.output, via_snap.output);
+  std::remove(snap.c_str());
+}
+
+TEST(CliTest, ThresholdModeReturnsAllAboveBar) {
+  auto all = RunArgs({"query", "--generate-kb=16", "--xpath=//item[./name]",
+                      "--threshold=0.0", "--format=csv"});
+  ASSERT_TRUE(all.status.ok()) << all.status;
+  auto none = RunArgs({"query", "--generate-kb=16", "--xpath=//item[./name]",
+                       "--threshold=99.0", "--format=csv"});
+  ASSERT_TRUE(none.status.ok()) << none.status;
+  const auto rows = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '\n') - 1;  // minus header
+  };
+  EXPECT_GT(rows(all.output), 10);
+  EXPECT_EQ(rows(none.output), 0);
+}
+
+TEST(CliTest, ExplainShowsModelAndServers) {
+  auto r = RunArgs({"explain", "--generate-kb=16",
+                "--xpath=//item[./description/parlist and ./name]"});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_NE(r.output.find("pattern: item["), std::string::npos);
+  EXPECT_NE(r.output.find("scoring model"), std::string::npos);
+  EXPECT_NE(r.output.find("avg_candidates/root="), std::string::npos);
+  EXPECT_NE(r.output.find("root candidates:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace whirlpool::cli

@@ -1,0 +1,159 @@
+// Whirlpool-M concurrency behavior: repeated runs under different processor
+// caps and thread counts must terminate, agree with Whirlpool-S, and never
+// lose or duplicate answers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "exec/engine.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::exec {
+namespace {
+
+using query::ParseXPath;
+using score::Normalization;
+using score::ScoringModel;
+
+struct Fixture {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<index::TagIndex> idx;
+  query::TreePattern pattern;
+  std::unique_ptr<QueryPlan> plan;
+  std::vector<double> reference_scores;
+
+  static Fixture Make(const char* xpath, uint64_t seed = 4242,
+                      size_t bytes = 32 << 10, uint32_t k = 10) {
+    Fixture f;
+    xmlgen::XMarkOptions gen;
+    gen.seed = seed;
+    gen.target_bytes = bytes;
+    f.doc = xmlgen::GenerateXMark(gen);
+    f.idx = std::make_unique<index::TagIndex>(*f.doc);
+    auto q = ParseXPath(xpath);
+    EXPECT_TRUE(q.ok()) << q.status();
+    f.pattern = std::move(q).value();
+    auto scoring = ScoringModel::ComputeTfIdf(*f.idx, f.pattern, Normalization::kSparse);
+    auto plan = QueryPlan::Build(*f.idx, f.pattern, scoring);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    f.plan = std::make_unique<QueryPlan>(std::move(plan).value());
+    ExecOptions opts;
+    opts.engine = EngineKind::kWhirlpoolS;
+    opts.k = k;
+    auto r = RunTopK(*f.plan, opts);
+    EXPECT_TRUE(r.ok());
+    for (const auto& a : r->answers) f.reference_scores.push_back(a.score);
+    return f;
+  }
+
+  void ExpectAgreesWithReference(const TopKResult& r) const {
+    ASSERT_EQ(r.answers.size(), reference_scores.size());
+    for (size_t i = 0; i < reference_scores.size(); ++i) {
+      ASSERT_NEAR(r.answers[i].score, reference_scores[i], 1e-9) << "rank " << i;
+    }
+    // No duplicate roots.
+    std::set<xml::NodeId> roots;
+    for (const auto& a : r.answers) {
+      ASSERT_TRUE(roots.insert(a.root).second) << "duplicate root " << a.root;
+    }
+  }
+};
+
+TEST(WhirlpoolMTest, RepeatedRunsAgreeWithWhirlpoolS) {
+  Fixture f = Fixture::Make("//item[./description/parlist and ./mailbox/mail/text]");
+  for (int run = 0; run < 5; ++run) {
+    ExecOptions opts;
+    opts.engine = EngineKind::kWhirlpoolM;
+    opts.k = 10;
+    auto r = RunTopK(*f.plan, opts);
+    ASSERT_TRUE(r.ok());
+    f.ExpectAgreesWithReference(*r);
+  }
+}
+
+class ProcessorCapTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProcessorCapTest, CapDoesNotChangeAnswers) {
+  Fixture f = Fixture::Make("//item[./description/parlist and ./name]");
+  ExecOptions opts;
+  opts.engine = EngineKind::kWhirlpoolM;
+  opts.k = 10;
+  opts.processor_cap = GetParam();
+  auto r = RunTopK(*f.plan, opts);
+  ASSERT_TRUE(r.ok());
+  f.ExpectAgreesWithReference(*r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, ProcessorCapTest, ::testing::Values(0, 1, 2, 4));
+
+class ThreadsPerServerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadsPerServerTest, ExtraServerThreadsKeepAnswers) {
+  Fixture f = Fixture::Make("//item[./description/parlist and ./mailbox/mail/text]");
+  ExecOptions opts;
+  opts.engine = EngineKind::kWhirlpoolM;
+  opts.k = 10;
+  opts.threads_per_server = GetParam();
+  auto r = RunTopK(*f.plan, opts);
+  ASSERT_TRUE(r.ok());
+  f.ExpectAgreesWithReference(*r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadsPerServerTest, ::testing::Values(1, 2, 3));
+
+TEST(WhirlpoolMTest, RejectsNonPositiveThreadsPerServer) {
+  Fixture f = Fixture::Make("//item[./name]", 1, 8 << 10, 3);
+  ExecOptions opts;
+  opts.engine = EngineKind::kWhirlpoolM;
+  opts.threads_per_server = 0;
+  EXPECT_FALSE(RunTopK(*f.plan, opts).ok());
+}
+
+TEST(WhirlpoolMTest, TerminatesOnEmptyWorkload) {
+  // No root candidates at all: the drain must return immediately.
+  Fixture f = Fixture::Make("//no_such_tag[./name]", 1, 8 << 10, 3);
+  ExecOptions opts;
+  opts.engine = EngineKind::kWhirlpoolM;
+  auto r = RunTopK(*f.plan, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->answers.empty());
+}
+
+TEST(WhirlpoolMTest, StressManySmallRuns) {
+  // Shake out races in startup/shutdown: many short-lived engine instances.
+  Fixture f = Fixture::Make("//item[./description/parlist]", 7, 8 << 10, 3);
+  for (int run = 0; run < 25; ++run) {
+    ExecOptions opts;
+    opts.engine = EngineKind::kWhirlpoolM;
+    opts.k = 3;
+    opts.processor_cap = 1 + (run % 3);
+    auto r = RunTopK(*f.plan, opts);
+    ASSERT_TRUE(r.ok());
+    f.ExpectAgreesWithReference(*r);
+  }
+}
+
+TEST(WhirlpoolMTest, ParallelSpeedupWithInjectedCost) {
+  // With a dominant per-operation cost, the capped run must be measurably
+  // slower than the uncapped one (this is the Fig 9 mechanism).
+  Fixture f = Fixture::Make("//item[./description/parlist and ./mailbox/mail/text]",
+                            11, 12 << 10, 5);
+  ExecOptions capped, uncapped;
+  capped.engine = uncapped.engine = EngineKind::kWhirlpoolM;
+  capped.k = uncapped.k = 5;
+  capped.op_cost_seconds = uncapped.op_cost_seconds = 0.002;
+  capped.processor_cap = 1;
+  uncapped.processor_cap = 0;
+  auto rc = RunTopK(*f.plan, capped);
+  auto ru = RunTopK(*f.plan, uncapped);
+  ASSERT_TRUE(rc.ok());
+  ASSERT_TRUE(ru.ok());
+  // The serialized run pays op_cost for every operation sequentially.
+  EXPECT_GT(rc->metrics.wall_seconds, ru->metrics.wall_seconds * 1.2);
+}
+
+}  // namespace
+}  // namespace whirlpool::exec

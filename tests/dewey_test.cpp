@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "xml/dewey.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::xml {
+namespace {
+
+TEST(DeweyLabelTest, RootLabelIsEmpty) {
+  DeweyLabel root;
+  EXPECT_TRUE(root.empty());
+  EXPECT_EQ(root.ToString(), "");
+  EXPECT_EQ(root.depth(), 0u);
+}
+
+TEST(DeweyLabelTest, ToStringDotted) {
+  DeweyLabel l({1, 3, 2});
+  EXPECT_EQ(l.ToString(), "1.3.2");
+  EXPECT_EQ(l.depth(), 3u);
+}
+
+TEST(DeweyLabelTest, IsParentOf) {
+  DeweyLabel p({1, 3});
+  EXPECT_TRUE(p.IsParentOf(DeweyLabel({1, 3, 1})));
+  EXPECT_FALSE(p.IsParentOf(DeweyLabel({1, 3, 1, 1})));  // grandchild
+  EXPECT_FALSE(p.IsParentOf(DeweyLabel({1, 4, 1})));     // different branch
+  EXPECT_FALSE(p.IsParentOf(DeweyLabel({1, 3})));        // self
+  EXPECT_FALSE(p.IsParentOf(DeweyLabel({1})));           // ancestor inverted
+}
+
+TEST(DeweyLabelTest, IsAncestorOf) {
+  DeweyLabel a({2});
+  EXPECT_TRUE(a.IsAncestorOf(DeweyLabel({2, 1})));
+  EXPECT_TRUE(a.IsAncestorOf(DeweyLabel({2, 5, 9})));
+  EXPECT_FALSE(a.IsAncestorOf(DeweyLabel({2})));
+  EXPECT_FALSE(a.IsAncestorOf(DeweyLabel({3, 1})));
+  EXPECT_TRUE(DeweyLabel().IsAncestorOf(a));  // root is ancestor of all
+}
+
+TEST(DeweyLabelTest, OrderingIsLexicographic) {
+  EXPECT_LT(DeweyLabel({1}), DeweyLabel({1, 1}));
+  EXPECT_LT(DeweyLabel({1, 2}), DeweyLabel({1, 3}));
+  EXPECT_LT(DeweyLabel({1, 9}), DeweyLabel({2}));
+}
+
+TEST(DeweyIndexTest, SiblingOrdinalsStartAtOne) {
+  Document doc;
+  NodeId a = doc.AddChild(doc.root(), "a");
+  NodeId b = doc.AddChild(a, "b");
+  NodeId c = doc.AddChild(a, "c");
+  doc.Finalize();
+  DeweyIndex dewey(doc);
+  EXPECT_EQ(dewey.label(a).ToString(), "1");
+  EXPECT_EQ(dewey.label(b).ToString(), "1.1");
+  EXPECT_EQ(dewey.label(c).ToString(), "1.2");
+}
+
+TEST(DeweyIndexTest, SecondTopLevelTree) {
+  Document doc;
+  doc.AddChild(doc.root(), "x");
+  NodeId y = doc.AddChild(doc.root(), "y");
+  NodeId yk = doc.AddChild(y, "k");
+  doc.Finalize();
+  DeweyIndex dewey(doc);
+  EXPECT_EQ(dewey.label(y).ToString(), "2");
+  EXPECT_EQ(dewey.label(yk).ToString(), "2.1");
+}
+
+/// Property: Dewey-based pc/ad agree with the interval-encoding predicates
+/// on generated documents, for all node pairs in a sample.
+class DeweyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeweyPropertyTest, AgreesWithIntervalPredicates) {
+  xmlgen::XMarkOptions opts;
+  opts.seed = GetParam();
+  opts.target_bytes = 12 << 10;
+  auto doc = xmlgen::GenerateXMark(opts);
+  DeweyIndex dewey(*doc);
+  ASSERT_EQ(dewey.size(), doc->num_nodes());
+  // Sample pairs with a stride so the test stays fast on any size.
+  const NodeId n = static_cast<NodeId>(doc->num_nodes());
+  const NodeId stride = std::max<NodeId>(1, n / 60);
+  for (NodeId a = 0; a < n; a += stride) {
+    for (NodeId b = 0; b < n; b += stride) {
+      ASSERT_EQ(doc->IsChild(a, b), dewey.IsChild(a, b))
+          << "pc mismatch a=" << a << " b=" << b;
+      ASSERT_EQ(doc->IsDescendant(a, b), dewey.IsDescendant(a, b))
+          << "ad mismatch a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeweyPropertyTest, ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(DeweyIndexTest, DocumentOrderMatchesLabelOrder) {
+  xmlgen::XMarkOptions opts;
+  opts.seed = 5;
+  opts.target_bytes = 8 << 10;
+  auto doc = xmlgen::GenerateXMark(opts);
+  DeweyIndex dewey(*doc);
+  // Preorder rank order == lexicographic Dewey order.
+  std::vector<NodeId> nodes;
+  for (NodeId i = 1; i < doc->num_nodes(); ++i) nodes.push_back(i);
+  std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    return doc->node(a).order < doc->node(b).order;
+  });
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    ASSERT_TRUE(dewey.label(nodes[i - 1]) < dewey.label(nodes[i]))
+        << dewey.label(nodes[i - 1]).ToString() << " !< "
+        << dewey.label(nodes[i]).ToString();
+  }
+}
+
+}  // namespace
+}  // namespace whirlpool::xml

@@ -1,0 +1,235 @@
+// The heavyweight property suite: all four engines, under every routing
+// strategy and queue policy, must return the same top-k score vector as an
+// independent brute-force oracle, across documents, queries, k values and
+// normalizations. This exercises join logic, scoring, pruning safety and
+// scheduling end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/engine.h"
+#include "query/matcher.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "xmlgen/bookstore.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::exec {
+namespace {
+
+using query::ParseXPath;
+using score::ClassifyBinding;
+using score::Normalization;
+using score::ScoringModel;
+
+/// Brute-force best-tuple score of `root` under relaxed semantics: per
+/// component predicate, the best contribution of any candidate binding (or 0
+/// if none / deletion).
+double OracleScore(const index::TagIndex& idx, const query::TreePattern& pattern,
+                   const ScoringModel& scoring, xml::NodeId root) {
+  const auto& doc = idx.doc();
+  double total = 0.0;
+  for (int qi = 1; qi < static_cast<int>(pattern.size()); ++qi) {
+    const auto& pn = pattern.node(qi);
+    xml::TagId tag = doc.tags().Lookup(pn.tag);
+    if (tag == xml::kInvalidTag) continue;
+    auto chain = pattern.Chain(0, qi);
+    std::vector<xml::NodeId> cands =
+        pn.value ? idx.DescendantsWithTagValue(root, tag, *pn.value)
+                 : idx.DescendantsWithTag(root, tag);
+    double best = 0.0;
+    for (xml::NodeId c : cands) {
+      best = std::max(best, scoring.predicate(qi).Contribution(
+                                ClassifyBinding(idx, root, c, chain)));
+    }
+    total += best;
+  }
+  return total;
+}
+
+/// The expected top-k score vector.
+std::vector<double> OracleTopK(const index::TagIndex& idx,
+                               const query::TreePattern& pattern,
+                               const ScoringModel& scoring, uint32_t k) {
+  std::vector<double> scores;
+  for (xml::NodeId r : query::RootCandidates(idx, pattern)) {
+    scores.push_back(OracleScore(idx, pattern, scoring, r));
+  }
+  std::sort(scores.begin(), scores.end(), std::greater<>());
+  if (scores.size() > k) scores.resize(k);
+  return scores;
+}
+
+struct AgreementCase {
+  std::string name;
+  uint64_t seed;
+  size_t bytes;
+  std::string xpath;
+  uint32_t k;
+  Normalization norm;
+};
+
+class EngineAgreementTest : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(EngineAgreementTest, AllEnginesMatchOracle) {
+  const AgreementCase& c = GetParam();
+  xmlgen::XMarkOptions gen;
+  gen.seed = c.seed;
+  gen.target_bytes = c.bytes;
+  auto doc = xmlgen::GenerateXMark(gen);
+  index::TagIndex idx(*doc);
+  auto q = ParseXPath(c.xpath);
+  ASSERT_TRUE(q.ok()) << q.status();
+  ScoringModel scoring = ScoringModel::ComputeTfIdf(idx, *q, c.norm);
+  auto plan = QueryPlan::Build(idx, *q, scoring);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  const std::vector<double> expected = OracleTopK(idx, *q, scoring, c.k);
+
+  const EngineKind kinds[] = {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                              EngineKind::kLockStep, EngineKind::kLockStepNoPrun};
+  const RoutingStrategy strategies[] = {RoutingStrategy::kStatic,
+                                        RoutingStrategy::kMaxScore,
+                                        RoutingStrategy::kMinScore,
+                                        RoutingStrategy::kMinAlive};
+  for (EngineKind kind : kinds) {
+    for (RoutingStrategy strategy : strategies) {
+      ExecOptions opts;
+      opts.engine = kind;
+      opts.routing = strategy;
+      opts.k = c.k;
+      auto r = RunTopK(*plan, opts);
+      ASSERT_TRUE(r.ok()) << r.status();
+      ASSERT_EQ(r->answers.size(), expected.size())
+          << EngineKindName(kind) << "/" << RoutingStrategyName(strategy);
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_NEAR(r->answers[i].score, expected[i], 1e-9)
+            << EngineKindName(kind) << "/" << RoutingStrategyName(strategy)
+            << " rank " << i;
+        // Each returned answer's score must equal its root's oracle score
+        // (the engine found the root's best tuple, not just any tuple).
+        ASSERT_NEAR(r->answers[i].score,
+                    OracleScore(idx, *q, scoring, r->answers[i].root), 1e-9)
+            << EngineKindName(kind) << " root " << r->answers[i].root;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineAgreementTest,
+    ::testing::Values(
+        AgreementCase{"Q1_small_k3_sparse", 101, 16 << 10,
+                      "//item[./description/parlist]", 3, Normalization::kSparse},
+        AgreementCase{"Q1_small_k15_dense", 101, 16 << 10,
+                      "//item[./description/parlist]", 15, Normalization::kDense},
+        AgreementCase{"Q2_mid_k5_sparse", 202, 32 << 10,
+                      "//item[./description/parlist and ./mailbox/mail/text]", 5,
+                      Normalization::kSparse},
+        AgreementCase{"Q2_mid_k15_none", 202, 32 << 10,
+                      "//item[./description/parlist and ./mailbox/mail/text]", 15,
+                      Normalization::kNone},
+        AgreementCase{"Q3_mid_k5_sparse", 303, 32 << 10,
+                      "//item[./mailbox/mail/text[./bold and ./keyword] and ./name "
+                      "and ./incategory]",
+                      5, Normalization::kSparse},
+        AgreementCase{"Q3_mid_k15_dense", 404, 24 << 10,
+                      "//item[./mailbox/mail/text[./bold and ./keyword] and ./name "
+                      "and ./incategory]",
+                      15, Normalization::kDense},
+        AgreementCase{"Values_k5", 505, 24 << 10,
+                      "//item[./mailbox/mail/text/keyword = 'bargain' and ./name]", 5,
+                      Normalization::kSparse},
+        AgreementCase{"KLargerThanRoots", 606, 8 << 10,
+                      "//item[./description/parlist]", 10000,
+                      Normalization::kSparse}),
+    [](const ::testing::TestParamInfo<AgreementCase>& info) {
+      return info.param.name;
+    });
+
+/// Queue policies must not change the answers either (they only change the
+/// amount of work).
+class QueuePolicyAgreementTest : public ::testing::TestWithParam<QueuePolicy> {};
+
+TEST_P(QueuePolicyAgreementTest, AnswersInvariantUnderQueuePolicy) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 808;
+  gen.target_bytes = 24 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  index::TagIndex idx(*doc);
+  auto q = ParseXPath("//item[./description/parlist and ./name]");
+  ASSERT_TRUE(q.ok());
+  ScoringModel scoring = ScoringModel::ComputeTfIdf(idx, *q, Normalization::kSparse);
+  auto plan = QueryPlan::Build(idx, *q, scoring);
+  ASSERT_TRUE(plan.ok());
+  const std::vector<double> expected = OracleTopK(idx, *q, scoring, 7);
+  for (EngineKind kind : {EngineKind::kWhirlpoolM, EngineKind::kLockStep}) {
+    ExecOptions opts;
+    opts.engine = kind;
+    opts.k = 7;
+    opts.queue_policy = GetParam();
+    auto r = RunTopK(*plan, opts);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->answers.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(r->answers[i].score, expected[i], 1e-9)
+          << EngineKindName(kind) << "/" << QueuePolicyName(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, QueuePolicyAgreementTest,
+                         ::testing::Values(QueuePolicy::kFifo,
+                                           QueuePolicy::kCurrentScore,
+                                           QueuePolicy::kMaxNextScore,
+                                           QueuePolicy::kMaxFinalScore),
+                         [](const ::testing::TestParamInfo<QueuePolicy>& info) {
+                           return QueuePolicyName(info.param);
+                         });
+
+/// Exact semantics: every engine returns exactly the naive evaluator's
+/// matches (up to k), all at the same full-exact score.
+class ExactSemanticsTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(ExactSemanticsTest, MatchesNaiveEvaluator) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 909;
+  gen.target_bytes = 24 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  index::TagIndex idx(*doc);
+  for (const char* xpath :
+       {"//item[./description/parlist]",
+        "//item[./description/parlist and ./mailbox/mail/text]"}) {
+    auto q = ParseXPath(xpath);
+    ASSERT_TRUE(q.ok());
+    ScoringModel scoring = ScoringModel::ComputeTfIdf(idx, *q, Normalization::kSparse);
+    auto plan = QueryPlan::Build(idx, *q, scoring);
+    ASSERT_TRUE(plan.ok());
+    ExecOptions opts;
+    opts.engine = GetParam();
+    opts.semantics = MatchSemantics::kExact;
+    opts.k = 100000;
+    auto r = RunTopK(*plan, opts);
+    ASSERT_TRUE(r.ok());
+    std::vector<xml::NodeId> roots;
+    for (const auto& a : r->answers) roots.push_back(a.root);
+    std::sort(roots.begin(), roots.end());
+    std::vector<xml::NodeId> naive = query::EvaluatePattern(idx, *q);
+    std::sort(naive.begin(), naive.end());
+    ASSERT_EQ(roots, naive) << EngineKindName(GetParam()) << " " << xpath;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, ExactSemanticsTest,
+                         ::testing::Values(EngineKind::kWhirlpoolS,
+                                           EngineKind::kWhirlpoolM,
+                                           EngineKind::kLockStep,
+                                           EngineKind::kLockStepNoPrun),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           std::string n = EngineKindName(info.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace whirlpool::exec

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "query/matcher.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "xml/parser.h"
+#include "xmlgen/bookstore.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::exec {
+namespace {
+
+using query::ParseXPath;
+using score::Normalization;
+using score::ScoringModel;
+
+struct EngineHarness {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<index::TagIndex> idx;
+  query::TreePattern pattern;
+  ScoringModel scoring;
+  std::unique_ptr<QueryPlan> plan;
+
+  static EngineHarness ForDoc(std::unique_ptr<xml::Document> doc, std::string_view xpath,
+                              Normalization norm = Normalization::kSparse) {
+    EngineHarness h;
+    h.doc = std::move(doc);
+    h.idx = std::make_unique<index::TagIndex>(*h.doc);
+    auto q = ParseXPath(xpath);
+    EXPECT_TRUE(q.ok()) << q.status();
+    h.pattern = std::move(q).value();
+    h.scoring = ScoringModel::ComputeTfIdf(*h.idx, h.pattern, norm);
+    auto plan = QueryPlan::Build(*h.idx, h.pattern, h.scoring);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    h.plan = std::make_unique<QueryPlan>(std::move(plan).value());
+    return h;
+  }
+};
+
+TEST(EngineTest, Fig1TopKRanksExactMatchFirst) {
+  EngineHarness h = EngineHarness::ForDoc(
+      xmlgen::Figure1Bookstore(),
+      "/book[./title='wodehouse' and ./info/publisher/name='psmith']");
+  ExecOptions opts;
+  opts.k = 3;
+  auto r = RunTopK(*h.plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->answers.size(), 3u);
+  // Book (a) is the exact match and must rank first with the highest score.
+  const auto& books = h.idx->Nodes("book");
+  EXPECT_EQ(r->answers[0].root, books[0]);
+  EXPECT_GT(r->answers[0].score, r->answers[1].score);
+  EXPECT_GE(r->answers[1].score, r->answers[2].score);
+  // All bindings of the top answer are exact.
+  for (size_t qi = 1; qi < h.pattern.size(); ++qi) {
+    EXPECT_EQ(r->answers[0].levels[qi], MatchLevel::kExact) << "node " << qi;
+  }
+}
+
+TEST(EngineTest, KLimitsAnswerCount) {
+  EngineHarness h =
+      EngineHarness::ForDoc(xmlgen::Figure1Bookstore(), "/book[.//title]");
+  for (uint32_t k : {1u, 2u, 3u, 10u}) {
+    ExecOptions opts;
+    opts.k = k;
+    auto r = RunTopK(*h.plan, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->answers.size(), std::min<size_t>(k, 3));
+  }
+}
+
+TEST(EngineTest, RejectsZeroK) {
+  EngineHarness h = EngineHarness::ForDoc(xmlgen::Figure1Bookstore(), "/book[./title]");
+  for (EngineKind kind : {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                          EngineKind::kLockStep}) {
+    ExecOptions opts;
+    opts.engine = kind;
+    opts.k = 0;
+    EXPECT_FALSE(RunTopK(*h.plan, opts).ok());
+  }
+}
+
+TEST(EngineTest, ExactSemanticsMatchesNaiveEvaluation) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 21;
+  gen.target_bytes = 32 << 10;
+  EngineHarness h = EngineHarness::ForDoc(xmlgen::GenerateXMark(gen),
+                                          "//item[./description/parlist]");
+  ExecOptions opts;
+  opts.semantics = MatchSemantics::kExact;
+  opts.k = 1000;  // collect all
+  auto r = RunTopK(*h.plan, opts);
+  ASSERT_TRUE(r.ok());
+  std::vector<xml::NodeId> engine_roots;
+  for (const auto& a : r->answers) engine_roots.push_back(a.root);
+  std::sort(engine_roots.begin(), engine_roots.end());
+  std::vector<xml::NodeId> naive = query::EvaluatePattern(*h.idx, h.pattern);
+  std::sort(naive.begin(), naive.end());
+  EXPECT_EQ(engine_roots, naive);
+}
+
+TEST(EngineTest, ExactSemanticsAllScoresAreFullExact) {
+  EngineHarness h = EngineHarness::ForDoc(
+      xmlgen::Figure1Bookstore(),
+      "/book[./title='wodehouse' and ./info/publisher/name='psmith']");
+  ExecOptions opts;
+  opts.semantics = MatchSemantics::kExact;
+  opts.k = 10;
+  auto r = RunTopK(*h.plan, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->answers.size(), 1u);  // only book (a) embeds exactly
+  double full = 0;
+  for (size_t qi = 1; qi < h.pattern.size(); ++qi) {
+    full += h.scoring.predicate(static_cast<int>(qi)).at_level[0];
+  }
+  EXPECT_NEAR(r->answers[0].score, full, 1e-12);
+}
+
+TEST(EngineTest, RelaxedScoresReflectLevels) {
+  EngineHarness h = EngineHarness::ForDoc(
+      xmlgen::Figure1Bookstore(),
+      "/book[./title='wodehouse' and ./info/publisher/name='psmith']",
+      Normalization::kNone);
+  ExecOptions opts;
+  opts.k = 3;
+  auto r = RunTopK(*h.plan, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->answers.size(), 3u);
+  const auto& books = h.idx->Nodes("book");
+  // (a) exact everywhere > (b) promoted publisher chain > (c) title only.
+  EXPECT_EQ(r->answers[0].root, books[0]);
+  EXPECT_EQ(r->answers[1].root, books[1]);
+  EXPECT_EQ(r->answers[2].root, books[2]);
+  // Book (b): publisher/name under book but not under info => promoted.
+  EXPECT_EQ(r->answers[1].levels[3], MatchLevel::kPromoted);
+  // Book (c): no publisher at all => deleted; title under info => edge-gen
+  // does not apply for pc(book,title)... it is nested, so edge-gen level.
+  EXPECT_EQ(r->answers[2].levels[3], MatchLevel::kDeleted);
+  EXPECT_EQ(r->answers[2].levels[1], MatchLevel::kEdgeGeneralized);
+}
+
+TEST(EngineTest, NoPrunEnumeratesEverything) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 33;
+  gen.target_bytes = 16 << 10;
+  EngineHarness h = EngineHarness::ForDoc(xmlgen::GenerateXMark(gen),
+                                          "//item[./description/parlist and ./name]");
+  ExecOptions prun, noprun;
+  prun.engine = EngineKind::kLockStep;
+  prun.k = 3;
+  noprun.engine = EngineKind::kLockStepNoPrun;
+  noprun.k = 3;
+  auto rp = RunTopK(*h.plan, prun);
+  auto rn = RunTopK(*h.plan, noprun);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rn.ok());
+  EXPECT_EQ(rn->metrics.matches_pruned, 0u);
+  EXPECT_GE(rn->metrics.matches_created, rp->metrics.matches_created);
+  // Same top-k scores regardless of pruning.
+  ASSERT_EQ(rp->answers.size(), rn->answers.size());
+  for (size_t i = 0; i < rp->answers.size(); ++i) {
+    EXPECT_NEAR(rp->answers[i].score, rn->answers[i].score, 1e-9);
+  }
+}
+
+TEST(EngineTest, FrozenThresholdPrunesEverythingWhenUnbeatable) {
+  EngineHarness h = EngineHarness::ForDoc(xmlgen::Figure1Bookstore(),
+                                          "/book[./title and ./isbn]");
+  ExecOptions opts;
+  opts.k = 1;
+  opts.frozen_threshold = 1e9;
+  auto r = RunTopK(*h.plan, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->metrics.server_operations, 0u);  // all roots pruned immediately
+}
+
+TEST(EngineTest, OpCostSlowsExecution) {
+  EngineHarness h = EngineHarness::ForDoc(xmlgen::Figure1Bookstore(),
+                                          "/book[./title and ./isbn]");
+  ExecOptions fast, slow;
+  fast.k = slow.k = 2;
+  slow.op_cost_seconds = 0.005;
+  auto rf = RunTopK(*h.plan, fast);
+  auto rs = RunTopK(*h.plan, slow);
+  ASSERT_TRUE(rf.ok());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rf->metrics.server_operations, rs->metrics.server_operations);
+  EXPECT_GT(rs->metrics.wall_seconds,
+            0.8 * 0.005 * static_cast<double>(rs->metrics.server_operations));
+}
+
+TEST(EngineTest, StaticOrderChangesWorkNotAnswers) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 12;
+  gen.target_bytes = 24 << 10;
+  EngineHarness h = EngineHarness::ForDoc(
+      xmlgen::GenerateXMark(gen), "//item[./description/parlist and ./name]");
+  std::vector<double> baseline_scores;
+  std::vector<std::vector<int>> orders = {{0, 1, 2}, {2, 1, 0}, {1, 0, 2}};
+  for (const auto& order : orders) {
+    ExecOptions opts;
+    opts.routing = RoutingStrategy::kStatic;
+    opts.static_order = order;
+    opts.k = 5;
+    auto r = RunTopK(*h.plan, opts);
+    ASSERT_TRUE(r.ok());
+    std::vector<double> scores;
+    for (const auto& a : r->answers) scores.push_back(a.score);
+    if (baseline_scores.empty()) {
+      baseline_scores = scores;
+    } else {
+      ASSERT_EQ(scores.size(), baseline_scores.size());
+      for (size_t i = 0; i < scores.size(); ++i) {
+        EXPECT_NEAR(scores[i], baseline_scores[i], 1e-9) << "order index";
+      }
+    }
+  }
+}
+
+TEST(EngineTest, MetricsAreInternallyConsistent) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 9;
+  gen.target_bytes = 16 << 10;
+  EngineHarness h = EngineHarness::ForDoc(xmlgen::GenerateXMark(gen),
+                                          "//item[./description/parlist and ./name]");
+  for (EngineKind kind : {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                          EngineKind::kLockStep, EngineKind::kLockStepNoPrun}) {
+    ExecOptions opts;
+    opts.engine = kind;
+    opts.k = 5;
+    auto r = RunTopK(*h.plan, opts);
+    ASSERT_TRUE(r.ok());
+    const auto& m = r->metrics;
+    EXPECT_GT(m.server_operations, 0u) << EngineKindName(kind);
+    EXPECT_GT(m.matches_created, 0u);
+    EXPECT_GT(m.matches_completed, 0u);
+    EXPECT_LE(m.matches_pruned + m.matches_completed, m.matches_created);
+    EXPECT_GE(m.wall_seconds, 0.0);
+  }
+}
+
+TEST(EngineTest, AnalyticNoPrunCountMatchesRealRun) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 77;
+  gen.target_bytes = 16 << 10;
+  EngineHarness h = EngineHarness::ForDoc(
+      xmlgen::GenerateXMark(gen),
+      "//item[./description/parlist and ./mailbox/mail/text]");
+  const std::vector<std::vector<int>> orders = {
+      {0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}};
+  for (const auto& order : orders) {
+    ExecOptions opts;
+    opts.engine = EngineKind::kLockStepNoPrun;
+    opts.static_order = order;
+    opts.k = 5;
+    auto r = RunTopK(*h.plan, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->metrics.matches_created, NoPruningTupleCount(*h.plan, order));
+  }
+}
+
+TEST(EngineTest, BulkRoutingPreservesAnswers) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 404;
+  gen.target_bytes = 24 << 10;
+  EngineHarness h = EngineHarness::ForDoc(
+      xmlgen::GenerateXMark(gen),
+      "//item[./description/parlist and ./mailbox/mail/text]");
+  std::vector<double> baseline;
+  uint64_t prev_decisions = 0;
+  for (int batch : {1, 4, 64}) {
+    ExecOptions opts;
+    opts.k = 10;
+    opts.bulk_batch = batch;
+    auto r = RunTopK(*h.plan, opts);
+    ASSERT_TRUE(r.ok());
+    std::vector<double> scores;
+    for (const auto& a : r->answers) scores.push_back(a.score);
+    if (baseline.empty()) {
+      baseline = scores;
+      prev_decisions = r->metrics.routing_decisions;
+    } else {
+      ASSERT_EQ(scores.size(), baseline.size());
+      for (size_t i = 0; i < scores.size(); ++i) {
+        EXPECT_NEAR(scores[i], baseline[i], 1e-9) << "batch " << batch;
+      }
+      // Batching can only reduce the number of routing decisions.
+      EXPECT_LE(r->metrics.routing_decisions, prev_decisions) << "batch " << batch;
+      prev_decisions = r->metrics.routing_decisions;
+    }
+  }
+}
+
+TEST(EngineTest, PerServerOperationsSumToTotal) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 404;
+  gen.target_bytes = 16 << 10;
+  EngineHarness h = EngineHarness::ForDoc(
+      xmlgen::GenerateXMark(gen),
+      "//item[./description/parlist and ./mailbox/mail/text]");
+  for (EngineKind kind : {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                          EngineKind::kLockStep, EngineKind::kLockStepNoPrun}) {
+    ExecOptions opts;
+    opts.engine = kind;
+    opts.k = 5;
+    auto r = RunTopK(*h.plan, opts);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->metrics.per_server_operations.size(),
+              static_cast<size_t>(h.plan->num_servers()))
+        << EngineKindName(kind);
+    uint64_t sum = 0;
+    for (uint64_t ops : r->metrics.per_server_operations) sum += ops;
+    EXPECT_EQ(sum, r->metrics.server_operations) << EngineKindName(kind);
+  }
+}
+
+TEST(EngineTest, RoutingDecisionsCounted) {
+  EngineHarness h = EngineHarness::ForDoc(xmlgen::Figure1Bookstore(),
+                                          "/book[./title and ./isbn]");
+  ExecOptions opts;
+  opts.k = 3;
+  auto r = RunTopK(*h.plan, opts);
+  ASSERT_TRUE(r.ok());
+  // Every server operation in Whirlpool-S at bulk_batch=1 follows exactly
+  // one routing decision.
+  EXPECT_EQ(r->metrics.routing_decisions, r->metrics.server_operations);
+}
+
+TEST(EngineTest, SingleNodeQueryReturnsRoots) {
+  EngineHarness h = EngineHarness::ForDoc(xmlgen::Figure1Bookstore(), "/book");
+  for (EngineKind kind : {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                          EngineKind::kLockStep}) {
+    ExecOptions opts;
+    opts.engine = kind;
+    opts.k = 2;
+    auto r = RunTopK(*h.plan, opts);
+    ASSERT_TRUE(r.ok()) << EngineKindName(kind);
+    EXPECT_EQ(r->answers.size(), 2u);
+  }
+}
+
+TEST(EngineTest, EmptyRootCandidatesYieldNoAnswers) {
+  EngineHarness h = EngineHarness::ForDoc(xmlgen::Figure1Bookstore(),
+                                          "//nonexistent[./title]");
+  for (EngineKind kind : {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                          EngineKind::kLockStep, EngineKind::kLockStepNoPrun}) {
+    ExecOptions opts;
+    opts.engine = kind;
+    auto r = RunTopK(*h.plan, opts);
+    ASSERT_TRUE(r.ok()) << EngineKindName(kind);
+    EXPECT_TRUE(r->answers.empty());
+  }
+}
+
+}  // namespace
+}  // namespace whirlpool::exec

@@ -1,0 +1,217 @@
+// Randomized robustness and agreement sweeps ("fuzz-lite"):
+//  - the XML parser must never crash on mutated/garbage input,
+//  - randomly generated tree patterns over randomly generated documents
+//    must produce engine results that agree with the brute-force oracle,
+//    across engines and both aggregations.
+// Everything is seeded and deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/engine.h"
+#include "query/matcher.h"
+#include "score/scoring.h"
+#include "util/rng.h"
+#include "xml/parser.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool {
+namespace {
+
+using exec::EngineKind;
+using exec::ExecOptions;
+using exec::RunTopK;
+using query::Axis;
+using query::TreePattern;
+using score::Normalization;
+using score::ScoringModel;
+
+// ---------------------------------------------------------------------------
+// Parser robustness
+// ---------------------------------------------------------------------------
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, MutatedDocumentsNeverCrash) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = GetParam();
+  gen.target_bytes = 4 << 10;
+  std::string text = xml::SerializeDocument(*xmlgen::GenerateXMark(gen));
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = text;
+    const int edits = 1 + static_cast<int>(rng.Uniform(8));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:  // flip
+          mutated[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:  // delete
+          mutated.erase(pos, 1 + rng.Uniform(16));
+          break;
+        default:  // insert structural characters
+          mutated.insert(pos, std::string(1 + rng.Uniform(4),
+                                          "<>&\"'/!["[rng.Uniform(8)]));
+          break;
+      }
+      if (mutated.empty()) mutated = "<a/>";
+    }
+    auto r = xml::ParseDocument(mutated);
+    if (r.ok()) {
+      // Whatever parsed must be a well-formed, finalized document.
+      ASSERT_TRUE((*r)->finalized());
+      ASSERT_GT((*r)->num_nodes(), 0u);
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string garbage;
+    const size_t len = rng.Uniform(512);
+    garbage.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto r = xml::ParseDocument(garbage);
+    (void)r;  // ok or error — just must not crash/hang
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// XPath parser robustness
+// ---------------------------------------------------------------------------
+
+TEST(XPathFuzzTest, RandomQueriesNeverCrash) {
+  Rng rng(99);
+  const std::string alphabet = "/[]()='ab .*@&-";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string q;
+    const size_t len = rng.Uniform(40);
+    for (size_t i = 0; i < len; ++i) q.push_back(alphabet[rng.Uniform(alphabet.size())]);
+    auto r = query::ParseXPath(q);
+    (void)r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Random pattern / random document agreement
+// ---------------------------------------------------------------------------
+
+/// Random tree pattern over the XMark vocabulary. Up to 7 nodes; random
+/// axes; occasional value predicates on keyword.
+TreePattern RandomPattern(Rng* rng) {
+  static const char* const kTags[] = {"description", "parlist", "text",  "mailbox",
+                                      "mail",        "keyword", "bold",  "name",
+                                      "incategory",  "listitem", "emph", "*"};
+  TreePattern p = TreePattern::Root("item");
+  const int extra = 1 + static_cast<int>(rng->Uniform(6));
+  for (int i = 0; i < extra; ++i) {
+    const int parent = static_cast<int>(rng->Uniform(p.size()));
+    const Axis axis = rng->Chance(0.6) ? Axis::kChild : Axis::kDescendant;
+    const char* tag = kTags[rng->Uniform(12)];
+    std::optional<std::string> value;
+    if (std::string(tag) == "keyword" && rng->Chance(0.3)) value = "bargain";
+    p.AddNode(parent, axis, tag, value);
+  }
+  return p;
+}
+
+double OracleScore(const index::TagIndex& idx, const TreePattern& pattern,
+                   const ScoringModel& scoring, xml::NodeId root) {
+  double total = 0.0;
+  for (int qi = 1; qi < static_cast<int>(pattern.size()); ++qi) {
+    const auto& pn = pattern.node(qi);
+    auto chain = pattern.Chain(0, qi);
+    auto cands = idx.Candidates(root, pn.tag, pn.value);
+    double best = 0.0;
+    for (xml::NodeId c : cands) {
+      best = std::max(best, scoring.predicate(qi).Contribution(
+                                score::ClassifyBinding(idx, root, c, chain)));
+    }
+    total += best;
+  }
+  return total;
+}
+
+class EngineFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineFuzzTest, RandomPatternsAgreeWithOracle) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = GetParam();
+  gen.target_bytes = 12 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  index::TagIndex idx(*doc);
+  Rng rng(GetParam() * 7919);
+
+  for (int trial = 0; trial < 12; ++trial) {
+    TreePattern pattern = RandomPattern(&rng);
+    const Normalization norm = rng.Chance(0.5) ? Normalization::kSparse
+                                               : Normalization::kDense;
+    ScoringModel scoring = ScoringModel::ComputeTfIdf(idx, pattern, norm);
+    auto plan = exec::QueryPlan::Build(idx, pattern, scoring);
+    ASSERT_TRUE(plan.ok()) << pattern.ToString();
+
+    const uint32_t k = 1 + static_cast<uint32_t>(rng.Uniform(20));
+    std::vector<double> expected;
+    for (xml::NodeId r : query::RootCandidates(idx, pattern)) {
+      expected.push_back(OracleScore(idx, pattern, scoring, r));
+    }
+    std::sort(expected.begin(), expected.end(), std::greater<>());
+    if (expected.size() > k) expected.resize(k);
+
+    for (EngineKind kind : {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                            EngineKind::kLockStep}) {
+      ExecOptions opts;
+      opts.engine = kind;
+      opts.k = k;
+      opts.cache_server_joins = rng.Chance(0.5);
+      opts.bulk_batch = rng.Chance(0.3) ? 8 : 1;
+      auto r = RunTopK(*plan, opts);
+      ASSERT_TRUE(r.ok()) << pattern.ToString();
+      ASSERT_EQ(r->answers.size(), expected.size())
+          << EngineKindName(kind) << " " << pattern.ToString();
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_NEAR(r->answers[i].score, expected[i], 1e-9)
+            << EngineKindName(kind) << " rank " << i << " " << pattern.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest, ::testing::Values(11, 22, 33, 44));
+
+TEST(EngineFuzzTest2, ExactSemanticsAgreesWithMatcherOnRandomPatterns) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 555;
+  gen.target_bytes = 12 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  index::TagIndex idx(*doc);
+  Rng rng(606060);
+  for (int trial = 0; trial < 15; ++trial) {
+    TreePattern pattern = RandomPattern(&rng);
+    ScoringModel scoring =
+        ScoringModel::ComputeTfIdf(idx, pattern, Normalization::kSparse);
+    auto plan = exec::QueryPlan::Build(idx, pattern, scoring);
+    ASSERT_TRUE(plan.ok());
+    ExecOptions opts;
+    opts.semantics = exec::MatchSemantics::kExact;
+    opts.k = 1000000;
+    opts.engine = rng.Chance(0.5) ? EngineKind::kWhirlpoolS : EngineKind::kLockStep;
+    auto r = RunTopK(*plan, opts);
+    ASSERT_TRUE(r.ok());
+    std::vector<xml::NodeId> roots;
+    for (const auto& a : r->answers) roots.push_back(a.root);
+    std::sort(roots.begin(), roots.end());
+    std::vector<xml::NodeId> naive = query::EvaluatePattern(idx, pattern);
+    std::sort(naive.begin(), naive.end());
+    ASSERT_EQ(roots, naive) << pattern.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace whirlpool

@@ -1,0 +1,200 @@
+// End-to-end flows through the public API (whirlpool/whirlpool.h): parse XML
+// text -> index -> parse XPath -> score -> run engines -> inspect answers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "whirlpool/whirlpool.h"
+#include "xmlgen/bookstore.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool {
+namespace {
+
+using exec::EngineKind;
+using exec::ExecOptions;
+using exec::RunTopK;
+using score::Normalization;
+using score::ScoringModel;
+
+TEST(IntegrationTest, QuickstartFlow) {
+  const char* xml_text = R"(
+    <catalog>
+      <book><title>wodehouse</title>
+        <info><publisher><name>psmith</name></publisher><price>48.95</price></info>
+      </book>
+      <book><title>wodehouse</title><publisher><name>psmith</name></publisher></book>
+      <book><info><title>wodehouse</title></info></book>
+      <book><title>other</title></book>
+    </catalog>)";
+  auto doc = xml::ParseDocument(xml_text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  index::TagIndex idx(**doc);
+  auto pattern =
+      query::ParseXPath("/book[./title='wodehouse' and ./info/publisher/name='psmith']");
+  ASSERT_TRUE(pattern.ok()) << pattern.status();
+  auto scoring = ScoringModel::ComputeTfIdf(idx, *pattern, Normalization::kSparse);
+  auto plan = exec::QueryPlan::Build(idx, *pattern, scoring);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ExecOptions options;
+  options.k = 3;
+  auto result = RunTopK(*plan, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->answers.size(), 3u);
+  // Book 1 (fully exact) wins; the 'other'-titled book is ranked below
+  // books with matching titles (or outside the top 3 entirely).
+  EXPECT_EQ(result->answers[0].root, idx.Nodes("book")[0]);
+  EXPECT_GT(result->answers[0].score, result->answers[2].score);
+}
+
+TEST(IntegrationTest, TopKOrderConsistentWithTfIdfOnExactMatches) {
+  // On exact semantics, engine ranking collapses to equal scores; the
+  // Def 4.4 scorer breaks ties by tf. Check that every engine answer is a
+  // tf*idf-positive root.
+  xmlgen::XMarkOptions gen;
+  gen.seed = 5150;
+  gen.target_bytes = 24 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  index::TagIndex idx(*doc);
+  auto pattern = query::ParseXPath("//item[./description/parlist]");
+  ASSERT_TRUE(pattern.ok());
+  auto scoring = ScoringModel::ComputeTfIdf(idx, *pattern, Normalization::kSparse);
+  auto plan = exec::QueryPlan::Build(idx, *pattern, scoring);
+  ASSERT_TRUE(plan.ok());
+  ExecOptions options;
+  options.semantics = exec::MatchSemantics::kExact;
+  options.k = 5;
+  auto result = RunTopK(*plan, options);
+  ASSERT_TRUE(result.ok());
+  score::TfIdfScorer scorer(idx, *pattern);
+  for (const auto& a : result->answers) {
+    EXPECT_GT(scorer.Score(a.root), 0.0);
+  }
+}
+
+TEST(IntegrationTest, AnswerBindingsAreRealNodes) {
+  auto doc = xmlgen::Figure1Bookstore();
+  index::TagIndex idx(*doc);
+  auto pattern = query::ParseXPath("/book[.//title='wodehouse' and .//isbn]");
+  ASSERT_TRUE(pattern.ok());
+  auto scoring = ScoringModel::ComputeTfIdf(idx, *pattern, Normalization::kSparse);
+  auto plan = exec::QueryPlan::Build(idx, *pattern, scoring);
+  ASSERT_TRUE(plan.ok());
+  ExecOptions options;
+  options.k = 3;
+  auto result = RunTopK(*plan, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& a : result->answers) {
+    EXPECT_EQ(doc->tag_name(a.root), "book");
+    for (size_t qi = 1; qi < pattern->size(); ++qi) {
+      if (a.bindings[qi] == xml::kInvalidNode) {
+        EXPECT_EQ(a.levels[qi], score::MatchLevel::kDeleted);
+        continue;
+      }
+      EXPECT_EQ(doc->tag_name(a.bindings[qi]), pattern->node(static_cast<int>(qi)).tag);
+      EXPECT_TRUE(doc->IsDescendant(a.root, a.bindings[qi]))
+          << "binding outside the answer subtree";
+    }
+  }
+}
+
+TEST(IntegrationTest, DeweyLabelsRenderForAnswers) {
+  auto doc = xmlgen::Figure1Bookstore();
+  xml::DeweyIndex dewey(*doc);
+  index::TagIndex idx(*doc);
+  auto pattern = query::ParseXPath("/book[.//title]");
+  ASSERT_TRUE(pattern.ok());
+  auto scoring = ScoringModel::ComputeTfIdf(idx, *pattern, Normalization::kSparse);
+  auto plan = exec::QueryPlan::Build(idx, *pattern, scoring);
+  ASSERT_TRUE(plan.ok());
+  ExecOptions options;
+  auto result = RunTopK(*plan, options);
+  ASSERT_TRUE(result.ok());
+  std::set<std::string> labels;
+  for (const auto& a : result->answers) {
+    labels.insert(dewey.label(a.root).ToString());
+  }
+  EXPECT_EQ(labels, (std::set<std::string>{"1", "2", "3"}));
+}
+
+TEST(IntegrationTest, SerializedAnswerSubtreeReparses) {
+  auto doc = xmlgen::Figure1Bookstore();
+  index::TagIndex idx(*doc);
+  auto pattern = query::ParseXPath("/book[./info/publisher/name='psmith']");
+  ASSERT_TRUE(pattern.ok());
+  auto scoring = ScoringModel::ComputeTfIdf(idx, *pattern, Normalization::kSparse);
+  auto plan = exec::QueryPlan::Build(idx, *pattern, scoring);
+  ASSERT_TRUE(plan.ok());
+  auto result = RunTopK(*plan, ExecOptions{});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->answers.empty());
+  std::string fragment = xml::SerializeSubtree(*doc, result->answers[0].root);
+  auto reparsed = xml::ParseDocument(fragment);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ((*reparsed)->tag_name((*reparsed)->Children((*reparsed)->root())[0]),
+            "book");
+}
+
+TEST(IntegrationTest, LargerEndToEndRunAcrossEnginesAndKs) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 6060;
+  gen.target_bytes = 48 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  index::TagIndex idx(*doc);
+  auto pattern = query::ParseXPath(
+      "//item[./mailbox/mail/text[./bold and ./keyword] and ./name and ./incategory]");
+  ASSERT_TRUE(pattern.ok());
+  auto scoring = ScoringModel::ComputeTfIdf(idx, *pattern, Normalization::kSparse);
+  auto plan = exec::QueryPlan::Build(idx, *pattern, scoring);
+  ASSERT_TRUE(plan.ok());
+  std::vector<double> ref;
+  for (uint32_t k : {3u, 15u, 75u}) {
+    ExecOptions base;
+    base.k = k;
+    auto rs = RunTopK(*plan, base);
+    ASSERT_TRUE(rs.ok());
+    // k answers unless fewer roots exist.
+    EXPECT_EQ(rs->answers.size(),
+              std::min<size_t>(k, idx.Nodes("item").size()));
+    // Scores weakly decreasing.
+    for (size_t i = 1; i < rs->answers.size(); ++i) {
+      EXPECT_GE(rs->answers[i - 1].score, rs->answers[i].score);
+    }
+    // Growing k only appends (same prefix of scores).
+    for (size_t i = 0; i < std::min(ref.size(), rs->answers.size()); ++i) {
+      EXPECT_NEAR(rs->answers[i].score, ref[i], 1e-9);
+    }
+    if (rs->answers.size() > ref.size()) {
+      ref.clear();
+      for (const auto& a : rs->answers) ref.push_back(a.score);
+    }
+  }
+}
+
+TEST(IntegrationTest, PruningReducesWorkOnLargerDocs) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 2468;
+  gen.target_bytes = 64 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  index::TagIndex idx(*doc);
+  auto pattern =
+      query::ParseXPath("//item[./description/parlist and ./mailbox/mail/text]");
+  ASSERT_TRUE(pattern.ok());
+  auto scoring = ScoringModel::ComputeTfIdf(idx, *pattern, Normalization::kSparse);
+  auto plan = exec::QueryPlan::Build(idx, *pattern, scoring);
+  ASSERT_TRUE(plan.ok());
+  ExecOptions pruned, noprun;
+  pruned.engine = EngineKind::kWhirlpoolS;
+  pruned.k = 3;
+  noprun.engine = EngineKind::kLockStepNoPrun;
+  noprun.k = 3;
+  auto rp = RunTopK(*plan, pruned);
+  auto rn = RunTopK(*plan, noprun);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rn.ok());
+  EXPECT_LT(rp->metrics.matches_created, rn->metrics.matches_created)
+      << "pruning should create fewer partial matches than full enumeration";
+}
+
+}  // namespace
+}  // namespace whirlpool

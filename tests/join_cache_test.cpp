@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "exec/engine.h"
+#include "exec/join_cache.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::exec {
+namespace {
+
+using query::ParseXPath;
+using score::Normalization;
+using score::ScoringModel;
+
+TEST(ServerJoinCacheTest, ComputesOnceServesMany) {
+  ServerJoinCache cache(2);
+  int computations = 0;
+  auto compute = [&] {
+    ++computations;
+    return ServerJoinCache::Entry{{42, MatchLevel::kExact}};
+  };
+  auto a = cache.GetOrCompute(0, 7, compute);
+  auto b = cache.GetOrCompute(0, 7, compute);
+  EXPECT_EQ(computations, 1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  ASSERT_EQ(a->size(), 1u);
+  EXPECT_EQ((*a)[0].node, 42u);
+}
+
+TEST(ServerJoinCacheTest, KeysAreServerAndRoot) {
+  ServerJoinCache cache(2);
+  int computations = 0;
+  auto compute = [&] {
+    ++computations;
+    return ServerJoinCache::Entry{};
+  };
+  cache.GetOrCompute(0, 1, compute);
+  cache.GetOrCompute(1, 1, compute);  // other server: recompute
+  cache.GetOrCompute(0, 2, compute);  // other root: recompute
+  EXPECT_EQ(computations, 3);
+}
+
+TEST(ServerJoinCacheTest, ConcurrentAccessIsSafe) {
+  ServerJoinCache cache(4);
+  std::vector<std::thread> threads;
+  std::atomic<int> total_entries{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &total_entries, t] {
+      for (int i = 0; i < 500; ++i) {
+        const int server = (t + i) % 4;
+        const xml::NodeId root = static_cast<xml::NodeId>(i % 61);
+        auto e = cache.GetOrCompute(server, root, [&] {
+          total_entries.fetch_add(1);
+          return ServerJoinCache::Entry{{root, MatchLevel::kPromoted}};
+        });
+        ASSERT_EQ(e->size(), 1u);
+        ASSERT_EQ((*e)[0].node, root);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Duplicated computations under racing are allowed but bounded by the
+  // thread count per key; with 4*61 keys the total stays far below the
+  // 4000 calls.
+  EXPECT_LT(total_entries.load(), 4 * 61 * 8);
+  EXPECT_GE(total_entries.load(), 4 * 61 - 61);  // only server/root pairs used
+}
+
+struct CacheFixture {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<index::TagIndex> idx;
+  query::TreePattern pattern;
+  std::unique_ptr<QueryPlan> plan;
+
+  static CacheFixture Make(const char* xpath) {
+    CacheFixture f;
+    xmlgen::XMarkOptions gen;
+    gen.seed = 1717;
+    gen.target_bytes = 24 << 10;
+    f.doc = xmlgen::GenerateXMark(gen);
+    f.idx = std::make_unique<index::TagIndex>(*f.doc);
+    auto q = ParseXPath(xpath);
+    EXPECT_TRUE(q.ok());
+    f.pattern = std::move(q).value();
+    auto scoring = ScoringModel::ComputeTfIdf(*f.idx, f.pattern, Normalization::kSparse);
+    auto plan = QueryPlan::Build(*f.idx, f.pattern, scoring);
+    EXPECT_TRUE(plan.ok());
+    f.plan = std::make_unique<QueryPlan>(std::move(plan).value());
+    return f;
+  }
+};
+
+class CachedEngineTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(CachedEngineTest, CacheDoesNotChangeAnswers) {
+  CacheFixture f =
+      CacheFixture::Make("//item[./description/parlist and ./mailbox/mail/text]");
+  ExecOptions plain, cached;
+  plain.engine = cached.engine = GetParam();
+  plain.k = cached.k = 10;
+  cached.cache_server_joins = true;
+  auto rp = RunTopK(*f.plan, plain);
+  auto rc = RunTopK(*f.plan, cached);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rc.ok());
+  ASSERT_EQ(rp->answers.size(), rc->answers.size());
+  for (size_t i = 0; i < rp->answers.size(); ++i) {
+    EXPECT_NEAR(rp->answers[i].score, rc->answers[i].score, 1e-9) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, CachedEngineTest,
+                         ::testing::Values(EngineKind::kWhirlpoolS,
+                                           EngineKind::kWhirlpoolM,
+                                           EngineKind::kLockStep,
+                                           EngineKind::kLockStepNoPrun),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           std::string n = EngineKindName(info.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+TEST(CachedEngineTest2, CacheReducesComparisonsOnNoPrun) {
+  // LockStep-NoPrun revisits every (server, root) pair maximally; caching
+  // must cut comparisons to at most one classification per candidate per
+  // (server, root).
+  CacheFixture f =
+      CacheFixture::Make("//item[./description/parlist and ./mailbox/mail/text]");
+  ExecOptions plain, cached;
+  plain.engine = cached.engine = EngineKind::kLockStepNoPrun;
+  plain.k = cached.k = 10;
+  cached.cache_server_joins = true;
+  auto rp = RunTopK(*f.plan, plain);
+  auto rc = RunTopK(*f.plan, cached);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rc.ok());
+  EXPECT_LT(rc->metrics.predicate_comparisons, rp->metrics.predicate_comparisons);
+  EXPECT_EQ(rc->metrics.matches_created, rp->metrics.matches_created);
+}
+
+TEST(CachedEngineTest2, ExactSemanticsIgnoresCacheSafely) {
+  CacheFixture f = CacheFixture::Make("//item[./description/parlist]");
+  ExecOptions options;
+  options.semantics = MatchSemantics::kExact;
+  options.cache_server_joins = true;  // must be ignored, not crash
+  options.k = 5;
+  auto r = RunTopK(*f.plan, options);
+  ASSERT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace whirlpool::exec

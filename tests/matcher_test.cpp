@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "index/tag_index.h"
+#include "query/matcher.h"
+#include "xmlgen/bookstore.h"
+
+namespace whirlpool::query {
+namespace {
+
+using index::TagIndex;
+using xml::NodeId;
+
+class Figure1MatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = xmlgen::Figure1Bookstore();
+    idx_ = std::make_unique<TagIndex>(*doc_);
+    books_ = idx_->Nodes("book");
+    ASSERT_EQ(books_.size(), 3u);
+  }
+
+  TreePattern Parse(std::string_view xpath) {
+    auto r = ParseXPath(xpath);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return std::move(r).value();
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<TagIndex> idx_;
+  std::vector<NodeId> books_;
+};
+
+TEST_F(Figure1MatcherTest, Fig2aMatchesOnlyBookA) {
+  // /book[./title='wodehouse' and ./info/publisher/name='psmith']
+  TreePattern q = Parse("/book[./title='wodehouse' and ./info/publisher/name='psmith']");
+  EXPECT_EQ(EvaluatePattern(*idx_, q), (std::vector<NodeId>{books_[0]}));
+}
+
+TEST_F(Figure1MatcherTest, Fig2bMatchesOnlyBookA) {
+  // Edge generalization on title: /book[.//title='wodehouse' and ./info/...]
+  TreePattern q =
+      Parse("/book[.//title='wodehouse' and ./info/publisher/name='psmith']");
+  EXPECT_EQ(EvaluatePattern(*idx_, q), (std::vector<NodeId>{books_[0]}));
+}
+
+TEST_F(Figure1MatcherTest, Fig2cMatchesBooksAandB) {
+  // Promotion of publisher to book + leaf deletion of info + edge-gen title:
+  // /book[.//title='wodehouse' and .//publisher/name='psmith']
+  TreePattern q = Parse("/book[.//title='wodehouse' and .//publisher/name='psmith']");
+  EXPECT_EQ(EvaluatePattern(*idx_, q), (std::vector<NodeId>{books_[0], books_[1]}));
+}
+
+TEST_F(Figure1MatcherTest, Fig2dMatchesAllThreeBooks) {
+  // Further deletion of publisher and name: /book[.//title='wodehouse']
+  TreePattern q = Parse("/book[.//title='wodehouse']");
+  EXPECT_EQ(EvaluatePattern(*idx_, q), books_);
+}
+
+TEST_F(Figure1MatcherTest, ValuePredicateFilters) {
+  TreePattern q = Parse("/book[.//title='not a real title']");
+  EXPECT_TRUE(EvaluatePattern(*idx_, q).empty());
+}
+
+TEST_F(Figure1MatcherTest, OptionalNodesDoNotBlock) {
+  TreePattern q = Parse("/book[./reviews]");
+  EXPECT_EQ(EvaluatePattern(*idx_, q).size(), 1u);  // only book (c)
+  auto relaxed = q.LeafDeletion(1);
+  ASSERT_TRUE(relaxed.ok());
+  EXPECT_EQ(EvaluatePattern(*idx_, *relaxed).size(), 3u);  // all books
+}
+
+TEST_F(Figure1MatcherTest, RootCandidatesIgnoreStructure) {
+  TreePattern q = Parse("/book[./totally/made/up]");
+  EXPECT_EQ(RootCandidates(*idx_, q).size(), 3u);
+  EXPECT_TRUE(EvaluatePattern(*idx_, q).empty());
+}
+
+TEST_F(Figure1MatcherTest, RootValuePredicate) {
+  TreePattern q = TreePattern::Root("title", "wodehouse");
+  EXPECT_EQ(RootCandidates(*idx_, q).size(), 3u);
+  TreePattern q2 = TreePattern::Root("title", "no such");
+  EXPECT_TRUE(RootCandidates(*idx_, q2).empty());
+}
+
+TEST_F(Figure1MatcherTest, SubtreeMatchesChecksDeepStructure) {
+  TreePattern q = Parse("/book[./info/publisher]");
+  EXPECT_TRUE(SubtreeMatches(*idx_, q, 0, books_[0]));
+  EXPECT_FALSE(SubtreeMatches(*idx_, q, 0, books_[1]));  // publisher not under info
+  EXPECT_FALSE(SubtreeMatches(*idx_, q, 0, books_[2]));  // no publisher
+}
+
+TEST_F(Figure1MatcherTest, DescendantAxisReachesDeepNodes) {
+  TreePattern q = Parse("/book[.//name]");
+  EXPECT_EQ(EvaluatePattern(*idx_, q).size(), 2u);  // books a and b
+}
+
+TEST_F(Figure1MatcherTest, UnknownTagYieldsNoMatches) {
+  TreePattern q = Parse("//nonexistent");
+  EXPECT_TRUE(EvaluatePattern(*idx_, q).empty());
+}
+
+}  // namespace
+}  // namespace whirlpool::query

@@ -1,0 +1,105 @@
+// Coverage for the small display helpers: enum names, PartialMatch and
+// MetricsSnapshot rendering, option predicates.
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+
+namespace whirlpool::exec {
+namespace {
+
+TEST(NamesTest, EngineKindNames) {
+  EXPECT_STREQ(EngineKindName(EngineKind::kWhirlpoolS), "Whirlpool-S");
+  EXPECT_STREQ(EngineKindName(EngineKind::kWhirlpoolM), "Whirlpool-M");
+  EXPECT_STREQ(EngineKindName(EngineKind::kLockStep), "LockStep");
+  EXPECT_STREQ(EngineKindName(EngineKind::kLockStepNoPrun), "LockStep-NoPrun");
+}
+
+TEST(NamesTest, RoutingStrategyNames) {
+  EXPECT_STREQ(RoutingStrategyName(RoutingStrategy::kStatic), "static");
+  EXPECT_STREQ(RoutingStrategyName(RoutingStrategy::kMaxScore), "max_score");
+  EXPECT_STREQ(RoutingStrategyName(RoutingStrategy::kMinScore), "min_score");
+  EXPECT_STREQ(RoutingStrategyName(RoutingStrategy::kMinAlive),
+               "min_alive_partial_matches");
+}
+
+TEST(NamesTest, QueuePolicyNames) {
+  EXPECT_STREQ(QueuePolicyName(QueuePolicy::kFifo), "fifo");
+  EXPECT_STREQ(QueuePolicyName(QueuePolicy::kCurrentScore), "current_score");
+  EXPECT_STREQ(QueuePolicyName(QueuePolicy::kMaxNextScore),
+               "max_possible_next_score");
+  EXPECT_STREQ(QueuePolicyName(QueuePolicy::kMaxFinalScore),
+               "max_possible_final_score");
+}
+
+TEST(NamesTest, SemanticsAndAggregationNames) {
+  EXPECT_STREQ(MatchSemanticsName(MatchSemantics::kRelaxed), "relaxed");
+  EXPECT_STREQ(MatchSemanticsName(MatchSemantics::kExact), "exact");
+  EXPECT_STREQ(ScoreAggregationName(ScoreAggregation::kMaxTuple), "max_tuple");
+  EXPECT_STREQ(ScoreAggregationName(ScoreAggregation::kSumWitnesses),
+               "sum_witnesses");
+}
+
+TEST(NamesTest, MatchLevelNames) {
+  EXPECT_STREQ(score::MatchLevelName(score::MatchLevel::kExact), "exact");
+  EXPECT_STREQ(score::MatchLevelName(score::MatchLevel::kEdgeGeneralized), "edge-gen");
+  EXPECT_STREQ(score::MatchLevelName(score::MatchLevel::kPromoted), "promoted");
+  EXPECT_STREQ(score::MatchLevelName(score::MatchLevel::kDeleted), "deleted");
+}
+
+TEST(ToStringTest, PartialMatchRendersBindings) {
+  PartialMatch m;
+  m.bindings = {7, 42, xml::kInvalidNode};
+  m.levels = {MatchLevel::kExact, MatchLevel::kEdgeGeneralized, MatchLevel::kDeleted};
+  m.current_score = 1.5;
+  m.max_final_score = 2.5;
+  m.visited_mask = 0x1;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("root=7"), std::string::npos);
+  EXPECT_NE(s.find("42:edge-gen"), std::string::npos);
+  EXPECT_NE(s.find("-"), std::string::npos);  // the unbound slot
+  EXPECT_NE(s.find("score=1.5"), std::string::npos);
+}
+
+TEST(ToStringTest, MetricsSnapshotRendersCounters) {
+  MetricsSnapshot s;
+  s.server_operations = 10;
+  s.predicate_comparisons = 20;
+  s.matches_created = 30;
+  s.matches_pruned = 5;
+  s.matches_completed = 3;
+  s.routing_decisions = 9;
+  s.wall_seconds = 0.25;
+  const std::string text = s.ToString();
+  EXPECT_NE(text.find("ops=10"), std::string::npos);
+  EXPECT_NE(text.find("cmps=20"), std::string::npos);
+  EXPECT_NE(text.find("created=30"), std::string::npos);
+  EXPECT_NE(text.find("pruned=5"), std::string::npos);
+  EXPECT_NE(text.find("routed=9"), std::string::npos);
+}
+
+TEST(OptionsTest, ThresholdPredicates) {
+  ExecOptions opts;
+  EXPECT_FALSE(opts.has_frozen_threshold());
+  EXPECT_FALSE(opts.has_min_score_threshold());
+  opts.frozen_threshold = 0.0;
+  EXPECT_TRUE(opts.has_frozen_threshold());
+  opts.min_score_threshold = 2.0;
+  EXPECT_TRUE(opts.has_min_score_threshold());
+}
+
+TEST(PartialMatchTest, CompletenessByMask) {
+  PartialMatch m;
+  m.bindings = {1};
+  m.levels = {MatchLevel::kExact};
+  m.visited_mask = 0;
+  EXPECT_TRUE(m.IsComplete(0));
+  EXPECT_FALSE(m.IsComplete(2));
+  m.visited_mask = 0x3;
+  EXPECT_TRUE(m.IsComplete(2));
+  EXPECT_TRUE(m.Visited(0));
+  EXPECT_TRUE(m.Visited(1));
+  EXPECT_FALSE(m.Visited(2));
+}
+
+}  // namespace
+}  // namespace whirlpool::exec

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "exec/plan.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::exec {
+namespace {
+
+using query::ParseXPath;
+using score::Normalization;
+using score::ScoringModel;
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    xmlgen::XMarkOptions opts;
+    opts.seed = 50;
+    opts.target_bytes = 24 << 10;
+    doc_ = xmlgen::GenerateXMark(opts);
+    idx_ = std::make_unique<index::TagIndex>(*doc_);
+  }
+
+  QueryPlan MustBuild(const query::TreePattern& q) {
+    auto scoring = ScoringModel::ComputeTfIdf(*idx_, q, Normalization::kSparse);
+    auto plan = QueryPlan::Build(*idx_, q, scoring);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return std::move(plan).value();
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<index::TagIndex> idx_;
+};
+
+TEST_F(PlanTest, ServersMapToPatternNodes) {
+  auto q = ParseXPath("//item[./description/parlist and ./name]");
+  ASSERT_TRUE(q.ok());
+  query::TreePattern pattern = std::move(q).value();
+  QueryPlan plan = MustBuild(pattern);
+  ASSERT_EQ(plan.num_servers(), 3);
+  EXPECT_EQ(plan.server(0).pattern_node, 1);
+  EXPECT_EQ(plan.server(2).pattern_node, 3);
+  EXPECT_EQ(plan.ServerForPatternNode(2), 1);
+  EXPECT_EQ(doc_->tags().Name(plan.server(0).tag), "description");
+  EXPECT_EQ(doc_->tags().Name(plan.server(2).tag), "name");
+}
+
+TEST_F(PlanTest, ChainsFromRootAreComposed) {
+  auto q = ParseXPath("//item[./description/parlist]");
+  ASSERT_TRUE(q.ok());
+  query::TreePattern pattern = std::move(q).value();
+  QueryPlan plan = MustBuild(pattern);
+  const auto& chain = plan.server(1).chain_from_root;  // parlist server
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].tag, "description");
+  EXPECT_EQ(chain[1].tag, "parlist");
+}
+
+TEST_F(PlanTest, RemainingMaxSumsUnvisited) {
+  auto q = ParseXPath("//item[./description/parlist and ./name]");
+  ASSERT_TRUE(q.ok());
+  query::TreePattern pattern = std::move(q).value();
+  QueryPlan plan = MustBuild(pattern);
+  const double all = plan.RemainingMax(0);
+  double sum = 0;
+  for (int s = 0; s < plan.num_servers(); ++s) sum += plan.MaxContribution(s);
+  EXPECT_NEAR(all, sum, 1e-12);
+  EXPECT_NEAR(plan.RemainingMax(1u << 0), all - plan.MaxContribution(0), 1e-12);
+  EXPECT_NEAR(plan.RemainingMax(0x7), 0.0, 1e-12);
+}
+
+TEST_F(PlanTest, EstimatesArePopulated) {
+  auto q = ParseXPath("//item[./description/parlist and ./name]");
+  ASSERT_TRUE(q.ok());
+  query::TreePattern pattern = std::move(q).value();
+  QueryPlan plan = MustBuild(pattern);
+  for (int s = 0; s < plan.num_servers(); ++s) {
+    const ServerSpec& spec = plan.server(s);
+    EXPECT_GT(spec.avg_candidates_per_root, 0.0) << "server " << s;
+    double psum = spec.level_prob[0] + spec.level_prob[1] + spec.level_prob[2];
+    EXPECT_NEAR(psum, 1.0, 1e-9) << "server " << s;
+    EXPECT_GE(spec.expected_contribution, 0.0);
+    EXPECT_LE(spec.expected_contribution, plan.MaxContribution(s) + 1e-12);
+  }
+}
+
+TEST_F(PlanTest, ContributionUsesScoringLevels) {
+  auto q = ParseXPath("//item[./description/parlist]");
+  ASSERT_TRUE(q.ok());
+  query::TreePattern pattern = std::move(q).value();
+  auto scoring = ScoringModel::ComputeTfIdf(*idx_, pattern, Normalization::kSparse);
+  auto plan_r = QueryPlan::Build(*idx_, pattern, scoring);
+  ASSERT_TRUE(plan_r.ok());
+  const QueryPlan& plan = *plan_r;
+  EXPECT_EQ(plan.Contribution(1, 0, MatchLevel::kExact),
+            scoring.predicate(2).at_level[0]);
+  EXPECT_EQ(plan.Contribution(1, 0, MatchLevel::kDeleted), 0.0);
+}
+
+TEST_F(PlanTest, ScoreOverrideReplacesContributions) {
+  auto q = ParseXPath("//item[./name]");
+  ASSERT_TRUE(q.ok());
+  query::TreePattern pattern = std::move(q).value();
+  QueryPlan plan = MustBuild(pattern);
+  EXPECT_FALSE(plan.has_score_override());
+  plan.SetScoreOverride(
+      [](int, NodeId node, MatchLevel) { return node * 0.5; }, {7.5});
+  EXPECT_TRUE(plan.has_score_override());
+  EXPECT_EQ(plan.Contribution(0, 4, MatchLevel::kPromoted), 2.0);
+  EXPECT_EQ(plan.MaxContribution(0), 7.5);
+}
+
+TEST_F(PlanTest, RejectsOversizedPattern) {
+  query::TreePattern big = query::TreePattern::Root("a");
+  for (int i = 0; i < 32; ++i) big.AddNode(0, query::Axis::kChild, "b");
+  auto scoring = ScoringModel::ComputeTfIdf(*idx_, big, Normalization::kSparse);
+  auto plan = QueryPlan::Build(*idx_, big, scoring);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(PlanTest, RejectsMismatchedScoring) {
+  auto q = ParseXPath("//item[./name]");
+  ASSERT_TRUE(q.ok());
+  query::TreePattern other = query::TreePattern::Root("x");
+  auto scoring = ScoringModel::ComputeTfIdf(*idx_, other, Normalization::kSparse);
+  EXPECT_FALSE(QueryPlan::Build(*idx_, *q, scoring).ok());
+}
+
+TEST_F(PlanTest, UnknownTagServerHasNoCandidates) {
+  auto q = ParseXPath("//item[./unobtainium]");
+  ASSERT_TRUE(q.ok());
+  query::TreePattern pattern = std::move(q).value();
+  QueryPlan plan = MustBuild(pattern);
+  EXPECT_EQ(plan.server(0).tag, xml::kInvalidTag);
+  EXPECT_EQ(plan.server(0).avg_candidates_per_root, 0.0);
+}
+
+}  // namespace
+}  // namespace whirlpool::exec

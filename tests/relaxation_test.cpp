@@ -1,0 +1,159 @@
+// Property tests for the relaxation framework: every relaxation step only
+// ever GROWS the answer set (containment, paper Sec 2: "relaxations capture
+// approximate answers but still guarantee that exact matches to the original
+// query continue to be matches to the relaxed query").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/tag_index.h"
+#include "query/matcher.h"
+#include "query/tree_pattern.h"
+#include "util/rng.h"
+#include "xmlgen/bookstore.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::query {
+namespace {
+
+using index::TagIndex;
+using xml::NodeId;
+
+bool IsSubset(std::vector<NodeId> a, std::vector<NodeId> b) {
+  // EvaluatePattern returns document order, which need not be arena-id
+  // order; sort both before the subset check.
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// Applies every applicable single relaxation to `q` and returns the results.
+std::vector<TreePattern> AllSingleRelaxations(const TreePattern& q) {
+  std::vector<TreePattern> out;
+  for (int i = 1; i < static_cast<int>(q.size()); ++i) {
+    if (auto r = q.EdgeGeneralization(i); r.ok()) out.push_back(std::move(r).value());
+    if (auto r = q.LeafDeletion(i); r.ok()) out.push_back(std::move(r).value());
+    if (auto r = q.SubtreePromotion(i); r.ok()) out.push_back(std::move(r).value());
+  }
+  return out;
+}
+
+struct RelaxCase {
+  const char* name;
+  const char* xpath;
+};
+
+class RelaxationContainmentTest : public ::testing::TestWithParam<RelaxCase> {};
+
+TEST_P(RelaxationContainmentTest, SingleStepGrowsAnswerSetOnXMark) {
+  xmlgen::XMarkOptions opts;
+  opts.seed = 1234;
+  opts.target_bytes = 24 << 10;
+  auto doc = xmlgen::GenerateXMark(opts);
+  TagIndex idx(*doc);
+
+  auto q = ParseXPath(GetParam().xpath);
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::vector<NodeId> base = EvaluatePattern(idx, *q);
+
+  for (const TreePattern& relaxed : AllSingleRelaxations(*q)) {
+    std::vector<NodeId> grown = EvaluatePattern(idx, relaxed);
+    ASSERT_TRUE(IsSubset(base, grown))
+        << "relaxation lost answers: " << q->ToString() << " -> "
+        << relaxed.ToString();
+  }
+}
+
+TEST_P(RelaxationContainmentTest, RandomCompositionsGrowMonotonically) {
+  xmlgen::XMarkOptions opts;
+  opts.seed = 777;
+  opts.target_bytes = 24 << 10;
+  auto doc = xmlgen::GenerateXMark(opts);
+  TagIndex idx(*doc);
+
+  auto q = ParseXPath(GetParam().xpath);
+  ASSERT_TRUE(q.ok());
+
+  Rng rng(GetParam().xpath[3]);  // any stable per-case seed
+  for (int trial = 0; trial < 5; ++trial) {
+    TreePattern current = *q;
+    std::vector<NodeId> prev = EvaluatePattern(idx, current);
+    for (int step = 0; step < 6; ++step) {
+      std::vector<TreePattern> options = AllSingleRelaxations(current);
+      if (options.empty()) break;
+      current = options[rng.Uniform(options.size())];
+      std::vector<NodeId> next = EvaluatePattern(idx, current);
+      ASSERT_TRUE(IsSubset(prev, next))
+          << "composition step " << step << " lost answers for "
+          << current.ToString();
+      prev = std::move(next);
+    }
+  }
+}
+
+TEST_P(RelaxationContainmentTest, FullyRelaxedIsSuperset) {
+  xmlgen::XMarkOptions opts;
+  opts.seed = 31;
+  opts.target_bytes = 24 << 10;
+  auto doc = xmlgen::GenerateXMark(opts);
+  TagIndex idx(*doc);
+
+  auto q = ParseXPath(GetParam().xpath);
+  ASSERT_TRUE(q.ok());
+  std::vector<NodeId> base = EvaluatePattern(idx, *q);
+  std::vector<NodeId> full = EvaluatePattern(idx, q->FullyRelaxed());
+  EXPECT_TRUE(IsSubset(base, full));
+  // The fully relaxed query (all nodes optional) accepts every root
+  // candidate.
+  EXPECT_EQ(full.size(), RootCandidates(idx, *q).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperQueries, RelaxationContainmentTest,
+    ::testing::Values(
+        RelaxCase{"Q1", "//item[./description/parlist]"},
+        RelaxCase{"Q2", "//item[./description/parlist and ./mailbox/mail/text]"},
+        RelaxCase{"Q3",
+                  "//item[./mailbox/mail/text[./bold and ./keyword] and ./name and "
+                  "./incategory]"},
+        RelaxCase{"DeepChain", "//item[./description/parlist/listitem/text]"},
+        RelaxCase{"Keyword", "//item[./mailbox/mail/text/keyword = 'bargain']"}),
+    [](const ::testing::TestParamInfo<RelaxCase>& info) { return info.param.name; });
+
+TEST(RelaxationSemanticsTest, EdgeGeneralizationFindsNestedParlist) {
+  // Hand-built: description -> text -> parlist is NOT a pc match but IS an
+  // ad match after generalizing the (description, parlist) edge.
+  xml::Document doc;
+  NodeId item = doc.AddChild(doc.root(), "item");
+  NodeId descr = doc.AddChild(item, "description");
+  NodeId text = doc.AddChild(descr, "text");
+  doc.AddChild(text, "parlist");
+  doc.Finalize();
+  TagIndex idx(doc);
+
+  auto q = ParseXPath("//item[./description/parlist]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(EvaluatePattern(idx, *q).empty());
+  auto relaxed = q->EdgeGeneralization(2);  // (description, parlist) edge
+  ASSERT_TRUE(relaxed.ok());
+  EXPECT_EQ(EvaluatePattern(idx, *relaxed).size(), 1u);
+}
+
+TEST(RelaxationSemanticsTest, PromotionFindsSiblingSubtree) {
+  // publisher under book directly (Fig 1b): pc(info, publisher) fails but
+  // promoting publisher to book succeeds.
+  auto doc = xmlgen::Figure1Bookstore();
+  TagIndex idx(*doc);
+  auto q = ParseXPath("/book[./info/publisher/name='psmith']");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(EvaluatePattern(idx, *q).size(), 1u);  // book (a) only
+  // Promote publisher subtree to hang off book.
+  auto promoted = q->SubtreePromotion(2);
+  ASSERT_TRUE(promoted.ok());
+  auto with_info_deleted = promoted->LeafDeletion(1);
+  ASSERT_TRUE(with_info_deleted.ok());
+  EXPECT_EQ(EvaluatePattern(idx, *with_info_deleted).size(), 2u);  // books a, b
+}
+
+}  // namespace
+}  // namespace whirlpool::query

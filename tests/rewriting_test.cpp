@@ -1,0 +1,143 @@
+// The rewriting-based baseline must return exactly the same top-k as the
+// adaptive engines (its enumeration mirrors the engine's per-node level
+// semantics) while doing exponentially more query-level work.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/rewriting_baseline.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "xmlgen/bookstore.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::exec {
+namespace {
+
+using query::ParseXPath;
+using score::Normalization;
+using score::ScoringModel;
+
+struct Fixture {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<index::TagIndex> idx;
+  query::TreePattern pattern;
+  std::unique_ptr<QueryPlan> plan;
+
+  static Fixture Make(std::unique_ptr<xml::Document> d, const char* xpath,
+                      Normalization norm = Normalization::kSparse) {
+    Fixture f;
+    f.doc = std::move(d);
+    f.idx = std::make_unique<index::TagIndex>(*f.doc);
+    auto q = ParseXPath(xpath);
+    EXPECT_TRUE(q.ok()) << q.status();
+    f.pattern = std::move(q).value();
+    auto scoring = ScoringModel::ComputeTfIdf(*f.idx, f.pattern, norm);
+    auto plan = QueryPlan::Build(*f.idx, f.pattern, scoring);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    f.plan = std::make_unique<QueryPlan>(std::move(plan).value());
+    return f;
+  }
+};
+
+void ExpectAgreesWithWhirlpool(const Fixture& f, uint32_t k) {
+  ExecOptions opts;
+  opts.k = k;
+  auto engine = RunTopK(*f.plan, opts);
+  ASSERT_TRUE(engine.ok());
+  RewritingStats stats;
+  auto rewriting = RunRewritingBaseline(*f.plan, opts, &stats);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status();
+  ASSERT_EQ(rewriting->answers.size(), engine->answers.size());
+  for (size_t i = 0; i < engine->answers.size(); ++i) {
+    ASSERT_NEAR(rewriting->answers[i].score, engine->answers[i].score, 1e-9)
+        << "rank " << i;
+  }
+  EXPECT_GT(stats.queries_enumerated, 0u);
+  EXPECT_LE(stats.queries_evaluated, stats.queries_enumerated);
+}
+
+TEST(RewritingBaselineTest, AgreesOnFigure1Bookstore) {
+  Fixture f = Fixture::Make(
+      xmlgen::Figure1Bookstore(),
+      "/book[./title='wodehouse' and ./info/publisher/name='psmith']",
+      Normalization::kNone);
+  ExpectAgreesWithWhirlpool(f, 3);
+}
+
+TEST(RewritingBaselineTest, AgreesOnXMarkQ1AndQ2) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 1212;
+  gen.target_bytes = 16 << 10;
+  {
+    Fixture f = Fixture::Make(xmlgen::GenerateXMark(gen),
+                              "//item[./description/parlist]");
+    ExpectAgreesWithWhirlpool(f, 5);
+  }
+  {
+    Fixture f = Fixture::Make(xmlgen::GenerateXMark(gen),
+                              "//item[./description/parlist and ./mailbox/mail/text]");
+    ExpectAgreesWithWhirlpool(f, 15);
+  }
+}
+
+TEST(RewritingBaselineTest, EnumerationIsExponential) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 9;
+  gen.target_bytes = 8 << 10;
+  Fixture f = Fixture::Make(xmlgen::GenerateXMark(gen),
+                            "//item[./description/parlist and ./name]");
+  RewritingStats stats;
+  ExecOptions opts;
+  opts.k = 3;
+  auto r = RunRewritingBaseline(*f.plan, opts, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.queries_enumerated, 64u);  // 4^3
+}
+
+TEST(RewritingBaselineTest, EarlyExitEvaluatesFewerQueries) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 5;
+  gen.target_bytes = 24 << 10;
+  Fixture f = Fixture::Make(xmlgen::GenerateXMark(gen),
+                            "//item[./description/parlist and ./mailbox/mail/text]");
+  RewritingStats stats;
+  ExecOptions opts;
+  opts.k = 3;
+  auto r = RunRewritingBaseline(*f.plan, opts, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.queries_enumerated, 1024u);  // 4^5
+  EXPECT_LT(stats.queries_evaluated, stats.queries_enumerated);
+}
+
+TEST(RewritingBaselineTest, RejectsUnsupportedModes) {
+  Fixture f = Fixture::Make(xmlgen::Figure1Bookstore(), "/book[./title]");
+  ExecOptions opts;
+  opts.semantics = MatchSemantics::kExact;
+  EXPECT_FALSE(RunRewritingBaseline(*f.plan, opts).ok());
+  opts.semantics = MatchSemantics::kRelaxed;
+  opts.aggregation = ScoreAggregation::kSumWitnesses;
+  EXPECT_FALSE(RunRewritingBaseline(*f.plan, opts).ok());
+  opts.aggregation = ScoreAggregation::kMaxTuple;
+  opts.k = 0;
+  EXPECT_FALSE(RunRewritingBaseline(*f.plan, opts).ok());
+}
+
+TEST(RewritingBaselineTest, RejectsHugePatterns) {
+  xml::Document doc;
+  xml::NodeId a = doc.AddChild(doc.root(), "a");
+  for (int i = 0; i < 11; ++i) doc.AddChild(a, "b");
+  doc.Finalize();
+  index::TagIndex idx(doc);
+  query::TreePattern p = query::TreePattern::Root("a");
+  for (int i = 0; i < 11; ++i) p.AddNode(0, query::Axis::kChild, "b");
+  auto scoring = ScoringModel::ComputeTfIdf(idx, p, Normalization::kSparse);
+  auto plan = QueryPlan::Build(idx, p, scoring);
+  ASSERT_TRUE(plan.ok());
+  auto r = RunRewritingBaseline(*plan, ExecOptions{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace whirlpool::exec

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "exec/routing.h"
+#include "exec/server.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "xml/parser.h"
+
+namespace whirlpool::exec {
+namespace {
+
+using query::ParseXPath;
+using score::Normalization;
+using score::PredicateScores;
+using score::ScoringModel;
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+struct RoutingHarness {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<index::TagIndex> idx;
+  query::TreePattern pattern;
+  std::unique_ptr<QueryPlan> plan;
+
+  static RoutingHarness Make() {
+    RoutingHarness h;
+    // Three predicate servers with different frequencies: title on every
+    // book, isbn on half, price rare.
+    std::string xml = "<lib>";
+    for (int i = 0; i < 16; ++i) {
+      xml += "<book><title>t</title>";
+      if (i % 2 == 0) xml += "<isbn>1</isbn>";
+      if (i % 8 == 0) xml += "<price>9</price>";
+      xml += "</book>";
+    }
+    xml += "</lib>";
+    auto doc = xml::ParseDocument(xml);
+    EXPECT_TRUE(doc.ok());
+    h.doc = std::move(doc).value();
+    h.idx = std::make_unique<index::TagIndex>(*h.doc);
+    auto q = ParseXPath("/book[./title and ./isbn and ./price]");
+    EXPECT_TRUE(q.ok());
+    h.pattern = std::move(q).value();
+    auto scoring = ScoringModel::ComputeTfIdf(*h.idx, h.pattern, Normalization::kNone);
+    auto plan = QueryPlan::Build(*h.idx, h.pattern, scoring);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    h.plan = std::make_unique<QueryPlan>(std::move(plan).value());
+    return h;
+  }
+
+  PartialMatch RootMatch() const {
+    PartialMatch m;
+    m.bindings.assign(pattern.size(), xml::kInvalidNode);
+    m.levels.assign(pattern.size(), MatchLevel::kDeleted);
+    m.bindings[0] = idx->Nodes("book")[0];
+    m.levels[0] = MatchLevel::kExact;
+    m.max_final_score = plan->RemainingMax(0);
+    return m;
+  }
+};
+
+TEST(RouterTest, StaticFollowsOrder) {
+  RoutingHarness h = RoutingHarness::Make();
+  ExecOptions opts;
+  opts.routing = RoutingStrategy::kStatic;
+  opts.static_order = {2, 0, 1};
+  auto router = Router::Make(*h.plan, opts);
+  ASSERT_TRUE(router.ok());
+  PartialMatch m = h.RootMatch();
+  EXPECT_EQ(router->NextServer(m, kNegInf), 2);
+  m.visited_mask |= 1u << 2;
+  EXPECT_EQ(router->NextServer(m, kNegInf), 0);
+  m.visited_mask |= 1u << 0;
+  EXPECT_EQ(router->NextServer(m, kNegInf), 1);
+}
+
+TEST(RouterTest, StaticDefaultsToIdentity) {
+  RoutingHarness h = RoutingHarness::Make();
+  ExecOptions opts;
+  opts.routing = RoutingStrategy::kStatic;
+  auto router = Router::Make(*h.plan, opts);
+  ASSERT_TRUE(router.ok());
+  EXPECT_EQ(router->NextServer(h.RootMatch(), kNegInf), 0);
+}
+
+TEST(RouterTest, RejectsBadStaticOrder) {
+  RoutingHarness h = RoutingHarness::Make();
+  ExecOptions opts;
+  opts.routing = RoutingStrategy::kStatic;
+  opts.static_order = {0, 1};  // wrong size
+  EXPECT_FALSE(Router::Make(*h.plan, opts).ok());
+  opts.static_order = {0, 1, 1};  // not a permutation
+  EXPECT_FALSE(Router::Make(*h.plan, opts).ok());
+  opts.static_order = {0, 1, 5};  // out of range
+  EXPECT_FALSE(Router::Make(*h.plan, opts).ok());
+}
+
+TEST(RouterTest, MaxScorePicksHighestExpectedContribution) {
+  RoutingHarness h = RoutingHarness::Make();
+  ExecOptions opts;
+  opts.routing = RoutingStrategy::kMaxScore;
+  auto router = Router::Make(*h.plan, opts);
+  ASSERT_TRUE(router.ok());
+  PartialMatch m = h.RootMatch();
+  int expect_best = 0;
+  double best = -1;
+  for (int s = 0; s < h.plan->num_servers(); ++s) {
+    if (h.plan->server(s).expected_contribution > best) {
+      best = h.plan->server(s).expected_contribution;
+      expect_best = s;
+    }
+  }
+  EXPECT_EQ(router->NextServer(m, kNegInf), expect_best);
+}
+
+TEST(RouterTest, MinScoreIsOppositeOfMaxScore) {
+  RoutingHarness h = RoutingHarness::Make();
+  ExecOptions max_opts, min_opts;
+  max_opts.routing = RoutingStrategy::kMaxScore;
+  min_opts.routing = RoutingStrategy::kMinScore;
+  auto max_router = Router::Make(*h.plan, max_opts);
+  auto min_router = Router::Make(*h.plan, min_opts);
+  ASSERT_TRUE(max_router.ok());
+  ASSERT_TRUE(min_router.ok());
+  PartialMatch m = h.RootMatch();
+  EXPECT_NE(max_router->NextServer(m, kNegInf), min_router->NextServer(m, kNegInf));
+}
+
+TEST(RouterTest, RoutersSkipVisitedServers) {
+  RoutingHarness h = RoutingHarness::Make();
+  for (RoutingStrategy strategy :
+       {RoutingStrategy::kStatic, RoutingStrategy::kMaxScore, RoutingStrategy::kMinScore,
+        RoutingStrategy::kMinAlive}) {
+    ExecOptions opts;
+    opts.routing = strategy;
+    auto router = Router::Make(*h.plan, opts);
+    ASSERT_TRUE(router.ok());
+    PartialMatch m = h.RootMatch();
+    std::set<int> seen;
+    for (int step = 0; step < h.plan->num_servers(); ++step) {
+      int s = router->NextServer(m, kNegInf);
+      EXPECT_TRUE(seen.insert(s).second) << "server revisited by strategy "
+                                         << RoutingStrategyName(strategy);
+      m.visited_mask |= 1u << s;
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(h.plan->num_servers()));
+  }
+}
+
+TEST(RouterTest, EstimateAliveNoThresholdIsCandidateCount) {
+  RoutingHarness h = RoutingHarness::Make();
+  ExecOptions opts;
+  opts.routing = RoutingStrategy::kMinAlive;
+  auto router = Router::Make(*h.plan, opts);
+  ASSERT_TRUE(router.ok());
+  PartialMatch m = h.RootMatch();
+  // Book 0 has exactly one title, one isbn and one price: with no threshold
+  // the estimate is the exact per-root candidate count.
+  for (int s = 0; s < h.plan->num_servers(); ++s) {
+    EXPECT_NEAR(router->EstimateAlive(m, s, kNegInf), 1.0, 1e-12);
+  }
+  // A book with no price (index 1) estimates zero candidates for the price
+  // server... but the deletion row needs a threshold to be judged; with no
+  // threshold the raw count is reported.
+  m.bindings[0] = h.idx->Nodes("book")[1];
+  int price_server = 2;
+  EXPECT_NEAR(router->EstimateAlive(m, price_server, kNegInf), 0.0, 1e-12);
+}
+
+TEST(RouterTest, EstimateAliveShrinksWithThreshold) {
+  RoutingHarness h = RoutingHarness::Make();
+  ExecOptions opts;
+  opts.routing = RoutingStrategy::kMinAlive;
+  auto router = Router::Make(*h.plan, opts);
+  ASSERT_TRUE(router.ok());
+  PartialMatch m = h.RootMatch();
+  for (int s = 0; s < h.plan->num_servers(); ++s) {
+    const double loose = router->EstimateAlive(m, s, kNegInf);
+    const double tight = router->EstimateAlive(m, s, m.max_final_score + 1.0);
+    EXPECT_LE(tight, loose);
+    EXPECT_EQ(tight, 0.0);  // nothing can beat an unbeatable threshold
+  }
+}
+
+TEST(RouterTest, MinAlivePrefersKillerServerUnderTightThreshold) {
+  RoutingHarness h = RoutingHarness::Make();
+  ExecOptions opts;
+  opts.routing = RoutingStrategy::kMinAlive;
+  auto router = Router::Make(*h.plan, opts);
+  ASSERT_TRUE(router.ok());
+  PartialMatch m = h.RootMatch();
+  // With a threshold just below max_final, only servers whose exact
+  // contribution is needed keep matches alive; the router must pick a
+  // server minimizing survivors.
+  const int s = router->NextServer(m, m.max_final_score - 1e-9);
+  double chosen = router->EstimateAlive(m, s, m.max_final_score - 1e-9);
+  for (int other = 0; other < h.plan->num_servers(); ++other) {
+    EXPECT_LE(chosen, router->EstimateAlive(m, other, m.max_final_score - 1e-9) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace whirlpool::exec

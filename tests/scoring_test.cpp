@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "index/tag_index.h"
+#include "query/matcher.h"
+#include "score/scoring.h"
+#include "util/rng.h"
+#include "xml/parser.h"
+#include "xmlgen/bookstore.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::score {
+namespace {
+
+using index::TagIndex;
+using query::ParseXPath;
+using query::TreePattern;
+using xml::NodeId;
+
+std::unique_ptr<xml::Document> MustParseDoc(std::string_view text) {
+  auto r = xml::ParseDocument(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TreePattern MustParseQuery(std::string_view xpath) {
+  auto r = ParseXPath(xpath);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+// ---------------------------------------------------------------------------
+// Chain matching
+// ---------------------------------------------------------------------------
+
+class ChainMatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // item -> description -> (text -> parlist#1), description -> parlist#2
+    doc_ = MustParseDoc(
+        "<item><description><text><parlist/></text><parlist/></description>"
+        "<mailbox><mail><text/></mail></mailbox></item>");
+    idx_ = std::make_unique<TagIndex>(*doc_);
+    item_ = idx_->Nodes("item")[0];
+    nested_parlist_ = idx_->Nodes("parlist")[0];   // under text
+    direct_parlist_ = idx_->Nodes("parlist")[1];   // under description
+    mail_text_ = idx_->Nodes("text")[1];
+    q_ = MustParseQuery("//item[./description/parlist]");
+    chain_ = q_.Chain(0, 2);  // description -> parlist
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<TagIndex> idx_;
+  NodeId item_, nested_parlist_, direct_parlist_, mail_text_;
+  TreePattern q_;
+  std::vector<query::ChainStep> chain_;
+};
+
+TEST_F(ChainMatchTest, ExactChainMatch) {
+  EXPECT_TRUE(MatchChainExact(*idx_, item_, direct_parlist_, chain_));
+  EXPECT_FALSE(MatchChainExact(*idx_, item_, nested_parlist_, chain_));
+}
+
+TEST_F(ChainMatchTest, AllAdChainMatch) {
+  EXPECT_TRUE(MatchChainAllAd(*idx_, item_, direct_parlist_, chain_));
+  EXPECT_TRUE(MatchChainAllAd(*idx_, item_, nested_parlist_, chain_));
+}
+
+TEST_F(ChainMatchTest, ClassifyLevels) {
+  EXPECT_EQ(ClassifyBinding(*idx_, item_, direct_parlist_, chain_), MatchLevel::kExact);
+  EXPECT_EQ(ClassifyBinding(*idx_, item_, nested_parlist_, chain_),
+            MatchLevel::kEdgeGeneralized);
+  // A text node in the mailbox reached via a description/text chain: the
+  // intermediate "description" tag is absent on its path => promoted only.
+  auto q2 = MustParseQuery("//item[./description/text]");
+  auto chain_text = q2.Chain(0, 2);
+  EXPECT_EQ(ClassifyBinding(*idx_, item_, mail_text_, chain_text),
+            MatchLevel::kPromoted);
+}
+
+TEST_F(ChainMatchTest, NonDescendantIsPromotedFallback) {
+  // 'to' not under 'from' at all: CollectPath fails.
+  EXPECT_EQ(ClassifyBinding(*idx_, direct_parlist_, item_, chain_),
+            MatchLevel::kPromoted);
+  EXPECT_FALSE(MatchChainExact(*idx_, direct_parlist_, item_, chain_));
+}
+
+TEST_F(ChainMatchTest, ValuePredicateOnFinalStepChecked) {
+  auto doc = MustParseDoc("<a><b><c>v1</c><c>v2</c></b></a>");
+  TagIndex idx(*doc);
+  auto q = MustParseQuery("/a[./b/c = 'v1']");
+  auto chain = q.Chain(0, 2);
+  NodeId a = idx.Nodes("a")[0];
+  EXPECT_TRUE(MatchChainExact(idx, a, idx.Nodes("c")[0], chain));
+  EXPECT_FALSE(MatchChainExact(idx, a, idx.Nodes("c")[1], chain));
+}
+
+TEST_F(ChainMatchTest, AdAxisSkipsLevels) {
+  auto doc = MustParseDoc("<a><x><y><b/></y></x></a>");
+  TagIndex idx(*doc);
+  auto q = MustParseQuery("/a[.//b]");
+  auto chain = q.Chain(0, 1);
+  EXPECT_TRUE(MatchChainExact(idx, idx.Nodes("a")[0], idx.Nodes("b")[0], chain));
+}
+
+TEST_F(ChainMatchTest, MixedAxisChain) {
+  // /a[./m//b]: pc to m, then ad to b.
+  auto doc = MustParseDoc("<a><m><z><b/></z></m><b/></a>");
+  TagIndex idx(*doc);
+  auto q = MustParseQuery("/a[./m//b]");
+  auto chain = q.Chain(0, 2);
+  NodeId a = idx.Nodes("a")[0];
+  EXPECT_TRUE(MatchChainExact(idx, a, idx.Nodes("b")[0], chain));   // under m
+  EXPECT_FALSE(MatchChainExact(idx, a, idx.Nodes("b")[1], chain));  // direct child
+}
+
+// ---------------------------------------------------------------------------
+// idf / tf (Definitions 4.2-4.4)
+// ---------------------------------------------------------------------------
+
+class TfIdfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 4 books: 3 have a title child, 1 has a deep title, 2 have isbn.
+    doc_ = MustParseDoc(
+        "<lib>"
+        "<book><title>t</title><isbn>1</isbn></book>"
+        "<book><title>t</title><title>t2</title></book>"
+        "<book><title>t</title><isbn>2</isbn></book>"
+        "<book><wrap><title>deep</title></wrap></book>"
+        "</lib>");
+    idx_ = std::make_unique<TagIndex>(*doc_);
+  }
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<TagIndex> idx_;
+};
+
+TEST_F(TfIdfTest, IdfMatchesDefinition) {
+  TreePattern q = MustParseQuery("/book[./title and ./isbn]");
+  TfIdfScorer scorer(*idx_, q);
+  // 4 books; 3 satisfy pc(book,title); 2 satisfy pc(book,isbn).
+  EXPECT_NEAR(scorer.Idf(1), std::log(4.0 / 3.0), 1e-12);
+  EXPECT_NEAR(scorer.Idf(2), std::log(4.0 / 2.0), 1e-12);
+}
+
+TEST_F(TfIdfTest, RarerPredicateHasHigherIdf) {
+  TreePattern q = MustParseQuery("/book[./title and ./isbn]");
+  TfIdfScorer scorer(*idx_, q);
+  EXPECT_GT(scorer.Idf(2), scorer.Idf(1));  // isbn rarer than title
+}
+
+TEST_F(TfIdfTest, TfCountsDistinctWitnesses) {
+  TreePattern q = MustParseQuery("/book[./title]");
+  TfIdfScorer scorer(*idx_, q);
+  const auto& books = idx_->Nodes("book");
+  EXPECT_EQ(scorer.Tf(1, books[0]), 1u);
+  EXPECT_EQ(scorer.Tf(1, books[1]), 2u);  // two title children
+  EXPECT_EQ(scorer.Tf(1, books[3]), 0u);  // title is deep, pc fails
+}
+
+TEST_F(TfIdfTest, ScoreIsSumOfIdfTimesTf) {
+  TreePattern q = MustParseQuery("/book[./title and ./isbn]");
+  TfIdfScorer scorer(*idx_, q);
+  const auto& books = idx_->Nodes("book");
+  const double idf_title = scorer.Idf(1);
+  const double idf_isbn = scorer.Idf(2);
+  EXPECT_NEAR(scorer.Score(books[0]), idf_title + idf_isbn, 1e-12);
+  EXPECT_NEAR(scorer.Score(books[1]), 2 * idf_title, 1e-12);
+  EXPECT_NEAR(scorer.Score(books[3]), 0.0, 1e-12);
+}
+
+TEST_F(TfIdfTest, MoreWitnessesMeanHigherScore) {
+  TreePattern q = MustParseQuery("/book[./title]");
+  TfIdfScorer scorer(*idx_, q);
+  const auto& books = idx_->Nodes("book");
+  EXPECT_GT(scorer.Score(books[1]), scorer.Score(books[0]));
+}
+
+// ---------------------------------------------------------------------------
+// ScoringModel (engine-facing, per relaxation level)
+// ---------------------------------------------------------------------------
+
+class ScoringModelTest : public ::testing::TestWithParam<Normalization> {};
+
+TEST_P(ScoringModelTest, LevelLadderIsMonotone) {
+  xmlgen::XMarkOptions opts;
+  opts.seed = 404;
+  opts.target_bytes = 24 << 10;
+  auto doc = xmlgen::GenerateXMark(opts);
+  TagIndex idx(*doc);
+  for (const char* xpath :
+       {"//item[./description/parlist]",
+        "//item[./description/parlist and ./mailbox/mail/text]",
+        "//item[./mailbox/mail/text[./bold and ./keyword] and ./name and "
+        "./incategory]"}) {
+    TreePattern q = MustParseQuery(xpath);
+    ScoringModel m = ScoringModel::ComputeTfIdf(idx, q, GetParam());
+    for (size_t qi = 1; qi < q.size(); ++qi) {
+      const PredicateScores& ps = m.predicate(static_cast<int>(qi));
+      EXPECT_GE(ps.at_level[0], ps.at_level[1]) << xpath << " node " << qi;
+      EXPECT_GE(ps.at_level[1], ps.at_level[2]) << xpath << " node " << qi;
+      EXPECT_GE(ps.at_level[2], 0.0);
+      EXPECT_LE(ps.satisfying[0], ps.satisfying[1]);
+      EXPECT_LE(ps.satisfying[1], ps.satisfying[2]);
+      // Contribution() maps levels correctly.
+      EXPECT_EQ(ps.Contribution(MatchLevel::kExact), ps.at_level[0]);
+      EXPECT_EQ(ps.Contribution(MatchLevel::kDeleted), 0.0);
+    }
+    EXPECT_GT(m.MaxTotalScore(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNormalizations, ScoringModelTest,
+                         ::testing::Values(Normalization::kNone, Normalization::kSparse,
+                                           Normalization::kDense),
+                         [](const ::testing::TestParamInfo<Normalization>& info) {
+                           switch (info.param) {
+                             case Normalization::kNone: return "none";
+                             case Normalization::kSparse: return "sparse";
+                             case Normalization::kDense: return "dense";
+                           }
+                           return "?";
+                         });
+
+TEST(ScoringModelNormTest, SparseNormalizesEachPredicateToOne) {
+  auto doc = xmlgen::Figure1Bookstore();
+  TagIndex idx(*doc);
+  TreePattern q = MustParseQuery("/book[./title and ./info/publisher]");
+  ScoringModel m = ScoringModel::ComputeTfIdf(idx, q, Normalization::kSparse);
+  for (size_t qi = 1; qi < q.size(); ++qi) {
+    EXPECT_LE(m.predicate(static_cast<int>(qi)).at_level[0], 1.0 + 1e-12);
+    EXPECT_GT(m.predicate(static_cast<int>(qi)).at_level[0], 0.0);
+  }
+}
+
+TEST(ScoringModelNormTest, DenseHasGlobalMaxOne) {
+  xmlgen::XMarkOptions opts;
+  opts.seed = 2;
+  opts.target_bytes = 16 << 10;
+  auto doc = xmlgen::GenerateXMark(opts);
+  TagIndex idx(*doc);
+  TreePattern q = MustParseQuery("//item[./description/parlist and ./name]");
+  ScoringModel m = ScoringModel::ComputeTfIdf(idx, q, Normalization::kDense);
+  double global = 0;
+  for (size_t qi = 1; qi < q.size(); ++qi) {
+    global = std::max(global, m.predicate(static_cast<int>(qi)).at_level[0]);
+  }
+  EXPECT_NEAR(global, 1.0, 1e-12);
+}
+
+TEST(ScoringModelNormTest, DensePreservesSkewSparseFlattens) {
+  xmlgen::XMarkOptions opts;
+  opts.seed = 2;
+  opts.target_bytes = 16 << 10;
+  auto doc = xmlgen::GenerateXMark(opts);
+  TagIndex idx(*doc);
+  // parlist is much rarer as an exact child chain than name.
+  TreePattern q = MustParseQuery("//item[./description/parlist and ./name]");
+  ScoringModel sparse = ScoringModel::ComputeTfIdf(idx, q, Normalization::kSparse);
+  ScoringModel dense = ScoringModel::ComputeTfIdf(idx, q, Normalization::kDense);
+  const double sparse_ratio =
+      sparse.predicate(2).at_level[0] / sparse.predicate(3).at_level[0];
+  EXPECT_NEAR(sparse_ratio, 1.0, 1e-9);  // both exactly 1 under sparse
+  const double dense_hi = std::max(dense.predicate(2).at_level[0],
+                                   dense.predicate(3).at_level[0]);
+  const double dense_lo = std::min(dense.predicate(2).at_level[0],
+                                   dense.predicate(3).at_level[0]);
+  EXPECT_GT(dense_hi / std::max(dense_lo, 1e-9), 1.2);  // skew preserved
+}
+
+TEST(ScoringModelBasicTest, SyntheticIsDeterministicAndMonotone) {
+  TreePattern q = MustParseQuery("/a[./b and ./c and ./d]");
+  Rng r1(9), r2(9);
+  ScoringModel m1 = ScoringModel::Synthetic(q, &r1, Normalization::kSparse);
+  ScoringModel m2 = ScoringModel::Synthetic(q, &r2, Normalization::kSparse);
+  for (int qi = 1; qi < 4; ++qi) {
+    for (int l = 0; l < 3; ++l) {
+      EXPECT_EQ(m1.predicate(qi).at_level[l], m2.predicate(qi).at_level[l]);
+    }
+    EXPECT_GE(m1.predicate(qi).at_level[0], m1.predicate(qi).at_level[1]);
+    EXPECT_GE(m1.predicate(qi).at_level[1], m1.predicate(qi).at_level[2]);
+  }
+}
+
+TEST(ScoringModelBasicTest, FromTablesRoundTrips) {
+  std::vector<PredicateScores> tables(3);
+  tables[1].at_level[0] = 0.3;
+  tables[2].at_level[0] = 0.2;
+  ScoringModel m = ScoringModel::FromTables(tables);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_NEAR(m.MaxTotalScore(), 0.5, 1e-12);
+}
+
+TEST(ScoringModelBasicTest, MissingTagGivesZeroSatisfying) {
+  auto doc = xmlgen::Figure1Bookstore();
+  TagIndex idx(*doc);
+  TreePattern q = MustParseQuery("/book[./unobtainium]");
+  ScoringModel m = ScoringModel::ComputeTfIdf(idx, q, Normalization::kNone);
+  EXPECT_EQ(m.predicate(1).satisfying[2], 0u);
+  EXPECT_GT(m.predicate(1).at_level[0], 0.0);  // clamped idf, still positive
+}
+
+}  // namespace
+}  // namespace whirlpool::score

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "index/tag_index.h"
+#include "query/matcher.h"
+#include "xml/parser.h"
+#include "xml/snapshot.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::xml {
+namespace {
+
+void ExpectStructurallyEqual(const Document& a, const Document& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId i = 0; i < a.num_nodes(); ++i) {
+    ASSERT_EQ(a.tag_name(i), b.tag_name(i)) << "node " << i;
+    ASSERT_EQ(a.parent(i), b.parent(i)) << "node " << i;
+    ASSERT_EQ(a.text(i), b.text(i)) << "node " << i;
+    ASSERT_EQ(a.node(i).order, b.node(i).order) << "node " << i;
+    ASSERT_EQ(a.node(i).subtree_end, b.node(i).subtree_end) << "node " << i;
+    ASSERT_EQ(a.node(i).depth, b.node(i).depth) << "node " << i;
+  }
+}
+
+std::string SnapshotBytes(const Document& doc) {
+  std::ostringstream out;
+  Status st = WriteSnapshot(doc, out);
+  EXPECT_TRUE(st.ok()) << st;
+  return out.str();
+}
+
+TEST(SnapshotTest, RoundTripSmallDocument) {
+  auto doc = ParseDocument(
+      "<lib><book a=\"1\"><title>war &amp; peace</title></book><book/></lib>");
+  ASSERT_TRUE(doc.ok());
+  std::istringstream in(SnapshotBytes(**doc));
+  auto loaded = ReadSnapshot(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectStructurallyEqual(**doc, **loaded);
+}
+
+TEST(SnapshotTest, RoundTripGeneratedCorpus) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 31;
+  gen.target_bytes = 48 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  std::istringstream in(SnapshotBytes(*doc));
+  auto loaded = ReadSnapshot(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectStructurallyEqual(*doc, **loaded);
+}
+
+TEST(SnapshotTest, LoadedDocumentAnswersQueriesIdentically) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 8;
+  gen.target_bytes = 24 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  std::istringstream in(SnapshotBytes(*doc));
+  auto loaded = ReadSnapshot(in);
+  ASSERT_TRUE(loaded.ok());
+  index::TagIndex idx_a(*doc), idx_b(**loaded);
+  auto q = query::ParseXPath("//item[./description/parlist and ./name]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(query::EvaluatePattern(idx_a, *q), query::EvaluatePattern(idx_b, *q));
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  auto doc = ParseDocument("<a><b>x</b></a>");
+  ASSERT_TRUE(doc.ok());
+  std::string path = std::string(::testing::TempDir()) + "snap_test.bin";
+  ASSERT_TRUE(SaveSnapshot(**doc, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectStructurallyEqual(**doc, **loaded);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  auto r = LoadSnapshot("/no/such/snapshot.bin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, RejectsBadMagic) {
+  std::istringstream in("GARBAGE!");
+  auto r = ReadSnapshot(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(SnapshotTest, RejectsTruncationAtEveryPrefix) {
+  auto doc = ParseDocument("<a x=\"1\"><b>t</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  const std::string bytes = SnapshotBytes(**doc);
+  // Every strict prefix must fail cleanly (never crash, never succeed).
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::istringstream in(bytes.substr(0, len));
+    auto r = ReadSnapshot(in);
+    ASSERT_FALSE(r.ok()) << "prefix of length " << len << " unexpectedly parsed";
+  }
+  // The full snapshot still loads.
+  std::istringstream in(bytes);
+  ASSERT_TRUE(ReadSnapshot(in).ok());
+}
+
+TEST(SnapshotTest, RejectsCorruptParentPointer) {
+  auto doc = ParseDocument("<a><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  std::string bytes = SnapshotBytes(**doc);
+  // Flip every byte position once; loader must never crash and never
+  // produce an unfinalized document.
+  int failures = 0, successes = 0;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x5A);
+    std::istringstream in(mutated);
+    auto r = ReadSnapshot(in);
+    if (r.ok()) {
+      ++successes;
+      EXPECT_TRUE((*r)->finalized());
+    } else {
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 0);
+  (void)successes;  // some text-byte flips legitimately still parse
+}
+
+TEST(SnapshotTest, RejectsUnfinalizedDocument) {
+  Document doc;
+  doc.AddChild(doc.root(), "a");
+  std::ostringstream out;
+  EXPECT_FALSE(WriteSnapshot(doc, out).ok());
+}
+
+}  // namespace
+}  // namespace whirlpool::xml

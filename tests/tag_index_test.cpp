@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/tag_index.h"
+#include "xml/parser.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::index {
+namespace {
+
+using xml::NodeId;
+
+class TagIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = xml::ParseDocument(R"(
+      <lib>
+        <book><title>alpha</title><author>x</author></book>
+        <book><title>beta</title>
+          <chapter><title>beta-one</title></chapter>
+        </book>
+        <journal><title>gamma</title></journal>
+      </lib>)");
+    ASSERT_TRUE(r.ok()) << r.status();
+    doc_ = std::move(r).value();
+    idx_ = std::make_unique<TagIndex>(*doc_);
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<TagIndex> idx_;
+};
+
+TEST_F(TagIndexTest, NodesByTag) {
+  EXPECT_EQ(idx_->Nodes("book").size(), 2u);
+  EXPECT_EQ(idx_->Nodes("title").size(), 4u);
+  EXPECT_EQ(idx_->Nodes("journal").size(), 1u);
+  EXPECT_TRUE(idx_->Nodes("missing").empty());
+}
+
+TEST_F(TagIndexTest, PostingListsAreInDocumentOrder) {
+  const auto& titles = idx_->Nodes("title");
+  for (size_t i = 1; i < titles.size(); ++i) {
+    EXPECT_LT(doc_->node(titles[i - 1]).order, doc_->node(titles[i]).order);
+  }
+}
+
+TEST_F(TagIndexTest, NodesWithValue) {
+  EXPECT_EQ(idx_->NodesWithValue("title", "alpha").size(), 1u);
+  EXPECT_EQ(idx_->NodesWithValue("title", "nothere").size(), 0u);
+  EXPECT_EQ(idx_->NodesWithValue("author", "x").size(), 1u);
+}
+
+TEST_F(TagIndexTest, DescendantsWithTag) {
+  xml::TagId title = doc_->tags().Lookup("title");
+  const auto& books = idx_->Nodes("book");
+  // Book 1 has one title; book 2 has two (own + chapter's).
+  EXPECT_EQ(idx_->DescendantsWithTag(books[0], title).size(), 1u);
+  EXPECT_EQ(idx_->DescendantsWithTag(books[1], title).size(), 2u);
+  EXPECT_EQ(idx_->CountDescendantsWithTag(books[1], title), 2u);
+}
+
+TEST_F(TagIndexTest, DescendantsWithTagValue) {
+  xml::TagId title = doc_->tags().Lookup("title");
+  const auto& books = idx_->Nodes("book");
+  EXPECT_EQ(idx_->DescendantsWithTagValue(books[1], title, "beta-one").size(), 1u);
+  EXPECT_EQ(idx_->DescendantsWithTagValue(books[0], title, "beta-one").size(), 0u);
+}
+
+TEST_F(TagIndexTest, ChildrenWithTag) {
+  xml::TagId title = doc_->tags().Lookup("title");
+  const auto& books = idx_->Nodes("book");
+  EXPECT_EQ(idx_->ChildrenWithTag(books[1], title).size(), 1u);  // not chapter's
+}
+
+TEST_F(TagIndexTest, DescendantsOfLeafIsEmpty) {
+  xml::TagId title = doc_->tags().Lookup("title");
+  NodeId leaf = idx_->Nodes("author")[0];
+  EXPECT_TRUE(idx_->DescendantsWithTag(leaf, title).empty());
+}
+
+TEST_F(TagIndexTest, RootSeesEverything) {
+  xml::TagId title = doc_->tags().Lookup("title");
+  EXPECT_EQ(idx_->DescendantsWithTag(doc_->root(), title).size(), 4u);
+}
+
+TEST_F(TagIndexTest, StatsCountMatchesPostingList) {
+  xml::TagId title = doc_->tags().Lookup("title");
+  TagStats s = idx_->Stats(title);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_GT(s.avg_fanout_under_ancestor, 0.0);
+  EXPECT_EQ(idx_->Stats(xml::kInvalidTag).count, 0u);
+}
+
+TEST_F(TagIndexTest, ValueIndexingCanBeDisabled) {
+  TagIndex no_values(*doc_, /*index_values=*/false);
+  EXPECT_TRUE(no_values.NodesWithValue("title", "alpha").empty());
+  EXPECT_EQ(no_values.Nodes("title").size(), 4u);
+}
+
+/// Property test: DescendantsWithTag == brute-force scan, on generated docs.
+class TagIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TagIndexPropertyTest, DescendantRangeMatchesBruteForce) {
+  xmlgen::XMarkOptions opts;
+  opts.seed = GetParam();
+  opts.target_bytes = 16 << 10;
+  auto doc = xmlgen::GenerateXMark(opts);
+  TagIndex idx(*doc);
+
+  const std::vector<std::string> tags = {"item", "parlist", "text", "keyword", "name"};
+  const auto& items = idx.Nodes("item");
+  ASSERT_FALSE(items.empty());
+  const size_t stride = std::max<size_t>(1, items.size() / 20);
+  for (size_t i = 0; i < items.size(); i += stride) {
+    NodeId anchor = items[i];
+    for (const auto& tag_name : tags) {
+      xml::TagId tag = doc->tags().Lookup(tag_name);
+      if (tag == xml::kInvalidTag) continue;
+      std::vector<NodeId> expected;
+      for (NodeId d : doc->Descendants(anchor)) {
+        if (doc->tag(d) == tag) expected.push_back(d);
+      }
+      ASSERT_EQ(idx.DescendantsWithTag(anchor, tag), expected)
+          << "anchor=" << anchor << " tag=" << tag_name;
+      ASSERT_EQ(idx.CountDescendantsWithTag(anchor, tag), expected.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TagIndexPropertyTest, ::testing::Values(4, 8, 23));
+
+}  // namespace
+}  // namespace whirlpool::index

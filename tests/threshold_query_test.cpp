@@ -1,0 +1,164 @@
+// Threshold queries (ExecOptions::min_score_threshold): return every answer
+// scoring at least T — the mode of the paper's EDBT'02 predecessor, kept as
+// a first-class feature. Checked against a brute-force oracle and across
+// engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/engine.h"
+#include "query/matcher.h"
+#include "score/scoring.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::exec {
+namespace {
+
+using query::ParseXPath;
+using score::ClassifyBinding;
+using score::Normalization;
+using score::ScoringModel;
+
+struct Fixture {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<index::TagIndex> idx;
+  query::TreePattern pattern;
+  ScoringModel scoring;
+  std::unique_ptr<QueryPlan> plan;
+
+  static Fixture Make(const char* xpath, uint64_t seed = 4040) {
+    Fixture f;
+    xmlgen::XMarkOptions gen;
+    gen.seed = seed;
+    gen.target_bytes = 24 << 10;
+    f.doc = xmlgen::GenerateXMark(gen);
+    f.idx = std::make_unique<index::TagIndex>(*f.doc);
+    auto q = ParseXPath(xpath);
+    EXPECT_TRUE(q.ok());
+    f.pattern = std::move(q).value();
+    f.scoring = ScoringModel::ComputeTfIdf(*f.idx, f.pattern, Normalization::kSparse);
+    auto plan = QueryPlan::Build(*f.idx, f.pattern, f.scoring);
+    EXPECT_TRUE(plan.ok());
+    f.plan = std::make_unique<QueryPlan>(std::move(plan).value());
+    return f;
+  }
+
+  double OracleScore(xml::NodeId root) const {
+    double total = 0.0;
+    for (int qi = 1; qi < static_cast<int>(pattern.size()); ++qi) {
+      const auto& pn = pattern.node(qi);
+      xml::TagId tag = doc->tags().Lookup(pn.tag);
+      if (tag == xml::kInvalidTag) continue;
+      auto chain = pattern.Chain(0, qi);
+      auto cands = pn.value ? idx->DescendantsWithTagValue(root, tag, *pn.value)
+                            : idx->DescendantsWithTag(root, tag);
+      double best = 0.0;
+      for (xml::NodeId c : cands) {
+        best = std::max(best, scoring.predicate(qi).Contribution(
+                                  ClassifyBinding(*idx, root, c, chain)));
+      }
+      total += best;
+    }
+    return total;
+  }
+
+  std::vector<xml::NodeId> OracleAboveThreshold(double threshold) const {
+    std::vector<xml::NodeId> out;
+    for (xml::NodeId r : query::RootCandidates(*idx, pattern)) {
+      if (OracleScore(r) >= threshold) out.push_back(r);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+class ThresholdQueryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdQueryTest, MatchesOracleAcrossEngines) {
+  Fixture f = Fixture::Make("//item[./description/parlist and ./name]");
+  const double threshold = GetParam();
+  const std::vector<xml::NodeId> expected = f.OracleAboveThreshold(threshold);
+  for (EngineKind kind : {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                          EngineKind::kLockStep, EngineKind::kLockStepNoPrun}) {
+    ExecOptions opts;
+    opts.engine = kind;
+    opts.k = 1000000;
+    opts.min_score_threshold = threshold;
+    auto r = RunTopK(*f.plan, opts);
+    ASSERT_TRUE(r.ok()) << r.status();
+    std::vector<xml::NodeId> roots;
+    for (const auto& a : r->answers) {
+      EXPECT_GE(a.score, threshold) << EngineKindName(kind);
+      roots.push_back(a.root);
+    }
+    std::sort(roots.begin(), roots.end());
+    ASSERT_EQ(roots, expected) << EngineKindName(kind) << " T=" << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdQueryTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 99.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           std::string n = std::to_string(info.param);
+                           std::replace(n.begin(), n.end(), '.', '_');
+                           return "T" + n.substr(0, n.find('_') + 2);
+                         });
+
+TEST(ThresholdQueryBasicTest, ZeroThresholdReturnsEveryRoot) {
+  Fixture f = Fixture::Make("//item[./name]");
+  ExecOptions opts;
+  opts.k = 1000000;
+  opts.min_score_threshold = 0.0;
+  auto r = RunTopK(*f.plan, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answers.size(), f.idx->Nodes("item").size());
+}
+
+TEST(ThresholdQueryBasicTest, UnreachableThresholdPrunesImmediately) {
+  Fixture f = Fixture::Make("//item[./name]");
+  ExecOptions opts;
+  opts.min_score_threshold = 1e9;
+  auto r = RunTopK(*f.plan, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->answers.empty());
+  EXPECT_EQ(r->metrics.server_operations, 0u);  // every root pruned at birth
+}
+
+TEST(ThresholdQueryBasicTest, KStillCapsAnswerCount) {
+  Fixture f = Fixture::Make("//item[./name]");
+  ExecOptions opts;
+  opts.k = 4;
+  opts.min_score_threshold = 0.0;
+  auto r = RunTopK(*f.plan, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answers.size(), 4u);
+}
+
+TEST(ThresholdQueryBasicTest, MutuallyExclusiveWithFrozenThreshold) {
+  Fixture f = Fixture::Make("//item[./name]");
+  ExecOptions opts;
+  opts.min_score_threshold = 1.0;
+  opts.frozen_threshold = 1.0;
+  for (EngineKind kind : {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                          EngineKind::kLockStep}) {
+    opts.engine = kind;
+    EXPECT_FALSE(RunTopK(*f.plan, opts).ok()) << EngineKindName(kind);
+  }
+}
+
+TEST(ThresholdQueryBasicTest, PrunesMoreAtHigherThresholds) {
+  Fixture f = Fixture::Make("//item[./description/parlist and ./mailbox/mail/text]");
+  uint64_t prev_created = ~0ull;
+  for (double threshold : {0.0, 2.0, 4.0, 5.0}) {
+    ExecOptions opts;
+    opts.k = 1000000;
+    opts.min_score_threshold = threshold;
+    auto r = RunTopK(*f.plan, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->metrics.matches_created, prev_created) << "T=" << threshold;
+    prev_created = r->metrics.matches_created;
+  }
+}
+
+}  // namespace
+}  // namespace whirlpool::exec

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+
+#include "exec/topk_set.h"
+
+namespace whirlpool::exec {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+PartialMatch MakeMatch(NodeId root, double score, double max_final) {
+  PartialMatch m;
+  m.bindings = {root};
+  m.levels = {MatchLevel::kExact};
+  m.current_score = score;
+  m.max_final_score = max_final;
+  return m;
+}
+
+TEST(TopKSetTest, ThresholdIsNegInfUntilFull) {
+  TopKSet set(2);
+  EXPECT_EQ(set.Threshold(), kNegInf);
+  set.Update(MakeMatch(1, 5.0, 5.0), true);
+  EXPECT_EQ(set.Threshold(), kNegInf);  // only one root
+  set.Update(MakeMatch(2, 3.0, 3.0), true);
+  EXPECT_EQ(set.Threshold(), 3.0);  // kth best = 3
+}
+
+TEST(TopKSetTest, ThresholdIsKthBest) {
+  TopKSet set(2);
+  set.Update(MakeMatch(1, 5.0, 5.0), true);
+  set.Update(MakeMatch(2, 3.0, 3.0), true);
+  set.Update(MakeMatch(3, 4.0, 4.0), true);
+  EXPECT_EQ(set.Threshold(), 4.0);
+}
+
+TEST(TopKSetTest, OneEntryPerRootKeepsBest) {
+  TopKSet set(2);
+  set.Update(MakeMatch(1, 2.0, 9.0), false);
+  set.Update(MakeMatch(1, 6.0, 9.0), false);
+  set.Update(MakeMatch(1, 4.0, 9.0), false);  // lower than best; ignored
+  set.Update(MakeMatch(2, 1.0, 1.0), true);
+  EXPECT_EQ(set.Threshold(), 1.0);
+  auto answers = set.Finalize();
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0].root, 1u);
+  EXPECT_EQ(answers[0].score, 6.0);
+}
+
+TEST(TopKSetTest, AliveSemantics) {
+  TopKSet set(1);
+  EXPECT_TRUE(set.Alive(MakeMatch(9, 0.0, 0.0)));  // not full: everything alive
+  set.Update(MakeMatch(1, 5.0, 5.0), true);
+  EXPECT_TRUE(set.Alive(MakeMatch(9, 0.0, 5.5)));   // can beat
+  EXPECT_FALSE(set.Alive(MakeMatch(9, 0.0, 5.0)));  // tie cannot displace
+  EXPECT_FALSE(set.Alive(MakeMatch(9, 0.0, 4.0)));  // cannot beat
+}
+
+TEST(TopKSetTest, PartialsIgnoredWhenDisabled) {
+  TopKSet set(1, /*update_partials=*/false);
+  set.Update(MakeMatch(1, 7.0, 7.0), /*complete=*/false);
+  EXPECT_EQ(set.NumRoots(), 0u);
+  set.Update(MakeMatch(1, 6.0, 6.0), /*complete=*/true);
+  EXPECT_EQ(set.NumRoots(), 1u);
+  EXPECT_EQ(set.Threshold(), 6.0);
+}
+
+TEST(TopKSetTest, FrozenThresholdIgnoresUpdates) {
+  TopKSet set(1);
+  set.FreezeThreshold(0.42);
+  EXPECT_EQ(set.Threshold(), 0.42);
+  set.Update(MakeMatch(1, 99.0, 99.0), true);
+  EXPECT_EQ(set.Threshold(), 0.42);
+  EXPECT_TRUE(set.Alive(MakeMatch(2, 0.0, 0.5)));
+  EXPECT_FALSE(set.Alive(MakeMatch(2, 0.0, 0.3)));
+  // Answers are still recorded under a frozen threshold.
+  EXPECT_EQ(set.Finalize().size(), 1u);
+}
+
+TEST(TopKSetTest, FinalizeSortsByScoreThenRoot) {
+  TopKSet set(3);
+  set.Update(MakeMatch(5, 2.0, 2.0), true);
+  set.Update(MakeMatch(3, 2.0, 2.0), true);
+  set.Update(MakeMatch(4, 7.0, 7.0), true);
+  set.Update(MakeMatch(9, 1.0, 1.0), true);
+  auto answers = set.Finalize();
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_EQ(answers[0].root, 4u);
+  EXPECT_EQ(answers[1].root, 3u);  // tie broken by root id
+  EXPECT_EQ(answers[2].root, 5u);
+}
+
+TEST(TopKSetTest, FinalizeTruncatesToK) {
+  TopKSet set(2);
+  for (NodeId r = 1; r <= 10; ++r) set.Update(MakeMatch(r, r * 1.0, r * 1.0), true);
+  auto answers = set.Finalize();
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0].score, 10.0);
+  EXPECT_EQ(answers[1].score, 9.0);
+}
+
+TEST(TopKSetTest, CompleteWitnessPreferredAtEqualScore) {
+  TopKSet set(1);
+  PartialMatch partial = MakeMatch(1, 3.0, 5.0);
+  partial.bindings = {1, xml::kInvalidNode};
+  partial.levels = {MatchLevel::kExact, MatchLevel::kDeleted};
+  set.Update(partial, false);
+  PartialMatch complete = MakeMatch(1, 3.0, 3.0);
+  complete.bindings = {1, 42};
+  complete.levels = {MatchLevel::kExact, MatchLevel::kExact};
+  set.Update(complete, true);
+  auto answers = set.Finalize();
+  ASSERT_EQ(answers.size(), 1u);
+  ASSERT_EQ(answers[0].bindings.size(), 2u);
+  EXPECT_EQ(answers[0].bindings[1], 42u);
+}
+
+TEST(TopKSetTest, ThresholdMonotoneNonDecreasing) {
+  TopKSet set(3);
+  double prev = kNegInf;
+  for (int i = 0; i < 200; ++i) {
+    set.Update(MakeMatch(static_cast<NodeId>(i % 17), (i * 37) % 100 / 10.0, 100.0),
+               (i % 3) == 0);
+    double t = set.Threshold();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TopKSetTest, ConcurrentUpdatesKeepConsistency) {
+  TopKSet set(5);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&set, t] {
+      for (int i = 0; i < 500; ++i) {
+        NodeId root = static_cast<NodeId>((t * 500 + i) % 37);
+        double score = ((i * 13 + t * 7) % 100) / 10.0;
+        set.Update(MakeMatch(root, score, score + 1), i % 2 == 0);
+        set.Threshold();
+        set.Alive(MakeMatch(root, 0, score));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto answers = set.Finalize();
+  ASSERT_EQ(answers.size(), 5u);
+  for (size_t i = 1; i < answers.size(); ++i) {
+    EXPECT_GE(answers[i - 1].score, answers[i].score);
+  }
+  // Max achievable score in the generator above is 9.9.
+  EXPECT_EQ(answers[0].score, 9.9);
+}
+
+}  // namespace
+}  // namespace whirlpool::exec

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "query/tree_pattern.h"
+
+namespace whirlpool::query {
+namespace {
+
+TreePattern BookPattern() {
+  // /book[./title='wodehouse' and ./info/publisher/name='psmith']  (Fig 2a)
+  TreePattern p = TreePattern::Root("book");
+  p.AddNode(0, Axis::kChild, "title", "wodehouse");
+  int info = p.AddNode(0, Axis::kChild, "info");
+  int publisher = p.AddNode(info, Axis::kChild, "publisher");
+  p.AddNode(publisher, Axis::kChild, "name", "psmith");
+  return p;
+}
+
+TEST(TreePatternTest, RootConstruction) {
+  TreePattern p = TreePattern::Root("book");
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.node(0).tag, "book");
+  EXPECT_EQ(p.node(0).parent, -1);
+  EXPECT_TRUE(p.IsLeaf(0));
+}
+
+TEST(TreePatternTest, AddNodeLinksParentAndChildren) {
+  TreePattern p = BookPattern();
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.node(1).tag, "title");
+  EXPECT_EQ(*p.node(1).value, "wodehouse");
+  EXPECT_EQ(p.node(2).tag, "info");
+  EXPECT_EQ(p.node(3).parent, 2);
+  EXPECT_EQ(p.node(0).children, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(p.IsLeaf(0));
+  EXPECT_TRUE(p.IsLeaf(4));
+}
+
+TEST(TreePatternTest, IsAncestor) {
+  TreePattern p = BookPattern();
+  EXPECT_TRUE(p.IsAncestor(0, 4));
+  EXPECT_TRUE(p.IsAncestor(2, 3));
+  EXPECT_FALSE(p.IsAncestor(1, 4));
+  EXPECT_FALSE(p.IsAncestor(4, 0));
+  EXPECT_FALSE(p.IsAncestor(3, 3));
+}
+
+TEST(TreePatternTest, ChainFromRoot) {
+  TreePattern p = BookPattern();
+  auto chain = p.Chain(0, 4);  // book -> info -> publisher -> name
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0].tag, "info");
+  EXPECT_EQ(chain[1].tag, "publisher");
+  EXPECT_EQ(chain[2].tag, "name");
+  EXPECT_EQ(*chain[2].value, "psmith");
+  EXPECT_EQ(chain[0].axis, Axis::kChild);
+}
+
+TEST(TreePatternTest, ChainToDirectChild) {
+  TreePattern p = BookPattern();
+  auto chain = p.Chain(0, 1);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].tag, "title");
+}
+
+TEST(TreePatternTest, PreorderVisitsAll) {
+  TreePattern p = BookPattern();
+  EXPECT_EQ(p.Preorder(), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TreePatternTest, ToStringRendersStructure) {
+  TreePattern p = BookPattern();
+  EXPECT_EQ(p.ToString(),
+            "book[pc:title='wodehouse' pc:info[pc:publisher[pc:name='psmith']]]");
+}
+
+// -- Relaxations (paper Sec 2) ----------------------------------------------
+
+TEST(RelaxationTest, EdgeGeneralization) {
+  TreePattern p = BookPattern();
+  auto r = p.EdgeGeneralization(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->node(1).axis, Axis::kDescendant);
+  EXPECT_EQ(p.node(1).axis, Axis::kChild);  // original untouched
+}
+
+TEST(RelaxationTest, EdgeGeneralizationRejectsAdEdge) {
+  TreePattern p = TreePattern::Root("a");
+  p.AddNode(0, Axis::kDescendant, "b");
+  EXPECT_FALSE(p.EdgeGeneralization(1).ok());
+}
+
+TEST(RelaxationTest, EdgeGeneralizationRejectsRoot) {
+  EXPECT_FALSE(BookPattern().EdgeGeneralization(0).ok());
+  EXPECT_FALSE(BookPattern().EdgeGeneralization(99).ok());
+}
+
+TEST(RelaxationTest, LeafDeletion) {
+  TreePattern p = BookPattern();
+  auto r = p.LeafDeletion(4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->node(4).optional);
+}
+
+TEST(RelaxationTest, LeafDeletionRejectsInternalNode) {
+  EXPECT_FALSE(BookPattern().LeafDeletion(2).ok());  // info has a child
+}
+
+TEST(RelaxationTest, LeafDeletionRejectsDouble) {
+  TreePattern p = BookPattern();
+  auto r = p.LeafDeletion(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->LeafDeletion(1).ok());
+}
+
+TEST(RelaxationTest, SubtreePromotion) {
+  TreePattern p = BookPattern();
+  // Promote publisher (node 3) from info to book.
+  auto r = p.SubtreePromotion(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->node(3).parent, 0);
+  EXPECT_EQ(r->node(3).axis, Axis::kDescendant);
+  // info no longer has children; book gained one.
+  EXPECT_TRUE(r->IsLeaf(2));
+  EXPECT_EQ(r->node(0).children, (std::vector<int>{1, 2, 3}));
+  // name stays under publisher.
+  EXPECT_EQ(r->node(4).parent, 3);
+}
+
+TEST(RelaxationTest, SubtreePromotionRejectsChildOfRoot) {
+  EXPECT_FALSE(BookPattern().SubtreePromotion(1).ok());
+  EXPECT_FALSE(BookPattern().SubtreePromotion(0).ok());
+}
+
+TEST(RelaxationTest, PromotionThenLeafDeletionComposes) {
+  // Fig 2(c): promote publisher subtree, delete info leaf, generalize title.
+  TreePattern p = BookPattern();
+  auto c = p.SubtreePromotion(3);
+  ASSERT_TRUE(c.ok());
+  auto c2 = c->LeafDeletion(2);
+  ASSERT_TRUE(c2.ok());
+  auto c3 = c2->EdgeGeneralization(1);
+  ASSERT_TRUE(c3.ok());
+  EXPECT_TRUE(c3->node(2).optional);
+  EXPECT_EQ(c3->node(1).axis, Axis::kDescendant);
+}
+
+TEST(RelaxationTest, FullyRelaxedFlattensUnderRoot) {
+  TreePattern p = BookPattern();
+  TreePattern relaxed = p.FullyRelaxed();
+  EXPECT_EQ(relaxed.size(), p.size());
+  for (size_t i = 1; i < relaxed.size(); ++i) {
+    EXPECT_EQ(relaxed.node(static_cast<int>(i)).parent, 0);
+    EXPECT_EQ(relaxed.node(static_cast<int>(i)).axis, Axis::kDescendant);
+    EXPECT_TRUE(relaxed.node(static_cast<int>(i)).optional);
+  }
+}
+
+TEST(TreePatternTest, EqualityDetectsAxisDifference) {
+  TreePattern a = BookPattern();
+  TreePattern b = BookPattern();
+  EXPECT_TRUE(a == b);
+  auto r = b.EdgeGeneralization(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(a == *r);
+}
+
+}  // namespace
+}  // namespace whirlpool::query

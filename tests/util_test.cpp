@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/rng.h"
+#include "util/semaphore.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace whirlpool {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(41);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 41);
+  EXPECT_EQ(*r, 41);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("too big"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  auto f = [](bool fail) -> Status {
+    WHIRLPOOL_RETURN_NOT_OK(fail ? Status::Internal("boom") : Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(f(false).ok());
+  EXPECT_EQ(f(true).code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(31337);
+  int low = 0, high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    size_t r = rng.Zipf(20, 1.0);
+    ASSERT_LT(r, 20u);
+    if (r < 5) ++low;
+    if (r >= 15) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(RngTest, ZipfThetaZeroIsUniformish) {
+  Rng rng(4);
+  int low = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (rng.Zipf(10, 0.0) < 5) ++low;
+  }
+  EXPECT_NEAR(low, 2000, 300);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(8);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ---------------------------------------------------------------------------
+// String utils
+// ---------------------------------------------------------------------------
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(JoinStrings(parts, "::"), "x::y::z");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  hi \n"), "hi");
+  EXPECT_EQ(TrimWhitespace("hi"), "hi");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------------------
+// ProcessorCap
+// ---------------------------------------------------------------------------
+
+TEST(ProcessorCapTest, UnlimitedIsNoop) {
+  ProcessorCap cap;
+  EXPECT_FALSE(cap.limited());
+  cap.Acquire();  // must not block
+  cap.Release();
+}
+
+TEST(ProcessorCapTest, LimitsConcurrency) {
+  ProcessorCap cap(2);
+  EXPECT_TRUE(cap.limited());
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 50; ++j) {
+        ProcessorCapGuard guard(&cap);
+        int now = inside.fetch_add(1) + 1;
+        int prev = max_inside.load();
+        while (now > prev && !max_inside.compare_exchange_weak(prev, now)) {
+        }
+        std::this_thread::yield();
+        inside.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(max_inside.load(), 2);
+  EXPECT_GE(max_inside.load(), 1);
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.ElapsedSeconds(), 0.009);
+  EXPECT_GE(sw.ElapsedMicros(), 9000);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedSeconds(), 0.009);
+}
+
+}  // namespace
+}  // namespace whirlpool

@@ -1,0 +1,188 @@
+// Wildcard ('*') pattern nodes: match any element (never attributes or the
+// synthetic root), everywhere in the stack — parser, matcher, scoring,
+// engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/engine.h"
+#include "query/matcher.h"
+#include "score/scoring.h"
+#include "xml/parser.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool {
+namespace {
+
+using exec::EngineKind;
+using exec::ExecOptions;
+using exec::RunTopK;
+using query::ParseXPath;
+using score::Normalization;
+using score::ScoringModel;
+
+std::unique_ptr<xml::Document> Doc(std::string_view text) {
+  auto r = xml::ParseDocument(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(WildcardParseTest, StarIsAValidName) {
+  auto q = ParseXPath("//item[./*/parlist]");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->node(1).tag, "*");
+  EXPECT_EQ(q->node(2).tag, "parlist");
+  auto root_star = ParseXPath("//*[./name]");
+  ASSERT_TRUE(root_star.ok());
+  EXPECT_EQ(root_star->node(0).tag, "*");
+}
+
+TEST(WildcardIndexTest, AllElementsExcludesAttributesAndRoot) {
+  auto doc = Doc(R"(<a x="1"><b y="2"/><c/></a>)");
+  index::TagIndex idx(*doc);
+  // a, b, c are elements; @x, @y are not; neither is #root.
+  EXPECT_EQ(idx.AllElements().size(), 3u);
+  EXPECT_EQ(idx.CountAllElementDescendants(doc->root()), 3u);
+  EXPECT_EQ(idx.AllElementDescendants(idx.Nodes("a")[0]).size(), 2u);
+}
+
+TEST(WildcardIndexTest, CandidatesWithValueFilter) {
+  auto doc = Doc("<a><b>x</b><c>x</c><d>y</d></a>");
+  index::TagIndex idx(*doc);
+  auto hits = idx.Candidates(idx.Nodes("a")[0], index::kWildcardTag,
+                             std::optional<std::string>("x"));
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_EQ(idx.CountCandidates(idx.Nodes("a")[0], index::kWildcardTag,
+                                std::optional<std::string>("x")),
+            2u);
+}
+
+TEST(WildcardMatcherTest, IntermediateWildcardStep) {
+  auto doc = Doc(
+      "<lib>"
+      "<item><description><parlist/></description></item>"  // * = description
+      "<item><parlist/></item>"                              // no intermediate
+      "</lib>");
+  index::TagIndex idx(*doc);
+  auto q = ParseXPath("//item[./*/parlist]");
+  ASSERT_TRUE(q.ok());
+  auto matches = query::EvaluatePattern(idx, *q);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], idx.Nodes("item")[0]);
+}
+
+TEST(WildcardMatcherTest, WildcardLeaf) {
+  auto doc = Doc("<lib><empty/><full><x/></full></lib>");
+  index::TagIndex idx(*doc);
+  auto q = ParseXPath("//full[./*]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(query::EvaluatePattern(idx, *q).size(), 1u);
+  auto q2 = ParseXPath("//empty[./*]");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(query::EvaluatePattern(idx, *q2).empty());
+}
+
+TEST(WildcardMatcherTest, WildcardRoot) {
+  auto doc = Doc("<lib><a><name/></a><b><name/></b><c/></lib>");
+  index::TagIndex idx(*doc);
+  auto q = ParseXPath("//*[./name]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(query::EvaluatePattern(idx, *q).size(), 2u);  // a and b
+}
+
+TEST(WildcardMatcherTest, WildcardDoesNotMatchAttributes) {
+  auto doc = Doc(R"(<lib><a attr="v"/><b><real/></b></lib>)");
+  index::TagIndex idx(*doc);
+  auto q = ParseXPath("//a[./*]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(query::EvaluatePattern(idx, *q).empty());  // @attr is not an element
+}
+
+TEST(WildcardScoringTest, ChainStepsThroughWildcard) {
+  auto doc = Doc("<item><wrap><parlist/></wrap><parlist/></item>");
+  index::TagIndex idx(*doc);
+  auto q = ParseXPath("//item[./*/parlist]");
+  ASSERT_TRUE(q.ok());
+  auto chain = q->Chain(0, 2);
+  xml::NodeId item = idx.Nodes("item")[0];
+  // parlist under wrap satisfies the */parlist chain exactly...
+  EXPECT_TRUE(score::MatchChainExact(idx, item, idx.Nodes("parlist")[0], chain));
+  // ...the direct parlist child does not (no intermediate element).
+  EXPECT_FALSE(score::MatchChainExact(idx, item, idx.Nodes("parlist")[1], chain));
+}
+
+TEST(WildcardEngineTest, EnginesAgreeOnWildcardQuery) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 21;
+  gen.target_bytes = 16 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  index::TagIndex idx(*doc);
+  auto q = ParseXPath("//item[./*/parlist and ./name]");
+  ASSERT_TRUE(q.ok());
+  auto scoring = ScoringModel::ComputeTfIdf(idx, *q, Normalization::kSparse);
+  auto plan = exec::QueryPlan::Build(idx, *q, scoring);
+  ASSERT_TRUE(plan.ok());
+  std::vector<double> reference;
+  for (EngineKind kind : {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                          EngineKind::kLockStep, EngineKind::kLockStepNoPrun}) {
+    ExecOptions opts;
+    opts.engine = kind;
+    opts.k = 8;
+    auto r = RunTopK(*plan, opts);
+    ASSERT_TRUE(r.ok()) << EngineKindName(kind);
+    std::vector<double> scores;
+    for (const auto& a : r->answers) scores.push_back(a.score);
+    if (reference.empty()) {
+      reference = scores;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      ASSERT_EQ(scores.size(), reference.size()) << EngineKindName(kind);
+      for (size_t i = 0; i < scores.size(); ++i) {
+        ASSERT_NEAR(scores[i], reference[i], 1e-9) << EngineKindName(kind);
+      }
+    }
+  }
+}
+
+TEST(WildcardEngineTest, ExactSemanticsMatchesNaive) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 77;
+  gen.target_bytes = 16 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  index::TagIndex idx(*doc);
+  auto q = ParseXPath("//item[./*/parlist]");
+  ASSERT_TRUE(q.ok());
+  auto scoring = ScoringModel::ComputeTfIdf(idx, *q, Normalization::kSparse);
+  auto plan = exec::QueryPlan::Build(idx, *q, scoring);
+  ASSERT_TRUE(plan.ok());
+  ExecOptions opts;
+  opts.semantics = exec::MatchSemantics::kExact;
+  opts.k = 1000000;
+  auto r = RunTopK(*plan, opts);
+  ASSERT_TRUE(r.ok());
+  std::vector<xml::NodeId> roots;
+  for (const auto& a : r->answers) roots.push_back(a.root);
+  std::sort(roots.begin(), roots.end());
+  std::vector<xml::NodeId> naive = query::EvaluatePattern(idx, *q);
+  std::sort(naive.begin(), naive.end());
+  EXPECT_EQ(roots, naive);
+}
+
+TEST(WildcardEngineTest, WildcardServerHasManyCandidates) {
+  xmlgen::XMarkOptions gen;
+  gen.seed = 3;
+  gen.target_bytes = 8 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  index::TagIndex idx(*doc);
+  auto q = ParseXPath("//item[./*]");
+  ASSERT_TRUE(q.ok());
+  auto scoring = ScoringModel::ComputeTfIdf(idx, *q, Normalization::kSparse);
+  auto plan = exec::QueryPlan::Build(idx, *q, scoring);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->server(0).wildcard);
+  EXPECT_GT(plan->server(0).avg_candidates_per_root, 1.0);
+  EXPECT_GT(plan->CandidateCount(idx.Nodes("item")[0], 0), 0u);
+}
+
+}  // namespace
+}  // namespace whirlpool

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "xml/document.h"
+
+namespace whirlpool::xml {
+namespace {
+
+/// Builds:  #root -> a -> (b -> (d, e), c)
+class SmallTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = doc_.AddChild(doc_.root(), "a");
+    b_ = doc_.AddChild(a_, "b");
+    c_ = doc_.AddChild(a_, "c");
+    d_ = doc_.AddChild(b_, "d");
+    e_ = doc_.AddChild(b_, "e");
+    doc_.SetText(d_, "dee");
+    doc_.Finalize();
+  }
+  Document doc_;
+  NodeId a_, b_, c_, d_, e_;
+};
+
+TEST_F(SmallTreeTest, RootIsNodeZero) {
+  EXPECT_EQ(doc_.root(), 0u);
+  EXPECT_EQ(doc_.tag_name(doc_.root()), "#root");
+  EXPECT_EQ(doc_.node(doc_.root()).depth, 0u);
+}
+
+TEST_F(SmallTreeTest, ParentLinks) {
+  EXPECT_EQ(doc_.parent(a_), doc_.root());
+  EXPECT_EQ(doc_.parent(b_), a_);
+  EXPECT_EQ(doc_.parent(d_), b_);
+  EXPECT_EQ(doc_.parent(c_), a_);
+}
+
+TEST_F(SmallTreeTest, PreorderRanksFollowDocumentOrder) {
+  // Document order: #root, a, b, d, e, c
+  EXPECT_LT(doc_.node(a_).order, doc_.node(b_).order);
+  EXPECT_LT(doc_.node(b_).order, doc_.node(d_).order);
+  EXPECT_LT(doc_.node(d_).order, doc_.node(e_).order);
+  EXPECT_LT(doc_.node(e_).order, doc_.node(c_).order);
+}
+
+TEST_F(SmallTreeTest, SubtreeEndCoversDescendants) {
+  EXPECT_EQ(doc_.node(b_).subtree_end, doc_.node(e_).order);
+  EXPECT_EQ(doc_.node(a_).subtree_end, doc_.node(c_).order);
+  EXPECT_EQ(doc_.node(c_).subtree_end, doc_.node(c_).order);  // leaf
+}
+
+TEST_F(SmallTreeTest, IsChild) {
+  EXPECT_TRUE(doc_.IsChild(a_, b_));
+  EXPECT_TRUE(doc_.IsChild(b_, d_));
+  EXPECT_FALSE(doc_.IsChild(a_, d_));  // grandchild
+  EXPECT_FALSE(doc_.IsChild(b_, a_));  // inverted
+  EXPECT_FALSE(doc_.IsChild(b_, c_));  // sibling's child
+}
+
+TEST_F(SmallTreeTest, IsDescendant) {
+  EXPECT_TRUE(doc_.IsDescendant(a_, b_));
+  EXPECT_TRUE(doc_.IsDescendant(a_, d_));
+  EXPECT_TRUE(doc_.IsDescendant(a_, c_));
+  EXPECT_FALSE(doc_.IsDescendant(d_, a_));
+  EXPECT_FALSE(doc_.IsDescendant(b_, c_));
+  EXPECT_FALSE(doc_.IsDescendant(a_, a_));  // proper
+}
+
+TEST_F(SmallTreeTest, IsSelfOrDescendant) {
+  EXPECT_TRUE(doc_.IsSelfOrDescendant(a_, a_));
+  EXPECT_TRUE(doc_.IsSelfOrDescendant(a_, e_));
+  EXPECT_FALSE(doc_.IsSelfOrDescendant(b_, c_));
+}
+
+TEST_F(SmallTreeTest, ChildrenInOrder) {
+  EXPECT_EQ(doc_.Children(a_), (std::vector<NodeId>{b_, c_}));
+  EXPECT_EQ(doc_.Children(b_), (std::vector<NodeId>{d_, e_}));
+  EXPECT_TRUE(doc_.Children(c_).empty());
+}
+
+TEST_F(SmallTreeTest, DescendantsInDocumentOrder) {
+  EXPECT_EQ(doc_.Descendants(a_), (std::vector<NodeId>{b_, d_, e_, c_}));
+  EXPECT_EQ(doc_.Descendants(b_), (std::vector<NodeId>{d_, e_}));
+}
+
+TEST_F(SmallTreeTest, TextAccess) {
+  EXPECT_EQ(doc_.text(d_), "dee");
+  EXPECT_TRUE(doc_.has_text(d_));
+  EXPECT_EQ(doc_.text(e_), "");
+  EXPECT_FALSE(doc_.has_text(e_));
+}
+
+TEST_F(SmallTreeTest, DepthAssigned) {
+  EXPECT_EQ(doc_.node(a_).depth, 1u);
+  EXPECT_EQ(doc_.node(b_).depth, 2u);
+  EXPECT_EQ(doc_.node(d_).depth, 3u);
+}
+
+TEST(DocumentTest, AppendTextConcatenates) {
+  Document doc;
+  NodeId a = doc.AddChild(doc.root(), "a");
+  doc.AppendText(a, "hello");
+  doc.AppendText(a, " world");
+  doc.Finalize();
+  EXPECT_EQ(doc.text(a), "hello world");
+}
+
+TEST(DocumentTest, ForestWithMultipleTopLevelElements) {
+  Document doc;
+  NodeId x = doc.AddChild(doc.root(), "x");
+  NodeId y = doc.AddChild(doc.root(), "y");
+  doc.Finalize();
+  EXPECT_FALSE(doc.IsDescendant(x, y));
+  EXPECT_FALSE(doc.IsDescendant(y, x));
+  EXPECT_TRUE(doc.IsDescendant(doc.root(), x));
+  EXPECT_TRUE(doc.IsDescendant(doc.root(), y));
+}
+
+TEST(TagPoolTest, InternIsIdempotent) {
+  TagPool pool;
+  TagId a = pool.Intern("book");
+  TagId b = pool.Intern("title");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Intern("book"), a);
+  EXPECT_EQ(pool.Name(a), "book");
+  EXPECT_EQ(pool.Lookup("title"), b);
+  EXPECT_EQ(pool.Lookup("missing"), kInvalidTag);
+}
+
+TEST(DocumentTest, SameTagSharesId) {
+  Document doc;
+  NodeId a = doc.AddChild(doc.root(), "item");
+  NodeId b = doc.AddChild(doc.root(), "item");
+  doc.Finalize();
+  EXPECT_EQ(doc.tag(a), doc.tag(b));
+}
+
+TEST(DocumentTest, ApproxContentBytesGrowsWithContent) {
+  Document small;
+  small.AddChild(small.root(), "a");
+  small.Finalize();
+  Document big;
+  for (int i = 0; i < 100; ++i) {
+    NodeId n = big.AddChild(big.root(), "element");
+    big.SetText(n, "some text content here");
+  }
+  big.Finalize();
+  EXPECT_GT(big.ApproxContentBytes(), small.ApproxContentBytes() * 10);
+}
+
+TEST(DocumentTest, LargeFanOutFinalize) {
+  Document doc;
+  NodeId top = doc.AddChild(doc.root(), "top");
+  std::vector<NodeId> kids;
+  for (int i = 0; i < 1000; ++i) kids.push_back(doc.AddChild(top, "kid"));
+  doc.Finalize();
+  EXPECT_EQ(doc.node(top).subtree_end, doc.node(kids.back()).order);
+  for (size_t i = 1; i < kids.size(); ++i) {
+    EXPECT_EQ(doc.node(kids[i]).order, doc.node(kids[i - 1]).order + 1);
+  }
+}
+
+TEST(DocumentTest, DeepChainFinalize) {
+  Document doc;
+  NodeId cur = doc.AddChild(doc.root(), "n");
+  NodeId first = cur;
+  for (int i = 0; i < 500; ++i) cur = doc.AddChild(cur, "n");
+  doc.Finalize();
+  EXPECT_TRUE(doc.IsDescendant(first, cur));
+  EXPECT_EQ(doc.node(cur).depth, 501u);
+  EXPECT_EQ(doc.node(first).subtree_end, doc.node(cur).order);
+}
+
+}  // namespace
+}  // namespace whirlpool::xml

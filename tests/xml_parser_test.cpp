@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::xml {
+namespace {
+
+std::unique_ptr<Document> MustParse(std::string_view text, ParseOptions opts = {}) {
+  auto r = ParseDocument(text, opts);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(ParserTest, SingleElement) {
+  auto doc = MustParse("<a/>");
+  auto kids = doc->Children(doc->root());
+  ASSERT_EQ(kids.size(), 1u);
+  EXPECT_EQ(doc->tag_name(kids[0]), "a");
+}
+
+TEST(ParserTest, NestedElementsAndText) {
+  auto doc = MustParse("<book><title>wodehouse</title><isbn>1234</isbn></book>");
+  NodeId book = doc->Children(doc->root())[0];
+  auto kids = doc->Children(book);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(doc->tag_name(kids[0]), "title");
+  EXPECT_EQ(doc->text(kids[0]), "wodehouse");
+  EXPECT_EQ(doc->tag_name(kids[1]), "isbn");
+  EXPECT_EQ(doc->text(kids[1]), "1234");
+}
+
+TEST(ParserTest, AttributesBecomeAtChildren) {
+  auto doc = MustParse(R"(<item id="item0" featured="yes"/>)");
+  NodeId item = doc->Children(doc->root())[0];
+  auto kids = doc->Children(item);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(doc->tag_name(kids[0]), "@id");
+  EXPECT_EQ(doc->text(kids[0]), "item0");
+  EXPECT_EQ(doc->tag_name(kids[1]), "@featured");
+  EXPECT_EQ(doc->text(kids[1]), "yes");
+}
+
+TEST(ParserTest, AttributesDroppedWhenDisabled) {
+  ParseOptions opts;
+  opts.keep_attributes = false;
+  auto doc = MustParse(R"(<item id="item0"/>)", opts);
+  EXPECT_TRUE(doc->Children(doc->Children(doc->root())[0]).empty());
+}
+
+TEST(ParserTest, EntityDecoding) {
+  auto doc = MustParse("<t>a &lt; b &amp;&amp; c &gt; d &quot;x&quot; &apos;y&apos;</t>");
+  NodeId t = doc->Children(doc->root())[0];
+  EXPECT_EQ(doc->text(t), "a < b && c > d \"x\" 'y'");
+}
+
+TEST(ParserTest, NumericCharacterReferences) {
+  auto doc = MustParse("<t>&#65;&#x42;&#233;</t>");
+  NodeId t = doc->Children(doc->root())[0];
+  EXPECT_EQ(doc->text(t), "AB\xC3\xA9");  // "ABé" in UTF-8
+}
+
+TEST(ParserTest, CommentsAndPIsSkipped) {
+  auto doc = MustParse(
+      "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/><?pi data?></a>");
+  NodeId a = doc->Children(doc->root())[0];
+  EXPECT_EQ(doc->tag_name(a), "a");
+  ASSERT_EQ(doc->Children(a).size(), 1u);
+}
+
+TEST(ParserTest, DoctypeWithInternalSubsetSkipped) {
+  auto doc = MustParse("<!DOCTYPE site [ <!ELEMENT a (b)> ]><a><b/></a>");
+  EXPECT_EQ(doc->tag_name(doc->Children(doc->root())[0]), "a");
+}
+
+TEST(ParserTest, CdataPreserved) {
+  auto doc = MustParse("<t><![CDATA[<not> & parsed]]></t>");
+  EXPECT_EQ(doc->text(doc->Children(doc->root())[0]), "<not> & parsed");
+}
+
+TEST(ParserTest, MixedContentConcatenated) {
+  ParseOptions opts;
+  opts.skip_whitespace_text = false;
+  auto doc = MustParse("<t>one <b>bold</b> two</t>", opts);
+  NodeId t = doc->Children(doc->root())[0];
+  EXPECT_EQ(doc->text(t), "one two");
+  EXPECT_EQ(doc->text(doc->Children(t)[0]), "bold");
+}
+
+TEST(ParserTest, WhitespaceOnlyTextSkippedByDefault) {
+  auto doc = MustParse("<a>\n  <b/>\n</a>");
+  NodeId a = doc->Children(doc->root())[0];
+  EXPECT_FALSE(doc->has_text(a));
+}
+
+TEST(ParserTest, MultipleTopLevelElements) {
+  auto doc = MustParse("<a/><b/><c/>");
+  EXPECT_EQ(doc->Children(doc->root()).size(), 3u);
+}
+
+TEST(ParserTest, SingleQuotedAttributes) {
+  auto doc = MustParse("<a x='1'/>");
+  NodeId a = doc->Children(doc->root())[0];
+  EXPECT_EQ(doc->text(doc->Children(a)[0]), "1");
+}
+
+// -- Error cases -------------------------------------------------------------
+
+TEST(ParserTest, MismatchedClosingTagFails) {
+  auto r = ParseDocument("<a><b></a></b>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, UnterminatedElementFails) {
+  EXPECT_FALSE(ParseDocument("<a><b/>").ok());
+}
+
+TEST(ParserTest, StrayClosingTagFails) {
+  EXPECT_FALSE(ParseDocument("</a>").ok());
+}
+
+TEST(ParserTest, EmptyInputFails) {
+  EXPECT_FALSE(ParseDocument("").ok());
+  EXPECT_FALSE(ParseDocument("   just text   ").ok());
+}
+
+TEST(ParserTest, UnknownEntityFails) {
+  EXPECT_FALSE(ParseDocument("<a>&nope;</a>").ok());
+}
+
+TEST(ParserTest, UnterminatedCommentFails) {
+  EXPECT_FALSE(ParseDocument("<!-- never closed <a/>").ok());
+}
+
+TEST(ParserTest, MalformedAttributeFails) {
+  EXPECT_FALSE(ParseDocument("<a x=1/>").ok());
+  EXPECT_FALSE(ParseDocument("<a x></a>").ok());
+}
+
+TEST(ParserTest, ParseFileMissingReturnsNotFound) {
+  auto r = ParseFile("/nonexistent/path/to/file.xml");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// -- Serialization round trip -------------------------------------------------
+
+TEST(SerializerTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeXml("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(SerializerTest, RoundTripSimple) {
+  const char* text = "<book><title>wodehouse &amp; co</title><info x=\"1\"><isbn>12</isbn></info></book>";
+  auto doc = MustParse(text);
+  std::string serialized = SerializeDocument(*doc);
+  auto doc2 = MustParse(serialized);
+  // Compare structure: same tags in document order, same texts.
+  ASSERT_EQ(doc->num_nodes(), doc2->num_nodes());
+  auto d1 = doc->Descendants(doc->root());
+  auto d2 = doc2->Descendants(doc2->root());
+  ASSERT_EQ(d1.size(), d2.size());
+  for (size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(doc->tag_name(d1[i]), doc2->tag_name(d2[i]));
+    EXPECT_EQ(doc->text(d1[i]), doc2->text(d2[i]));
+  }
+}
+
+TEST(SerializerTest, RoundTripGeneratedXMark) {
+  xmlgen::XMarkOptions opts;
+  opts.seed = 11;
+  opts.target_bytes = 40 << 10;
+  auto doc = xmlgen::GenerateXMark(opts);
+  std::string serialized = SerializeDocument(*doc);
+  auto reparsed = MustParse(serialized);
+  ASSERT_EQ(doc->num_nodes(), reparsed->num_nodes());
+  auto d1 = doc->Descendants(doc->root());
+  auto d2 = reparsed->Descendants(reparsed->root());
+  ASSERT_EQ(d1.size(), d2.size());
+  for (size_t i = 0; i < d1.size(); ++i) {
+    ASSERT_EQ(doc->tag_name(d1[i]), reparsed->tag_name(d2[i])) << "at index " << i;
+    ASSERT_EQ(doc->text(d1[i]), reparsed->text(d2[i])) << "at index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace whirlpool::xml

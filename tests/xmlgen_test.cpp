@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "index/tag_index.h"
+#include "query/matcher.h"
+#include "xmlgen/bookstore.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::xmlgen {
+namespace {
+
+using index::TagIndex;
+
+TEST(XMarkGenTest, DeterministicForSeed) {
+  XMarkOptions opts;
+  opts.seed = 99;
+  opts.target_bytes = 16 << 10;
+  auto a = GenerateXMark(opts);
+  auto b = GenerateXMark(opts);
+  ASSERT_EQ(a->num_nodes(), b->num_nodes());
+  for (xml::NodeId i = 0; i < a->num_nodes(); ++i) {
+    ASSERT_EQ(a->tag_name(i), b->tag_name(i));
+    ASSERT_EQ(a->text(i), b->text(i));
+  }
+}
+
+TEST(XMarkGenTest, DifferentSeedsDiffer) {
+  XMarkOptions a_opts, b_opts;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  a_opts.target_bytes = b_opts.target_bytes = 16 << 10;
+  auto a = GenerateXMark(a_opts);
+  auto b = GenerateXMark(b_opts);
+  EXPECT_NE(a->num_nodes(), b->num_nodes());
+}
+
+TEST(XMarkGenTest, ScalesWithTargetBytes) {
+  XMarkOptions small, large;
+  small.target_bytes = 8 << 10;
+  large.target_bytes = 128 << 10;
+  auto sdoc = GenerateXMark(small);
+  auto ldoc = GenerateXMark(large);
+  EXPECT_GT(ldoc->num_nodes(), sdoc->num_nodes() * 8);
+  // Approximate calibration: within a factor ~4 of the target.
+  const double ratio =
+      static_cast<double>(ldoc->ApproxContentBytes()) / static_cast<double>(large.target_bytes);
+  EXPECT_GT(ratio, 0.25);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(XMarkGenTest, HasExpectedStructuralElements) {
+  XMarkOptions opts;
+  opts.target_bytes = 32 << 10;
+  auto doc = GenerateXMark(opts);
+  TagIndex idx(*doc);
+  EXPECT_FALSE(idx.Nodes("item").empty());
+  EXPECT_FALSE(idx.Nodes("description").empty());
+  EXPECT_FALSE(idx.Nodes("parlist").empty());
+  EXPECT_FALSE(idx.Nodes("listitem").empty());
+  EXPECT_FALSE(idx.Nodes("mailbox").empty());
+  EXPECT_FALSE(idx.Nodes("mail").empty());
+  EXPECT_FALSE(idx.Nodes("text").empty());
+  EXPECT_FALSE(idx.Nodes("bold").empty());
+  EXPECT_FALSE(idx.Nodes("keyword").empty());
+  EXPECT_FALSE(idx.Nodes("incategory").empty());
+  EXPECT_FALSE(idx.Nodes("person").empty());
+  EXPECT_FALSE(idx.Nodes("open_auction").empty());
+  EXPECT_FALSE(idx.Nodes("closed_auction").empty());
+  EXPECT_FALSE(idx.Nodes("category").empty());
+}
+
+TEST(XMarkGenTest, RecursiveParlistExists) {
+  XMarkOptions opts;
+  opts.seed = 3;
+  opts.target_bytes = 64 << 10;
+  auto doc = GenerateXMark(opts);
+  TagIndex idx(*doc);
+  xml::TagId parlist = doc->tags().Lookup("parlist");
+  bool nested = false;
+  for (xml::NodeId p : idx.Nodes(parlist)) {
+    if (!idx.DescendantsWithTag(p, parlist).empty()) {
+      nested = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(nested) << "no recursive parlist found; edge generalization has no fodder";
+}
+
+TEST(XMarkGenTest, SomeItemsLackIncategoryAndMailbox) {
+  XMarkOptions opts;
+  opts.seed = 5;
+  opts.target_bytes = 64 << 10;
+  auto doc = GenerateXMark(opts);
+  TagIndex idx(*doc);
+  xml::TagId incategory = doc->tags().Lookup("incategory");
+  xml::TagId mailbox = doc->tags().Lookup("mailbox");
+  int without_cat = 0, with_cat = 0, without_mail = 0, with_mail = 0;
+  for (xml::NodeId item : idx.Nodes("item")) {
+    (idx.CountDescendantsWithTag(item, incategory) == 0 ? without_cat : with_cat)++;
+    (idx.CountDescendantsWithTag(item, mailbox) == 0 ? without_mail : with_mail)++;
+  }
+  EXPECT_GT(without_cat, 0);
+  EXPECT_GT(with_cat, 0);
+  EXPECT_GT(without_mail, 0);
+  EXPECT_GT(with_mail, 0);
+}
+
+TEST(XMarkGenTest, PaperQueriesHaveExactMatches) {
+  XMarkOptions opts;
+  opts.seed = 6;
+  opts.target_bytes = 96 << 10;
+  auto doc = GenerateXMark(opts);
+  TagIndex idx(*doc);
+  for (const char* xpath :
+       {"//item[./description/parlist]",
+        "//item[./description/parlist and ./mailbox/mail/text]",
+        "//item[./mailbox/mail/text[./bold and ./keyword] and ./name and "
+        "./incategory]"}) {
+    auto q = query::ParseXPath(xpath);
+    ASSERT_TRUE(q.ok());
+    EXPECT_FALSE(query::EvaluatePattern(idx, *q).empty()) << xpath;
+    // ... but not every item matches exactly (approximation is meaningful).
+    EXPECT_LT(query::EvaluatePattern(idx, *q).size(), idx.Nodes("item").size())
+        << xpath;
+  }
+}
+
+TEST(BookstoreTest, Figure1HasThreeBooks) {
+  auto doc = Figure1Bookstore();
+  TagIndex idx(*doc);
+  EXPECT_EQ(idx.Nodes("book").size(), 3u);
+  EXPECT_EQ(idx.Nodes("title").size(), 3u);
+  EXPECT_EQ(idx.Nodes("publisher").size(), 2u);
+  EXPECT_EQ(idx.NodesWithValue("name", "psmith").size(), 2u);
+  EXPECT_EQ(idx.NodesWithValue("location", "london").size(), 2u);
+}
+
+TEST(BookstoreTest, GeneratedCollectionHasHeterogeneousSchemas) {
+  BookstoreOptions opts;
+  opts.num_books = 200;
+  auto doc = GenerateBookstore(opts);
+  TagIndex idx(*doc);
+  EXPECT_EQ(idx.Nodes("book").size(), 200u);
+  // Schema (a)/(b): title is a child of book; schema (c): under info.
+  auto q_direct = query::ParseXPath("/book[./title]");
+  auto q_nested = query::ParseXPath("/book[./info/title]");
+  ASSERT_TRUE(q_direct.ok());
+  ASSERT_TRUE(q_nested.ok());
+  const size_t direct = query::EvaluatePattern(idx, *q_direct).size();
+  const size_t nested = query::EvaluatePattern(idx, *q_nested).size();
+  EXPECT_GT(direct, 0u);
+  EXPECT_GT(nested, 0u);
+  EXPECT_EQ(direct + nested, 200u);
+}
+
+TEST(BookstoreTest, GeneratedCollectionDeterministic) {
+  BookstoreOptions opts;
+  opts.seed = 12;
+  opts.num_books = 50;
+  auto a = GenerateBookstore(opts);
+  auto b = GenerateBookstore(opts);
+  ASSERT_EQ(a->num_nodes(), b->num_nodes());
+  for (xml::NodeId i = 0; i < a->num_nodes(); ++i) {
+    ASSERT_EQ(a->tag_name(i), b->tag_name(i));
+    ASSERT_EQ(a->text(i), b->text(i));
+  }
+}
+
+}  // namespace
+}  // namespace whirlpool::xmlgen

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "query/tree_pattern.h"
+
+namespace whirlpool::query {
+namespace {
+
+TreePattern MustParse(std::string_view xpath) {
+  auto r = ParseXPath(xpath);
+  EXPECT_TRUE(r.ok()) << xpath << " -> " << r.status();
+  return std::move(r).value();
+}
+
+TEST(XPathParserTest, BareRootStep) {
+  TreePattern p = MustParse("/book");
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.node(0).tag, "book");
+}
+
+TEST(XPathParserTest, DescendantRootStep) {
+  TreePattern p = MustParse("//item");
+  EXPECT_EQ(p.node(0).tag, "item");
+}
+
+TEST(XPathParserTest, SimplePredicate) {
+  TreePattern p = MustParse("//item[./name]");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.node(1).tag, "name");
+  EXPECT_EQ(p.node(1).axis, Axis::kChild);
+  EXPECT_EQ(p.node(1).parent, 0);
+}
+
+TEST(XPathParserTest, DescendantPredicate) {
+  TreePattern p = MustParse("/book[.//title]");
+  EXPECT_EQ(p.node(1).axis, Axis::kDescendant);
+}
+
+TEST(XPathParserTest, ValuePredicate) {
+  TreePattern p = MustParse("/book[.//title = 'wodehouse']");
+  ASSERT_EQ(p.size(), 2u);
+  ASSERT_TRUE(p.node(1).value.has_value());
+  EXPECT_EQ(*p.node(1).value, "wodehouse");
+}
+
+TEST(XPathParserTest, PathPredicateBuildsChain) {
+  TreePattern p = MustParse("/book[./info/publisher/name = 'psmith']");
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.node(1).tag, "info");
+  EXPECT_EQ(p.node(2).tag, "publisher");
+  EXPECT_EQ(p.node(2).parent, 1);
+  EXPECT_EQ(p.node(3).tag, "name");
+  EXPECT_EQ(*p.node(3).value, "psmith");
+  EXPECT_FALSE(p.node(1).value.has_value());  // value on last step only
+}
+
+TEST(XPathParserTest, ConjunctionOfTerms) {
+  TreePattern p = MustParse(
+      "/book[.//title = 'wodehouse' and ./info/publisher/name = 'psmith']");
+  ASSERT_EQ(p.size(), 5u);
+  // Both top-level terms hang off the root.
+  EXPECT_EQ(p.node(1).parent, 0);  // title
+  EXPECT_EQ(p.node(2).parent, 0);  // info
+  EXPECT_EQ(p.node(0).children, (std::vector<int>{1, 2}));
+}
+
+TEST(XPathParserTest, PaperQ1) {
+  TreePattern p = MustParse("//item[./description/parlist]");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.node(0).tag, "item");
+  EXPECT_EQ(p.node(1).tag, "description");
+  EXPECT_EQ(p.node(2).tag, "parlist");
+  EXPECT_EQ(p.node(2).parent, 1);
+}
+
+TEST(XPathParserTest, PaperQ2) {
+  TreePattern p =
+      MustParse("//item[./description/parlist and ./mailbox/mail/text]");
+  ASSERT_EQ(p.size(), 6u);
+  EXPECT_EQ(p.node(3).tag, "mailbox");
+  EXPECT_EQ(p.node(5).tag, "text");
+  EXPECT_EQ(p.node(5).parent, 4);
+}
+
+TEST(XPathParserTest, PaperQ3WithNestedPredicates) {
+  TreePattern p = MustParse(
+      "//item[./mailbox/mail/text[./bold and ./keyword] and ./name and "
+      "./incategory]");
+  ASSERT_EQ(p.size(), 8u);
+  // text has two children from its nested predicate.
+  int text = -1;
+  for (int i = 0; i < static_cast<int>(p.size()); ++i) {
+    if (p.node(i).tag == "text") text = i;
+  }
+  ASSERT_NE(text, -1);
+  ASSERT_EQ(p.node(text).children.size(), 2u);
+  EXPECT_EQ(p.node(p.node(text).children[0]).tag, "bold");
+  EXPECT_EQ(p.node(p.node(text).children[1]).tag, "keyword");
+  // name and incategory hang off the root.
+  EXPECT_EQ(p.node(0).children.size(), 3u);
+}
+
+TEST(XPathParserTest, WhitespaceInsensitive) {
+  TreePattern a = MustParse("/book[./title='x'and ./isbn]");
+  TreePattern b = MustParse("  /book[ ./title = 'x'  and  ./isbn ]  ");
+  EXPECT_TRUE(a == b);
+}
+
+TEST(XPathParserTest, DoubleQuotedValues) {
+  TreePattern p = MustParse("/a[./b = \"val\"]");
+  EXPECT_EQ(*p.node(1).value, "val");
+}
+
+TEST(XPathParserTest, PredicatePathWithoutLeadingDot) {
+  TreePattern p = MustParse("/a[/b//c]");
+  EXPECT_EQ(p.node(1).axis, Axis::kChild);
+  EXPECT_EQ(p.node(2).axis, Axis::kDescendant);
+}
+
+TEST(XPathParserTest, AttributeTags) {
+  TreePattern p = MustParse("//item[./@id = 'item0']");
+  EXPECT_EQ(p.node(1).tag, "@id");
+  EXPECT_EQ(*p.node(1).value, "item0");
+}
+
+// -- Errors -------------------------------------------------------------------
+
+TEST(XPathParserTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("book").ok());  // must start with / or //
+}
+
+TEST(XPathParserTest, RejectsUnclosedPredicate) {
+  EXPECT_FALSE(ParseXPath("/a[./b").ok());
+}
+
+TEST(XPathParserTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(ParseXPath("/a[./b = 'oops]").ok());
+}
+
+TEST(XPathParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseXPath("/a[./b] extra").ok());
+}
+
+TEST(XPathParserTest, MultiStepReturnPathUnsupported) {
+  auto r = ParseXPath("/a/b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(XPathParserTest, RejectsEmptyPredicate) {
+  EXPECT_FALSE(ParseXPath("/a[]").ok());
+}
+
+TEST(XPathParserTest, RejectsMissingValueAfterEquals) {
+  EXPECT_FALSE(ParseXPath("/a[./b = ]").ok());
+}
+
+}  // namespace
+}  // namespace whirlpool::query

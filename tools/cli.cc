@@ -1,0 +1,303 @@
+#include "tools/cli.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "whirlpool/whirlpool.h"
+#include "xml/snapshot.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::cli {
+
+namespace {
+
+/// Parsed --key=value flags plus positional arguments.
+struct Flags {
+  std::map<std::string, std::string> kv;
+  std::vector<std::string> positional;
+
+  static Result<Flags> Parse(const std::vector<std::string>& args) {
+    Flags f;
+    for (const std::string& a : args) {
+      if (a.rfind("--", 0) == 0) {
+        size_t eq = a.find('=');
+        if (eq == std::string::npos) {
+          f.kv[a.substr(2)] = "true";
+        } else {
+          f.kv[a.substr(2, eq - 2)] = a.substr(eq + 1);
+        }
+      } else {
+        f.positional.push_back(a);
+      }
+    }
+    return f;
+  }
+
+  bool Has(const std::string& key) const { return kv.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : std::atoll(it->second.c_str());
+  }
+
+  /// Errors on flags the command does not know (catches typos).
+  Status CheckKnown(const std::vector<std::string>& known) const {
+    for (const auto& [key, value] : kv) {
+      if (std::find(known.begin(), known.end(), key) == known.end()) {
+        return Status::InvalidArgument("unknown flag --" + key);
+      }
+    }
+    return Status::OK();
+  }
+};
+
+/// Loads a document from --xml=FILE, --snapshot=FILE or --generate-kb=N.
+Result<std::unique_ptr<xml::Document>> LoadDocument(const Flags& flags) {
+  const int sources = (flags.Has("xml") ? 1 : 0) + (flags.Has("generate-kb") ? 1 : 0) +
+                      (flags.Has("snapshot") ? 1 : 0);
+  if (sources != 1) {
+    return Status::InvalidArgument(
+        "provide exactly one of --xml=FILE, --snapshot=FILE or --generate-kb=N");
+  }
+  if (flags.Has("xml")) return xml::ParseFile(flags.Get("xml"));
+  if (flags.Has("snapshot")) return xml::LoadSnapshot(flags.Get("snapshot"));
+  xmlgen::XMarkOptions gen;
+  gen.target_bytes = static_cast<size_t>(flags.GetInt("generate-kb", 256)) << 10;
+  gen.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  return Result<std::unique_ptr<xml::Document>>(xmlgen::GenerateXMark(gen));
+}
+
+Result<exec::ExecOptions> ParseExecOptions(const Flags& flags) {
+  exec::ExecOptions options;
+  options.k = static_cast<uint32_t>(flags.GetInt("k", 10));
+  if (options.k == 0) return Status::InvalidArgument("--k must be positive");
+
+  const std::string engine = flags.Get("engine", "ws");
+  if (engine == "ws") options.engine = exec::EngineKind::kWhirlpoolS;
+  else if (engine == "wm") options.engine = exec::EngineKind::kWhirlpoolM;
+  else if (engine == "lockstep") options.engine = exec::EngineKind::kLockStep;
+  else if (engine == "noprun") options.engine = exec::EngineKind::kLockStepNoPrun;
+  else return Status::InvalidArgument("--engine must be ws|wm|lockstep|noprun");
+
+  const std::string semantics = flags.Get("semantics", "relaxed");
+  if (semantics == "relaxed") options.semantics = exec::MatchSemantics::kRelaxed;
+  else if (semantics == "exact") options.semantics = exec::MatchSemantics::kExact;
+  else return Status::InvalidArgument("--semantics must be relaxed|exact");
+
+  const std::string aggregation = flags.Get("aggregation", "max");
+  if (aggregation == "max") options.aggregation = exec::ScoreAggregation::kMaxTuple;
+  else if (aggregation == "sum") options.aggregation = exec::ScoreAggregation::kSumWitnesses;
+  else return Status::InvalidArgument("--aggregation must be max|sum");
+
+  const std::string routing = flags.Get("routing", "min_alive");
+  if (routing == "static") options.routing = exec::RoutingStrategy::kStatic;
+  else if (routing == "max_score") options.routing = exec::RoutingStrategy::kMaxScore;
+  else if (routing == "min_score") options.routing = exec::RoutingStrategy::kMinScore;
+  else if (routing == "min_alive") options.routing = exec::RoutingStrategy::kMinAlive;
+  else {
+    return Status::InvalidArgument("--routing must be static|max_score|min_score|min_alive");
+  }
+  options.cache_server_joins = flags.Get("cache", "false") == "true";
+  if (flags.Has("threshold")) {
+    options.min_score_threshold = std::atof(flags.Get("threshold").c_str());
+    // "All answers above T": lift the k cap unless the user set one.
+    if (!flags.Has("k")) options.k = 1u << 30;
+  }
+  return options;
+}
+
+Result<score::Normalization> ParseNorm(const Flags& flags) {
+  const std::string norm = flags.Get("norm", "sparse");
+  if (norm == "sparse") return score::Normalization::kSparse;
+  if (norm == "dense") return score::Normalization::kDense;
+  if (norm == "none") return score::Normalization::kNone;
+  return Status::InvalidArgument("--norm must be sparse|dense|none");
+}
+
+Status CmdGenerate(const Flags& flags, std::ostream& out) {
+  WHIRLPOOL_RETURN_NOT_OK(flags.CheckKnown({"bytes", "seed", "out", "snapshot-out"}));
+  xmlgen::XMarkOptions gen;
+  gen.target_bytes = static_cast<size_t>(flags.GetInt("bytes", 1 << 20));
+  gen.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  auto doc = xmlgen::GenerateXMark(gen);
+  if (flags.Has("snapshot-out")) {
+    WHIRLPOOL_RETURN_NOT_OK(xml::SaveSnapshot(*doc, flags.Get("snapshot-out")));
+    out << "wrote snapshot (" << doc->num_nodes() << " nodes) to "
+        << flags.Get("snapshot-out") << "\n";
+    if (!flags.Has("out")) return Status::OK();
+  }
+  const std::string text = xml::SerializeDocument(*doc);
+  if (flags.Has("out")) {
+    std::ofstream file(flags.Get("out"), std::ios::binary);
+    if (!file) return Status::Internal("cannot write " + flags.Get("out"));
+    file << text;
+    out << "wrote " << text.size() << " bytes (" << doc->num_nodes() << " nodes) to "
+        << flags.Get("out") << "\n";
+  } else {
+    out << text;
+  }
+  return Status::OK();
+}
+
+Status CmdInspect(const Flags& flags, std::ostream& out) {
+  WHIRLPOOL_RETURN_NOT_OK(flags.CheckKnown({"xml", "snapshot", "generate-kb", "seed", "top"}));
+  auto doc = LoadDocument(flags);
+  if (!doc.ok()) return doc.status();
+  const xml::Document& d = **doc;
+  index::TagIndex idx(d);
+
+  uint32_t max_depth = 0;
+  for (xml::NodeId i = 0; i < d.num_nodes(); ++i) {
+    max_depth = std::max(max_depth, d.node(i).depth);
+  }
+  out << "nodes:      " << d.num_nodes() << "\n";
+  out << "tags:       " << d.tags().size() << "\n";
+  out << "max depth:  " << max_depth << "\n";
+  out << "approx size:" << d.ApproxContentBytes() / 1024 << " KB\n";
+
+  std::vector<std::pair<uint64_t, std::string>> counts;
+  for (xml::TagId t = 0; t < d.tags().size(); ++t) {
+    const std::string& name = d.tags().Name(t);
+    if (name == "#root") continue;
+    counts.emplace_back(idx.Nodes(t).size(), name);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  const size_t top = static_cast<size_t>(flags.GetInt("top", 15));
+  out << "top tags:\n";
+  for (size_t i = 0; i < std::min(top, counts.size()); ++i) {
+    out << "  " << counts[i].second << ": " << counts[i].first << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdExplain(const Flags& flags, std::ostream& out) {
+  WHIRLPOOL_RETURN_NOT_OK(
+      flags.CheckKnown({"xml", "snapshot", "generate-kb", "seed", "xpath", "norm"}));
+  if (!flags.Has("xpath")) return Status::InvalidArgument("--xpath is required");
+  auto doc = LoadDocument(flags);
+  if (!doc.ok()) return doc.status();
+  index::TagIndex idx(**doc);
+  auto pattern = query::ParseXPath(flags.Get("xpath"));
+  if (!pattern.ok()) return pattern.status();
+  auto norm = ParseNorm(flags);
+  if (!norm.ok()) return norm.status();
+
+  out << "pattern: " << pattern->ToString() << "\n\n";
+  auto scoring = score::ScoringModel::ComputeTfIdf(idx, *pattern, *norm);
+  out << "scoring model (" << flags.Get("norm", "sparse") << "):\n"
+      << scoring.ToString(*pattern);
+  auto plan = exec::QueryPlan::Build(idx, *pattern, scoring);
+  if (!plan.ok()) return plan.status();
+  out << "\nservers:\n";
+  for (int s = 0; s < plan->num_servers(); ++s) {
+    const exec::ServerSpec& spec = plan->server(s);
+    out << "  [" << s << "] " << pattern->node(spec.pattern_node).tag
+        << "  avg_candidates/root=" << spec.avg_candidates_per_root
+        << "  P(exact/edge/promoted)=" << spec.level_prob[0] << "/"
+        << spec.level_prob[1] << "/" << spec.level_prob[2]
+        << "  max_contribution=" << plan->MaxContribution(s) << "\n";
+  }
+  out << "root candidates: " << query::RootCandidates(idx, *pattern).size() << "\n";
+  return Status::OK();
+}
+
+Status CmdQuery(const Flags& flags, std::ostream& out) {
+  WHIRLPOOL_RETURN_NOT_OK(flags.CheckKnown(
+      {"xml", "snapshot", "generate-kb", "seed", "xpath", "k", "engine", "semantics",
+       "aggregation", "norm", "routing", "format", "show-metrics", "threshold",
+       "show-fragments", "cache"}));
+  if (!flags.Has("xpath")) return Status::InvalidArgument("--xpath is required");
+  auto doc = LoadDocument(flags);
+  if (!doc.ok()) return doc.status();
+  index::TagIndex idx(**doc);
+  auto pattern = query::ParseXPath(flags.Get("xpath"));
+  if (!pattern.ok()) return pattern.status();
+  auto norm = ParseNorm(flags);
+  if (!norm.ok()) return norm.status();
+  auto options = ParseExecOptions(flags);
+  if (!options.ok()) return options.status();
+
+  auto scoring = score::ScoringModel::ComputeTfIdf(idx, *pattern, *norm);
+  auto plan = exec::QueryPlan::Build(idx, *pattern, scoring);
+  if (!plan.ok()) return plan.status();
+  auto result = exec::RunTopK(*plan, *options);
+  if (!result.ok()) return result.status();
+
+  const std::string format = flags.Get("format", "text");
+  xml::DeweyIndex dewey(**doc);
+  if (format == "csv") {
+    out << "rank,score,dewey";
+    for (size_t qi = 1; qi < pattern->size(); ++qi) {
+      out << "," << pattern->node(static_cast<int>(qi)).tag << "_level";
+    }
+    out << "\n";
+    int rank = 1;
+    for (const auto& a : result->answers) {
+      out << rank++ << "," << a.score << "," << dewey.label(a.root).ToString();
+      for (size_t qi = 1; qi < pattern->size(); ++qi) {
+        out << "," << score::MatchLevelName(a.levels[qi]);
+      }
+      out << "\n";
+    }
+  } else if (format == "text") {
+    int rank = 1;
+    for (const auto& a : result->answers) {
+      out << "#" << rank++ << " score=" << a.score << " node=" << a.root
+          << " dewey=" << dewey.label(a.root).ToString() << "\n";
+      for (size_t qi = 1; qi < pattern->size(); ++qi) {
+        out << "    " << pattern->node(static_cast<int>(qi)).tag << " -> "
+            << score::MatchLevelName(a.levels[qi]) << "\n";
+      }
+      if (flags.Has("show-fragments")) {
+        out << xml::SerializeSubtree(**doc, a.root, 2);
+      }
+    }
+    if (result->answers.empty()) out << "(no answers)\n";
+  } else {
+    return Status::InvalidArgument("--format must be text|csv");
+  }
+  if (flags.Has("show-metrics")) {
+    out << "metrics: " << result->metrics.ToString() << "\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string UsageText() {
+  return
+      "usage: whirlpool <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate  --bytes=N [--seed=S] [--out=FILE] [--snapshot-out=FILE]\n"
+      "  inspect   (--xml=FILE | --snapshot=FILE | --generate-kb=N) [--top=N]\n"
+      "  explain   (--xml | --snapshot | --generate-kb) --xpath=EXPR [--norm=...]\n"
+      "  query     (--xml | --snapshot | --generate-kb) --xpath=EXPR [--k=N]\n"
+      "            [--engine=ws|wm|lockstep|noprun] [--semantics=relaxed|exact]\n"
+      "            [--aggregation=max|sum] [--norm=sparse|dense|none]\n"
+      "            [--routing=static|max_score|min_score|min_alive]\n"
+      "            [--threshold=T] [--format=text|csv] [--cache=true] [--show-metrics]\n"
+      "            [--show-fragments]\n";
+}
+
+Status RunCli(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << UsageText();
+    return Status::OK();
+  }
+  auto flags = Flags::Parse(std::vector<std::string>(args.begin() + 1, args.end()));
+  if (!flags.ok()) return flags.status();
+  const std::string& command = args[0];
+  if (command == "generate") return CmdGenerate(*flags, out);
+  if (command == "inspect") return CmdInspect(*flags, out);
+  if (command == "explain") return CmdExplain(*flags, out);
+  if (command == "query") return CmdQuery(*flags, out);
+  return Status::InvalidArgument("unknown command '" + command + "' (try help)");
+}
+
+}  // namespace whirlpool::cli

@@ -1,0 +1,36 @@
+// The `whirlpool` command-line tool, as a testable library: argument
+// parsing and command execution write to a stream and return Status, and
+// tools/main.cc is a thin wrapper.
+//
+// Commands:
+//   whirlpool generate --bytes=N [--seed=S] [--out=FILE]
+//       Emit an XMark-style document (stdout by default).
+//   whirlpool query (--xml=FILE | --generate-kb=N) --xpath=EXPR
+//       [--k=N] [--engine=ws|wm|lockstep|noprun] [--semantics=relaxed|exact]
+//       [--aggregation=max|sum] [--norm=sparse|dense|none]
+//       [--routing=static|max_score|min_score|min_alive] [--format=text|csv]
+//       [--show-metrics] [--show-fragments]
+//       Run a top-k query and print ranked answers.
+//   whirlpool inspect (--xml=FILE | --generate-kb=N)
+//       Print document statistics (node count, depth, top tags).
+//   whirlpool explain (--xml=FILE | --generate-kb=N) --xpath=EXPR
+//       Print the parsed pattern, the tf*idf scoring model and per-server
+//       plan statistics without running the query.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace whirlpool::cli {
+
+/// Runs the CLI with `args` (argv[1..]); writes human output to `out` and
+/// problems to the returned Status. Never calls exit().
+Status RunCli(const std::vector<std::string>& args, std::ostream& out);
+
+/// Renders usage help.
+std::string UsageText();
+
+}  // namespace whirlpool::cli

@@ -1,0 +1,17 @@
+// Entry point for the `whirlpool` CLI; all logic lives in tools/cli.cc so
+// it is unit-testable.
+#include <cstdio>
+#include <iostream>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  whirlpool::Status status = whirlpool::cli::RunCli(args, std::cout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", status.ToString().c_str(),
+                 whirlpool::cli::UsageText().c_str());
+    return 1;
+  }
+  return 0;
+}
