@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rewriting.dir/bench_ablation_rewriting.cpp.o"
+  "CMakeFiles/bench_ablation_rewriting.dir/bench_ablation_rewriting.cpp.o.d"
+  "bench_ablation_rewriting"
+  "bench_ablation_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whirlpool_bench_common.dir/common.cc.o"
+  "CMakeFiles/whirlpool_bench_common.dir/common.cc.o.d"
+  "libwhirlpool_bench_common.a"
+  "libwhirlpool_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whirlpool_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

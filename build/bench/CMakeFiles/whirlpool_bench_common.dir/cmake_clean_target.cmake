@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwhirlpool_bench_common.a"
+)

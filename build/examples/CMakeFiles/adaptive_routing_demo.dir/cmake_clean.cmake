@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_routing_demo.dir/adaptive_routing_demo.cpp.o"
+  "CMakeFiles/adaptive_routing_demo.dir/adaptive_routing_demo.cpp.o.d"
+  "adaptive_routing_demo"
+  "adaptive_routing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_routing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

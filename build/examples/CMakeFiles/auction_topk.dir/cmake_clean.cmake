@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_topk.dir/auction_topk.cpp.o"
+  "CMakeFiles/auction_topk.dir/auction_topk.cpp.o.d"
+  "auction_topk"
+  "auction_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_search.dir/threshold_search.cpp.o"
+  "CMakeFiles/threshold_search.dir/threshold_search.cpp.o.d"
+  "threshold_search"
+  "threshold_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

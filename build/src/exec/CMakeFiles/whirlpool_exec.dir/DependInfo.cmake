@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/lockstep.cc" "src/exec/CMakeFiles/whirlpool_exec.dir/lockstep.cc.o" "gcc" "src/exec/CMakeFiles/whirlpool_exec.dir/lockstep.cc.o.d"
+  "/root/repo/src/exec/misc.cc" "src/exec/CMakeFiles/whirlpool_exec.dir/misc.cc.o" "gcc" "src/exec/CMakeFiles/whirlpool_exec.dir/misc.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/exec/CMakeFiles/whirlpool_exec.dir/plan.cc.o" "gcc" "src/exec/CMakeFiles/whirlpool_exec.dir/plan.cc.o.d"
+  "/root/repo/src/exec/rewriting_baseline.cc" "src/exec/CMakeFiles/whirlpool_exec.dir/rewriting_baseline.cc.o" "gcc" "src/exec/CMakeFiles/whirlpool_exec.dir/rewriting_baseline.cc.o.d"
+  "/root/repo/src/exec/routing.cc" "src/exec/CMakeFiles/whirlpool_exec.dir/routing.cc.o" "gcc" "src/exec/CMakeFiles/whirlpool_exec.dir/routing.cc.o.d"
+  "/root/repo/src/exec/server.cc" "src/exec/CMakeFiles/whirlpool_exec.dir/server.cc.o" "gcc" "src/exec/CMakeFiles/whirlpool_exec.dir/server.cc.o.d"
+  "/root/repo/src/exec/topk_set.cc" "src/exec/CMakeFiles/whirlpool_exec.dir/topk_set.cc.o" "gcc" "src/exec/CMakeFiles/whirlpool_exec.dir/topk_set.cc.o.d"
+  "/root/repo/src/exec/whirlpool_m.cc" "src/exec/CMakeFiles/whirlpool_exec.dir/whirlpool_m.cc.o" "gcc" "src/exec/CMakeFiles/whirlpool_exec.dir/whirlpool_m.cc.o.d"
+  "/root/repo/src/exec/whirlpool_s.cc" "src/exec/CMakeFiles/whirlpool_exec.dir/whirlpool_s.cc.o" "gcc" "src/exec/CMakeFiles/whirlpool_exec.dir/whirlpool_s.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/score/CMakeFiles/whirlpool_score.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/whirlpool_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/whirlpool_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/whirlpool_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whirlpool_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

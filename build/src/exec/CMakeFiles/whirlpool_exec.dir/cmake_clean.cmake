@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whirlpool_exec.dir/lockstep.cc.o"
+  "CMakeFiles/whirlpool_exec.dir/lockstep.cc.o.d"
+  "CMakeFiles/whirlpool_exec.dir/misc.cc.o"
+  "CMakeFiles/whirlpool_exec.dir/misc.cc.o.d"
+  "CMakeFiles/whirlpool_exec.dir/plan.cc.o"
+  "CMakeFiles/whirlpool_exec.dir/plan.cc.o.d"
+  "CMakeFiles/whirlpool_exec.dir/rewriting_baseline.cc.o"
+  "CMakeFiles/whirlpool_exec.dir/rewriting_baseline.cc.o.d"
+  "CMakeFiles/whirlpool_exec.dir/routing.cc.o"
+  "CMakeFiles/whirlpool_exec.dir/routing.cc.o.d"
+  "CMakeFiles/whirlpool_exec.dir/server.cc.o"
+  "CMakeFiles/whirlpool_exec.dir/server.cc.o.d"
+  "CMakeFiles/whirlpool_exec.dir/topk_set.cc.o"
+  "CMakeFiles/whirlpool_exec.dir/topk_set.cc.o.d"
+  "CMakeFiles/whirlpool_exec.dir/whirlpool_m.cc.o"
+  "CMakeFiles/whirlpool_exec.dir/whirlpool_m.cc.o.d"
+  "CMakeFiles/whirlpool_exec.dir/whirlpool_s.cc.o"
+  "CMakeFiles/whirlpool_exec.dir/whirlpool_s.cc.o.d"
+  "libwhirlpool_exec.a"
+  "libwhirlpool_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whirlpool_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whirlpool_index.dir/tag_index.cc.o"
+  "CMakeFiles/whirlpool_index.dir/tag_index.cc.o.d"
+  "libwhirlpool_index.a"
+  "libwhirlpool_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whirlpool_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whirlpool_query.dir/matcher.cc.o"
+  "CMakeFiles/whirlpool_query.dir/matcher.cc.o.d"
+  "CMakeFiles/whirlpool_query.dir/tree_pattern.cc.o"
+  "CMakeFiles/whirlpool_query.dir/tree_pattern.cc.o.d"
+  "libwhirlpool_query.a"
+  "libwhirlpool_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whirlpool_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whirlpool_score.dir/scoring.cc.o"
+  "CMakeFiles/whirlpool_score.dir/scoring.cc.o.d"
+  "libwhirlpool_score.a"
+  "libwhirlpool_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whirlpool_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

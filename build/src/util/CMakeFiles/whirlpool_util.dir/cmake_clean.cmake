@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whirlpool_util.dir/rng.cc.o"
+  "CMakeFiles/whirlpool_util.dir/rng.cc.o.d"
+  "CMakeFiles/whirlpool_util.dir/status.cc.o"
+  "CMakeFiles/whirlpool_util.dir/status.cc.o.d"
+  "CMakeFiles/whirlpool_util.dir/string_util.cc.o"
+  "CMakeFiles/whirlpool_util.dir/string_util.cc.o.d"
+  "libwhirlpool_util.a"
+  "libwhirlpool_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whirlpool_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

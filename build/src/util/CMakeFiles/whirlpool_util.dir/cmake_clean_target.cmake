@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwhirlpool_util.a"
+)

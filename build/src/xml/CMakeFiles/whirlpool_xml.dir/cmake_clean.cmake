@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whirlpool_xml.dir/dewey.cc.o"
+  "CMakeFiles/whirlpool_xml.dir/dewey.cc.o.d"
+  "CMakeFiles/whirlpool_xml.dir/document.cc.o"
+  "CMakeFiles/whirlpool_xml.dir/document.cc.o.d"
+  "CMakeFiles/whirlpool_xml.dir/parser.cc.o"
+  "CMakeFiles/whirlpool_xml.dir/parser.cc.o.d"
+  "CMakeFiles/whirlpool_xml.dir/snapshot.cc.o"
+  "CMakeFiles/whirlpool_xml.dir/snapshot.cc.o.d"
+  "libwhirlpool_xml.a"
+  "libwhirlpool_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whirlpool_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

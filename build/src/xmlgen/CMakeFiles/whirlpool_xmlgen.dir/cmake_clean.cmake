@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whirlpool_xmlgen.dir/bookstore.cc.o"
+  "CMakeFiles/whirlpool_xmlgen.dir/bookstore.cc.o.d"
+  "CMakeFiles/whirlpool_xmlgen.dir/xmark.cc.o"
+  "CMakeFiles/whirlpool_xmlgen.dir/xmark.cc.o.d"
+  "libwhirlpool_xmlgen.a"
+  "libwhirlpool_xmlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whirlpool_xmlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

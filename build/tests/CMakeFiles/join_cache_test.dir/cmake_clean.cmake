@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_cache_test.dir/join_cache_test.cpp.o"
+  "CMakeFiles/join_cache_test.dir/join_cache_test.cpp.o.d"
+  "join_cache_test"
+  "join_cache_test.pdb"
+  "join_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

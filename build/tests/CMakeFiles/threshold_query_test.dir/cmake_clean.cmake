@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_query_test.dir/threshold_query_test.cpp.o"
+  "CMakeFiles/threshold_query_test.dir/threshold_query_test.cpp.o.d"
+  "threshold_query_test"
+  "threshold_query_test.pdb"
+  "threshold_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

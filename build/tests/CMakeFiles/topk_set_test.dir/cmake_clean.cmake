@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_set_test.dir/topk_set_test.cpp.o"
+  "CMakeFiles/topk_set_test.dir/topk_set_test.cpp.o.d"
+  "topk_set_test"
+  "topk_set_test.pdb"
+  "topk_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_pattern_test.dir/tree_pattern_test.cpp.o"
+  "CMakeFiles/tree_pattern_test.dir/tree_pattern_test.cpp.o.d"
+  "tree_pattern_test"
+  "tree_pattern_test.pdb"
+  "tree_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlgen_test.dir/xmlgen_test.cpp.o"
+  "CMakeFiles/xmlgen_test.dir/xmlgen_test.cpp.o.d"
+  "xmlgen_test"
+  "xmlgen_test.pdb"
+  "xmlgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

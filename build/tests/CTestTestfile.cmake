@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_document_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/dewey_test[1]_include.cmake")
+include("/root/repo/build/tests/tag_index_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/xpath_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/matcher_test[1]_include.cmake")
+include("/root/repo/build/tests/relaxation_test[1]_include.cmake")
+include("/root/repo/build/tests/scoring_test[1]_include.cmake")
+include("/root/repo/build/tests/xmlgen_test[1]_include.cmake")
+include("/root/repo/build/tests/topk_set_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_agreement_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregation_test[1]_include.cmake")
+include("/root/repo/build/tests/join_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/threshold_query_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/wildcard_test[1]_include.cmake")
+include("/root/repo/build/tests/rewriting_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")

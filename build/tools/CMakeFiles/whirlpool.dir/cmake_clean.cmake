@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whirlpool.dir/main.cc.o"
+  "CMakeFiles/whirlpool.dir/main.cc.o.d"
+  "whirlpool"
+  "whirlpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whirlpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

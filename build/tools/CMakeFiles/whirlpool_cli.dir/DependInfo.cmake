@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/cli.cc" "tools/CMakeFiles/whirlpool_cli.dir/cli.cc.o" "gcc" "tools/CMakeFiles/whirlpool_cli.dir/cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/whirlpool_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/score/CMakeFiles/whirlpool_score.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/whirlpool_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/whirlpool_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlgen/CMakeFiles/whirlpool_xmlgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/whirlpool_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whirlpool_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

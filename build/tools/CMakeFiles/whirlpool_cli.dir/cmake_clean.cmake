@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whirlpool_cli.dir/cli.cc.o"
+  "CMakeFiles/whirlpool_cli.dir/cli.cc.o.d"
+  "libwhirlpool_cli.a"
+  "libwhirlpool_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whirlpool_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
