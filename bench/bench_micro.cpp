@@ -168,4 +168,27 @@ void BM_EndToEndTopK(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndTopK);
 
+// Instrumentation overhead study. Compare against BM_EndToEndTopK: mode 0
+// (tracer null, latencies off — the default ExecOptions) is the
+// ≤5%-overhead budget for the disabled trace hooks; mode 1 adds the
+// histogram clock reads; mode 2 additionally records every span.
+void BM_EndToEndTopKInstrumented(benchmark::State& state) {
+  index::TagIndex& idx = CorpusIndex();
+  auto q = query::ParseXPath("//item[./description/parlist]");
+  auto scoring = score::ScoringModel::ComputeTfIdf(idx, *q, score::Normalization::kSparse);
+  auto plan = exec::QueryPlan::Build(idx, *q, scoring).value();
+  const int mode = static_cast<int>(state.range(0));
+  exec::ExecOptions options;
+  options.k = 15;
+  options.collect_latencies = mode >= 1;
+  for (auto _ : state) {
+    exec::Tracer tracer;
+    if (mode >= 2) options.tracer = &tracer;
+    auto r = exec::RunTopK(plan, options);
+    benchmark::DoNotOptimize(r);
+    benchmark::DoNotOptimize(tracer.NumEvents());
+  }
+}
+BENCHMARK(BM_EndToEndTopKInstrumented)->ArgName("mode")->Arg(0)->Arg(1)->Arg(2);
+
 }  // namespace

@@ -4,8 +4,44 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <mutex>
 
 namespace whirlpool::bench {
+
+namespace {
+
+// Metrics-JSON export state: every Run() appends its snapshot's JSON here;
+// the array is flushed by an atexit handler so each bench's main() needs no
+// changes. Benches are effectively single-threaded but Run() is guarded
+// anyway.
+std::mutex g_metrics_mu;
+std::string g_metrics_json_path;            // empty = export disabled
+std::vector<std::string> g_metrics_json;    // pre-rendered snapshot objects
+
+void FlushMetricsJson() {
+  std::lock_guard<std::mutex> lock(g_metrics_mu);
+  if (g_metrics_json_path.empty()) return;
+  std::ofstream file(g_metrics_json_path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", g_metrics_json_path.c_str());
+    return;
+  }
+  file << "[\n";
+  for (size_t i = 0; i < g_metrics_json.size(); ++i) {
+    file << g_metrics_json[i] << (i + 1 < g_metrics_json.size() ? ",\n" : "\n");
+  }
+  file << "]\n";
+}
+
+}  // namespace
+
+void EnableMetricsJson(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_metrics_mu);
+  const bool first = g_metrics_json_path.empty();
+  g_metrics_json_path = path;
+  if (first) std::atexit(FlushMetricsJson);
+}
 
 const char* QueryXPath(int qnum) {
   switch (qnum) {
@@ -61,10 +97,21 @@ Compiled Compile(const index::TagIndex& idx, const char* xpath,
 }
 
 exec::MetricsSnapshot Run(const exec::QueryPlan& plan, const exec::ExecOptions& options) {
-  auto r = exec::RunTopK(plan, options);
+  bool record = false;
+  {
+    std::lock_guard<std::mutex> lock(g_metrics_mu);
+    record = !g_metrics_json_path.empty();
+  }
+  exec::ExecOptions opts = options;
+  if (record) opts.collect_latencies = true;
+  auto r = exec::RunTopK(plan, opts);
   if (!r.ok()) {
     std::fprintf(stderr, "exec error: %s\n", r.status().ToString().c_str());
     std::exit(1);
+  }
+  if (record) {
+    std::lock_guard<std::mutex> lock(g_metrics_mu);
+    g_metrics_json.push_back(r->metrics.ToJson());
   }
   return r->metrics;
 }
@@ -135,8 +182,11 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.seed = static_cast<uint64_t>(std::atoll(a + 7));
     } else if (std::strcmp(a, "--full") == 0) {
       args.full = true;
+    } else if (std::strncmp(a, "--metrics-json=", 15) == 0) {
+      args.metrics_json = a + 15;
+      EnableMetricsJson(args.metrics_json);
     } else if (std::strcmp(a, "--help") == 0) {
-      std::printf("flags: --scale=F --seed=N --full\n");
+      std::printf("flags: --scale=F --seed=N --full --metrics-json=FILE\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", a);

@@ -43,8 +43,15 @@ struct Compiled {
 Compiled Compile(const index::TagIndex& idx, const char* xpath,
                  score::Normalization norm = score::Normalization::kSparse);
 
-/// Runs and returns metrics; aborts the bench on error.
+/// Runs and returns metrics; aborts the bench on error. When metrics-JSON
+/// export is enabled (--metrics-json=FILE / EnableMetricsJson), every run's
+/// snapshot is also recorded (with latency histograms on) and the whole
+/// series is written as a JSON array when the bench exits.
 exec::MetricsSnapshot Run(const exec::QueryPlan& plan, const exec::ExecOptions& options);
+
+/// Turns on metrics-JSON export to `path` for all subsequent Run() calls.
+/// Registered automatically by BenchArgs::Parse for --metrics-json=FILE.
+void EnableMetricsJson(const std::string& path);
 
 /// All permutations of [0, n). n <= 6 expected.
 std::vector<std::vector<int>> AllPermutations(int n);
@@ -84,6 +91,9 @@ struct BenchArgs {
   double scale = 1.0;
   uint64_t seed = 42;
   bool full = false;
+  /// --metrics-json=FILE: dump every Run()'s MetricsSnapshot (JSON array,
+  /// one object per run, with latency percentiles) when the bench exits.
+  std::string metrics_json;
 
   static BenchArgs Parse(int argc, char** argv);
   /// target bytes for the paper's "1Mb" / "10Mb" / "50Mb" documents: the

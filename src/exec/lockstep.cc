@@ -10,15 +10,16 @@
 #include "exec/queue_policy.h"
 #include "exec/routing.h"
 #include "exec/server.h"
+#include "exec/tracer.h"
 #include "util/stopwatch.h"
 
 namespace whirlpool::exec {
 
 Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options) {
+  WHIRLPOOL_RETURN_NOT_OK(ValidateOptions(options));
   // Reuse Router::Make purely to validate static_order.
   Result<Router> router = Router::Make(plan, options);
   if (!router.ok()) return router.status();
-  if (options.k == 0) return Status::InvalidArgument("k must be positive");
   const bool prune = options.engine != EngineKind::kLockStepNoPrun;
 
   std::vector<int> order = options.static_order;
@@ -29,12 +30,10 @@ Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options
 
   Stopwatch wall;
   ExecMetrics metrics;
+  const Instrumentation ins(options.tracer, &metrics, options.collect_latencies);
+  const uint64_t query_start = ins.Begin();
   std::atomic<uint64_t> seq{0};
   TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed);
-  if (options.has_frozen_threshold() && options.has_min_score_threshold()) {
-    return Status::InvalidArgument(
-        "frozen_threshold and min_score_threshold are mutually exclusive");
-  }
   if (options.has_frozen_threshold()) topk.FreezeThreshold(options.frozen_threshold);
   if (options.has_min_score_threshold()) {
     topk.SetMinScoreMode(options.min_score_threshold);
@@ -63,14 +62,16 @@ Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options
     for (const PartialMatch& m : current) {
       if (prune && !topk.Alive(m)) {
         metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
+        ins.Prune(s, m.seq);
         continue;
       }
       ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &next,
-                      cache.get());
+                      cache.get(), &ins);
     }
     current.swap(next);
   }
 
+  ins.QueryDone(query_start);
   TopKResult result;
   result.answers = topk.Finalize();
   result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());

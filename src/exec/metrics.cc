@@ -1,0 +1,81 @@
+#include "exec/metrics.h"
+
+#include <sstream>
+
+#include "util/json.h"
+
+namespace whirlpool::exec {
+
+MetricsSnapshot ExecMetrics::Snapshot(double wall_seconds, int num_servers) const {
+  MetricsSnapshot s;
+  s.server_operations = server_operations.load(std::memory_order_relaxed);
+  s.predicate_comparisons = predicate_comparisons.load(std::memory_order_relaxed);
+  s.matches_created = matches_created.load(std::memory_order_relaxed);
+  s.matches_pruned = matches_pruned.load(std::memory_order_relaxed);
+  s.matches_completed = matches_completed.load(std::memory_order_relaxed);
+  s.routing_decisions = routing_decisions.load(std::memory_order_relaxed);
+  s.wall_seconds = wall_seconds;
+  if (num_servers > kMaxServers) num_servers = kMaxServers;
+  s.per_server_operations.reserve(static_cast<size_t>(num_servers));
+  for (int i = 0; i < num_servers; ++i) {
+    s.per_server_operations.push_back(
+        per_server_operations[static_cast<size_t>(i)].load(std::memory_order_relaxed));
+  }
+  s.server_op_latency = server_op_latency.Snapshot();
+  s.queue_wait_latency = queue_wait_latency.Snapshot();
+  s.query_latency = query_latency.Snapshot();
+  return s;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "ops=" << server_operations << " cmps=" << predicate_comparisons
+     << " created=" << matches_created << " pruned=" << matches_pruned
+     << " completed=" << matches_completed << " routed=" << routing_decisions
+     << " wall=" << wall_seconds << "s";
+  if (server_op_latency.count > 0) {
+    os << " op_p50us=" << server_op_latency.p50_us
+       << " op_p99us=" << server_op_latency.p99_us;
+  }
+  return os.str();
+}
+
+namespace {
+
+void AppendLatencyJson(std::ostringstream& os, const char* name,
+                       const util::LatencyStats& s) {
+  os << '"' << name << "\":{\"count\":" << s.count
+     << ",\"mean_us\":" << util::JsonNumber(s.mean_us)
+     << ",\"p50_us\":" << util::JsonNumber(s.p50_us)
+     << ",\"p95_us\":" << util::JsonNumber(s.p95_us)
+     << ",\"p99_us\":" << util::JsonNumber(s.p99_us)
+     << ",\"max_us\":" << util::JsonNumber(s.max_us) << "}";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"server_operations\":" << server_operations
+     << ",\"predicate_comparisons\":" << predicate_comparisons
+     << ",\"matches_created\":" << matches_created
+     << ",\"matches_pruned\":" << matches_pruned
+     << ",\"matches_completed\":" << matches_completed
+     << ",\"routing_decisions\":" << routing_decisions
+     << ",\"wall_seconds\":" << util::JsonNumber(wall_seconds)
+     << ",\"per_server_operations\":[";
+  for (size_t i = 0; i < per_server_operations.size(); ++i) {
+    if (i > 0) os << ',';
+    os << per_server_operations[i];
+  }
+  os << "],\"latency\":{";
+  AppendLatencyJson(os, "server_op", server_op_latency);
+  os << ',';
+  AppendLatencyJson(os, "queue_wait", queue_wait_latency);
+  os << ',';
+  AppendLatencyJson(os, "query", query_latency);
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace whirlpool::exec

@@ -1,6 +1,8 @@
 // Execution metrics (paper Sec 6.2.3): query execution time, number of
 // server operations, number of partial matches created (plus predicate
-// comparisons, the Figure 3 measure, and pruning counts).
+// comparisons, the Figure 3 measure, and pruning counts), and — when
+// latency collection is enabled — log-bucketed histograms of server-op
+// time, queue wait, and end-to-end query latency.
 #pragma once
 
 #include <array>
@@ -8,6 +10,9 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "exec/partial_match.h"
+#include "util/histogram.h"
 
 namespace whirlpool::exec {
 
@@ -30,8 +35,16 @@ struct MetricsSnapshot {
   /// Per-server operation counts (index = server id); sums to
   /// server_operations.
   std::vector<uint64_t> per_server_operations;
+  /// Latency percentiles (all-zero unless ExecOptions::collect_latencies
+  /// was set for the run).
+  util::LatencyStats server_op_latency;
+  util::LatencyStats queue_wait_latency;
+  util::LatencyStats query_latency;
 
   std::string ToString() const;
+  /// One JSON object with every counter, the per-server breakdown and the
+  /// p50/p95/p99 latency stats (schema documented in README.md).
+  std::string ToJson() const;
 };
 
 /// \brief Thread-safe counters incremented by the engines.
@@ -42,29 +55,22 @@ struct ExecMetrics {
   std::atomic<uint64_t> matches_pruned{0};
   std::atomic<uint64_t> matches_completed{0};
   std::atomic<uint64_t> routing_decisions{0};
-  /// Per-server operation counters; patterns are capped at 32 nodes.
-  std::array<std::atomic<uint64_t>, 32> per_server_operations{};
+  /// Per-server operation counters; QueryPlan::Build enforces the
+  /// kMaxServers pattern limit, so an in-range server id always has a slot.
+  std::array<std::atomic<uint64_t>, kMaxServers> per_server_operations{};
+  /// Latency histograms, populated only when the run collects latencies
+  /// (see exec/tracer.h — Instrumentation).
+  util::LatencyHistogram server_op_latency;
+  util::LatencyHistogram queue_wait_latency;
+  util::LatencyHistogram query_latency;
 
   MetricsSnapshot Snapshot(double wall_seconds) const {
     return Snapshot(wall_seconds, 0);
   }
 
-  MetricsSnapshot Snapshot(double wall_seconds, int num_servers) const {
-    MetricsSnapshot s;
-    s.server_operations = server_operations.load(std::memory_order_relaxed);
-    s.predicate_comparisons = predicate_comparisons.load(std::memory_order_relaxed);
-    s.matches_created = matches_created.load(std::memory_order_relaxed);
-    s.matches_pruned = matches_pruned.load(std::memory_order_relaxed);
-    s.matches_completed = matches_completed.load(std::memory_order_relaxed);
-    s.routing_decisions = routing_decisions.load(std::memory_order_relaxed);
-    s.wall_seconds = wall_seconds;
-    s.per_server_operations.reserve(static_cast<size_t>(num_servers));
-    for (int i = 0; i < num_servers && i < 32; ++i) {
-      s.per_server_operations.push_back(
-          per_server_operations[static_cast<size_t>(i)].load(std::memory_order_relaxed));
-    }
-    return s;
-  }
+  /// Snapshot with the per-server breakdown sized from the plan
+  /// (`num_servers` = QueryPlan::num_servers()).
+  MetricsSnapshot Snapshot(double wall_seconds, int num_servers) const;
 };
 
 }  // namespace whirlpool::exec

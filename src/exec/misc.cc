@@ -1,6 +1,5 @@
 #include <sstream>
 
-#include "exec/metrics.h"
 #include "exec/partial_match.h"
 
 namespace whirlpool::exec {
@@ -19,15 +18,6 @@ std::string PartialMatch::ToString() const {
     }
   }
   os << "]}";
-  return os.str();
-}
-
-std::string MetricsSnapshot::ToString() const {
-  std::ostringstream os;
-  os << "ops=" << server_operations << " cmps=" << predicate_comparisons
-     << " created=" << matches_created << " pruned=" << matches_pruned
-     << " completed=" << matches_completed << " routed=" << routing_decisions
-     << " wall=" << wall_seconds << "s";
   return os.str();
 }
 

@@ -8,7 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace whirlpool::exec {
+
+class Tracer;  // exec/tracer.h
 
 /// Which top-k evaluation algorithm to run (paper Sec 6.1.2).
 enum class EngineKind : uint8_t {
@@ -107,9 +111,32 @@ struct ExecOptions {
   /// value (k still caps the count; set k large for "all"). Mutually
   /// exclusive with frozen_threshold.
   double min_score_threshold = std::nan("");
+  /// Optional execution tracer (non-owning; see exec/tracer.h). Null —
+  /// the default — disables tracing entirely: the engines' trace hooks
+  /// reduce to a single branch.
+  Tracer* tracer = nullptr;
+  /// Collect latency histograms (server-op time, queue wait, end-to-end
+  /// query latency) into the run's metrics. Off by default because each
+  /// sample costs two steady_clock reads per server operation.
+  bool collect_latencies = false;
 
   bool has_frozen_threshold() const { return !std::isnan(frozen_threshold); }
   bool has_min_score_threshold() const { return !std::isnan(min_score_threshold); }
 };
+
+/// Checks the option combinations every engine must reject, so Whirlpool-S,
+/// Whirlpool-M, LockStep and the rewriting baseline fail identically — and
+/// before any engine state (router, top-k set, threads) is constructed.
+inline Status ValidateOptions(const ExecOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+  if (options.threads_per_server < 1) {
+    return Status::InvalidArgument("threads_per_server must be >= 1");
+  }
+  if (options.has_frozen_threshold() && options.has_min_score_threshold()) {
+    return Status::InvalidArgument(
+        "frozen_threshold and min_score_threshold are mutually exclusive");
+  }
+  return Status::OK();
+}
 
 }  // namespace whirlpool::exec

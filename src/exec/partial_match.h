@@ -17,6 +17,15 @@ namespace whirlpool::exec {
 using score::MatchLevel;
 using xml::NodeId;
 
+/// Maximum number of servers (non-root pattern nodes) a query may have —
+/// the width of PartialMatch::visited_mask. QueryPlan::Build rejects larger
+/// patterns with InvalidArgument, so engine code may assume server ids fit.
+inline constexpr int kMaxServers = 64;
+
+/// The visited-mask bit for server `s`. Precondition: 0 <= s < kMaxServers
+/// (guaranteed by the QueryPlan size check).
+inline constexpr uint64_t ServerBit(int s) { return uint64_t{1} << s; }
+
 /// \brief One tuple in the system. Copyable; extensions are copies with one
 /// more binding.
 struct PartialMatch {
@@ -28,7 +37,7 @@ struct PartialMatch {
   /// deleted; visited_mask tells them apart.
   std::vector<MatchLevel> levels;
   /// Bit s set = server s (pattern node s+1) has processed this match.
-  uint32_t visited_mask = 0;
+  uint64_t visited_mask = 0;
   double current_score = 0.0;
   double max_final_score = 0.0;
   /// Monotone creation sequence number; FIFO queue order and tie-breaking.
@@ -36,7 +45,9 @@ struct PartialMatch {
 
   /// True when every server has run.
   bool IsComplete(int num_servers) const {
-    return visited_mask == ((num_servers >= 32) ? ~0u : ((1u << num_servers) - 1));
+    return visited_mask == ((num_servers >= kMaxServers)
+                                ? ~uint64_t{0}
+                                : (ServerBit(num_servers) - 1));
   }
 
   bool Visited(int server) const { return (visited_mask >> server) & 1u; }

@@ -9,8 +9,13 @@ namespace whirlpool::exec {
 Result<QueryPlan> QueryPlan::Build(const TagIndex& index, const TreePattern& pattern,
                                    ScoringModel scoring, bool compute_estimates) {
   if (pattern.size() < 1) return Status::InvalidArgument("empty pattern");
-  if (pattern.size() > 32) {
-    return Status::Unsupported("patterns with more than 32 nodes are not supported");
+  if (pattern.size() > static_cast<size_t>(kMaxServers) + 1) {
+    // The per-match visited mask and the per-server metrics are sized for
+    // kMaxServers; a larger pattern would silently corrupt both.
+    return Status::InvalidArgument(
+        "pattern has " + std::to_string(pattern.size()) + " nodes; at most " +
+        std::to_string(kMaxServers + 1) + " (root + " +
+        std::to_string(kMaxServers) + " servers) are supported");
   }
   if (scoring.size() != pattern.size()) {
     return Status::InvalidArgument("scoring model size does not match pattern size");
@@ -82,7 +87,7 @@ Result<QueryPlan> QueryPlan::Build(const TagIndex& index, const TreePattern& pat
   return plan;
 }
 
-double QueryPlan::RemainingMax(uint32_t visited_mask) const {
+double QueryPlan::RemainingMax(uint64_t visited_mask) const {
   double sum = 0.0;
   for (int s = 0; s < num_servers(); ++s) {
     if (!((visited_mask >> s) & 1u)) sum += max_contribution_[static_cast<size_t>(s)];
@@ -107,7 +112,7 @@ uint64_t QueryPlan::CandidateCount(NodeId root, int s) const {
              : index_->CountDescendantsWithTag(root, spec.tag);
 }
 
-double QueryPlan::RemainingSumMax(NodeId root, uint32_t visited_mask) const {
+double QueryPlan::RemainingSumMax(NodeId root, uint64_t visited_mask) const {
   double sum = 0.0;
   for (int s = 0; s < num_servers(); ++s) {
     if ((visited_mask >> s) & 1u) continue;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/partial_match.h"
 #include "index/tag_index.h"
 #include "query/tree_pattern.h"
 #include "score/scoring.h"
@@ -64,9 +65,11 @@ using ScoreOverride = std::function<double(int server, NodeId node, MatchLevel l
 /// \brief Compiled, immutable query plan shared by all engines and threads.
 class QueryPlan {
  public:
-  /// Compiles `pattern` against `index` with `scoring`. Fails if the pattern
-  /// has more than 32 nodes or a tag that is structurally impossible (the
-  /// root tag missing is allowed — the query simply has no answers).
+  /// Compiles `pattern` against `index` with `scoring`. Fails with
+  /// InvalidArgument if the pattern has more than kMaxServers + 1 nodes
+  /// (the visited-mask width bounds the server count; the root is not a
+  /// server). A tag missing from the document is allowed — the query simply
+  /// has no candidates at that server.
   /// `compute_estimates` toggles the router-statistics pass (linear in the
   /// number of root candidates).
   static Result<QueryPlan> Build(const TagIndex& index, const TreePattern& pattern,
@@ -85,12 +88,12 @@ class QueryPlan {
 
   /// Sum of MaxContribution over servers NOT in `visited_mask` — the
   /// admissible headroom used for max possible final scores.
-  double RemainingMax(uint32_t visited_mask) const;
+  double RemainingMax(uint64_t visited_mask) const;
 
   /// Headroom for ScoreAggregation::kSumWitnesses: every unvisited server
   /// may contribute (candidate count under `root`) x (exact-level idf).
   /// Admissible because each witness contributes at most the exact idf.
-  double RemainingSumMax(NodeId root, uint32_t visited_mask) const;
+  double RemainingSumMax(NodeId root, uint64_t visited_mask) const;
 
   /// Candidate count of server `s` under `root` (one binary search).
   uint64_t CandidateCount(NodeId root, int s) const;

@@ -4,7 +4,8 @@
 // the queue's server) and ties break by arrival order for determinism.
 #pragma once
 
-#include <queue>
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "exec/options.h"
@@ -36,6 +37,9 @@ inline double QueuePriority(const QueryPlan& plan, QueuePolicy policy,
 struct QueuedMatch {
   double priority;
   PartialMatch match;
+  /// Enqueue timestamp (MonotonicNs) for queue-wait instrumentation;
+  /// 0 when the run is not collecting latencies or traces.
+  uint64_t enqueue_ns = 0;
 };
 
 /// Max-heap comparator: higher priority first; ties break toward the most
@@ -52,7 +56,36 @@ struct QueuedMatchLess {
   }
 };
 
-using MatchPriorityQueue =
-    std::priority_queue<QueuedMatch, std::vector<QueuedMatch>, QueuedMatchLess>;
+/// \brief Max-heap of QueuedMatch over a std::vector, shared by the
+/// single-threaded engine queue and the synchronized Whirlpool-M queues.
+///
+/// Unlike std::priority_queue, Pop() extracts by value with a genuine move:
+/// std::pop_heap swings the top element to the back, which is mutable, so no
+/// const_cast of top() is needed (moving out of priority_queue::top() — the
+/// previous implementation — is undefined behavior).
+class MatchHeap {
+ public:
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  void Push(QueuedMatch&& qm) {
+    heap_.push_back(std::move(qm));
+    std::push_heap(heap_.begin(), heap_.end(), QueuedMatchLess{});
+  }
+
+  /// The highest-priority entry. Precondition: !empty().
+  const QueuedMatch& Top() const { return heap_.front(); }
+
+  /// Removes and returns the highest-priority entry. Precondition: !empty().
+  QueuedMatch Pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), QueuedMatchLess{});
+    QueuedMatch qm = std::move(heap_.back());
+    heap_.pop_back();
+    return qm;
+  }
+
+ private:
+  std::vector<QueuedMatch> heap_;
+};
 
 }  // namespace whirlpool::exec

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/tracer.h"
 #include "query/matcher.h"
 #include "score/scoring.h"
 #include "util/stopwatch.h"
@@ -51,7 +52,7 @@ query::TreePattern MaterializePattern(const query::TreePattern& original,
 
 Result<TopKResult> RunRewritingBaseline(const QueryPlan& plan, const ExecOptions& options,
                                         RewritingStats* stats) {
-  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+  WHIRLPOOL_RETURN_NOT_OK(ValidateOptions(options));
   if (options.semantics != MatchSemantics::kRelaxed ||
       options.aggregation != ScoreAggregation::kMaxTuple) {
     return Status::Unsupported(
@@ -69,6 +70,8 @@ Result<TopKResult> RunRewritingBaseline(const QueryPlan& plan, const ExecOptions
 
   Stopwatch wall;
   ExecMetrics metrics;
+  const Instrumentation ins(options.tracer, &metrics, options.collect_latencies);
+  const uint64_t query_start = ins.Begin();
 
   // Enumerate all 4^(n-1) level assignments with their scores.
   std::vector<RelaxedQuery> queries;
@@ -133,6 +136,7 @@ Result<TopKResult> RunRewritingBaseline(const QueryPlan& plan, const ExecOptions
     }
   }
 
+  ins.QueryDone(query_start);
   TopKResult result;
   result.answers = topk.Finalize();
   result.metrics = metrics.Snapshot(wall.ElapsedSeconds());

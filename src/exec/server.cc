@@ -75,7 +75,17 @@ int NearestBoundPatternAncestor(const TreePattern& pattern, const PartialMatch& 
 void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
                      const PartialMatch& m, int s, TopKSet* topk, ExecMetrics* metrics,
                      std::atomic<uint64_t>* seq, std::vector<PartialMatch>* out_survivors,
-                     ServerJoinCache* cache) {
+                     ServerJoinCache* cache, const Instrumentation* ins) {
+  static const Instrumentation kDisabled;
+  if (ins == nullptr) ins = &kDisabled;
+  // Close the server_op span on every return path.
+  struct OpSpan {
+    const Instrumentation* ins;
+    uint64_t start;
+    int server;
+    uint64_t seq;
+    ~OpSpan() { ins->ServerOp(start, server, seq); }
+  } op_span{ins, ins->Begin(), s, m.seq};
   metrics->server_operations.fetch_add(1, std::memory_order_relaxed);
   metrics->per_server_operations[static_cast<size_t>(s)].fetch_add(
       1, std::memory_order_relaxed);
@@ -123,12 +133,14 @@ void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
     topk->Update(ext, complete);
     if (complete) {
       metrics->matches_completed.fetch_add(1, std::memory_order_relaxed);
+      ins->Complete(ext.seq);
       return;
     }
     if (!prune || topk->Alive(ext)) {
       out_survivors->push_back(std::move(ext));
     } else {
       metrics->matches_pruned.fetch_add(1, std::memory_order_relaxed);
+      ins->Prune(s, ext.seq);
     }
   };
 
@@ -156,7 +168,7 @@ void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
     ext.bindings[qi] = best_binding;
     ext.levels[qi] = best_binding == xml::kInvalidNode ? MatchLevel::kDeleted
                                                        : best_level;
-    ext.visited_mask |= (1u << s);
+    ext.visited_mask |= ServerBit(s);
     ext.current_score += total;
     ext.max_final_score =
         ext.current_score + plan.RemainingSumMax(m.root_binding(), ext.visited_mask);
@@ -181,7 +193,7 @@ void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
       PartialMatch ext = m;
       ext.bindings[qi] = b.node;
       ext.levels[qi] = b.level;
-      ext.visited_mask |= (1u << s);
+      ext.visited_mask |= ServerBit(s);
       ext.current_score += plan.Contribution(s, b.node, b.level);
       ext.max_final_score = ext.current_score + plan.RemainingMax(ext.visited_mask);
       ext.seq = seq->fetch_add(1, std::memory_order_relaxed);
@@ -190,7 +202,7 @@ void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
     if (emitted == 0) {
       PartialMatch ext = m;
       ext.levels[qi] = MatchLevel::kDeleted;
-      ext.visited_mask |= (1u << s);
+      ext.visited_mask |= ServerBit(s);
       ext.max_final_score = ext.current_score + plan.RemainingMax(ext.visited_mask);
       ext.seq = seq->fetch_add(1, std::memory_order_relaxed);
       handle_extension(std::move(ext));
@@ -240,7 +252,7 @@ void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
     PartialMatch ext = m;
     ext.bindings[qi] = c;
     ext.levels[qi] = level;
-    ext.visited_mask |= (1u << s);
+    ext.visited_mask |= ServerBit(s);
     ext.current_score += plan.Contribution(s, c, level);
     ext.max_final_score = ext.current_score + plan.RemainingMax(ext.visited_mask);
     ext.seq = seq->fetch_add(1, std::memory_order_relaxed);
@@ -252,7 +264,7 @@ void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
     // no contribution from this server.
     PartialMatch ext = m;
     ext.levels[qi] = MatchLevel::kDeleted;
-    ext.visited_mask |= (1u << s);
+    ext.visited_mask |= ServerBit(s);
     ext.max_final_score = ext.current_score + plan.RemainingMax(ext.visited_mask);
     ext.seq = seq->fetch_add(1, std::memory_order_relaxed);
     handle_extension(std::move(ext));

@@ -14,6 +14,7 @@
 #include "exec/partial_match.h"
 #include "exec/plan.h"
 #include "exec/topk_set.h"
+#include "exec/tracer.h"
 
 namespace whirlpool::exec {
 
@@ -32,11 +33,13 @@ std::vector<PartialMatch> GenerateRootMatches(const QueryPlan& plan,
 /// routing). Pruned and dead extensions are counted in `metrics`.
 /// `cache` (optional) memoizes classified candidates per (server, root) —
 /// only consulted in relaxed, max-tuple, non-override mode, where results
-/// depend on nothing else.
+/// depend on nothing else. `ins` (optional) records the operation's span,
+/// its latency histogram sample, and prune/complete trace events.
 void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
                      const PartialMatch& m, int s, TopKSet* topk, ExecMetrics* metrics,
                      std::atomic<uint64_t>* seq, std::vector<PartialMatch>* out_survivors,
-                     ServerJoinCache* cache = nullptr);
+                     ServerJoinCache* cache = nullptr,
+                     const Instrumentation* ins = nullptr);
 
 /// Busy-waits for `seconds` (used to inject synthetic per-operation cost;
 /// sleeps when the cost is long enough for the OS timer to be accurate).

@@ -1,0 +1,83 @@
+#include "exec/tracer.h"
+
+#include <algorithm>
+
+#include "util/json.h"
+
+namespace whirlpool::exec {
+
+namespace {
+
+/// Process-unique tracer ids; never reused, so a stale thread-local cache
+/// entry can never alias a new Tracer allocated at the same address.
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+thread_local uint64_t tl_tracer_id = 0;
+thread_local void* tl_buffer = nullptr;
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(MonotonicNs()) {}
+
+Tracer::Buffer* Tracer::GetBuffer() {
+  if (tl_tracer_id == id_) return static_cast<Buffer*>(tl_buffer);
+  auto buffer = std::make_unique<Buffer>();
+  Buffer* raw = buffer.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    raw->tid = static_cast<int>(buffers_.size());
+    buffer->events.reserve(256);
+    buffers_.push_back(std::move(buffer));
+  }
+  tl_tracer_id = id_;
+  tl_buffer = raw;
+  return raw;
+}
+
+void Tracer::RecordSpan(const char* name, int server, uint64_t match_seq,
+                        uint64_t start_ns, uint64_t end_ns) {
+  GetBuffer()->events.push_back(
+      {name, start_ns, end_ns - start_ns, match_seq, server, /*instant=*/false});
+}
+
+void Tracer::RecordInstant(const char* name, int server, uint64_t match_seq) {
+  GetBuffer()->events.push_back(
+      {name, MonotonicNs(), 0, match_seq, server, /*instant=*/true});
+}
+
+size_t Tracer::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& b : buffers_) n += b->events.size();
+  return n;
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"whirlpool\"}}";
+  for (const auto& b : buffers_) {
+    for (const Event& e : b->events) {
+      // ts is microseconds since tracer construction (Chrome convention).
+      const double ts =
+          static_cast<double>(e.start_ns - std::min(e.start_ns, epoch_ns_)) / 1e3;
+      os << ",\n{\"name\":\"" << util::JsonEscape(e.name)
+         << "\",\"cat\":\"exec\",\"pid\":1,\"tid\":" << b->tid
+         << ",\"ts\":" << util::JsonNumber(ts);
+      if (e.instant) {
+        os << ",\"ph\":\"i\",\"s\":\"t\"";
+      } else {
+        os << ",\"ph\":\"X\",\"dur\":"
+           << util::JsonNumber(static_cast<double>(e.dur_ns) / 1e3);
+      }
+      os << ",\"args\":{\"server\":" << e.server
+         << ",\"match_seq\":" << e.match_seq << "}}";
+    }
+  }
+  os << "]}\n";
+}
+
+}  // namespace whirlpool::exec

@@ -1,0 +1,155 @@
+// Execution tracing (observability layer): a Tracer records per-match span
+// and instant events (enqueue, queue-wait, server-op, prune, route,
+// complete) into thread-local buffers that are merged at export time into
+// Chrome trace_event JSON (loadable in about:tracing / Perfetto).
+//
+// The Instrumentation wrapper is what the engines call. It bundles the
+// optional Tracer with the latency histograms in ExecMetrics and compiles
+// every hook down to one or two predictable branches when both are disabled
+// (the default), so untraced runs pay no measurable overhead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "exec/metrics.h"
+
+namespace whirlpool::exec {
+
+/// Monotonic nanoseconds since an arbitrary (steady-clock) process epoch.
+inline uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// \brief Collects trace events from many threads with no shared-state
+/// contention on the hot path: each thread appends to its own buffer
+/// (registered once per thread per tracer under a mutex).
+class Tracer {
+ public:
+  struct Event {
+    const char* name;    ///< static string; never freed
+    uint64_t start_ns;   ///< MonotonicNs timestamp
+    uint64_t dur_ns;     ///< 0 for instant events
+    uint64_t match_seq;  ///< the partial match involved (0 if none)
+    int server;          ///< server id, -1 for router/none
+    bool instant;
+  };
+
+  Tracer();
+  ~Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void RecordSpan(const char* name, int server, uint64_t match_seq,
+                  uint64_t start_ns, uint64_t end_ns);
+  void RecordInstant(const char* name, int server, uint64_t match_seq);
+
+  /// Total events recorded so far (merges buffer sizes; call after the run).
+  size_t NumEvents() const;
+
+  /// Writes every recorded event as Chrome trace_event JSON
+  /// ({"traceEvents": [...]}), timestamps relative to tracer construction.
+  void WriteChromeTrace(std::ostream& os) const;
+
+ private:
+  struct Buffer {
+    std::vector<Event> events;
+    int tid = 0;
+  };
+
+  Buffer* GetBuffer();
+
+  const uint64_t id_;        ///< process-unique; keys the thread-local cache
+  const uint64_t epoch_ns_;  ///< construction time; trace ts zero point
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// \brief Per-run instrumentation context: optional tracer + optional
+/// latency histograms. Passed by pointer through the engines into
+/// ProcessAtServer; a default-constructed instance (or null pointer) is
+/// fully disabled.
+class Instrumentation {
+ public:
+  Instrumentation() = default;
+  Instrumentation(Tracer* tracer, ExecMetrics* metrics, bool collect_latencies)
+      : tracer_(tracer), metrics_(metrics), latencies_(collect_latencies) {}
+
+  /// True when any timing work is needed (the one branch disabled runs pay).
+  bool timing() const { return tracer_ != nullptr || latencies_; }
+
+  /// Start timestamp for a span, 0 when disabled.
+  uint64_t Begin() const { return timing() ? MonotonicNs() : 0; }
+
+  /// Server operation finished: histogram + "server_op" span.
+  void ServerOp(uint64_t start_ns, int server, uint64_t seq) const {
+    if (!timing() || start_ns == 0) return;
+    const uint64_t end = MonotonicNs();
+    if (latencies_ && metrics_ != nullptr) {
+      metrics_->server_op_latency.Record(end - start_ns);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->RecordSpan("server_op", server, seq, start_ns, end);
+    }
+  }
+
+  /// Match enqueued (into the router or a server queue). Returns the
+  /// enqueue timestamp to stash in the queue entry, 0 when disabled.
+  uint64_t Enqueue(int server, uint64_t seq) const {
+    if (!timing()) return 0;
+    if (tracer_ != nullptr) tracer_->RecordInstant("enqueue", server, seq);
+    return MonotonicNs();
+  }
+
+  /// Match dequeued: records the time it sat in the queue.
+  void QueueWait(uint64_t enqueue_ns, int server, uint64_t seq) const {
+    if (!timing() || enqueue_ns == 0) return;
+    const uint64_t now = MonotonicNs();
+    if (latencies_ && metrics_ != nullptr) {
+      metrics_->queue_wait_latency.Record(now - enqueue_ns);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->RecordSpan("queue_wait", server, seq, enqueue_ns, now);
+    }
+  }
+
+  /// Routing decision taken: match `seq` goes to `server`.
+  void Route(int server, uint64_t seq) const {
+    if (tracer_ != nullptr) tracer_->RecordInstant("route", server, seq);
+  }
+
+  /// Match pruned against the top-k threshold.
+  void Prune(int server, uint64_t seq) const {
+    if (tracer_ != nullptr) tracer_->RecordInstant("prune", server, seq);
+  }
+
+  /// Match completed every server.
+  void Complete(uint64_t seq) const {
+    if (tracer_ != nullptr) tracer_->RecordInstant("complete", -1, seq);
+  }
+
+  /// End-to-end query latency: histogram + "query" span.
+  void QueryDone(uint64_t start_ns) const {
+    if (!timing() || start_ns == 0) return;
+    const uint64_t end = MonotonicNs();
+    if (latencies_ && metrics_ != nullptr) {
+      metrics_->query_latency.Record(end - start_ns);
+    }
+    if (tracer_ != nullptr) tracer_->RecordSpan("query", -1, 0, start_ns, end);
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  ExecMetrics* metrics_ = nullptr;
+  bool latencies_ = false;
+};
+
+}  // namespace whirlpool::exec

@@ -15,6 +15,7 @@
 #include "exec/queue_policy.h"
 #include "exec/routing.h"
 #include "exec/server.h"
+#include "exec/tracer.h"
 #include "util/semaphore.h"
 #include "util/stopwatch.h"
 
@@ -22,25 +23,26 @@ namespace whirlpool::exec {
 
 namespace {
 
-/// Blocking priority queue with a stop flag.
+/// Blocking priority queue with a stop flag. Extraction goes through
+/// MatchHeap::Pop (std::pop_heap + move from the mutable back element) —
+/// never through a const_cast of a frozen heap top.
 class SyncMatchQueue {
  public:
   void Push(QueuedMatch&& qm) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.push(std::move(qm));
+      queue_.Push(std::move(qm));
     }
     cv_.notify_one();
   }
 
   /// Blocks until a match is available or Stop() was called and the queue is
   /// empty. Returns false on shutdown.
-  bool Pop(PartialMatch* out) {
+  bool Pop(QueuedMatch* out) {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
     if (queue_.empty()) return false;
-    *out = std::move(const_cast<QueuedMatch&>(queue_.top()).match);
-    queue_.pop();
+    *out = queue_.Pop();
     return true;
   }
 
@@ -55,7 +57,7 @@ class SyncMatchQueue {
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  MatchPriorityQueue queue_;
+  MatchHeap queue_;
   bool stop_ = false;
 };
 
@@ -86,21 +88,16 @@ class InFlightTracker {
 }  // namespace
 
 Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& options) {
+  WHIRLPOOL_RETURN_NOT_OK(ValidateOptions(options));
   Result<Router> router = Router::Make(plan, options);
   if (!router.ok()) return router.status();
-  if (options.k == 0) return Status::InvalidArgument("k must be positive");
-  if (options.threads_per_server < 1) {
-    return Status::InvalidArgument("threads_per_server must be >= 1");
-  }
 
   Stopwatch wall;
   ExecMetrics metrics;
+  const Instrumentation ins(options.tracer, &metrics, options.collect_latencies);
+  const uint64_t query_start = ins.Begin();
   std::atomic<uint64_t> seq{0};
   TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed);
-  if (options.has_frozen_threshold() && options.has_min_score_threshold()) {
-    return Status::InvalidArgument(
-        "frozen_threshold and min_score_threshold are mutually exclusive");
-  }
   if (options.has_frozen_threshold()) topk.FreezeThreshold(options.frozen_threshold);
   if (options.has_min_score_threshold()) {
     topk.SetMinScoreMode(options.min_score_threshold);
@@ -125,17 +122,21 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
     in_flight.Add(roots.size());
     for (PartialMatch& m : roots) {
       const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, m, -1);
-      router_queue.Push({prio, std::move(m)});
+      const uint64_t enq = ins.Enqueue(-1, m.seq);
+      router_queue.Push({prio, std::move(m), enq});
     }
   }
 
   auto server_loop = [&](int s) {
-    PartialMatch m;
+    QueuedMatch qm;
     std::vector<PartialMatch> survivors;
-    while (server_queues[static_cast<size_t>(s)].Pop(&m)) {
+    while (server_queues[static_cast<size_t>(s)].Pop(&qm)) {
+      ins.QueueWait(qm.enqueue_ns, s, qm.match.seq);
+      PartialMatch m = std::move(qm.match);
       // Late pruning: the threshold may have grown while queued.
       if (!topk.Alive(m) && options.engine != EngineKind::kLockStepNoPrun) {
         metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
+        ins.Prune(s, m.seq);
         in_flight.Retire();
         continue;
       }
@@ -143,29 +144,35 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
       {
         ProcessorCapGuard guard(&cap);
         ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &survivors,
-                        cache.get());
+                        cache.get(), &ins);
       }
       in_flight.Add(survivors.size());
       for (PartialMatch& ext : survivors) {
         const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, ext, -1);
-        router_queue.Push({prio, std::move(ext)});
+        const uint64_t enq = ins.Enqueue(-1, ext.seq);
+        router_queue.Push({prio, std::move(ext), enq});
       }
       in_flight.Retire();
     }
   };
 
   auto router_loop = [&] {
-    PartialMatch m;
-    while (router_queue.Pop(&m)) {
+    QueuedMatch qm;
+    while (router_queue.Pop(&qm)) {
+      ins.QueueWait(qm.enqueue_ns, -1, qm.match.seq);
+      PartialMatch m = std::move(qm.match);
       if (!topk.Alive(m)) {
         metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
+        ins.Prune(-1, m.seq);
         in_flight.Retire();
         continue;
       }
       const int s = router->NextServer(m, topk.Threshold());
       metrics.routing_decisions.fetch_add(1, std::memory_order_relaxed);
+      ins.Route(s, m.seq);
       const double prio = QueuePriority(plan, options.queue_policy, m, s);
-      server_queues[static_cast<size_t>(s)].Push({prio, std::move(m)});
+      const uint64_t enq = ins.Enqueue(s, m.seq);
+      server_queues[static_cast<size_t>(s)].Push({prio, std::move(m), enq});
     }
   };
 
@@ -183,6 +190,7 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
   for (auto& q : server_queues) q.Stop();
   for (auto& t : threads) t.join();
 
+  ins.QueryDone(query_start);
   TopKResult result;
   result.answers = topk.Finalize();
   result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());

@@ -10,23 +10,22 @@
 #include "exec/queue_policy.h"
 #include "exec/routing.h"
 #include "exec/server.h"
+#include "exec/tracer.h"
 #include "util/stopwatch.h"
 
 namespace whirlpool::exec {
 
 Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& options) {
+  WHIRLPOOL_RETURN_NOT_OK(ValidateOptions(options));
   Result<Router> router = Router::Make(plan, options);
   if (!router.ok()) return router.status();
-  if (options.k == 0) return Status::InvalidArgument("k must be positive");
 
   Stopwatch wall;
   ExecMetrics metrics;
+  const Instrumentation ins(options.tracer, &metrics, options.collect_latencies);
+  const uint64_t query_start = ins.Begin();
   std::atomic<uint64_t> seq{0};
   TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed);
-  if (options.has_frozen_threshold() && options.has_min_score_threshold()) {
-    return Status::InvalidArgument(
-        "frozen_threshold and min_score_threshold are mutually exclusive");
-  }
   if (options.has_frozen_threshold()) topk.FreezeThreshold(options.frozen_threshold);
   if (options.has_min_score_threshold()) {
     topk.SetMinScoreMode(options.min_score_threshold);
@@ -36,48 +35,55 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
   if (options.cache_server_joins) {
     cache = std::make_unique<ServerJoinCache>(plan.num_servers());
   }
-  MatchPriorityQueue queue;
+  MatchHeap queue;
   std::vector<PartialMatch> survivors;
   for (PartialMatch& m : GenerateRootMatches(plan, options, &topk, &metrics, &seq)) {
     const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, m, -1);
-    queue.push({prio, std::move(m)});
+    const uint64_t enq = ins.Enqueue(-1, m.seq);
+    queue.Push({prio, std::move(m), enq});
   }
 
   const int bulk = options.bulk_batch < 1 ? 1 : options.bulk_batch;
   while (!queue.empty()) {
-    PartialMatch m = std::move(const_cast<QueuedMatch&>(queue.top()).match);
-    queue.pop();
+    QueuedMatch qm = queue.Pop();
+    ins.QueueWait(qm.enqueue_ns, -1, qm.match.seq);
+    PartialMatch m = std::move(qm.match);
     // The threshold may have grown since this match was enqueued.
     if (!topk.Alive(m)) {
       metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
+      ins.Prune(-1, m.seq);
       continue;
     }
     const int s = router->NextServer(m, topk.Threshold());
     metrics.routing_decisions.fetch_add(1, std::memory_order_relaxed);
+    ins.Route(s, m.seq);
     survivors.clear();
     ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &survivors,
-                    cache.get());
+                    cache.get(), &ins);
     // Bulk routing (Sec 6.3.3 future work): reuse this decision for queue
     // neighbours that have visited the same servers — they are "similar"
     // matches for which the router would very likely pick the same server.
     for (int extra = 1; extra < bulk && !queue.empty(); ++extra) {
-      const QueuedMatch& peek = queue.top();
-      if (peek.match.visited_mask != m.visited_mask) break;
-      PartialMatch other = std::move(const_cast<QueuedMatch&>(peek).match);
-      queue.pop();
+      if (queue.Top().match.visited_mask != m.visited_mask) break;
+      QueuedMatch other_qm = queue.Pop();
+      ins.QueueWait(other_qm.enqueue_ns, -1, other_qm.match.seq);
+      PartialMatch other = std::move(other_qm.match);
       if (!topk.Alive(other)) {
         metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
+        ins.Prune(-1, other.seq);
         continue;
       }
       ProcessAtServer(plan, options, other, s, &topk, &metrics, &seq, &survivors,
-                      cache.get());
+                      cache.get(), &ins);
     }
     for (PartialMatch& ext : survivors) {
       const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, ext, -1);
-      queue.push({prio, std::move(ext)});
+      const uint64_t enq = ins.Enqueue(-1, ext.seq);
+      queue.Push({prio, std::move(ext), enq});
     }
   }
 
+  ins.QueryDone(query_start);
   TopKResult result;
   result.answers = topk.Finalize();
   result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());

@@ -1,0 +1,121 @@
+// Lock-free log-bucketed latency histogram. Writers record durations (in
+// nanoseconds) with one relaxed atomic increment; readers take a consistent-
+// enough snapshot and compute percentiles. Buckets are log-linear (16 linear
+// sub-buckets per power of two, HdrHistogram-style), so reconstructed
+// percentiles carry at most ~6% relative error — plenty for p50/p95/p99
+// latency reporting.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace whirlpool::util {
+
+/// \brief Plain-value percentile summary of one histogram.
+struct LatencyStats {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// \brief Thread-safe histogram of durations in nanoseconds.
+///
+/// Record() is wait-free (two relaxed fetch_adds); Snapshot() walks the
+/// bucket array. Values above ~2^63 ns saturate into the last bucket.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;  // 16 sub-buckets per octave
+  static constexpr size_t kNumBuckets =
+      ((64 - kSubBits) << kSubBits) + (1u << kSubBits);
+
+  void Record(uint64_t ns) {
+    buckets_[BucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const {
+    uint64_t c = 0;
+    for (const auto& b : buckets_) c += b.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  /// Value (ns) at or below which `fraction` of recorded samples fall,
+  /// reconstructed from the bucket midpoints. 0 when empty.
+  double Percentile(double fraction) const;
+
+  LatencyStats Snapshot() const;
+
+  /// Folds `other`'s samples into this histogram (used by the bench harness
+  /// to aggregate per-run histograms).
+  void Merge(const LatencyHistogram& other) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+      if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+    sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+
+  static size_t BucketFor(uint64_t ns) {
+    if (ns < (1u << kSubBits)) return static_cast<size_t>(ns);
+    const int exp = std::bit_width(ns) - 1;  // >= kSubBits
+    const uint64_t sub = (ns >> (exp - kSubBits)) & ((1u << kSubBits) - 1);
+    return (static_cast<size_t>(exp - kSubBits + 1) << kSubBits) |
+           static_cast<size_t>(sub);
+  }
+
+  /// Midpoint (ns) of bucket `i` — the representative value percentiles use.
+  static double BucketMidpoint(size_t i) {
+    if (i < (1u << kSubBits)) return static_cast<double>(i);
+    const int exp = static_cast<int>(i >> kSubBits) + kSubBits - 1;
+    const uint64_t sub = i & ((1u << kSubBits) - 1);
+    const double low = static_cast<double>(1ull << exp) +
+                       static_cast<double>(sub) *
+                           static_cast<double>(1ull << (exp - kSubBits));
+    const double width = static_cast<double>(1ull << (exp - kSubBits));
+    return low + width / 2.0;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+inline double LatencyHistogram::Percentile(double fraction) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  uint64_t target = static_cast<uint64_t>(fraction * static_cast<double>(total));
+  if (target < 1) target = 1;
+  if (target > total) target = total;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) return BucketMidpoint(i);
+  }
+  return BucketMidpoint(kNumBuckets - 1);
+}
+
+inline LatencyStats LatencyHistogram::Snapshot() const {
+  LatencyStats s;
+  s.count = Count();
+  if (s.count == 0) return s;
+  s.mean_us = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+              static_cast<double>(s.count) / 1e3;
+  s.p50_us = Percentile(0.50) / 1e3;
+  s.p95_us = Percentile(0.95) / 1e3;
+  s.p99_us = Percentile(0.99) / 1e3;
+  for (size_t i = kNumBuckets; i-- > 0;) {
+    if (buckets_[i].load(std::memory_order_relaxed) != 0) {
+      s.max_us = BucketMidpoint(i) / 1e3;
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace whirlpool::util

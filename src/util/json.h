@@ -1,0 +1,47 @@
+// Minimal JSON output helpers (no dependency, header-only): string escaping
+// and locale-independent number formatting, used by the metrics/trace
+// exporters. This is a writer only — the repo has no JSON parsing needs.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace whirlpool::util {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders a double as a valid JSON number (never "nan"/"inf" — those map to
+/// 0, JSON has no representation for them).
+inline std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace whirlpool::util

@@ -27,10 +27,13 @@
 #include "exec/routing.h"
 #include "exec/server.h"
 #include "exec/topk_set.h"
+#include "exec/tracer.h"
 #include "index/tag_index.h"
 #include "query/matcher.h"
 #include "query/tree_pattern.h"
 #include "score/scoring.h"
+#include "util/histogram.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"

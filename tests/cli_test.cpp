@@ -186,6 +186,31 @@ TEST(CliTest, ThresholdModeReturnsAllAboveBar) {
   EXPECT_EQ(rows(none.output), 0);
 }
 
+TEST(CliTest, QueryWritesTraceAndMetricsJson) {
+  const std::string trace = std::string(::testing::TempDir()) + "cli_trace.json";
+  const std::string metrics = std::string(::testing::TempDir()) + "cli_metrics.json";
+  auto r = RunArgs({"query", "--generate-kb=16", "--xpath=//item[./name]",
+                    "--k=3", "--engine=wm", "--trace=" + trace,
+                    "--metrics-json=" + metrics});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_NE(r.output.find("trace events"), std::string::npos);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream f(path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+  };
+  const std::string trace_json = slurp(trace);
+  EXPECT_NE(trace_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_json.find("\"server_op\""), std::string::npos);
+  const std::string metrics_json = slurp(metrics);
+  EXPECT_NE(metrics_json.find("\"server_operations\""), std::string::npos);
+  EXPECT_NE(metrics_json.find("\"p99_us\""), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+}
+
 TEST(CliTest, ExplainShowsModelAndServers) {
   auto r = RunArgs({"explain", "--generate-kb=16",
                 "--xpath=//item[./description/parlist and ./name]"});

@@ -136,6 +136,64 @@ TEST(WhirlpoolMTest, StressManySmallRuns) {
   }
 }
 
+TEST(WhirlpoolMTest, MultiThreadServersDrainAndTerminate) {
+  // threads_per_server > 1: every extra thread parks on the shared server
+  // queue and must exit at Stop() without hanging — including when there is
+  // no work at all for its server.
+  Fixture empty = Fixture::Make("//no_such_tag[./name]", 1, 8 << 10, 3);
+  Fixture small = Fixture::Make("//item[./description/parlist]", 7, 8 << 10, 3);
+  for (int tps = 2; tps <= 4; ++tps) {
+    ExecOptions opts;
+    opts.engine = EngineKind::kWhirlpoolM;
+    opts.k = 3;
+    opts.threads_per_server = tps;
+    auto r = RunTopK(*empty.plan, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->answers.empty());
+    for (int run = 0; run < 5; ++run) {
+      auto rs = RunTopK(*small.plan, opts);
+      ASSERT_TRUE(rs.ok());
+      small.ExpectAgreesWithReference(*rs);
+    }
+  }
+}
+
+TEST(WhirlpoolMTest, WidePatternPerServerCountsSumToTotal) {
+  // Regression for the 32-server counter truncation: a pattern wider than
+  // the old uint32_t visited mask must still complete matches, and the
+  // per-server operation counts must account for every operation.
+  constexpr int kWide = 40;
+  xmlgen::XMarkOptions gen;
+  gen.seed = 3;
+  gen.target_bytes = 8 << 10;
+  auto doc = xmlgen::GenerateXMark(gen);
+  index::TagIndex idx(*doc);
+  query::TreePattern pattern = query::TreePattern::Root("item");
+  for (int i = 0; i < kWide; ++i) {
+    pattern.AddNode(0, query::Axis::kChild, "name");
+  }
+  auto scoring = ScoringModel::ComputeTfIdf(idx, pattern, Normalization::kSparse);
+  auto plan = QueryPlan::Build(idx, pattern, scoring);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->num_servers(), kWide);
+  for (EngineKind kind : {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM}) {
+    ExecOptions opts;
+    opts.engine = kind;
+    opts.k = 5;
+    auto r = RunTopK(*plan, opts);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_FALSE(r->answers.empty());
+    const MetricsSnapshot& m = r->metrics;
+    ASSERT_EQ(m.per_server_operations.size(), static_cast<size_t>(kWide));
+    uint64_t sum = 0;
+    for (uint64_t ops : m.per_server_operations) sum += ops;
+    EXPECT_EQ(sum, m.server_operations);
+    // A complete match visits every server, so the servers past the old
+    // 32-bit limit must have real operation counts.
+    EXPECT_GT(m.per_server_operations[kWide - 1], 0u);
+  }
+}
+
 TEST(WhirlpoolMTest, ParallelSpeedupWithInjectedCost) {
   // With a dominant per-operation cost, the capped run must be measurably
   // slower than the uncapped one (this is the Fig 9 mechanism).

@@ -1,0 +1,388 @@
+// The observability layer: latency histogram percentiles, the execution
+// tracer's Chrome-trace JSON export, the metrics JSON snapshot, and the
+// shared ValidateOptions checks every engine must apply identically.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <thread>
+
+#include "exec/engine.h"
+#include "exec/rewriting_baseline.h"
+#include "exec/tracer.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "util/histogram.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::exec {
+namespace {
+
+using query::ParseXPath;
+using score::Normalization;
+using score::ScoringModel;
+using util::LatencyHistogram;
+using util::LatencyStats;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON well-formedness checker (objects, arrays, strings, numbers,
+// literals) — enough to assert the exported trace/metrics JSON parses.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonCheckerTest, SelfCheck) {
+  EXPECT_TRUE(JsonChecker(R"({"a":[1,2.5,-3e2],"b":"x\n","c":null})").Valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":1)").Valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":})").Valid());
+  EXPECT_FALSE(JsonChecker("{\"a\":\"\x01\"}").Valid());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(LatencyHistogramTest, EmptySnapshotIsAllZero) {
+  LatencyHistogram h;
+  LatencyStats s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50_us, 0.0);
+  EXPECT_EQ(s.p99_us, 0.0);
+  EXPECT_EQ(s.max_us, 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketMidpointApproximatesValue) {
+  // Log-linear bucketing with 16 sub-buckets: midpoint within ~6.25% of any
+  // recorded value (exact below 2^4 ns).
+  for (uint64_t ns : {uint64_t{1}, uint64_t{15}, uint64_t{16}, uint64_t{1000},
+                      uint64_t{123456}, uint64_t{987654321}, uint64_t{1} << 40}) {
+    const double mid = LatencyHistogram::BucketMidpoint(LatencyHistogram::BucketFor(ns));
+    EXPECT_NEAR(mid, static_cast<double>(ns), static_cast<double>(ns) * 0.0625 + 0.5)
+        << "ns=" << ns;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesOfUniformDistribution) {
+  LatencyHistogram h;
+  // 1..1000 microseconds, uniform.
+  for (uint64_t i = 1; i <= 1000; ++i) h.Record(i * 1000);
+  LatencyStats s = h.Snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_NEAR(s.mean_us, 500.5, 1.0);
+  EXPECT_NEAR(s.p50_us, 500.0, 500.0 * 0.07);
+  EXPECT_NEAR(s.p95_us, 950.0, 950.0 * 0.07);
+  EXPECT_NEAR(s.p99_us, 990.0, 990.0 * 0.07);
+  EXPECT_NEAR(s.max_us, 1000.0, 1000.0 * 0.07);
+  EXPECT_LE(s.p50_us, s.p95_us);
+  EXPECT_LE(s.p95_us, s.p99_us);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t * kPerThread + i + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LatencyHistogramTest, MergeFoldsSamples) {
+  LatencyHistogram a, b;
+  for (uint64_t i = 1; i <= 100; ++i) a.Record(i * 1000);
+  for (uint64_t i = 101; i <= 200; ++i) b.Record(i * 1000);
+  a.Merge(b);
+  LatencyStats s = a.Snapshot();
+  EXPECT_EQ(s.count, 200u);
+  EXPECT_NEAR(s.p50_us, 100.0, 100.0 * 0.07);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(TracerTest, ChromeTraceIsWellFormedJson) {
+  Tracer tracer;
+  const uint64_t t0 = MonotonicNs();
+  tracer.RecordSpan("server_op", 0, 1, t0, t0 + 1000);
+  tracer.RecordInstant("prune", 2, 3);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracer] {
+      const uint64_t start = MonotonicNs();
+      for (int i = 0; i < 50; ++i) {
+        tracer.RecordSpan("queue_wait", i % 3, static_cast<uint64_t>(i), start,
+                          start + 10);
+        tracer.RecordInstant("route", i % 3, static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.NumEvents(), 2u + 4u * 100u);
+
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"server_op\""), std::string::npos);
+  EXPECT_NE(json.find("\"prune\""), std::string::npos);
+}
+
+TEST(TracerTest, EmptyTraceIsWellFormed) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.NumEvents(), 0u);
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  EXPECT_TRUE(JsonChecker(os.str()).Valid()) << os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: latency collection, the JSON snapshot, ValidateOptions.
+
+struct Workload {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<index::TagIndex> idx;
+  query::TreePattern pattern;
+  std::unique_ptr<QueryPlan> plan;
+};
+
+Workload MakeWorkload(const char* xpath = "//item[./description/parlist and ./name]") {
+  Workload w;
+  xmlgen::XMarkOptions gen;
+  gen.seed = 99;
+  gen.target_bytes = 16 << 10;
+  w.doc = xmlgen::GenerateXMark(gen);
+  w.idx = std::make_unique<index::TagIndex>(*w.doc);
+  auto q = ParseXPath(xpath);
+  EXPECT_TRUE(q.ok()) << q.status();
+  w.pattern = std::move(q).value();
+  auto scoring = ScoringModel::ComputeTfIdf(*w.idx, w.pattern, Normalization::kSparse);
+  auto plan = QueryPlan::Build(*w.idx, w.pattern, scoring);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  w.plan = std::make_unique<QueryPlan>(std::move(plan).value());
+  return w;
+}
+
+class EngineMetricsTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(EngineMetricsTest, CollectsLatencyHistograms) {
+  Workload w = MakeWorkload();
+  ExecOptions opts;
+  opts.engine = GetParam();
+  opts.k = 5;
+  opts.collect_latencies = true;
+  auto r = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const MetricsSnapshot& m = r->metrics;
+  EXPECT_EQ(m.server_op_latency.count, m.server_operations);
+  EXPECT_EQ(m.query_latency.count, 1u);
+  EXPECT_GT(m.query_latency.p50_us, 0.0);
+  if (m.server_operations > 0) {
+    EXPECT_GT(m.server_op_latency.max_us, 0.0);
+    EXPECT_LE(m.server_op_latency.p50_us, m.server_op_latency.p99_us);
+  }
+}
+
+TEST_P(EngineMetricsTest, LatenciesOffLeavesHistogramsEmpty) {
+  Workload w = MakeWorkload();
+  ExecOptions opts;
+  opts.engine = GetParam();
+  opts.k = 5;
+  auto r = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->metrics.server_op_latency.count, 0u);
+  EXPECT_EQ(r->metrics.query_latency.count, 0u);
+}
+
+TEST_P(EngineMetricsTest, TraceCoversRun) {
+  Workload w = MakeWorkload();
+  Tracer tracer;
+  ExecOptions opts;
+  opts.engine = GetParam();
+  opts.k = 5;
+  opts.tracer = &tracer;
+  auto r = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(tracer.NumEvents(), 0u);
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"server_op\""), std::string::npos);
+  EXPECT_NE(json.find("\"query\""), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EngineMetricsTest,
+                         ::testing::Values(EngineKind::kWhirlpoolS,
+                                           EngineKind::kWhirlpoolM,
+                                           EngineKind::kLockStep,
+                                           EngineKind::kLockStepNoPrun));
+
+TEST(MetricsJsonTest, SnapshotJsonHasPercentileFields) {
+  Workload w = MakeWorkload();
+  ExecOptions opts;
+  opts.k = 5;
+  opts.collect_latencies = true;
+  auto r = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const std::string json = r->metrics.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  for (const char* field :
+       {"\"server_operations\"", "\"per_server_operations\"", "\"latency\"",
+        "\"server_op\"", "\"queue_wait\"", "\"query\"", "\"p50_us\"", "\"p95_us\"",
+        "\"p99_us\"", "\"mean_us\"", "\"max_us\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field << " missing in " << json;
+  }
+}
+
+TEST(ValidateOptionsTest, AllEnginesRejectBadOptionsIdentically) {
+  Workload w = MakeWorkload("//item[./name]");
+  const auto expect_invalid = [&](const ExecOptions& opts) {
+    auto r = RunTopK(*w.plan, opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << r.status();
+    auto rb = RunRewritingBaseline(*w.plan, opts, nullptr);
+    ASSERT_FALSE(rb.ok());
+    EXPECT_EQ(rb.status().code(), StatusCode::kInvalidArgument) << rb.status();
+  };
+  for (EngineKind kind : {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                          EngineKind::kLockStep, EngineKind::kLockStepNoPrun}) {
+    ExecOptions zero_k;
+    zero_k.engine = kind;
+    zero_k.k = 0;
+    expect_invalid(zero_k);
+
+    ExecOptions bad_threads;
+    bad_threads.engine = kind;
+    bad_threads.threads_per_server = 0;
+    expect_invalid(bad_threads);
+
+    ExecOptions both_thresholds;
+    both_thresholds.engine = kind;
+    both_thresholds.frozen_threshold = 1.0;
+    both_thresholds.min_score_threshold = 2.0;
+    expect_invalid(both_thresholds);
+  }
+}
+
+}  // namespace
+}  // namespace whirlpool::exec

@@ -112,12 +112,27 @@ TEST_F(PlanTest, ScoreOverrideReplacesContributions) {
 }
 
 TEST_F(PlanTest, RejectsOversizedPattern) {
+  // The limit is root + kMaxServers (64) nodes: one visited_mask bit per
+  // server. 65 nodes builds; 66 is InvalidArgument.
   query::TreePattern big = query::TreePattern::Root("a");
-  for (int i = 0; i < 32; ++i) big.AddNode(0, query::Axis::kChild, "b");
+  for (int i = 0; i < kMaxServers + 1; ++i) {
+    big.AddNode(0, query::Axis::kChild, "b");
+  }
   auto scoring = ScoringModel::ComputeTfIdf(*idx_, big, Normalization::kSparse);
   auto plan = QueryPlan::Build(*idx_, big, scoring);
   ASSERT_FALSE(plan.ok());
-  EXPECT_EQ(plan.status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlanTest, AcceptsPatternAtServerLimit) {
+  // A pattern wider than the old 32-bit mask (but within kMaxServers) is
+  // accepted and exposes one server per non-root node.
+  query::TreePattern wide = query::TreePattern::Root("a");
+  for (int i = 0; i < 40; ++i) wide.AddNode(0, query::Axis::kChild, "b");
+  auto scoring = ScoringModel::ComputeTfIdf(*idx_, wide, Normalization::kSparse);
+  auto plan = QueryPlan::Build(*idx_, wide, scoring);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->num_servers(), 40);
 }
 
 TEST_F(PlanTest, RejectsMismatchedScoring) {

@@ -210,7 +210,7 @@ Status CmdQuery(const Flags& flags, std::ostream& out) {
   WHIRLPOOL_RETURN_NOT_OK(flags.CheckKnown(
       {"xml", "snapshot", "generate-kb", "seed", "xpath", "k", "engine", "semantics",
        "aggregation", "norm", "routing", "format", "show-metrics", "threshold",
-       "show-fragments", "cache"}));
+       "show-fragments", "cache", "trace", "metrics-json"}));
   if (!flags.Has("xpath")) return Status::InvalidArgument("--xpath is required");
   auto doc = LoadDocument(flags);
   if (!doc.ok()) return doc.status();
@@ -222,11 +222,32 @@ Status CmdQuery(const Flags& flags, std::ostream& out) {
   auto options = ParseExecOptions(flags);
   if (!options.ok()) return options.status();
 
+  exec::Tracer tracer;
+  if (flags.Has("trace")) {
+    options->tracer = &tracer;
+    options->collect_latencies = true;
+  }
+  if (flags.Has("metrics-json")) options->collect_latencies = true;
+
   auto scoring = score::ScoringModel::ComputeTfIdf(idx, *pattern, *norm);
   auto plan = exec::QueryPlan::Build(idx, *pattern, scoring);
   if (!plan.ok()) return plan.status();
   auto result = exec::RunTopK(*plan, *options);
   if (!result.ok()) return result.status();
+
+  if (flags.Has("trace")) {
+    std::ofstream file(flags.Get("trace"), std::ios::binary);
+    if (!file) return Status::Internal("cannot write " + flags.Get("trace"));
+    tracer.WriteChromeTrace(file);
+    out << "wrote " << tracer.NumEvents() << " trace events to " << flags.Get("trace")
+        << "\n";
+  }
+  if (flags.Has("metrics-json")) {
+    std::ofstream file(flags.Get("metrics-json"), std::ios::binary);
+    if (!file) return Status::Internal("cannot write " + flags.Get("metrics-json"));
+    file << result->metrics.ToJson() << "\n";
+    out << "wrote metrics to " << flags.Get("metrics-json") << "\n";
+  }
 
   const std::string format = flags.Get("format", "text");
   xml::DeweyIndex dewey(**doc);
@@ -282,7 +303,11 @@ std::string UsageText() {
       "            [--aggregation=max|sum] [--norm=sparse|dense|none]\n"
       "            [--routing=static|max_score|min_score|min_alive]\n"
       "            [--threshold=T] [--format=text|csv] [--cache=true] [--show-metrics]\n"
-      "            [--show-fragments]\n";
+      "            [--show-fragments] [--trace=FILE] [--metrics-json=FILE]\n"
+      "\n"
+      "  --trace=FILE writes a Chrome trace_event JSON (open in Perfetto or\n"
+      "  chrome://tracing); --metrics-json=FILE writes the run's MetricsSnapshot\n"
+      "  as JSON, including p50/p95/p99 latency percentiles.\n";
 }
 
 Status RunCli(const std::vector<std::string>& args, std::ostream& out) {

@@ -10,7 +10,11 @@
 //       [--aggregation=max|sum] [--norm=sparse|dense|none]
 //       [--routing=static|max_score|min_score|min_alive] [--format=text|csv]
 //       [--show-metrics] [--show-fragments]
-//       Run a top-k query and print ranked answers.
+//       [--trace=FILE] [--metrics-json=FILE]
+//       Run a top-k query and print ranked answers. --trace writes a Chrome
+//       trace_event JSON of the execution (Perfetto-loadable);
+//       --metrics-json writes the MetricsSnapshot (counters + p50/p95/p99
+//       latency percentiles) as JSON.
 //   whirlpool inspect (--xml=FILE | --generate-kb=N)
 //       Print document statistics (node count, depth, top tags).
 //   whirlpool explain (--xml=FILE | --generate-kb=N) --xpath=EXPR

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under ThreadSanitizer and ASan+UBSan.
+# The concurrency tests (Whirlpool-M, SyncMatchQueue, the tracer's
+# thread-local buffers, the latency histograms) are the main target.
+#
+# Usage: tools/run_sanitizers.sh [tsan|asan|all] [ctest-regex]
+#   tools/run_sanitizers.sh                 # both sanitizers, full suite
+#   tools/run_sanitizers.sh tsan            # TSan only
+#   tools/run_sanitizers.sh tsan Concurrency  # TSan, concurrency tests only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+which=${1:-all}
+filter=${2:-}
+ctest_args=(--output-on-failure)
+if [[ -n "$filter" ]]; then ctest_args+=(-R "$filter"); fi
+
+run_one() {
+  local name=$1 sanitize=$2 dir=$3
+  echo "=== $name ($sanitize) ==="
+  cmake -B "$dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DWHIRLPOOL_SANITIZE="$sanitize" \
+    -DWHIRLPOOL_BUILD_BENCHMARKS=OFF \
+    -DWHIRLPOOL_BUILD_EXAMPLES=OFF
+  cmake --build "$dir" -j "$(nproc)"
+  (cd "$dir" && ctest "${ctest_args[@]}")
+}
+
+case "$which" in
+  tsan) run_one TSan thread build-tsan ;;
+  asan) run_one ASan+UBSan address,undefined build-asan ;;
+  all)
+    run_one TSan thread build-tsan
+    run_one ASan+UBSan address,undefined build-asan
+    ;;
+  *)
+    echo "usage: $0 [tsan|asan|all] [ctest-regex]" >&2
+    exit 2
+    ;;
+esac
+echo "sanitizer runs passed"
