@@ -54,7 +54,6 @@ int main(int argc, char** argv) {
   std::printf("\n%-10s %12s %12s %12s %10s\n", "semantics", "ops", "created",
               "pruned", "answers");
   bench::Compiled c = bench::Compile(*w.idx, bench::QueryXPath(2));
-  uint64_t created_by_sem[2];
   size_t answers_by_sem[2];
   int si = 0;
   for (auto [name, sem] :
@@ -66,7 +65,6 @@ int main(int argc, char** argv) {
     options.semantics = sem;
     auto r = exec::RunTopK(*c.plan, options);
     if (!r.ok()) return 1;
-    created_by_sem[si] = r->metrics.matches_created;
     answers_by_sem[si] = r->answers.size();
     std::printf("%-10s %12llu %12llu %12llu %10zu\n", name,
                 static_cast<unsigned long long>(r->metrics.server_operations),

@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace whirlpool::bench {
 
@@ -15,12 +17,13 @@ namespace {
 // the array is flushed by an atexit handler so each bench's main() needs no
 // changes. Benches are effectively single-threaded but Run() is guarded
 // anyway.
-std::mutex g_metrics_mu;
-std::string g_metrics_json_path;            // empty = export disabled
-std::vector<std::string> g_metrics_json;    // pre-rendered snapshot objects
+Mutex g_metrics_mu;
+std::string g_metrics_json_path GUARDED_BY(g_metrics_mu);  // empty = disabled
+std::vector<std::string> g_metrics_json
+    GUARDED_BY(g_metrics_mu);  // pre-rendered snapshot objects
 
 void FlushMetricsJson() {
-  std::lock_guard<std::mutex> lock(g_metrics_mu);
+  MutexLock lock(&g_metrics_mu);
   if (g_metrics_json_path.empty()) return;
   std::ofstream file(g_metrics_json_path, std::ios::binary);
   if (!file) {
@@ -37,7 +40,7 @@ void FlushMetricsJson() {
 }  // namespace
 
 void EnableMetricsJson(const std::string& path) {
-  std::lock_guard<std::mutex> lock(g_metrics_mu);
+  MutexLock lock(&g_metrics_mu);
   const bool first = g_metrics_json_path.empty();
   g_metrics_json_path = path;
   if (first) std::atexit(FlushMetricsJson);
@@ -99,7 +102,7 @@ Compiled Compile(const index::TagIndex& idx, const char* xpath,
 exec::MetricsSnapshot Run(const exec::QueryPlan& plan, const exec::ExecOptions& options) {
   bool record = false;
   {
-    std::lock_guard<std::mutex> lock(g_metrics_mu);
+    MutexLock lock(&g_metrics_mu);
     record = !g_metrics_json_path.empty();
   }
   exec::ExecOptions opts = options;
@@ -110,7 +113,7 @@ exec::MetricsSnapshot Run(const exec::QueryPlan& plan, const exec::ExecOptions& 
     std::exit(1);
   }
   if (record) {
-    std::lock_guard<std::mutex> lock(g_metrics_mu);
+    MutexLock lock(&g_metrics_mu);
     g_metrics_json.push_back(r->metrics.ToJson());
   }
   return r->metrics;

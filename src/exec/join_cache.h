@@ -11,12 +11,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "score/scoring.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "xml/document.h"
 
 namespace whirlpool::exec {
@@ -37,12 +38,13 @@ class ServerJoinCache {
 
   /// Returns the cached entry for (server, root), computing it with
   /// `compute` on first use. The returned pointer stays valid for the
-  /// lifetime of the cache.
+  /// lifetime of the cache. The shard lock is never held across the
+  /// `compute` callback (it may re-enter index/scoring code).
   std::shared_ptr<const Entry> GetOrCompute(
       int server, xml::NodeId root, const std::function<Entry()>& compute) {
     Shard& shard = shards_[static_cast<size_t>(server)];
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       auto it = shard.map.find(root);
       if (it != shard.map.end()) {
         ++hits_;
@@ -52,7 +54,7 @@ class ServerJoinCache {
     // Compute outside the lock; racing duplicates are harmless (last one
     // wins, both are identical).
     auto entry = std::make_shared<const Entry>(compute());
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto [it, inserted] = shard.map.emplace(root, std::move(entry));
     if (!inserted) ++hits_;
     return it->second;
@@ -63,8 +65,9 @@ class ServerJoinCache {
 
  private:
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<xml::NodeId, std::shared_ptr<const Entry>> map;
+    Mutex mu;
+    std::unordered_map<xml::NodeId, std::shared_ptr<const Entry>> map
+        GUARDED_BY(mu);
   };
   std::vector<Shard> shards_;
   std::atomic<uint64_t> hits_{0};

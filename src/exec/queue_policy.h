@@ -11,6 +11,7 @@
 #include "exec/options.h"
 #include "exec/partial_match.h"
 #include "exec/plan.h"
+#include "util/check.h"
 
 namespace whirlpool::exec {
 
@@ -74,13 +75,21 @@ class MatchHeap {
   }
 
   /// The highest-priority entry. Precondition: !empty().
-  const QueuedMatch& Top() const { return heap_.front(); }
+  const QueuedMatch& Top() const {
+    WP_DCHECK(!heap_.empty()) << "Top() on empty MatchHeap";
+    return heap_.front();
+  }
 
   /// Removes and returns the highest-priority entry. Precondition: !empty().
   QueuedMatch Pop() {
+    WP_DCHECK(!heap_.empty()) << "Pop() on empty MatchHeap";
     std::pop_heap(heap_.begin(), heap_.end(), QueuedMatchLess{});
     QueuedMatch qm = std::move(heap_.back());
     heap_.pop_back();
+    // Heap-order invariant: what we popped dominates the new top.
+    WP_DCHECK(heap_.empty() || !QueuedMatchLess{}(qm, heap_.front()))
+        << "heap order violated: popped " << qm.priority << " below top "
+        << heap_.front().priority;
     return qm;
   }
 

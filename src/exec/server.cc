@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "query/matcher.h"
+#include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace whirlpool::exec {
@@ -96,6 +97,16 @@ void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
   const auto& doc = index.doc();
   const TreePattern& pattern = plan.pattern();
   const size_t qi = static_cast<size_t>(spec.pattern_node);
+  // Mask/bindings agreement: the router never re-routes to a visited server,
+  // so this server's pattern node must still be unbound.
+  WP_DCHECK(m.bindings.size() == pattern.size() &&
+            m.levels.size() == pattern.size())
+      << "match shape mismatch: " << m.bindings.size() << " bindings, "
+      << m.levels.size() << " levels, pattern size " << pattern.size();
+  WP_DCHECK(!m.Visited(s)) << "server " << s << " re-processing match "
+                           << m.seq << " (mask " << m.visited_mask << ")";
+  WP_DCHECK(m.bindings[qi] == xml::kInvalidNode)
+      << "unvisited pattern node " << qi << " already bound in match " << m.seq;
   const bool exact = options.semantics == MatchSemantics::kExact;
   const bool prune = options.engine != EngineKind::kLockStepNoPrun;
   const bool sum_mode = options.aggregation == ScoreAggregation::kSumWitnesses;
@@ -128,6 +139,10 @@ void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
   uint64_t emitted = 0;
   auto handle_extension = [&](PartialMatch&& ext) {
     ++emitted;
+    WP_DCHECK(ext.Visited(s)) << "extension does not record server " << s;
+    WP_DCHECK(ext.max_final_score >= ext.current_score)
+        << "max_final_score " << ext.max_final_score
+        << " below current_score " << ext.current_score;
     metrics->matches_created.fetch_add(1, std::memory_order_relaxed);
     const bool complete = ext.IsComplete(plan.num_servers());
     topk->Update(ext, complete);

@@ -2,26 +2,31 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace whirlpool::exec {
 
 TopKSet::TopKSet(uint32_t k, bool update_partials)
     : k_(k), update_partials_(update_partials) {}
 
 void TopKSet::FreezeThreshold(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   frozen_ = true;
   frozen_value_ = value;
 }
 
 void TopKSet::SetMinScoreMode(double min_score) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   min_score_mode_ = true;
   min_score_ = min_score;
 }
 
 void TopKSet::Update(const PartialMatch& m, bool complete) {
   if (!complete && !update_partials_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  WP_DCHECK(m.bindings.size() == m.levels.size())
+      << "corrupt match: " << m.bindings.size() << " bindings vs "
+      << m.levels.size() << " levels";
+  MutexLock lock(&mu_);
   Entry& e = best_[m.root_binding()];
   if (m.current_score > e.score) {
     if (e.score != -std::numeric_limits<double>::infinity()) {
@@ -46,16 +51,21 @@ double TopKSet::ThresholdLocked() const {
   if (scores_.size() < k_) return -std::numeric_limits<double>::infinity();
   auto it = scores_.rbegin();
   std::advance(it, k_ - 1);
+  // Monotonicity: per-root scores only grow, so the k-th best never drops.
+  // A violation would make an earlier prune unsound.
+  WP_DCHECK(*it >= last_threshold_)
+      << "currentTopK regressed from " << last_threshold_ << " to " << *it;
+  last_threshold_ = *it;
   return *it;
 }
 
 double TopKSet::Threshold() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ThresholdLocked();
 }
 
 bool TopKSet::Alive(const PartialMatch& m) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (min_score_mode_) {
     // Inclusive: a match that can still exactly reach the bar is wanted.
     return m.max_final_score >= min_score_;
@@ -66,12 +76,12 @@ bool TopKSet::Alive(const PartialMatch& m) const {
 }
 
 size_t TopKSet::NumRoots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return best_.size();
 }
 
 std::vector<Answer> TopKSet::Finalize() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<Answer> all;
   all.reserve(best_.size());
   for (const auto& [root, e] : best_) {

@@ -12,12 +12,13 @@
 
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "exec/partial_match.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace whirlpool::exec {
 
@@ -71,24 +72,29 @@ class TopKSet {
   std::vector<Answer> Finalize() const;
 
  private:
-  double ThresholdLocked() const;
+  double ThresholdLocked() const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  uint32_t k_;
-  bool update_partials_;
-  bool frozen_ = false;
-  double frozen_value_ = 0.0;
-  bool min_score_mode_ = false;
-  double min_score_ = 0.0;
+  mutable Mutex mu_;
+  const uint32_t k_;
+  const bool update_partials_;
+  bool frozen_ GUARDED_BY(mu_) = false;
+  double frozen_value_ GUARDED_BY(mu_) = 0.0;
+  bool min_score_mode_ GUARDED_BY(mu_) = false;
+  double min_score_ GUARDED_BY(mu_) = 0.0;
   struct Entry {
     double score = -std::numeric_limits<double>::infinity();
     std::vector<NodeId> bindings;
     std::vector<MatchLevel> levels;
     bool complete = false;
   };
-  std::unordered_map<NodeId, Entry> best_;
+  std::unordered_map<NodeId, Entry> best_ GUARDED_BY(mu_);
   /// Multiset of per-root best scores; k-th largest is the threshold.
-  std::multiset<double> scores_;
+  std::multiset<double> scores_ GUARDED_BY(mu_);
+  /// Debug invariant: in top-k mode the threshold is monotone non-decreasing
+  /// (scores only improve and entries are never removed), which is what makes
+  /// late pruning sound. Checked by WP_DCHECK in ThresholdLocked.
+  mutable double last_threshold_ GUARDED_BY(mu_) =
+      -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace whirlpool::exec

@@ -26,9 +26,12 @@ Tracer::Buffer* Tracer::GetBuffer() {
   auto buffer = std::make_unique<Buffer>();
   Buffer* raw = buffer.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock reg_lock(&mu_);
     raw->tid = static_cast<int>(buffers_.size());
-    buffer->events.reserve(256);
+    {
+      MutexLock buf_lock(&raw->mu);
+      raw->events.reserve(256);
+    }
     buffers_.push_back(std::move(buffer));
   }
   tl_tracer_id = id_;
@@ -38,28 +41,37 @@ Tracer::Buffer* Tracer::GetBuffer() {
 
 void Tracer::RecordSpan(const char* name, int server, uint64_t match_seq,
                         uint64_t start_ns, uint64_t end_ns) {
-  GetBuffer()->events.push_back(
+  Buffer* buf = GetBuffer();
+  // Uncontended unless an export is concurrently scanning this buffer.
+  MutexLock lock(&buf->mu);
+  buf->events.push_back(
       {name, start_ns, end_ns - start_ns, match_seq, server, /*instant=*/false});
 }
 
 void Tracer::RecordInstant(const char* name, int server, uint64_t match_seq) {
-  GetBuffer()->events.push_back(
+  Buffer* buf = GetBuffer();
+  MutexLock lock(&buf->mu);
+  buf->events.push_back(
       {name, MonotonicNs(), 0, match_seq, server, /*instant=*/true});
 }
 
 size_t Tracer::NumEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t n = 0;
-  for (const auto& b : buffers_) n += b->events.size();
+  for (const auto& b : buffers_) {
+    MutexLock buf_lock(&b->mu);
+    n += b->events.size();
+  }
   return n;
 }
 
 void Tracer::WriteChromeTrace(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
         "\"args\":{\"name\":\"whirlpool\"}}";
   for (const auto& b : buffers_) {
+    MutexLock buf_lock(&b->mu);
     for (const Event& e : b->events) {
       // ts is microseconds since tracer construction (Chrome convention).
       const double ts =

@@ -13,11 +13,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
 #include "exec/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace whirlpool::exec {
 
@@ -60,17 +61,23 @@ class Tracer {
   void WriteChromeTrace(std::ostream& os) const;
 
  private:
+  /// One producer thread's event log. `mu` is uncontended on the hot path
+  /// (only its owner thread appends); it exists so NumEvents /
+  /// WriteChromeTrace may run concurrently with recording (live trace
+  /// export) without a data race on the vector.
   struct Buffer {
-    std::vector<Event> events;
-    int tid = 0;
+    Mutex mu;
+    std::vector<Event> events GUARDED_BY(mu);
+    int tid = 0;  ///< set once at registration, then read-only
   };
 
-  Buffer* GetBuffer();
+  Buffer* GetBuffer() EXCLUDES(mu_);
 
   const uint64_t id_;        ///< process-unique; keys the thread-local cache
   const uint64_t epoch_ns_;  ///< construction time; trace ts zero point
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Buffer>> buffers_;
+  mutable Mutex mu_;
+  /// Registration list; each Buffer's contents are guarded by its own mu.
+  std::vector<std::unique_ptr<Buffer>> buffers_ GUARDED_BY(mu_);
 };
 
 /// \brief Per-run instrumentation context: optional tracer + optional

@@ -7,8 +7,7 @@
 // A simulated processor count (ExecOptions::processor_cap) bounds how many
 // server threads do useful work concurrently, reproducing the paper's
 // 1/2/4/infinity-processor study (Fig 9) on a single host.
-#include <condition_variable>
-#include <mutex>
+#include <atomic>
 #include <thread>
 
 #include "exec/engine.h"
@@ -16,8 +15,10 @@
 #include "exec/routing.h"
 #include "exec/server.h"
 #include "exec/tracer.h"
+#include "util/mutex.h"
 #include "util/semaphore.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace whirlpool::exec {
 
@@ -30,17 +31,17 @@ class SyncMatchQueue {
  public:
   void Push(QueuedMatch&& qm) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queue_.Push(std::move(qm));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   /// Blocks until a match is available or Stop() was called and the queue is
   /// empty. Returns false on shutdown.
   bool Pop(QueuedMatch* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    MutexLock lock(&mu_);
+    cv_.Wait(mu_, [&]() REQUIRES(mu_) { return stop_ || !queue_.empty(); });
     if (queue_.empty()) return false;
     *out = queue_.Pop();
     return true;
@@ -48,17 +49,17 @@ class SyncMatchQueue {
 
   void Stop() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  MatchHeap queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  MatchHeap queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// Tracks the number of live partial matches in the system; main blocks in
@@ -69,20 +70,22 @@ class InFlightTracker {
 
   void Retire() {
     if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(mu_);
-      cv_.notify_all();
+      // Taking mu_ orders this notify after a concurrent waiter's predicate
+      // check, preventing the lost-wakeup race on the atomic counter.
+      MutexLock lock(&mu_);
+      cv_.NotifyAll();
     }
   }
 
   void WaitForDrain() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return count_.load(std::memory_order_acquire) == 0; });
+    MutexLock lock(&mu_);
+    cv_.Wait(mu_, [&] { return count_.load(std::memory_order_acquire) == 0; });
   }
 
  private:
   std::atomic<uint64_t> count_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
 };
 
 }  // namespace

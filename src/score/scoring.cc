@@ -127,7 +127,6 @@ ScoringModel ScoringModel::ComputeTfIdf(const TagIndex& index, const TreePattern
                                         Normalization norm) {
   ScoringModel model;
   model.tables_.resize(pattern.size());
-  const auto& doc = index.doc();
   std::vector<NodeId> roots = query::RootCandidates(index, pattern);
   const uint64_t total_roots = roots.size();
 

@@ -1,0 +1,24 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace whirlpool::util::check_internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
+  // Trailing space separates the condition from the caller's streamed
+  // message (glog style).
+  stream_ << "WP_CHECK failed at " << file << ":" << line << ": " << condition
+          << ' ';
+}
+
+CheckFailure::~CheckFailure() {
+  stream_ << '\n';
+  const std::string msg = stream_.str();
+  std::fwrite(msg.data(), 1, msg.size(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace whirlpool::util::check_internal

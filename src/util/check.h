@@ -1,0 +1,66 @@
+// Runtime invariant checking: WP_CHECK aborts (with file:line, the failed
+// condition, and an optional streamed message) when a condition is false;
+// WP_DCHECK is the same check compiled only into debug / WP_FORCE_DCHECK
+// builds, for invariants too hot to verify in release (heap ordering on
+// every pop, per-extension mask agreement). Both swallow a streamed
+// message:
+//
+//   WP_CHECK(!heap.empty()) << "pop on empty heap, size=" << heap.size();
+//
+// The message expression is not evaluated when the condition holds (or, for
+// WP_DCHECK, when checks are compiled out), so streaming is free on the
+// success path.
+#pragma once
+
+#include <sstream>
+
+namespace whirlpool::util::check_internal {
+
+/// \brief Collects the failure message; aborts the process in its
+/// destructor (which runs after the caller finishes streaming).
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailure();
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Adapts the streamed ostream to void so both ?: arms agree. operator&
+/// binds looser than operator<<, so the whole message chain is consumed.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace whirlpool::util::check_internal
+
+/// Always-on invariant check; aborts with a diagnostic when false.
+#define WP_CHECK(condition)                                          \
+  (condition) ? (void)0                                              \
+              : ::whirlpool::util::check_internal::Voidify() &       \
+                    ::whirlpool::util::check_internal::CheckFailure( \
+                        __FILE__, __LINE__, #condition)              \
+                        .stream()
+
+/// True when WP_DCHECK performs its check (debug builds, or any build with
+/// -DWP_FORCE_DCHECK — the tsan preset sets it so sanitizer runs also
+/// exercise the debug invariants).
+#if !defined(NDEBUG) || defined(WP_FORCE_DCHECK)
+#define WP_DCHECK_IS_ON 1
+#else
+#define WP_DCHECK_IS_ON 0
+#endif
+
+#if WP_DCHECK_IS_ON
+#define WP_DCHECK(condition) WP_CHECK(condition)
+#else
+// Dead branch: still typechecks (so the condition cannot rot) but the
+// compiler removes it entirely, and the condition is never evaluated.
+#define WP_DCHECK(condition) \
+  while (false) WP_CHECK(condition)
+#endif

@@ -3,45 +3,52 @@
 // or unlimited processors (paper Sec 6.3.4) on a single host.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
-#include <mutex>
+
+#include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace whirlpool {
 
 /// \brief Counting semaphore with an "unlimited" mode.
 ///
 /// When constructed with permits == kUnlimited, Acquire/Release are no-ops,
-/// so an uncapped run pays no synchronization cost.
+/// so an uncapped run pays no synchronization cost. `limited_` is const (set
+/// once at construction), which is what makes the unlocked fast-path test in
+/// Acquire/Release race-free; the permit count itself is guarded by mu_.
 class ProcessorCap {
  public:
   static constexpr int kUnlimited = std::numeric_limits<int>::max();
 
-  explicit ProcessorCap(int permits = kUnlimited) : permits_(permits), limited_(permits != kUnlimited) {}
+  explicit ProcessorCap(int permits = kUnlimited)
+      : permits_(permits), limited_(permits != kUnlimited) {}
 
-  void Acquire() {
+  void Acquire() EXCLUDES(mu_) {
     if (!limited_) return;
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return permits_ > 0; });
+    MutexLock lock(&mu_);
+    cv_.Wait(mu_, [this]() REQUIRES(mu_) { return permits_ > 0; });
     --permits_;
   }
 
-  void Release() {
+  void Release() EXCLUDES(mu_) {
     if (!limited_) return;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
+      WP_DCHECK(permits_ < std::numeric_limits<int>::max())
+          << "Release() without matching Acquire()";
       ++permits_;
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   bool limited() const { return limited_; }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int permits_;
+  Mutex mu_;
+  CondVar cv_;
+  int permits_ GUARDED_BY(mu_);
   const bool limited_;
 };
 
@@ -58,7 +65,7 @@ class ProcessorCapGuard {
   ProcessorCapGuard& operator=(const ProcessorCapGuard&) = delete;
 
  private:
-  ProcessorCap* cap_;
+  ProcessorCap* const cap_;
 };
 
 }  // namespace whirlpool

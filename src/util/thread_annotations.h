@@ -1,0 +1,83 @@
+// Clang Thread Safety Analysis annotations (-Wthread-safety). Each macro
+// expands to a Clang attribute when compiling with Clang and to nothing
+// elsewhere, so GCC builds are unaffected. Applied to whirlpool::Mutex /
+// MutexLock / CondVar (util/mutex.h) and to every shared structure in the
+// engines, they turn lock-discipline violations — touching a GUARDED_BY
+// field without its mutex, calling a REQUIRES method unlocked — into
+// compile errors under the `tidy` preset (see tools/run_static_analysis.sh)
+// instead of flaky TSan reports.
+//
+// Conventions used in this codebase:
+//   - every field written by more than one thread is either std::atomic or
+//     GUARDED_BY(mu_);
+//   - private *Locked() helpers that assume the caller holds the mutex are
+//     REQUIRES(mu_);
+//   - public methods never expose a held lock to callbacks (compute outside
+//     the lock, then publish).
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define WP_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define WP_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define CAPABILITY(x) WP_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY WP_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field is protected by the given mutex(es); all reads and writes must
+/// happen with the mutex held.
+#define GUARDED_BY(x) WP_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define PT_GUARDED_BY(x) WP_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Documents lock-ordering constraints between mutexes (deadlock checking).
+#define ACQUIRED_BEFORE(...) \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function requires the caller to hold the mutex (exclusively / shared).
+#define REQUIRES(...) \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex and does not release it before returning.
+#define ACQUIRE(...) \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the mutex (which the caller must hold).
+#define RELEASE(...) \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire the mutex; first argument is the success value.
+#define TRY_ACQUIRE(...) \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the mutex (the function acquires it itself).
+#define EXCLUDES(...) WP_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held, informing the analysis.
+#define ASSERT_CAPABILITY(x) WP_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+/// Function returns a reference to the mutex guarding its result.
+#define RETURN_CAPABILITY(x) WP_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function (document why at use).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  WP_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
