@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
       exec::ExecOptions options;
       options.k = 15;
       options.op_cost_seconds = op_cost;
+      args.ApplyTo(&options);  // --topk-shards / --queue-drain-batch / threads
       options.engine = exec::EngineKind::kWhirlpoolS;
       auto ws = bench::Run(*c.plan, options);
       options.engine = exec::EngineKind::kWhirlpoolM;

@@ -94,6 +94,16 @@ struct BenchArgs {
   /// --metrics-json=FILE: dump every Run()'s MetricsSnapshot (JSON array,
   /// one object per run, with latency percentiles) when the bench exits.
   std::string metrics_json;
+  /// --topk-shards=N / --queue-drain-batch=N: Whirlpool-M synchronization
+  /// knobs (ExecOptions::topk_shards / queue_drain_batch). 0 = engine
+  /// default; benches that run Whirlpool-M apply them via ApplyTo().
+  int topk_shards = 0;
+  int queue_drain_batch = 0;
+  /// --threads-per-server=N for the Whirlpool-M runs. 0 = engine default.
+  int threads_per_server = 0;
+
+  /// Copies the Whirlpool-M knobs (when set) onto an ExecOptions.
+  void ApplyTo(exec::ExecOptions* options) const;
 
   static BenchArgs Parse(int argc, char** argv);
   /// target bytes for the paper's "1Mb" / "10Mb" / "50Mb" documents: the

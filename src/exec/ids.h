@@ -1,0 +1,27 @@
+// Strong typedefs for the identifier pairs that flow through the tracing
+// and instrumentation APIs. RecordSpan(server, seq, ...) used to take two
+// adjacent integers, an argument transposition the compiler cannot catch
+// (the bugprone-easily-swappable-parameters suppression this replaces);
+// wrapping each id in a distinct single-field struct makes a swapped call
+// a type error while still compiling down to the raw integer.
+#pragma once
+
+#include <cstdint>
+
+namespace whirlpool::exec {
+
+/// \brief A server index in [0, num_servers), or the router (-1).
+struct ServerId {
+  constexpr explicit ServerId(int v) : value(v) {}
+  /// The router / "no specific server" pseudo-id.
+  static constexpr ServerId Router() { return ServerId(-1); }
+  int value;
+};
+
+/// \brief A partial match's creation sequence number (PartialMatch::seq).
+struct MatchSeq {
+  constexpr explicit MatchSeq(uint64_t v) : value(v) {}
+  uint64_t value;
+};
+
+}  // namespace whirlpool::exec

@@ -33,7 +33,8 @@ Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options
   const Instrumentation ins(options.tracer, &metrics, options.collect_latencies);
   const uint64_t query_start = ins.Begin();
   std::atomic<uint64_t> seq{0};
-  TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed);
+  TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed,
+               options.topk_shards);
   if (options.has_frozen_threshold()) topk.FreezeThreshold(options.frozen_threshold);
   if (options.has_min_score_threshold()) {
     topk.SetMinScoreMode(options.min_score_threshold);
@@ -62,7 +63,7 @@ Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options
     for (const PartialMatch& m : current) {
       if (prune && !topk.Alive(m)) {
         metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
-        ins.Prune(s, m.seq);
+        ins.Prune(ServerId(s), MatchSeq(m.seq));
         continue;
       }
       ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &next,

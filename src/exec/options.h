@@ -94,6 +94,15 @@ struct ExecOptions {
   int processor_cap = 0;
   /// Threads sharing each server queue in Whirlpool-M (paper future work).
   int threads_per_server = 1;
+  /// Mutex stripes for the shared top-k set's root->score map. Updates of
+  /// roots in different stripes proceed concurrently; Threshold()/Alive()
+  /// readers are lock-free regardless (cached atomic threshold). 1 = the
+  /// pre-striping single-map layout.
+  int topk_shards = 16;
+  /// Maximum matches a Whirlpool-M consumer (server or router thread)
+  /// drains from its queue per lock acquisition; producers publish whole
+  /// batches with one notify. 1 = the original per-match handoff.
+  int queue_drain_batch = 8;
   /// Bulk routing (paper Sec 6.3.3 future work): Whirlpool-S makes one
   /// routing decision for up to this many consecutive queue entries that
   /// share the same set of visited servers. 1 = one decision per match.
@@ -131,6 +140,12 @@ inline Status ValidateOptions(const ExecOptions& options) {
   if (options.k == 0) return Status::InvalidArgument("k must be positive");
   if (options.threads_per_server < 1) {
     return Status::InvalidArgument("threads_per_server must be >= 1");
+  }
+  if (options.topk_shards < 1) {
+    return Status::InvalidArgument("topk_shards must be >= 1");
+  }
+  if (options.queue_drain_batch < 1) {
+    return Status::InvalidArgument("queue_drain_batch must be >= 1");
   }
   if (options.has_frozen_threshold() && options.has_min_score_threshold()) {
     return Status::InvalidArgument(

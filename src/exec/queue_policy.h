@@ -2,6 +2,8 @@
 // current score, maximum possible next score, maximum possible final score.
 // Priorities are computed at enqueue time (they depend only on the match and
 // the queue's server) and ties break by arrival order for determinism.
+// Also home to SyncMatchQueue, the blocking batched handoff queue between
+// the Whirlpool-M router and server threads.
 #pragma once
 
 #include <algorithm>
@@ -12,6 +14,8 @@
 #include "exec/partial_match.h"
 #include "exec/plan.h"
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace whirlpool::exec {
 
@@ -95,6 +99,110 @@ class MatchHeap {
 
  private:
   std::vector<QueuedMatch> heap_;
+};
+
+/// \brief Blocking priority queue with a stop flag, shared between the
+/// Whirlpool-M router and server threads. Extraction goes through
+/// MatchHeap::Pop (std::pop_heap + move from the mutable back element) —
+/// never through a const_cast of a frozen heap top.
+///
+/// Handoff is batched in both directions to cut the per-match lock/notify
+/// cost that dominates queue time in traces: producers publish whole
+/// vectors under one lock acquisition with one notify, and consumers drain
+/// up to N entries per acquisition (ExecOptions::queue_drain_batch).
+class SyncMatchQueue {
+ public:
+  void Push(QueuedMatch&& qm) {
+    {
+      MutexLock lock(&mu_);
+      queue_.Push(std::move(qm));
+    }
+    cv_.NotifyOne();
+  }
+
+  /// Publishes every entry of `*batch` under a single lock acquisition with
+  /// a single notify, then clears the vector (capacity is retained so
+  /// producers can reuse their outbox allocation). No-op on an empty batch.
+  void PushBatch(std::vector<QueuedMatch>* batch) {
+    if (batch->empty()) return;
+    const size_t n = batch->size();
+    {
+      MutexLock lock(&mu_);
+      for (QueuedMatch& qm : *batch) queue_.Push(std::move(qm));
+    }
+    // A multi-entry batch can feed several consumers (threads_per_server >
+    // 1), so wake them all; a woken consumer with nothing left to drain
+    // re-blocks immediately.
+    if (n == 1) {
+      cv_.NotifyOne();
+    } else {
+      cv_.NotifyAll();
+    }
+    batch->clear();
+  }
+
+  /// Blocks until a match is available or Stop() was called and the queue is
+  /// empty. Returns false on shutdown.
+  bool Pop(QueuedMatch* out) {
+    MutexLock lock(&mu_);
+    ++waiters_;
+    cv_.Wait(mu_, [&]() REQUIRES(mu_) { return stop_ || !queue_.empty(); });
+    --waiters_;
+    if (queue_.empty()) return false;
+    *out = queue_.Pop();
+    return true;
+  }
+
+  /// Blocks until at least one match is available (or shutdown), then drains
+  /// up to `max_n` entries into `*out` (cleared first) under the single lock
+  /// acquisition. Entries come out in heap order — non-increasing priority —
+  /// so per-producer FIFO is preserved whenever the queue policy encodes
+  /// arrival order (kFifo: priority = -seq). Returns false only on
+  /// stop-and-empty; after Stop() remaining entries are still drained.
+  ///
+  /// The drain is demand-aware: the backlog is split across this consumer
+  /// and every consumer currently blocked on the queue, so a lone consumer
+  /// on a deep queue takes the full `max_n` (lock amortization) while N
+  /// parallel consumers each take ~depth/N instead of one thread walking
+  /// off with the whole backlog and starving its siblings.
+  bool PopBatch(std::vector<QueuedMatch>* out, int max_n) {
+    out->clear();
+    MutexLock lock(&mu_);
+    ++waiters_;
+    cv_.Wait(mu_, [&]() REQUIRES(mu_) { return stop_ || !queue_.empty(); });
+    --waiters_;
+    if (queue_.empty()) return false;
+    const size_t share = queue_.size() / (static_cast<size_t>(waiters_) + 1);
+    const size_t limit =
+        std::min(static_cast<size_t>(max_n < 1 ? 1 : max_n),
+                 share < 1 ? size_t{1} : share);
+    while (!queue_.empty() && out->size() < limit) {
+      out->push_back(queue_.Pop());
+      // Batch-drain invariant: the drained prefix is in heap order, i.e.
+      // the previous entry is not outranked by this one. Under the kFifo
+      // policy this is exactly per-producer FIFO.
+      WP_DCHECK(out->size() < 2 ||
+                !QueuedMatchLess{}((*out)[out->size() - 2], out->back()))
+          << "batch drain broke priority order at entry " << out->size();
+    }
+    return true;
+  }
+
+  void Stop() {
+    {
+      MutexLock lock(&mu_);
+      stop_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  MatchHeap queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// Consumers currently blocked in Pop/PopBatch; used to split the drain.
+  int waiters_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace whirlpool::exec

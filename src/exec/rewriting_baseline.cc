@@ -106,7 +106,7 @@ Result<TopKResult> RunRewritingBaseline(const QueryPlan& plan, const ExecOptions
   }
 
   const auto& idx = plan.index();
-  TopKSet topk(options.k, /*update_partials=*/true);
+  TopKSet topk(options.k, /*update_partials=*/true, options.topk_shards);
   std::unordered_map<xml::NodeId, char> assigned;
   const std::vector<xml::NodeId> roots = query::RootCandidates(idx, pattern);
 

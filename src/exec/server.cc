@@ -85,7 +85,7 @@ void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
     uint64_t start;
     int server;
     uint64_t seq;
-    ~OpSpan() { ins->ServerOp(start, server, seq); }
+    ~OpSpan() { ins->ServerOp(start, ServerId(server), MatchSeq(seq)); }
   } op_span{ins, ins->Begin(), s, m.seq};
   metrics->server_operations.fetch_add(1, std::memory_order_relaxed);
   metrics->per_server_operations[static_cast<size_t>(s)].fetch_add(
@@ -148,14 +148,14 @@ void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
     topk->Update(ext, complete);
     if (complete) {
       metrics->matches_completed.fetch_add(1, std::memory_order_relaxed);
-      ins->Complete(ext.seq);
+      ins->Complete(MatchSeq(ext.seq));
       return;
     }
     if (!prune || topk->Alive(ext)) {
       out_survivors->push_back(std::move(ext));
     } else {
       metrics->matches_pruned.fetch_add(1, std::memory_order_relaxed);
-      ins->Prune(s, ext.seq);
+      ins->Prune(ServerId(s), MatchSeq(ext.seq));
     }
   };
 

@@ -6,19 +6,50 @@
 
 namespace whirlpool::exec {
 
-TopKSet::TopKSet(uint32_t k, bool update_partials)
-    : k_(k), update_partials_(update_partials) {}
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+TopKSet::TopKSet(uint32_t k, bool update_partials, int shards)
+    : k_(k), update_partials_(update_partials) {
+  const size_t n = shards < 1 ? 1 : static_cast<size_t>(shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
 
 void TopKSet::FreezeThreshold(double value) {
-  MutexLock lock(&mu_);
+  MutexLock lock(&scores_mu_);
   frozen_ = true;
   frozen_value_ = value;
+  cached_threshold_.store(value, std::memory_order_relaxed);
 }
 
 void TopKSet::SetMinScoreMode(double min_score) {
-  MutexLock lock(&mu_);
+  MutexLock lock(&scores_mu_);
   min_score_mode_ = true;
   min_score_ = min_score;
+  min_score_mode_flag_.store(true, std::memory_order_relaxed);
+  cached_threshold_.store(min_score, std::memory_order_relaxed);
+}
+
+void TopKSet::RefreshCachedThresholdLocked() {
+  if (min_score_mode_ || frozen_) return;  // cache pinned by the mode setters
+  if (scores_.size() < k_) return;         // still -infinity: set not full
+  auto it = scores_.rbegin();
+  std::advance(it, k_ - 1);
+  const double kth = *it;
+  // Monotonicity: per-root scores only grow and entries are never removed,
+  // so the k-th best never drops. A violation would make an earlier prune
+  // unsound.
+  WP_DCHECK(kth >= last_threshold_)
+      << "currentTopK regressed from " << last_threshold_ << " to " << kth;
+  last_threshold_ = kth;
+  // Staleness is one-sided: the cache never runs ahead of the ground truth,
+  // so lock-free readers can only under-prune, never over-prune.
+  WP_DCHECK(kth >= cached_threshold_.load(std::memory_order_relaxed))
+      << "cached threshold " << cached_threshold_.load(std::memory_order_relaxed)
+      << " exceeds ground truth " << kth;
+  cached_threshold_.store(kth, std::memory_order_relaxed);
 }
 
 void TopKSet::Update(const PartialMatch& m, bool complete) {
@@ -26,17 +57,24 @@ void TopKSet::Update(const PartialMatch& m, bool complete) {
   WP_DCHECK(m.bindings.size() == m.levels.size())
       << "corrupt match: " << m.bindings.size() << " bindings vs "
       << m.levels.size() << " levels";
-  MutexLock lock(&mu_);
-  Entry& e = best_[m.root_binding()];
+  Shard& shard = ShardFor(m.root_binding());
+  MutexLock lock(&shard.mu);
+  Entry& e = shard.best[m.root_binding()];
   if (m.current_score > e.score) {
-    if (e.score != -std::numeric_limits<double>::infinity()) {
-      scores_.erase(scores_.find(e.score));
-    }
+    const double old_score = e.score;
     e.score = m.current_score;
     e.bindings = m.bindings;
     e.levels = m.levels;
     e.complete = complete;
-    scores_.insert(e.score);
+    // The global multiset update nests under the shard lock so two
+    // improvements of the same root publish their (old, new) transitions in
+    // order (lock order: shard mutex -> scores_mu_).
+    MutexLock scores_lock(&scores_mu_);
+    if (old_score != kNegInf) {
+      scores_.erase(scores_.find(old_score));
+    }
+    scores_.insert(m.current_score);
+    RefreshCachedThresholdLocked();
   } else if (complete && !e.complete && m.current_score == e.score) {
     // Prefer a complete witness at equal score.
     e.bindings = m.bindings;
@@ -45,53 +83,56 @@ void TopKSet::Update(const PartialMatch& m, bool complete) {
   }
 }
 
-double TopKSet::ThresholdLocked() const {
+double TopKSet::Threshold() const {
+  return cached_threshold_.load(std::memory_order_relaxed);
+}
+
+double TopKSet::LockedThreshold() const {
+  MutexLock lock(&scores_mu_);
   if (min_score_mode_) return min_score_;
   if (frozen_) return frozen_value_;
-  if (scores_.size() < k_) return -std::numeric_limits<double>::infinity();
+  if (scores_.size() < k_) return kNegInf;
   auto it = scores_.rbegin();
   std::advance(it, k_ - 1);
-  // Monotonicity: per-root scores only grow, so the k-th best never drops.
-  // A violation would make an earlier prune unsound.
-  WP_DCHECK(*it >= last_threshold_)
-      << "currentTopK regressed from " << last_threshold_ << " to " << *it;
-  last_threshold_ = *it;
   return *it;
 }
 
-double TopKSet::Threshold() const {
-  MutexLock lock(&mu_);
-  return ThresholdLocked();
-}
-
 bool TopKSet::Alive(const PartialMatch& m) const {
-  MutexLock lock(&mu_);
-  if (min_score_mode_) {
+  const double threshold = cached_threshold_.load(std::memory_order_relaxed);
+  if (min_score_mode_flag_.load(std::memory_order_relaxed)) {
     // Inclusive: a match that can still exactly reach the bar is wanted.
-    return m.max_final_score >= min_score_;
+    return m.max_final_score >= threshold;
   }
-  double threshold = ThresholdLocked();
-  if (threshold == -std::numeric_limits<double>::infinity()) return true;
+  if (threshold == kNegInf) return true;
   return m.max_final_score > threshold;
 }
 
 size_t TopKSet::NumRoots() const {
-  MutexLock lock(&mu_);
-  return best_.size();
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    n += shard->best.size();
+  }
+  return n;
 }
 
 std::vector<Answer> TopKSet::Finalize() const {
-  MutexLock lock(&mu_);
+  const bool min_mode = min_score_mode_flag_.load(std::memory_order_relaxed);
+  // In min-score mode the cache is pinned to min_score_ by SetMinScoreMode.
+  const double min_score = cached_threshold_.load(std::memory_order_relaxed);
   std::vector<Answer> all;
-  all.reserve(best_.size());
-  for (const auto& [root, e] : best_) {
-    if (min_score_mode_ && e.score < min_score_) continue;
-    Answer a;
-    a.root = root;
-    a.score = e.score;
-    a.bindings = e.bindings;
-    a.levels = e.levels;
-    all.push_back(std::move(a));
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    all.reserve(all.size() + shard->best.size());
+    for (const auto& [root, e] : shard->best) {
+      if (min_mode && e.score < min_score) continue;
+      Answer a;
+      a.root = root;
+      a.score = e.score;
+      a.bindings = e.bindings;
+      a.levels = e.levels;
+      all.push_back(std::move(a));
+    }
   }
   std::sort(all.begin(), all.end(), [](const Answer& a, const Answer& b) {
     if (a.score != b.score) return a.score > b.score;

@@ -8,10 +8,29 @@
 // achievable answer score (bind this prefix, delete the rest), so partial
 // matches legitimately update the set. In exact semantics only complete
 // matches do (pass update_partials = false).
+//
+// Concurrency design (Whirlpool-M hot path):
+//  - The root -> best-score map is striped into hash(root) % S shards, each
+//    with its own mutex, so concurrent Updates of different roots do not
+//    serialize on one lock.
+//  - currentTopK is cached in a relaxed std::atomic<double> refreshed under
+//    scores_mu_ whenever an insert/evict changes the k-th best score, so
+//    Threshold() and Alive() readers take no lock at all. A reader may
+//    observe a slightly stale threshold, but staleness is one-sided: the
+//    cached value is always <= the locked ground truth (the threshold is
+//    monotone non-decreasing in top-k mode), so a stale read can only delay
+//    a prune, never cause an incorrect one. Exact-top-k semantics are
+//    preserved; LockedThreshold() exposes the ground truth for tests.
+//  - scores_mu_ (the global score multiset) is only taken inside Update when
+//    a root's best score actually improves, by FreezeThreshold /
+//    SetMinScoreMode, and by LockedThreshold. Lock order is shard mutex ->
+//    scores_mu_; no path acquires a shard mutex while holding scores_mu_.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -36,7 +55,9 @@ class TopKSet {
   /// \param k          number of answers to return
   /// \param update_partials  whether partial matches update root scores
   ///                         (true for relaxed semantics)
-  explicit TopKSet(uint32_t k, bool update_partials = true);
+  /// \param shards     number of mutex stripes for the root->score map
+  ///                   (ExecOptions::topk_shards; clamped to >= 1)
+  explicit TopKSet(uint32_t k, bool update_partials = true, int shards = 1);
 
   /// Freezes the pruning threshold at `value`: Update still records answers
   /// but Threshold() always returns `value`. Used by the Figure 3 bench to
@@ -55,45 +76,86 @@ class TopKSet {
   void Update(const PartialMatch& m, bool complete);
 
   /// currentTopK: the k-th best per-root score, or -infinity while fewer
-  /// than k distinct roots are recorded.
+  /// than k distinct roots are recorded. Lock-free: reads the cached atomic,
+  /// which may lag the locked ground truth but never exceeds it.
   double Threshold() const;
+
+  /// The locked ground-truth threshold, recomputed from the score multiset
+  /// under scores_mu_. Threshold() <= LockedThreshold() at all times (the
+  /// staleness invariant); exposed for the concurrency stress tests and
+  /// diagnostics — engines use the lock-free Threshold().
+  double LockedThreshold() const;
 
   /// Pruning test for a partial match: alive iff the set is not full or
   /// m.max_final_score strictly beats the threshold. (A tie cannot displace
   /// an entry of a full set, so tied matches are pruned — the returned set
-  /// is still a valid top-k.)
+  /// is still a valid top-k.) Lock-free, same staleness contract as
+  /// Threshold().
   bool Alive(const PartialMatch& m) const;
 
   /// Number of distinct roots recorded.
   size_t NumRoots() const;
+
+  /// Number of mutex stripes (diagnostics / tests).
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
   /// The k best answers, highest score first (ties by root id for
   /// determinism). Call after evaluation has drained.
   std::vector<Answer> Finalize() const;
 
  private:
-  double ThresholdLocked() const REQUIRES(mu_);
-
-  mutable Mutex mu_;
-  const uint32_t k_;
-  const bool update_partials_;
-  bool frozen_ GUARDED_BY(mu_) = false;
-  double frozen_value_ GUARDED_BY(mu_) = 0.0;
-  bool min_score_mode_ GUARDED_BY(mu_) = false;
-  double min_score_ GUARDED_BY(mu_) = 0.0;
   struct Entry {
     double score = -std::numeric_limits<double>::infinity();
     std::vector<NodeId> bindings;
     std::vector<MatchLevel> levels;
     bool complete = false;
   };
-  std::unordered_map<NodeId, Entry> best_ GUARDED_BY(mu_);
+
+  /// One stripe of the root->score map. Heap-allocated (vector of
+  /// unique_ptr) because Mutex is not movable.
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<NodeId, Entry> best GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(NodeId root) const { return *shards_[Mix(root) % shards_.size()]; }
+
+  /// Cheap integer hash so striding root-id patterns still spread across
+  /// shards (root ids of sibling items can share a fixed stride).
+  static size_t Mix(NodeId root) {
+    uint64_t x = static_cast<uint64_t>(root) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(x >> 32);
+  }
+
+  /// Recomputes the k-th best score and publishes it to cached_threshold_.
+  /// No-op while frozen / in min-score mode (the cache is pinned there).
+  void RefreshCachedThresholdLocked() REQUIRES(scores_mu_);
+
+  const uint32_t k_;
+  const bool update_partials_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// The published pruning threshold. Starts at -infinity ("not full"), is
+  /// only ever raised in top-k mode (all stores happen under scores_mu_ and
+  /// are monotone), and is pinned by FreezeThreshold / SetMinScoreMode.
+  /// Relaxed ordering suffices: the value itself is the entire message, and
+  /// per-object coherence already guarantees a reader never observes it
+  /// going backwards.
+  std::atomic<double> cached_threshold_{-std::numeric_limits<double>::infinity()};
+  /// Mirrors min_score_mode_ for the lock-free Alive() (inclusive bar).
+  std::atomic<bool> min_score_mode_flag_{false};
+
+  mutable Mutex scores_mu_;
+  bool frozen_ GUARDED_BY(scores_mu_) = false;
+  double frozen_value_ GUARDED_BY(scores_mu_) = 0.0;
+  bool min_score_mode_ GUARDED_BY(scores_mu_) = false;
+  double min_score_ GUARDED_BY(scores_mu_) = 0.0;
   /// Multiset of per-root best scores; k-th largest is the threshold.
-  std::multiset<double> scores_ GUARDED_BY(mu_);
+  std::multiset<double> scores_ GUARDED_BY(scores_mu_);
   /// Debug invariant: in top-k mode the threshold is monotone non-decreasing
   /// (scores only improve and entries are never removed), which is what makes
-  /// late pruning sound. Checked by WP_DCHECK in ThresholdLocked.
-  mutable double last_threshold_ GUARDED_BY(mu_) =
+  /// late pruning sound. Checked by WP_DCHECK in RefreshCachedThresholdLocked.
+  mutable double last_threshold_ GUARDED_BY(scores_mu_) =
       -std::numeric_limits<double>::infinity();
 };
 

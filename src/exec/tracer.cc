@@ -39,20 +39,20 @@ Tracer::Buffer* Tracer::GetBuffer() {
   return raw;
 }
 
-void Tracer::RecordSpan(const char* name, int server, uint64_t match_seq,
-                        uint64_t start_ns, uint64_t end_ns) {
+void Tracer::RecordSpan(const char* name, ServerId server, MatchSeq match_seq,
+                        uint64_t start_ns, uint64_t end_ns) {  // NOLINT(bugprone-easily-swappable-parameters)
   Buffer* buf = GetBuffer();
   // Uncontended unless an export is concurrently scanning this buffer.
   MutexLock lock(&buf->mu);
-  buf->events.push_back(
-      {name, start_ns, end_ns - start_ns, match_seq, server, /*instant=*/false});
+  buf->events.push_back({name, start_ns, end_ns - start_ns, match_seq.value,
+                         server.value, /*instant=*/false});
 }
 
-void Tracer::RecordInstant(const char* name, int server, uint64_t match_seq) {
+void Tracer::RecordInstant(const char* name, ServerId server, MatchSeq match_seq) {
   Buffer* buf = GetBuffer();
   MutexLock lock(&buf->mu);
   buf->events.push_back(
-      {name, MonotonicNs(), 0, match_seq, server, /*instant=*/true});
+      {name, MonotonicNs(), 0, match_seq.value, server.value, /*instant=*/true});
 }
 
 size_t Tracer::NumEvents() const {

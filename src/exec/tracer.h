@@ -16,6 +16,7 @@
 #include <ostream>
 #include <vector>
 
+#include "exec/ids.h"
 #include "exec/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -49,9 +50,12 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  void RecordSpan(const char* name, int server, uint64_t match_seq,
-                  uint64_t start_ns, uint64_t end_ns);
-  void RecordInstant(const char* name, int server, uint64_t match_seq);
+  /// start_ns/end_ns are one time interval, always sourced from the same
+  /// clock read pair — a transposition is caught by the dur_ns underflow,
+  /// unlike the server/seq ids (hence their strong types; see exec/ids.h).
+  void RecordSpan(const char* name, ServerId server, MatchSeq match_seq,
+                  uint64_t start_ns, uint64_t end_ns);  // NOLINT(bugprone-easily-swappable-parameters)
+  void RecordInstant(const char* name, ServerId server, MatchSeq match_seq);
 
   /// Total events recorded so far (merges buffer sizes; call after the run).
   size_t NumEvents() const;
@@ -97,7 +101,7 @@ class Instrumentation {
   uint64_t Begin() const { return timing() ? MonotonicNs() : 0; }
 
   /// Server operation finished: histogram + "server_op" span.
-  void ServerOp(uint64_t start_ns, int server, uint64_t seq) const {
+  void ServerOp(uint64_t start_ns, ServerId server, MatchSeq seq) const {
     if (!timing() || start_ns == 0) return;
     const uint64_t end = MonotonicNs();
     if (latencies_ && metrics_ != nullptr) {
@@ -110,14 +114,14 @@ class Instrumentation {
 
   /// Match enqueued (into the router or a server queue). Returns the
   /// enqueue timestamp to stash in the queue entry, 0 when disabled.
-  uint64_t Enqueue(int server, uint64_t seq) const {
+  uint64_t Enqueue(ServerId server, MatchSeq seq) const {
     if (!timing()) return 0;
     if (tracer_ != nullptr) tracer_->RecordInstant("enqueue", server, seq);
     return MonotonicNs();
   }
 
   /// Match dequeued: records the time it sat in the queue.
-  void QueueWait(uint64_t enqueue_ns, int server, uint64_t seq) const {
+  void QueueWait(uint64_t enqueue_ns, ServerId server, MatchSeq seq) const {
     if (!timing() || enqueue_ns == 0) return;
     const uint64_t now = MonotonicNs();
     if (latencies_ && metrics_ != nullptr) {
@@ -129,18 +133,18 @@ class Instrumentation {
   }
 
   /// Routing decision taken: match `seq` goes to `server`.
-  void Route(int server, uint64_t seq) const {
+  void Route(ServerId server, MatchSeq seq) const {
     if (tracer_ != nullptr) tracer_->RecordInstant("route", server, seq);
   }
 
   /// Match pruned against the top-k threshold.
-  void Prune(int server, uint64_t seq) const {
+  void Prune(ServerId server, MatchSeq seq) const {
     if (tracer_ != nullptr) tracer_->RecordInstant("prune", server, seq);
   }
 
   /// Match completed every server.
-  void Complete(uint64_t seq) const {
-    if (tracer_ != nullptr) tracer_->RecordInstant("complete", -1, seq);
+  void Complete(MatchSeq seq) const {
+    if (tracer_ != nullptr) tracer_->RecordInstant("complete", ServerId::Router(), seq);
   }
 
   /// End-to-end query latency: histogram + "query" span.
@@ -150,7 +154,9 @@ class Instrumentation {
     if (latencies_ && metrics_ != nullptr) {
       metrics_->query_latency.Record(end - start_ns);
     }
-    if (tracer_ != nullptr) tracer_->RecordSpan("query", -1, 0, start_ns, end);
+    if (tracer_ != nullptr) {
+      tracer_->RecordSpan("query", ServerId::Router(), MatchSeq(0), start_ns, end);
+    }
   }
 
  private:

@@ -4,6 +4,14 @@
 // detects termination: the top-k answer is known when no partial match
 // remains in any server queue, the router queue, or in processing.
 //
+// Queue handoff is batched (ExecOptions::queue_drain_batch): consumers
+// drain up to N matches per lock acquisition and producers publish whole
+// vectors with one notify (SyncMatchQueue in queue_policy.h). Server
+// consumers fall back to single-entry drains when a simulated op cost is
+// set — see the server_drain comment below. Matches held in a consumer's
+// local batch are still counted by the InFlightTracker, so termination
+// detection is unaffected by the buffering.
+//
 // A simulated processor count (ExecOptions::processor_cap) bounds how many
 // server threads do useful work concurrently, reproducing the paper's
 // 1/2/4/infinity-processor study (Fig 9) on a single host.
@@ -23,44 +31,6 @@
 namespace whirlpool::exec {
 
 namespace {
-
-/// Blocking priority queue with a stop flag. Extraction goes through
-/// MatchHeap::Pop (std::pop_heap + move from the mutable back element) —
-/// never through a const_cast of a frozen heap top.
-class SyncMatchQueue {
- public:
-  void Push(QueuedMatch&& qm) {
-    {
-      MutexLock lock(&mu_);
-      queue_.Push(std::move(qm));
-    }
-    cv_.NotifyOne();
-  }
-
-  /// Blocks until a match is available or Stop() was called and the queue is
-  /// empty. Returns false on shutdown.
-  bool Pop(QueuedMatch* out) {
-    MutexLock lock(&mu_);
-    cv_.Wait(mu_, [&]() REQUIRES(mu_) { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) return false;
-    *out = queue_.Pop();
-    return true;
-  }
-
-  void Stop() {
-    {
-      MutexLock lock(&mu_);
-      stop_ = true;
-    }
-    cv_.NotifyAll();
-  }
-
- private:
-  Mutex mu_;
-  CondVar cv_;
-  MatchHeap queue_ GUARDED_BY(mu_);
-  bool stop_ GUARDED_BY(mu_) = false;
-};
 
 /// Tracks the number of live partial matches in the system; main blocks in
 /// WaitForDrain until it hits zero.
@@ -100,13 +70,25 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
   const Instrumentation ins(options.tracer, &metrics, options.collect_latencies);
   const uint64_t query_start = ins.Begin();
   std::atomic<uint64_t> seq{0};
-  TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed);
+  TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed,
+               options.topk_shards);
   if (options.has_frozen_threshold()) topk.FreezeThreshold(options.frozen_threshold);
   if (options.has_min_score_threshold()) {
     topk.SetMinScoreMode(options.min_score_threshold);
   }
 
   const int num_servers = plan.num_servers();
+  // Consumer-side drain depth. Lock amortization pays when per-match work is
+  // comparable to the queue lock cost; under a simulated per-op cost (ms
+  // scale vs ~1us locks) server time is dominated by the ops themselves, and
+  // committing to a multi-entry drain only defers fresher matches — the
+  // newest-first tie-break that drives the threshold up — which measurably
+  // slows pruning (bench_fig11 degrades roughly linearly in drain depth).
+  // Router work per match is a few hundred ns regardless of op cost, so the
+  // router always drains full batches.
+  const int server_drain =
+      options.op_cost_seconds > 0 ? 1 : options.queue_drain_batch;
+  const int router_drain = options.queue_drain_batch;
   ProcessorCap cap(options.processor_cap <= 0 ? ProcessorCap::kUnlimited
                                               : options.processor_cap);
   InFlightTracker in_flight;
@@ -123,59 +105,80 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
     std::vector<PartialMatch> roots =
         GenerateRootMatches(plan, options, &topk, &metrics, &seq);
     in_flight.Add(roots.size());
+    std::vector<QueuedMatch> seed;
+    seed.reserve(roots.size());
     for (PartialMatch& m : roots) {
       const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, m, -1);
-      const uint64_t enq = ins.Enqueue(-1, m.seq);
-      router_queue.Push({prio, std::move(m), enq});
+      const uint64_t enq = ins.Enqueue(ServerId::Router(), MatchSeq(m.seq));
+      seed.push_back({prio, std::move(m), enq});
     }
+    router_queue.PushBatch(&seed);
   }
 
   auto server_loop = [&](int s) {
-    QueuedMatch qm;
+    std::vector<QueuedMatch> batch;
     std::vector<PartialMatch> survivors;
-    while (server_queues[static_cast<size_t>(s)].Pop(&qm)) {
-      ins.QueueWait(qm.enqueue_ns, s, qm.match.seq);
-      PartialMatch m = std::move(qm.match);
-      // Late pruning: the threshold may have grown while queued.
-      if (!topk.Alive(m) && options.engine != EngineKind::kLockStepNoPrun) {
-        metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
-        ins.Prune(s, m.seq);
+    std::vector<QueuedMatch> outbox;  // extensions bound for the router
+    while (server_queues[static_cast<size_t>(s)].PopBatch(&batch, server_drain)) {
+      for (QueuedMatch& qm : batch) {
+        ins.QueueWait(qm.enqueue_ns, ServerId(s), MatchSeq(qm.match.seq));
+        PartialMatch m = std::move(qm.match);
+        // Late pruning: the threshold may have grown while queued.
+        if (!topk.Alive(m) && options.engine != EngineKind::kLockStepNoPrun) {
+          metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
+          ins.Prune(ServerId(s), MatchSeq(m.seq));
+          in_flight.Retire();
+          continue;
+        }
+        survivors.clear();
+        {
+          ProcessorCapGuard guard(&cap);
+          ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &survivors,
+                          cache.get(), &ins);
+        }
+        // Children enter the in-flight count before their parent retires, so
+        // the count cannot touch zero while this batch still produces work.
+        in_flight.Add(survivors.size());
+        for (PartialMatch& ext : survivors) {
+          const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, ext, -1);
+          const uint64_t enq = ins.Enqueue(ServerId::Router(), MatchSeq(ext.seq));
+          outbox.push_back({prio, std::move(ext), enq});
+        }
         in_flight.Retire();
-        continue;
+        // Flush per match, not per drained batch: one lock/notify still
+        // covers all of this match's extensions, but downstream servers see
+        // them immediately — holding the outbox across the remaining
+        // (potentially slow) matches of the batch would serialize the
+        // pipeline the multi-threaded engine exists to overlap.
+        router_queue.PushBatch(&outbox);
       }
-      survivors.clear();
-      {
-        ProcessorCapGuard guard(&cap);
-        ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &survivors,
-                        cache.get(), &ins);
-      }
-      in_flight.Add(survivors.size());
-      for (PartialMatch& ext : survivors) {
-        const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, ext, -1);
-        const uint64_t enq = ins.Enqueue(-1, ext.seq);
-        router_queue.Push({prio, std::move(ext), enq});
-      }
-      in_flight.Retire();
     }
   };
 
   auto router_loop = [&] {
-    QueuedMatch qm;
-    while (router_queue.Pop(&qm)) {
-      ins.QueueWait(qm.enqueue_ns, -1, qm.match.seq);
-      PartialMatch m = std::move(qm.match);
-      if (!topk.Alive(m)) {
-        metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
-        ins.Prune(-1, m.seq);
-        in_flight.Retire();
-        continue;
+    std::vector<QueuedMatch> batch;
+    // Per-server outboxes: one publish per destination server per batch.
+    std::vector<std::vector<QueuedMatch>> outboxes(static_cast<size_t>(num_servers));
+    while (router_queue.PopBatch(&batch, router_drain)) {
+      for (QueuedMatch& qm : batch) {
+        ins.QueueWait(qm.enqueue_ns, ServerId::Router(), MatchSeq(qm.match.seq));
+        PartialMatch m = std::move(qm.match);
+        if (!topk.Alive(m)) {
+          metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
+          ins.Prune(ServerId::Router(), MatchSeq(m.seq));
+          in_flight.Retire();
+          continue;
+        }
+        const int s = router->NextServer(m, topk.Threshold());
+        metrics.routing_decisions.fetch_add(1, std::memory_order_relaxed);
+        ins.Route(ServerId(s), MatchSeq(m.seq));
+        const double prio = QueuePriority(plan, options.queue_policy, m, s);
+        const uint64_t enq = ins.Enqueue(ServerId(s), MatchSeq(m.seq));
+        outboxes[static_cast<size_t>(s)].push_back({prio, std::move(m), enq});
       }
-      const int s = router->NextServer(m, topk.Threshold());
-      metrics.routing_decisions.fetch_add(1, std::memory_order_relaxed);
-      ins.Route(s, m.seq);
-      const double prio = QueuePriority(plan, options.queue_policy, m, s);
-      const uint64_t enq = ins.Enqueue(s, m.seq);
-      server_queues[static_cast<size_t>(s)].Push({prio, std::move(m), enq});
+      for (int s = 0; s < num_servers; ++s) {
+        server_queues[static_cast<size_t>(s)].PushBatch(&outboxes[static_cast<size_t>(s)]);
+      }
     }
   };
 

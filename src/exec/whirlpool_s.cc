@@ -25,7 +25,8 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
   const Instrumentation ins(options.tracer, &metrics, options.collect_latencies);
   const uint64_t query_start = ins.Begin();
   std::atomic<uint64_t> seq{0};
-  TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed);
+  TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed,
+               options.topk_shards);
   if (options.has_frozen_threshold()) topk.FreezeThreshold(options.frozen_threshold);
   if (options.has_min_score_threshold()) {
     topk.SetMinScoreMode(options.min_score_threshold);
@@ -39,24 +40,24 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
   std::vector<PartialMatch> survivors;
   for (PartialMatch& m : GenerateRootMatches(plan, options, &topk, &metrics, &seq)) {
     const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, m, -1);
-    const uint64_t enq = ins.Enqueue(-1, m.seq);
+    const uint64_t enq = ins.Enqueue(ServerId::Router(), MatchSeq(m.seq));
     queue.Push({prio, std::move(m), enq});
   }
 
   const int bulk = options.bulk_batch < 1 ? 1 : options.bulk_batch;
   while (!queue.empty()) {
     QueuedMatch qm = queue.Pop();
-    ins.QueueWait(qm.enqueue_ns, -1, qm.match.seq);
+    ins.QueueWait(qm.enqueue_ns, ServerId::Router(), MatchSeq(qm.match.seq));
     PartialMatch m = std::move(qm.match);
     // The threshold may have grown since this match was enqueued.
     if (!topk.Alive(m)) {
       metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
-      ins.Prune(-1, m.seq);
+      ins.Prune(ServerId::Router(), MatchSeq(m.seq));
       continue;
     }
     const int s = router->NextServer(m, topk.Threshold());
     metrics.routing_decisions.fetch_add(1, std::memory_order_relaxed);
-    ins.Route(s, m.seq);
+    ins.Route(ServerId(s), MatchSeq(m.seq));
     survivors.clear();
     ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &survivors,
                     cache.get(), &ins);
@@ -66,11 +67,12 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
     for (int extra = 1; extra < bulk && !queue.empty(); ++extra) {
       if (queue.Top().match.visited_mask != m.visited_mask) break;
       QueuedMatch other_qm = queue.Pop();
-      ins.QueueWait(other_qm.enqueue_ns, -1, other_qm.match.seq);
+      ins.QueueWait(other_qm.enqueue_ns, ServerId::Router(),
+                    MatchSeq(other_qm.match.seq));
       PartialMatch other = std::move(other_qm.match);
       if (!topk.Alive(other)) {
         metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
-        ins.Prune(-1, other.seq);
+        ins.Prune(ServerId::Router(), MatchSeq(other.seq));
         continue;
       }
       ProcessAtServer(plan, options, other, s, &topk, &metrics, &seq, &survivors,
@@ -78,7 +80,7 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
     }
     for (PartialMatch& ext : survivors) {
       const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, ext, -1);
-      const uint64_t enq = ins.Enqueue(-1, ext.seq);
+      const uint64_t enq = ins.Enqueue(ServerId::Router(), MatchSeq(ext.seq));
       queue.Push({prio, std::move(ext), enq});
     }
   }

@@ -31,6 +31,7 @@ int TreePattern::AddNode(int parent, Axis axis, std::string_view tag,
   return idx;
 }
 
+// NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
 bool TreePattern::IsAncestor(int anc, int node) const {
   int p = nodes_[static_cast<size_t>(node)].parent;
   while (p != -1) {
@@ -40,6 +41,7 @@ bool TreePattern::IsAncestor(int anc, int node) const {
   return false;
 }
 
+// NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
 std::vector<ChainStep> TreePattern::Chain(int from, int to) const {
   std::vector<ChainStep> rev;
   int cur = to;

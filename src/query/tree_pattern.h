@@ -74,11 +74,15 @@ class TreePattern {
   bool IsLeaf(int i) const { return nodes_[static_cast<size_t>(i)].children.empty(); }
 
   /// True iff `anc` is a proper pattern-ancestor of `node`.
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): anc/node is the
+  // conventional (ancestor, descendant) order; both directions are valid
+  // queries, so no strong type can distinguish them.
   bool IsAncestor(int anc, int node) const;
 
   /// The chain of steps from pattern node `from` down to `to` (exclusive of
   /// `from`, inclusive of `to`). Precondition: IsAncestor(from, to) or
   /// from == parent chain head. Used to build composed predicates.
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): see IsAncestor.
   std::vector<ChainStep> Chain(int from, int to) const;
 
   /// Nodes in a stable order (preorder).

@@ -4,9 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 #include <set>
+#include <thread>
 
 #include "exec/engine.h"
+#include "exec/topk_set.h"
+#include "util/rng.h"
 #include "query/tree_pattern.h"
 #include "score/scoring.h"
 #include "xmlgen/xmark.h"
@@ -193,6 +198,79 @@ TEST(WhirlpoolMTest, WidePatternPerServerCountsSumToTotal) {
     EXPECT_GT(m.per_server_operations[kWide - 1], 0u);
   }
 }
+
+// ---------------------------------------------------------------------------
+// TopKSet: lock-free cached threshold vs locked ground truth
+// ---------------------------------------------------------------------------
+
+PartialMatch ScoredMatch(NodeId root, double score) {
+  PartialMatch m;
+  m.bindings = {root};
+  m.levels = {MatchLevel::kExact};
+  m.current_score = score;
+  m.max_final_score = score;
+  return m;
+}
+
+class TopKSetStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKSetStressTest, CachedThresholdIsMonotoneAndNeverAheadOfTruth) {
+  // 8 threads hammer Update() on overlapping roots while every thread also
+  // validates the two invariants the lock-free readers rely on:
+  //  (1) monotonicity — the cached Threshold() observed by one thread never
+  //      decreases (per-object atomic coherence + monotone stores);
+  //  (2) one-sided staleness — a cached sample taken BEFORE a
+  //      LockedThreshold() sample never exceeds it (the cache may lag the
+  //      ground truth but can never run ahead, so a stale read can only
+  //      delay a prune, never cause a wrong one).
+  const int shards = GetParam();
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  TopKSet set(8, /*update_partials=*/true, shards);
+  ASSERT_EQ(set.num_shards(), shards);
+  constexpr int kThreads = 8;
+  constexpr int kUpdatesPerThread = 3000;
+  std::atomic<int> monotonicity_violations{0};
+  std::atomic<int> staleness_violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0xD1FF + static_cast<uint64_t>(t) * 7919);
+      double last_seen = kNegInf;
+      for (int i = 0; i < kUpdatesPerThread; ++i) {
+        const NodeId root = static_cast<NodeId>(rng.Uniform(512));
+        const double score = static_cast<double>(rng.Uniform(1u << 20)) / 1024.0;
+        set.Update(ScoredMatch(root, score), /*complete=*/true);
+        const double cached = set.Threshold();
+        if (cached < last_seen) monotonicity_violations.fetch_add(1);
+        last_seen = cached;
+        // Sample order matters: cached first, truth second. Since the
+        // truth is monotone, cached(t1) <= truth(t1) <= truth(t2).
+        if ((i & 63) == 0) {
+          const double truth = set.LockedThreshold();
+          if (cached > truth) staleness_violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(monotonicity_violations.load(), 0);
+  EXPECT_EQ(staleness_violations.load(), 0);
+  // Quiesced: the cache must have caught up with the ground truth exactly.
+  EXPECT_EQ(set.Threshold(), set.LockedThreshold());
+  EXPECT_GT(set.Threshold(), kNegInf);  // 512 roots >> k=8: set is full
+  // Finalize returns exactly k answers, highest first, no duplicate roots.
+  auto answers = set.Finalize();
+  ASSERT_EQ(answers.size(), 8u);
+  std::set<NodeId> roots;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    if (i > 0) EXPECT_LE(answers[i].score, answers[i - 1].score);
+    EXPECT_TRUE(roots.insert(answers[i].root).second);
+  }
+  // The k-th answer's score IS the quiesced threshold.
+  EXPECT_DOUBLE_EQ(answers.back().score, set.Threshold());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, TopKSetStressTest, ::testing::Values(1, 4, 16));
 
 TEST(WhirlpoolMTest, ParallelSpeedupWithInjectedCost) {
   // With a dominant per-operation cost, the capped run must be measurably

@@ -1,0 +1,215 @@
+// Randomized differential harness for the engines (the striped-TopKSet /
+// batched-queue PR's safety net): ~200 seeded (document, query, k,
+// semantics) configurations, each evaluated by Whirlpool-S (the reference),
+// Whirlpool-M across thread counts (1/2/4/8), TopKSet shard counts
+// (1/4/16) and queue drain batches, and — where it supports the mode — the
+// rewriting baseline, which shares no evaluation code with the adaptive
+// engines. Every engine must return identical answers: same count, same
+// scores rank by rank, and the same roots up to reordering within
+// tied-score groups (schedule order may legitimately pick a different
+// representative at a tie boundary).
+//
+// Deterministic and reproducible: every assertion message carries the
+// (base_seed, block, trial) triple plus the pattern. Re-run a failure with
+//   WHIRLPOOL_DIFF_SEED=<base_seed> ctest -L differential
+// The four blocks split the sweep for ctest -j parallelism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "exec/rewriting_baseline.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "util/rng.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool {
+namespace {
+
+using exec::EngineKind;
+using exec::ExecOptions;
+using exec::RunTopK;
+using exec::TopKResult;
+using query::Axis;
+using query::TreePattern;
+using score::Normalization;
+using score::ScoringModel;
+
+constexpr uint64_t kDefaultBaseSeed = 20260806;
+constexpr int kBlocks = 4;
+constexpr int kTrialsPerBlock = 50;  // 4 * 50 = 200 configurations
+constexpr double kEps = 1e-9;
+
+uint64_t BaseSeed() {
+  if (const char* env = std::getenv("WHIRLPOOL_DIFF_SEED")) {
+    const uint64_t v = static_cast<uint64_t>(std::atoll(env));
+    if (v != 0) return v;
+  }
+  return kDefaultBaseSeed;
+}
+
+/// Random tree pattern over the XMark vocabulary (same shape space as
+/// fuzz_test.cpp): up to 7 nodes, random axes, occasional value predicates.
+TreePattern RandomPattern(Rng* rng) {
+  static const char* const kTags[] = {"description", "parlist",  "text", "mailbox",
+                                      "mail",        "keyword",  "bold", "name",
+                                      "incategory",  "listitem", "emph", "*"};
+  TreePattern p = TreePattern::Root("item");
+  const int extra = 1 + static_cast<int>(rng->Uniform(6));
+  for (int i = 0; i < extra; ++i) {
+    const int parent = static_cast<int>(rng->Uniform(p.size()));
+    const Axis axis = rng->Chance(0.6) ? Axis::kChild : Axis::kDescendant;
+    const char* tag = kTags[rng->Uniform(12)];
+    std::optional<std::string> value;
+    if (std::string(tag) == "keyword" && rng->Chance(0.3)) value = "bargain";
+    p.AddNode(parent, axis, tag, value);
+  }
+  return p;
+}
+
+/// Asserts `got` matches the reference answers rank by rank; `who` and
+/// `repro` feed the failure message (repro carries the reproducing seed).
+///
+/// Scores must agree at every rank. Root identity is compared as a set over
+/// the ranks strictly separated from the k-boundary tie chain: those roots
+/// are always recorded by every schedule (a match that ends above the final
+/// threshold can never have been pruned, since the threshold is monotone
+/// and pruning is strict). Two legitimate sources of reordering are
+/// tolerated: (1) within the boundary tie chain, which root is kept is
+/// schedule-dependent — a tied match cannot displace an entry, so arrival
+/// order decides, and any choice is a valid top-k; (2) scores accumulated
+/// in different server orders differ in the last float bits, so answers
+/// within kEps of each other may swap ranks — hence set, not rank-by-rank,
+/// comparison for the prefix.
+void ExpectSameAnswers(const TopKResult& ref, const TopKResult& got,
+                       const std::string& who, const std::string& repro) {
+  ASSERT_EQ(got.answers.size(), ref.answers.size()) << who << " " << repro;
+  if (ref.answers.empty()) return;
+  for (size_t i = 0; i < ref.answers.size(); ++i) {
+    ASSERT_NEAR(got.answers[i].score, ref.answers[i].score, kEps)
+        << who << " rank " << i << " " << repro;
+  }
+  // The boundary tie chain: walk back while consecutive scores are within
+  // kEps, so near-ties straddling the boundary land inside the chain.
+  size_t tail = ref.answers.size() - 1;
+  while (tail > 0 &&
+         ref.answers[tail - 1].score - ref.answers[tail].score <= kEps) {
+    --tail;
+  }
+  std::vector<xml::NodeId> ref_roots, got_roots;
+  for (size_t i = 0; i < tail; ++i) {
+    ref_roots.push_back(ref.answers[i].root);
+    got_roots.push_back(got.answers[i].root);
+  }
+  std::sort(ref_roots.begin(), ref_roots.end());
+  std::sort(got_roots.begin(), got_roots.end());
+  ASSERT_EQ(got_roots, ref_roots)
+      << who << " roots above the boundary tie chain differ " << repro;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTest, EnginesAgreeOnRandomConfigs) {
+  const uint64_t base_seed = BaseSeed();
+  const int block = GetParam();
+  Rng rng(base_seed * 1000003 + static_cast<uint64_t>(block) * 101);
+
+  // A small per-block pool of documents; trials draw from it so the sweep
+  // covers many (query, k) combinations without regenerating documents.
+  struct Doc {
+    std::unique_ptr<xml::Document> doc;
+    std::unique_ptr<index::TagIndex> idx;
+  };
+  std::vector<Doc> docs;
+  const size_t kDocBytes[] = {8 << 10, 12 << 10, 16 << 10, 24 << 10};
+  for (size_t di = 0; di < 4; ++di) {
+    xmlgen::XMarkOptions gen;
+    gen.seed = base_seed + static_cast<uint64_t>(block) * 17 + di;
+    gen.target_bytes = kDocBytes[di];
+    Doc d;
+    d.doc = xmlgen::GenerateXMark(gen);
+    d.idx = std::make_unique<index::TagIndex>(*d.doc);
+    docs.push_back(std::move(d));
+  }
+
+  const int kThreadChoices[] = {1, 2, 4, 8};
+  const int kShardChoices[] = {1, 4, 16};
+  const int kDrainChoices[] = {1, 2, 8, 32};
+
+  for (int trial = 0; trial < kTrialsPerBlock; ++trial) {
+    const Doc& d = docs[rng.Uniform(docs.size())];
+    const TreePattern pattern = RandomPattern(&rng);
+    const Normalization norm =
+        rng.Chance(0.5) ? Normalization::kSparse : Normalization::kDense;
+    const ScoringModel scoring = ScoringModel::ComputeTfIdf(*d.idx, pattern, norm);
+    auto plan = exec::QueryPlan::Build(*d.idx, pattern, scoring);
+    ASSERT_TRUE(plan.ok()) << pattern.ToString();
+
+    ExecOptions base;
+    base.k = 1 + static_cast<uint32_t>(rng.Uniform(20));
+    base.semantics = rng.Chance(0.8) ? exec::MatchSemantics::kRelaxed
+                                     : exec::MatchSemantics::kExact;
+
+    std::ostringstream repro;
+    repro << "[repro: WHIRLPOOL_DIFF_SEED=" << base_seed << " block=" << block
+          << " trial=" << trial << " k=" << base.k << " semantics="
+          << exec::MatchSemanticsName(base.semantics) << " pattern="
+          << pattern.ToString() << "]";
+
+    // Reference: single-threaded adaptive engine.
+    ExecOptions ws = base;
+    ws.engine = EngineKind::kWhirlpoolS;
+    auto ref = RunTopK(*plan, ws);
+    ASSERT_TRUE(ref.ok()) << repro.str();
+
+    // Whirlpool-M across the synchronization knobs. Rotate through the
+    // thread/shard/drain grid (rather than the full cross product per
+    // trial) so the 200-config sweep still covers every combination while
+    // staying laptop-fast.
+    for (int vi = 0; vi < 2; ++vi) {
+      ExecOptions wm = base;
+      wm.engine = EngineKind::kWhirlpoolM;
+      wm.threads_per_server = kThreadChoices[(trial + vi) % 4];
+      wm.topk_shards = kShardChoices[(trial / 2 + vi) % 3];
+      wm.queue_drain_batch = kDrainChoices[(trial / 3 + vi) % 4];
+      auto got = RunTopK(*plan, wm);
+      ASSERT_TRUE(got.ok()) << repro.str();
+      std::ostringstream who;
+      who << "W-M(threads=" << wm.threads_per_server << ",shards=" << wm.topk_shards
+          << ",drain=" << wm.queue_drain_batch << ")";
+      ExpectSameAnswers(*ref, *got, who.str(), repro.str());
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
+    // LockStep: the static engine, same plan machinery but no queues.
+    ExecOptions ls = base;
+    ls.engine = EngineKind::kLockStep;
+    auto lock = RunTopK(*plan, ls);
+    ASSERT_TRUE(lock.ok()) << repro.str();
+    ExpectSameAnswers(*ref, *lock, "LockStep", repro.str());
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // Rewriting baseline: an independent oracle sharing no evaluation code.
+    // Supports relaxed + max-tuple only; cap the pattern width so the
+    // 4^(n-1) enumeration stays cheap.
+    if (base.semantics == exec::MatchSemantics::kRelaxed && pattern.size() <= 5) {
+      ExecOptions rw = base;
+      auto rewr = exec::RunRewritingBaseline(*plan, rw);
+      ASSERT_TRUE(rewr.ok()) << repro.str();
+      ExpectSameAnswers(*ref, *rewr, "Rewriting", repro.str());
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, DifferentialTest,
+                         ::testing::Range(0, kBlocks));
+
+}  // namespace
+}  // namespace whirlpool

@@ -222,16 +222,16 @@ TEST(LatencyHistogramTest, MergeFoldsSamples) {
 TEST(TracerTest, ChromeTraceIsWellFormedJson) {
   Tracer tracer;
   const uint64_t t0 = MonotonicNs();
-  tracer.RecordSpan("server_op", 0, 1, t0, t0 + 1000);
-  tracer.RecordInstant("prune", 2, 3);
+  tracer.RecordSpan("server_op", ServerId(0), MatchSeq(1), t0, t0 + 1000);
+  tracer.RecordInstant("prune", ServerId(2), MatchSeq(3));
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&tracer] {
       const uint64_t start = MonotonicNs();
       for (int i = 0; i < 50; ++i) {
-        tracer.RecordSpan("queue_wait", i % 3, static_cast<uint64_t>(i), start,
-                          start + 10);
-        tracer.RecordInstant("route", i % 3, static_cast<uint64_t>(i));
+        tracer.RecordSpan("queue_wait", ServerId(i % 3), MatchSeq(static_cast<uint64_t>(i)),
+                          start, start + 10);
+        tracer.RecordInstant("route", ServerId(i % 3), MatchSeq(static_cast<uint64_t>(i)));
       }
     });
   }

@@ -36,6 +36,7 @@ struct Flags {
   }
 
   bool Has(const std::string& key) const { return kv.count(key) > 0; }
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): (key, default).
   std::string Get(const std::string& key, const std::string& def = "") const {
     auto it = kv.find(key);
     return it == kv.end() ? def : it->second;
@@ -103,6 +104,15 @@ Result<exec::ExecOptions> ParseExecOptions(const Flags& flags) {
     return Status::InvalidArgument("--routing must be static|max_score|min_score|min_alive");
   }
   options.cache_server_joins = flags.Get("cache", "false") == "true";
+  options.topk_shards = flags.GetInt("topk-shards", options.topk_shards);
+  if (options.topk_shards < 1) {
+    return Status::InvalidArgument("--topk-shards must be >= 1");
+  }
+  options.queue_drain_batch =
+      flags.GetInt("queue-drain-batch", options.queue_drain_batch);
+  if (options.queue_drain_batch < 1) {
+    return Status::InvalidArgument("--queue-drain-batch must be >= 1");
+  }
   if (flags.Has("threshold")) {
     options.min_score_threshold = std::atof(flags.Get("threshold").c_str());
     // "All answers above T": lift the k cap unless the user set one.
@@ -210,7 +220,8 @@ Status CmdQuery(const Flags& flags, std::ostream& out) {
   WHIRLPOOL_RETURN_NOT_OK(flags.CheckKnown(
       {"xml", "snapshot", "generate-kb", "seed", "xpath", "k", "engine", "semantics",
        "aggregation", "norm", "routing", "format", "show-metrics", "threshold",
-       "show-fragments", "cache", "trace", "metrics-json"}));
+       "show-fragments", "cache", "trace", "metrics-json", "topk-shards",
+       "queue-drain-batch"}));
   if (!flags.Has("xpath")) return Status::InvalidArgument("--xpath is required");
   auto doc = LoadDocument(flags);
   if (!doc.ok()) return doc.status();
@@ -304,6 +315,7 @@ std::string UsageText() {
       "            [--routing=static|max_score|min_score|min_alive]\n"
       "            [--threshold=T] [--format=text|csv] [--cache=true] [--show-metrics]\n"
       "            [--show-fragments] [--trace=FILE] [--metrics-json=FILE]\n"
+      "            [--topk-shards=N] [--queue-drain-batch=N]\n"
       "\n"
       "  --trace=FILE writes a Chrome trace_event JSON (open in Perfetto or\n"
       "  chrome://tracing); --metrics-json=FILE writes the run's MetricsSnapshot\n"
