@@ -8,6 +8,7 @@
 
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
+#include "xmlgen/xmark.h"
 
 namespace whirlpool::bench {
 
@@ -17,7 +18,7 @@ namespace {
 // the array is flushed by an atexit handler so each bench's main() needs no
 // changes. Benches are effectively single-threaded but Run() is guarded
 // anyway.
-Mutex g_metrics_mu;
+Mutex g_metrics_mu{LockRank::kBenchGlobal, "bench::g_metrics_mu"};
 std::string g_metrics_json_path GUARDED_BY(g_metrics_mu);  // empty = disabled
 std::vector<std::string> g_metrics_json
     GUARDED_BY(g_metrics_mu);  // pre-rendered snapshot objects

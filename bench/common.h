@@ -14,7 +14,6 @@
 #include <vector>
 
 #include "whirlpool/whirlpool.h"
-#include "xmlgen/xmark.h"
 
 namespace whirlpool::bench {
 

@@ -65,7 +65,7 @@ class ServerJoinCache {
 
  private:
   struct Shard {
-    Mutex mu;
+    Mutex mu{LockRank::kJoinCache, "ServerJoinCache::Shard::mu"};
     std::unordered_map<xml::NodeId, std::shared_ptr<const Entry>> map
         GUARDED_BY(mu);
   };

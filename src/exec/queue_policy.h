@@ -197,7 +197,7 @@ class SyncMatchQueue {
   }
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kQueue, "SyncMatchQueue::mu_"};
   CondVar cv_;
   MatchHeap queue_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;

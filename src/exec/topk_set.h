@@ -114,7 +114,7 @@ class TopKSet {
   /// One stripe of the root->score map. Heap-allocated (vector of
   /// unique_ptr) because Mutex is not movable.
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kTopKShard, "TopKSet::Shard::mu"};
     std::unordered_map<NodeId, Entry> best GUARDED_BY(mu);
   };
 
@@ -145,7 +145,7 @@ class TopKSet {
   /// Mirrors min_score_mode_ for the lock-free Alive() (inclusive bar).
   std::atomic<bool> min_score_mode_flag_{false};
 
-  mutable Mutex scores_mu_;
+  mutable Mutex scores_mu_{LockRank::kTopKScores, "TopKSet::scores_mu_"};
   bool frozen_ GUARDED_BY(scores_mu_) = false;
   double frozen_value_ GUARDED_BY(scores_mu_) = 0.0;
   bool min_score_mode_ GUARDED_BY(scores_mu_) = false;

@@ -70,16 +70,19 @@ class Tracer {
   /// WriteChromeTrace may run concurrently with recording (live trace
   /// export) without a data race on the vector.
   struct Buffer {
-    Mutex mu;
+    Mutex mu{LockRank::kTracerBuffer, "Tracer::Buffer::mu"};
     std::vector<Event> events GUARDED_BY(mu);
-    int tid = 0;  ///< set once at registration, then read-only
+    /// Set once at registration (under the registry mu_), then read-only.
+    int tid = 0;  // wp-lint: disable(WP002) write-once before publication
   };
 
   Buffer* GetBuffer() EXCLUDES(mu_);
 
   const uint64_t id_;        ///< process-unique; keys the thread-local cache
   const uint64_t epoch_ns_;  ///< construction time; trace ts zero point
-  mutable Mutex mu_;
+  /// Registry lock; ranked below the per-thread Buffer locks because
+  /// registration and export both take mu_ first, then a Buffer::mu.
+  mutable Mutex mu_{LockRank::kTracer, "Tracer::mu_"};
   /// Registration list; each Buffer's contents are guarded by its own mu.
   std::vector<std::unique_ptr<Buffer>> buffers_ GUARDED_BY(mu_);
 };

@@ -26,7 +26,6 @@
 #include "util/mutex.h"
 #include "util/semaphore.h"
 #include "util/stopwatch.h"
-#include "util/thread_annotations.h"
 
 namespace whirlpool::exec {
 
@@ -54,7 +53,7 @@ class InFlightTracker {
 
  private:
   std::atomic<uint64_t> count_{0};
-  Mutex mu_;
+  Mutex mu_{LockRank::kInFlight, "InFlightTracker::mu_"};
   CondVar cv_;
 };
 

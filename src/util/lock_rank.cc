@@ -1,0 +1,92 @@
+// Runtime half of the machine-checked lock hierarchy (util/mutex.h,
+// DESIGN.md §10): a per-thread stack of held ranked locks, order-checked on
+// every blocking acquisition. Compiled into debug / WP_FORCE_DCHECK builds
+// only; release builds never call into this file (the hooks are compiled out
+// of Mutex::lock/unlock), so the hot path keeps its zero-overhead contract.
+#include "util/mutex.h"
+
+#include <iterator>
+#include <vector>
+
+#include "util/check.h"
+
+namespace whirlpool {
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kUnranked: return "kUnranked";
+    case LockRank::kBenchGlobal: return "kBenchGlobal";
+    case LockRank::kQueue: return "kQueue";
+    case LockRank::kInFlight: return "kInFlight";
+    case LockRank::kProcessorCap: return "kProcessorCap";
+    case LockRank::kJoinCache: return "kJoinCache";
+    case LockRank::kTopKShard: return "kTopKShard";
+    case LockRank::kTopKScores: return "kTopKScores";
+    case LockRank::kTracer: return "kTracer";
+    case LockRank::kTracerBuffer: return "kTracerBuffer";
+  }
+  return "unknown";
+}
+
+#if WP_DCHECK_IS_ON
+
+namespace lock_rank_internal {
+
+namespace {
+
+struct Held {
+  const void* mu;
+  LockRank rank;
+  const char* name;
+};
+
+/// Locks this thread currently holds (ranked ones only), in acquisition
+/// order. A handful of entries at most, so linear scans beat any clever
+/// structure.
+thread_local std::vector<Held> tl_held;
+
+}  // namespace
+
+void PushHeld(const void* mu, LockRank rank, const char* name) {
+  for (const Held& h : tl_held) {
+    // Strict inequality: equal ranks conflict too. Two locks of the same
+    // rank (e.g. two TopKSet shards) have no defined order between their
+    // instances, so holding both is exactly the ABBA hazard the hierarchy
+    // exists to prevent.
+    WP_CHECK(static_cast<int>(h.rank) < static_cast<int>(rank))
+        << "lock rank violation (potential deadlock): acquiring \"" << name
+        << "\" (" << LockRankName(rank) << "=" << static_cast<int>(rank)
+        << ") while holding \"" << h.name << "\" (" << LockRankName(h.rank)
+        << "=" << static_cast<int>(h.rank)
+        << "). The lock hierarchy requires strictly increasing ranks — a "
+           "cycle \"" << h.name << "\" -> \"" << name << "\" here against \""
+        << name << "\" -> \"" << h.name
+        << "\" elsewhere would deadlock. Release \"" << h.name
+        << "\" first, or move \"" << name
+        << "\" above it in the LockRank hierarchy (DESIGN.md §10).";
+  }
+  tl_held.push_back({mu, rank, name});
+}
+
+void PushHeldUnchecked(const void* mu, LockRank rank, const char* name) {
+  tl_held.push_back({mu, rank, name});
+}
+
+void PopHeld(const void* mu) {
+  // Search newest-first: releases are almost always LIFO (MutexLock), but
+  // nothing requires it, so pop the matching entry wherever it sits.
+  for (auto it = tl_held.rbegin(); it != tl_held.rend(); ++it) {
+    if (it->mu == mu) {
+      tl_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  WP_CHECK(false) << "lock rank bookkeeping: released a ranked lock this "
+                     "thread does not hold (" << mu << ")";
+}
+
+}  // namespace lock_rank_internal
+
+#endif  // WP_DCHECK_IS_ON
+
+}  // namespace whirlpool

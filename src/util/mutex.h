@@ -3,16 +3,66 @@
 // attributes (util/thread_annotations.h). The std types cannot be annotated,
 // so every GUARDED_BY field in the codebase is guarded by a whirlpool::Mutex
 // and locked through MutexLock — that is what lets -Wthread-safety prove the
-// lock discipline at compile time. Zero overhead: everything inlines to the
-// underlying std call.
+// lock discipline at compile time. Zero release overhead: everything inlines
+// to the underlying std call.
+//
+// Mutexes may additionally carry a LockRank, making the project lock
+// hierarchy (DESIGN.md §10) executable: debug builds (WP_DCHECK on) keep a
+// per-thread stack of held ranks and WP_CHECK-fail on any acquisition whose
+// rank does not strictly exceed every rank already held, naming both lock
+// sites. Clang Thread Safety Analysis cannot express cross-instance ordering
+// (e.g. "any TopKSet shard before scores_mu_"), so the ranking is what turns
+// the documented lock order into a machine-checked invariant. Release builds
+// compile the tracking out entirely (the rank/name members vanish).
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
 
+#include "util/check.h"
 #include "util/thread_annotations.h"
 
 namespace whirlpool {
+
+/// \brief Global lock hierarchy: a thread may only acquire locks in strictly
+/// increasing rank order (equal ranks conflict too — no path may hold two
+/// TopKSet shards at once). kUnranked locks are exempt: they neither
+/// constrain later acquisitions nor are checked themselves — the migration
+/// default for locks outside the engine hot paths.
+///
+/// The numeric gaps leave room to slot new locks into the hierarchy without
+/// renumbering; see DESIGN.md §10 for the table, who nests under whom, and
+/// how to pick a rank for a new lock.
+enum class LockRank : int {
+  kUnranked = 0,
+  kBenchGlobal = 10,    ///< bench/common.cc metrics-JSON globals (outermost)
+  kQueue = 20,          ///< SyncMatchQueue::mu_ (router + server queues)
+  kInFlight = 30,       ///< Whirlpool-M InFlightTracker::mu_
+  kProcessorCap = 40,   ///< ProcessorCap::mu_ (simulated-processor semaphore)
+  kJoinCache = 50,      ///< ServerJoinCache::Shard::mu
+  kTopKShard = 60,      ///< TopKSet::Shard::mu (striped root->score map)
+  kTopKScores = 70,     ///< TopKSet::scores_mu_ (global score multiset)
+  kTracer = 80,         ///< Tracer::mu_ (buffer registry)
+  kTracerBuffer = 90,   ///< Tracer::Buffer::mu (per-thread event logs)
+};
+
+/// Human-readable enumerator name ("kTopKShard") for diagnostics.
+const char* LockRankName(LockRank rank);
+
+namespace lock_rank_internal {
+#if WP_DCHECK_IS_ON
+/// Order-checks `rank` against every rank this thread holds (WP_CHECK-fails
+/// on a violation, naming both locks) and pushes it. Called *before*
+/// blocking on the underlying mutex so a real deadlock still reports the
+/// rank violation instead of hanging.
+void PushHeld(const void* mu, LockRank rank, const char* name);
+/// Pushes without the order check: try-lock acquisitions cannot deadlock,
+/// but what they hold must still constrain later blocking acquisitions.
+void PushHeldUnchecked(const void* mu, LockRank rank, const char* name);
+/// Removes `mu` from this thread's held stack (WP_CHECK: must be present).
+void PopHeld(const void* mu);
+#endif
+}  // namespace lock_rank_internal
 
 /// \brief std::mutex with capability annotations. Satisfies BasicLockable /
 /// Lockable, so std::lock_guard<Mutex> also works where MutexLock cannot be
@@ -20,16 +70,64 @@ namespace whirlpool {
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// A ranked mutex participates in the runtime lock-order check (debug
+  /// builds). `name` appears in violation reports; it defaults to the rank's
+  /// enumerator name, so pass the field's qualified name when a rank covers
+  /// several locks (e.g. "TopKSet::scores_mu_").
+  explicit Mutex(LockRank rank, const char* name = nullptr)
+#if WP_DCHECK_IS_ON
+      : rank_(rank), name_(name != nullptr ? name : LockRankName(rank))
+#endif
+  {
+    (void)rank;
+    (void)name;
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
-  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() ACQUIRE() {
+#if WP_DCHECK_IS_ON
+    if (rank_ != LockRank::kUnranked) {
+      lock_rank_internal::PushHeld(this, rank_, name_);
+    }
+#endif
+    mu_.lock();
+  }
+
+  void unlock() RELEASE() {
+    mu_.unlock();
+#if WP_DCHECK_IS_ON
+    if (rank_ != LockRank::kUnranked) lock_rank_internal::PopHeld(this);
+#endif
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+#if WP_DCHECK_IS_ON
+    if (acquired && rank_ != LockRank::kUnranked) {
+      lock_rank_internal::PushHeldUnchecked(this, rank_, name_);
+    }
+#endif
+    return acquired;
+  }
+
+  /// The rank given at construction (kUnranked in release builds, where the
+  /// member is compiled out along with the checking).
+  LockRank rank() const {
+#if WP_DCHECK_IS_ON
+    return rank_;
+#else
+    return LockRank::kUnranked;
+#endif
+  }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#if WP_DCHECK_IS_ON
+  const LockRank rank_ = LockRank::kUnranked;
+  const char* const name_ = "unranked";
+#endif
 };
 
 /// \brief RAII scoped lock over a Mutex (std::lock_guard equivalent).
@@ -48,6 +146,12 @@ class SCOPED_CAPABILITY MutexLock {
 /// called with the mutex held (REQUIRES) and — like std::condition_variable
 /// — atomically releases it while blocked, reacquiring before return, so
 /// GUARDED_BY state may legally be read in the predicate and after Wait().
+///
+/// Lock-rank note: Wait() goes through the raw std::mutex, so the mutex
+/// stays on the thread's held-rank stack for the whole wait. That is the
+/// intent — the thread reacquires before doing anything else, and while
+/// blocked it acquires nothing, so the stack stays truthful exactly when it
+/// is consulted.
 class CondVar {
  public:
   CondVar() = default;

@@ -46,7 +46,7 @@ class ProcessorCap {
   bool limited() const { return limited_; }
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kProcessorCap, "ProcessorCap::mu_"};
   CondVar cv_;
   int permits_ GUARDED_BY(mu_);
   const bool limited_;

@@ -17,6 +17,8 @@
 //   for (const auto& a : result.answers) { ... }
 #pragma once
 
+// wp-lint: disable-file(WP004) umbrella header: includes ARE the interface
+
 #include "exec/engine.h"
 #include "exec/join_cache.h"
 #include "exec/metrics.h"

@@ -11,8 +11,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "util/status.h"
-
 namespace whirlpool::xml {
 
 /// Index of a node in a Document's arena. Node 0 is always the synthetic

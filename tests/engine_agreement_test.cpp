@@ -11,7 +11,6 @@
 #include "query/matcher.h"
 #include "query/tree_pattern.h"
 #include "score/scoring.h"
-#include "xmlgen/bookstore.h"
 #include "xmlgen/xmark.h"
 
 namespace whirlpool::exec {

@@ -4,7 +4,6 @@
 #include "query/matcher.h"
 #include "query/tree_pattern.h"
 #include "score/scoring.h"
-#include "xml/parser.h"
 #include "xmlgen/bookstore.h"
 #include "xmlgen/xmark.h"
 

@@ -1,0 +1,10 @@
+// wp-lint-expect: WP003
+// rand() shares hidden global state across threads and is unseedable per
+// run; engine code draws from util/rng.h.
+#include <cstdlib>
+
+namespace corpus {
+
+int RollDie() { return rand() % 6 + 1; }
+
+}  // namespace corpus

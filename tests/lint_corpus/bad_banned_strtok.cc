@@ -1,0 +1,9 @@
+// wp-lint-expect: WP003
+// strtok keeps a hidden static cursor — non-reentrant and thread-hostile.
+#include <cstring>
+
+namespace corpus {
+
+char* FirstToken(char* s) { return strtok(s, ","); }
+
+}  // namespace corpus

@@ -1,0 +1,10 @@
+// wp-lint-expect: WP003
+// Bare new[] has no owner; engine code uses std::vector (or
+// std::make_unique<T[]> where a raw buffer is unavoidable).
+#include <cstddef>
+
+namespace corpus {
+
+int* MakeBuffer(std::size_t n) { return new int[n]; }
+
+}  // namespace corpus

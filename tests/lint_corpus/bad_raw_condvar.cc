@@ -1,0 +1,16 @@
+// wp-lint-expect: WP001
+// Raw std::condition_variable: whirlpool::CondVar keeps the REQUIRES
+// contract visible to the analysis; the raw type hides it.
+#include <condition_variable>
+#include <mutex>
+
+namespace corpus {
+
+class Latch {
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+}  // namespace corpus

@@ -1,0 +1,21 @@
+// wp-lint-expect: WP001
+// std::lock_guard / std::unique_lock over a raw mutex bypass the annotated
+// MutexLock, so neither static analysis nor rank checking sees the scope.
+#include <mutex>
+
+namespace corpus {
+
+std::mutex g_mu;  // also WP001 on its own, same rule id
+int g_value = 0;
+
+void Bump() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ++g_value;
+}
+
+int ReadIt() {
+  std::unique_lock<std::mutex> lock(g_mu);
+  return g_value;
+}
+
+}  // namespace corpus

@@ -1,0 +1,21 @@
+// wp-lint-expect: WP001
+// A raw std::mutex member: invisible to Clang Thread Safety Analysis and to
+// the runtime LockRank checker. Must lock through whirlpool::Mutex.
+#include <mutex>
+
+namespace corpus {
+
+class Counter {
+ public:
+  void Increment() {
+    mu_.lock();
+    ++count_;
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace corpus

@@ -1,0 +1,20 @@
+// wp-lint-expect: WP002
+// The class owns a whirlpool::Mutex but `hits_` carries no GUARDED_BY, so
+// nothing stops an unlocked access from compiling.
+#include "util/mutex.h"
+
+namespace corpus {
+
+class Cache {
+ public:
+  void Record() {
+    whirlpool::MutexLock lock(&mu_);
+    ++hits_;
+  }
+
+ private:
+  whirlpool::Mutex mu_;
+  int hits_ = 0;
+};
+
+}  // namespace corpus

@@ -1,0 +1,20 @@
+// wp-lint-expect: WP002
+// An atomic member of a Mutex-owning class that is not in wp_lint.py's
+// ATOMIC_ALLOWLIST: intentionally-unguarded atomics need a recorded
+// correctness argument (see TopKSet::cached_threshold_ for the model).
+#include <atomic>
+
+#include "util/mutex.h"
+
+namespace corpus {
+
+class Tracker {
+ public:
+  void Retire() { pending_.fetch_sub(1); }
+
+ private:
+  whirlpool::Mutex mu_;
+  std::atomic<int> pending_{0};
+};
+
+}  // namespace corpus

@@ -1,0 +1,9 @@
+// wp-lint-expect: WP004
+// Includes a project header and references none of its exported names.
+#include "util/stopwatch.h"
+
+namespace corpus {
+
+int Answer() { return 42; }
+
+}  // namespace corpus

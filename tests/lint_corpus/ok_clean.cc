@@ -1,0 +1,34 @@
+// wp-lint-expect: none
+// Idiomatic annotated code: ranked whirlpool::Mutex, every mutable field
+// GUARDED_BY, project RNG, includes all referenced. Must produce no findings
+// — this file pins wp-lint's false-positive direction.
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/thread_annotations.h"
+
+namespace corpus {
+
+class Sampler {
+ public:
+  explicit Sampler(uint64_t seed) : rng_(seed) {}
+
+  void Record(double v) {
+    whirlpool::MutexLock lock(&mu_);
+    values_.push_back(v);
+  }
+
+  double Pick() {
+    whirlpool::MutexLock lock(&mu_);
+    if (values_.empty()) return 0.0;
+    return values_[rng_.UniformInt(0, values_.size() - 1)];
+  }
+
+ private:
+  mutable whirlpool::Mutex mu_{whirlpool::LockRank::kUnranked, "corpus::Sampler::mu_"};
+  std::vector<double> values_ GUARDED_BY(mu_);
+  whirlpool::util::Rng rng_ GUARDED_BY(mu_);
+};
+
+}  // namespace corpus

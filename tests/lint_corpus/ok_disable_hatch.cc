@@ -1,0 +1,18 @@
+// wp-lint-expect: none
+// The escape hatches: a per-line disable waives one finding on that line, a
+// file-level disable waives a rule everywhere in the file. Both carry a
+// justification so the waiver is reviewable.
+// wp-lint: disable-file(WP004) exercises the file-level hatch
+#include <mutex>
+
+#include "util/stopwatch.h"
+
+namespace corpus {
+
+std::mutex g_legacy_mu;  // wp-lint: disable(WP001) third-party ABI needs std::mutex
+
+void Touch() {
+  std::lock_guard<std::mutex> lock(g_legacy_mu);  // wp-lint: disable(WP001) same interop
+}
+
+}  // namespace corpus

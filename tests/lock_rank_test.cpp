@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "exec/topk_set.h"
+#include "util/check.h"
+#include "util/mutex.h"
+
+// Death tests for the runtime lock-rank checker (DESIGN.md §10). The checker
+// only exists in debug builds (WP_DCHECK_IS_ON); in release builds every test
+// here skips rather than silently passing, so a green run always means either
+// "checker verified" or "checker compiled out", never "checker broken".
+
+namespace whirlpool {
+namespace {
+
+#if WP_DCHECK_IS_ON
+
+using exec::MatchLevel;
+using exec::PartialMatch;
+using exec::TopKSet;
+
+PartialMatch MakeMatch(exec::NodeId root, double score, double max_final) {
+  PartialMatch m;
+  m.bindings = {root};
+  m.levels = {MatchLevel::kExact};
+  m.current_score = score;
+  m.max_final_score = max_final;
+  return m;
+}
+
+TEST(LockRankDeathTest, InvertedTopKAcquisitionAborts) {
+  // The real TopKSet nesting is shard.mu (kTopKShard) -> scores_mu_
+  // (kTopKScores). Acquiring them in the opposite order is the deadlock shape
+  // the checker exists to catch; the abort message must name both lock sites
+  // so the report is actionable without a debugger.
+  Mutex scores(LockRank::kTopKScores, "TopKSet::scores_mu_");
+  Mutex shard(LockRank::kTopKShard, "TopKSet::Shard::mu");
+  EXPECT_DEATH(
+      {
+        MutexLock hold_scores(&scores);
+        MutexLock hold_shard(&shard);
+      },
+      "lock rank violation.*TopKSet::Shard::mu.*kTopKShard=60.*"
+      "TopKSet::scores_mu_.*kTopKScores=70");
+}
+
+TEST(LockRankDeathTest, EqualRankAborts) {
+  // Ranks are a strict total order: two locks of the same rank (e.g. two
+  // TopKSet shards) may never be held together, because nothing orders them
+  // against each other.
+  Mutex a(LockRank::kTopKShard, "shard_a");
+  Mutex b(LockRank::kTopKShard, "shard_b");
+  EXPECT_DEATH(
+      {
+        MutexLock hold_a(&a);
+        MutexLock hold_b(&b);
+      },
+      "lock rank violation.*shard_b.*shard_a");
+}
+
+TEST(LockRankTest, CorrectOrderPasses) {
+  // The documented hierarchy, acquired low-to-high, never trips the checker.
+  Mutex queue(LockRank::kQueue, "queue");
+  Mutex shard(LockRank::kTopKShard, "shard");
+  Mutex scores(LockRank::kTopKScores, "scores");
+  {
+    MutexLock l1(&queue);
+    MutexLock l2(&shard);
+    MutexLock l3(&scores);
+  }
+  // Releasing and re-acquiring in a different interleaving is also fine as
+  // long as each acquisition respects the order at that moment.
+  {
+    MutexLock l2(&shard);
+    MutexLock l3(&scores);
+  }
+  { MutexLock l1(&queue); }
+  SUCCEED();
+}
+
+TEST(LockRankTest, UnrankedLocksAreExempt) {
+  // kUnranked is the migration default: unranked locks participate in no
+  // ordering checks, in either direction.
+  Mutex ranked(LockRank::kTracer, "ranked");
+  Mutex legacy_a;  // kUnranked
+  Mutex legacy_b;  // kUnranked
+  MutexLock l1(&ranked);
+  MutexLock l2(&legacy_a);
+  MutexLock l3(&legacy_b);
+  SUCCEED();
+}
+
+TEST(LockRankTest, TryLockSkipsOrderCheck) {
+  // try_lock cannot block, hence cannot deadlock; an out-of-order try_lock
+  // is permitted and simply joins the held stack unchecked.
+  Mutex scores(LockRank::kTopKScores, "scores");
+  Mutex shard(LockRank::kTopKShard, "shard");
+  MutexLock hold_scores(&scores);
+  ASSERT_TRUE(shard.try_lock());
+  shard.unlock();
+}
+
+TEST(LockRankTest, RankAccessorReflectsConstruction) {
+  Mutex ranked(LockRank::kJoinCache, "jc");
+  Mutex unranked;
+  EXPECT_EQ(ranked.rank(), LockRank::kJoinCache);
+  EXPECT_EQ(unranked.rank(), LockRank::kUnranked);
+}
+
+TEST(LockRankTest, TopKSetExercisesRankedPathClean) {
+  // End-to-end: TopKSet::Update takes shard.mu then scores_mu_ internally.
+  // With the checker live this must not abort — it pins the retrofit ranks
+  // against the code's actual nesting.
+  TopKSet set(2);
+  set.Update(MakeMatch(1, 5.0, 5.0), true);
+  set.Update(MakeMatch(2, 3.0, 3.0), true);
+  set.Update(MakeMatch(3, 4.0, 4.0), true);
+  EXPECT_EQ(set.Threshold(), 4.0);
+  EXPECT_EQ(set.Finalize().size(), 2u);
+}
+
+TEST(LockRankTest, LockRankNameCoversAllRanks) {
+  EXPECT_STREQ(LockRankName(LockRank::kUnranked), "kUnranked");
+  EXPECT_STREQ(LockRankName(LockRank::kBenchGlobal), "kBenchGlobal");
+  EXPECT_STREQ(LockRankName(LockRank::kQueue), "kQueue");
+  EXPECT_STREQ(LockRankName(LockRank::kInFlight), "kInFlight");
+  EXPECT_STREQ(LockRankName(LockRank::kProcessorCap), "kProcessorCap");
+  EXPECT_STREQ(LockRankName(LockRank::kJoinCache), "kJoinCache");
+  EXPECT_STREQ(LockRankName(LockRank::kTopKShard), "kTopKShard");
+  EXPECT_STREQ(LockRankName(LockRank::kTopKScores), "kTopKScores");
+  EXPECT_STREQ(LockRankName(LockRank::kTracer), "kTracer");
+  EXPECT_STREQ(LockRankName(LockRank::kTracerBuffer), "kTracerBuffer");
+}
+
+#else  // !WP_DCHECK_IS_ON
+
+TEST(LockRankTest, CheckerCompiledOut) {
+  GTEST_SKIP() << "lock-rank checker is debug-only (WP_DCHECK_IS_ON=0); "
+                  "run the debug preset to exercise it";
+}
+
+#endif  // WP_DCHECK_IS_ON
+
+}  // namespace
+}  // namespace whirlpool

@@ -2,7 +2,9 @@
 // MetricsSnapshot rendering, option predicates.
 #include <gtest/gtest.h>
 
-#include "exec/engine.h"
+#include "exec/metrics.h"
+#include "exec/options.h"
+#include "exec/partial_match.h"
 
 namespace whirlpool::exec {
 namespace {

@@ -4,7 +4,6 @@
 #include <set>
 
 #include "exec/routing.h"
-#include "exec/server.h"
 #include "query/tree_pattern.h"
 #include "score/scoring.h"
 #include "xml/parser.h"

@@ -5,7 +5,6 @@
 #include "util/stopwatch.h"
 #include "score/scoring.h"
 #include "xml/parser.h"
-#include "xmlgen/bookstore.h"
 
 namespace whirlpool::exec {
 namespace {

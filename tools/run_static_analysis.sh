@@ -8,15 +8,20 @@
 #   2. thread-safety build — the whole tree under the `tidy` preset
 #      (clang++, -Wthread-safety -Werror=thread-safety -Werror);
 #   3. clang-tidy — the curated .clang-tidy check set over src/ and tools/,
-#      using the preset's compile_commands.json.
+#      using the preset's compile_commands.json;
+#   4. wp-lint — project-aware source checks (tools/wp_lint.py): raw-sync
+#      ban, GUARDED_BY coverage, banned functions, IWYU-lite — self-test
+#      over tests/lint_corpus/ first, then the full tree;
+#   5. clang-analyzer — clang++ --analyze (path-sensitive core checks) over
+#      every src/ translation unit, warnings promoted to errors.
 #
-# Clang and clang-tidy are found by probing common names (clang++,
-# clang++-20..14). On a host with no Clang at all the Clang stages are
-# SKIPPED (reported, exit 0) and a strict GCC -Werror build runs instead so
-# the gate still fails on any ordinary diagnostic; CI always has Clang, so
-# the skip path is a local-dev convenience, not a hole in the gate.
+# Clang, clang-tidy and python3 are found by probing common names. On a host
+# missing a tool its stages are SKIPPED (reported, exit 0); stage 2 falls
+# back to a strict GCC -Werror build so the gate still fails on any ordinary
+# diagnostic. CI always has all three, so the skip paths are a local-dev
+# convenience, not a hole in the gate.
 #
-# Usage: tools/run_static_analysis.sh [all|selftest|build|tidy]
+# Usage: tools/run_static_analysis.sh [all|selftest|build|tidy|wplint|analyze]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,15 +39,41 @@ find_tool() {
   return 1
 }
 
-CLANGXX=$(find_tool clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
-                    clang++-16 clang++-15 clang++-14 || true)
-CLANG_TIDY=$(find_tool clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
-                       clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14 || true)
+# One version list feeds every clang-family probe so adding a release is a
+# one-line change.
+CLANG_VERSIONS=(20 19 18 17 16 15 14)
+
+probe_clang_tool() {
+  local base=$1 v names=()
+  names=("$base")
+  for v in "${CLANG_VERSIONS[@]}"; do
+    names+=("$base-$v")
+  done
+  find_tool "${names[@]}" || true
+}
+
+CLANGXX=$(probe_clang_tool clang++)
+CLANG_TIDY=$(probe_clang_tool clang-tidy)
+PYTHON=$(find_tool python3 python || true)
+
+tool_version() {  # one-line version banner, or "not found"
+  local tool=$1
+  if [[ -z "$tool" ]]; then
+    echo "not found"
+  else
+    "$tool" --version 2> /dev/null | head -n 1
+  fi
+}
+
+echo "=== static-analysis gate: tool inventory ==="
+echo "clang++:    $(tool_version "$CLANGXX")"
+echo "clang-tidy: $(tool_version "$CLANG_TIDY")"
+echo "python3:    $(tool_version "$PYTHON")"
 
 TS_FLAGS=(-std=c++20 -Isrc -Wthread-safety -Werror=thread-safety -Wall -Wextra -Werror)
 
 run_selftest() {
-  echo "=== [1/3] thread-safety negative-compile self-test ==="
+  echo "=== [1/5] thread-safety negative-compile self-test ==="
   if [[ -z "$CLANGXX" ]]; then
     echo "SKIPPED: no clang++ found (analysis is Clang-only)"
     return 0
@@ -67,7 +98,7 @@ run_selftest() {
 }
 
 run_build() {
-  echo "=== [2/3] full-tree -Werror=thread-safety build (tidy preset) ==="
+  echo "=== [2/5] full-tree -Werror=thread-safety build (tidy preset) ==="
   if [[ -z "$CLANGXX" ]]; then
     echo "SKIPPED: no clang++ found; running strict GCC -Werror build instead"
     cmake -B build-strict -S . \
@@ -85,7 +116,7 @@ run_build() {
 }
 
 run_tidy() {
-  echo "=== [3/3] clang-tidy (curated .clang-tidy check set) ==="
+  echo "=== [3/5] clang-tidy (curated .clang-tidy check set) ==="
   if [[ -z "$CLANG_TIDY" ]]; then
     echo "SKIPPED: no clang-tidy found"
     return 0
@@ -104,17 +135,49 @@ run_tidy() {
   echo "ok (${#files[@]} files)"
 }
 
+run_wplint() {
+  echo "=== [4/5] wp-lint (project-aware source checks) ==="
+  if [[ -z "$PYTHON" ]]; then
+    echo "SKIPPED: no python3 found"
+    return 0
+  fi
+  echo "--- self-test: tests/lint_corpus/ expectations"
+  "$PYTHON" tools/wp_lint.py --self-test
+  echo "--- tree lint: src tools bench tests"
+  "$PYTHON" tools/wp_lint.py src tools bench tests
+  echo "ok"
+}
+
+run_analyze() {
+  echo "=== [5/5] clang-analyzer (clang++ --analyze over src/) ==="
+  if [[ -z "$CLANGXX" ]]; then
+    echo "SKIPPED: no clang++ found (analyzer is Clang-only)"
+    return 0
+  fi
+  local files f
+  mapfile -t files < <(find src -name '*.cc' | sort)
+  for f in "${files[@]}"; do
+    "$CLANGXX" --analyze -Xclang -analyzer-werror \
+      -std=c++20 -Isrc -o /dev/null "$f"
+  done
+  echo "ok (${#files[@]} translation units)"
+}
+
 case "$stage" in
   selftest) run_selftest ;;
   build) run_build ;;
   tidy) run_tidy ;;
+  wplint) run_wplint ;;
+  analyze) run_analyze ;;
   all)
     run_selftest
     run_build
     run_tidy
+    run_wplint
+    run_analyze
     ;;
   *)
-    echo "usage: $0 [all|selftest|build|tidy]" >&2
+    echo "usage: $0 [all|selftest|build|tidy|wplint|analyze]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,556 @@
+#!/usr/bin/env python3
+"""wp-lint: project-aware static checks clang-tidy cannot express.
+
+Stage 4 of tools/run_static_analysis.sh (and the WpLint* ctest entries).
+Four rules, each with an ID and an escape hatch:
+
+  WP001  raw-sync        No raw std::mutex / std::lock_guard / std::unique_lock
+                         / std::scoped_lock / std::condition_variable outside
+                         src/util/mutex.h. Everything locks through the
+                         annotated whirlpool::Mutex so Clang Thread Safety
+                         Analysis and the runtime LockRank checker both see it.
+  WP002  guarded-fields  Every mutable data member of a class that directly
+                         owns a whirlpool::Mutex must be GUARDED_BY-annotated.
+                         std::atomic members are allowed only when listed in
+                         ATOMIC_ALLOWLIST (each entry records why the atomic is
+                         intentionally unguarded); structurally-immutable
+                         non-const members go in UNGUARDED_FIELD_ALLOWLIST.
+  WP003  banned-function No rand / strtok / gets calls, no bare `new T[n]`
+                         (engine code uses util/rng.h and std containers /
+                         make_unique).
+  WP004  unused-include  IWYU-lite: a quoted project include none of whose
+                         exported names (classes, enums, functions, macros,
+                         aliases, constants) appear in the including file.
+                         System includes are out of scope.
+
+Escape hatch: append `// wp-lint: disable(WP001)` (comma-separate several
+IDs; trailing justification text is encouraged) to the offending line, or put
+`// wp-lint: disable-file(WP004)` anywhere in a file to waive a rule for the
+whole file.
+
+Heuristics, deliberately: this is a source-level checker with no real C++
+parser. It errs toward false negatives (e.g. a data member whose initializer
+contains parentheses may be taken for a function declaration) — the
+compile-time thread-safety analysis and the runtime rank checker backstop it.
+What it must never do is flag correct idiomatic code; the self-test corpus
+(tests/lint_corpus/, --self-test) pins both directions.
+
+Usage:
+  wp_lint.py [--root DIR] PATH...   lint files / directories (exit 1 on findings)
+  wp_lint.py [--root DIR] --self-test   run the corpus, assert each snippet
+                                        trips exactly its declared rule IDs
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --- configuration ---------------------------------------------------------
+
+LINT_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
+
+# Directories never linted in tree mode (corpus is deliberately bad).
+SKIP_DIR_PARTS = {"lint_corpus", "build", "third_party"}
+
+# WP001: the one place raw std primitives are allowed — the annotated wrapper.
+RAW_SYNC_EXEMPT_FILES = {"src/util/mutex.h"}
+
+# WP002: atomics that are *intentionally* unguarded although their class owns
+# a Mutex. Every entry carries the argument for why no lock is needed.
+ATOMIC_ALLOWLIST = {
+    # One-sided-stale threshold cache: all stores under scores_mu_, monotone;
+    # lock-free readers can only under-prune (DESIGN.md §9).
+    "TopKSet::cached_threshold_",
+    # Mirrors min_score_mode_ for the lock-free Alive(); set-once mode flag.
+    "TopKSet::min_score_mode_flag_",
+    # In-flight match count; the mutex exists only to order the empty->notify
+    # handoff against a waiter's predicate check (whirlpool_m.cc).
+    "InFlightTracker::count_",
+}
+
+# WP002: non-const, non-atomic members that are structurally immutable after
+# construction and therefore safely read without the class's mutex.
+UNGUARDED_FIELD_ALLOWLIST = {
+    # Shard vector is filled in the constructor and never resized; only the
+    # pointed-to Shards mutate, under their own locks.
+    "TopKSet::shards_",
+}
+
+# WP002: sync-primitive member types that are self-synchronizing.
+SYNC_MEMBER_TYPES = ("Mutex", "CondVar", "ProcessorCap")
+
+# WP003 banned call patterns.
+BANNED_CALLS = [
+    (re.compile(r"(?<![\w:.])rand\s*\("), "rand() — use util/rng.h (seeded, thread-safe)"),
+    (re.compile(r"(?<![\w:.])srand\s*\("), "srand() — use util/rng.h (seeded, thread-safe)"),
+    (re.compile(r"(?<![\w:.])strtok\s*\("), "strtok() — not reentrant; use util/string_util.h Split"),
+    (re.compile(r"(?<![\w:.])gets\s*\("), "gets() — unbounded write; removed from the language"),
+    (re.compile(r"\bnew\s+[A-Za-z_][\w:<>, ]*\s*\["), "bare new[] — use std::vector or std::make_unique<T[]>"),
+]
+
+RULE_IDS = ("WP001", "WP002", "WP003", "WP004")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- source mangling -------------------------------------------------------
+
+DISABLE_RE = re.compile(r"//\s*wp-lint:\s*disable\(([A-Z0-9,\s]+)\)")
+DISABLE_FILE_RE = re.compile(r"//\s*wp-lint:\s*disable-file\(([A-Z0-9,\s]+)\)")
+
+
+def collect_disables(text):
+    """Returns (per-line {lineno: {rules}}, file-wide {rules})."""
+    per_line = {}
+    file_wide = set()
+    for i, line in enumerate(text.splitlines(), start=1):
+        m = DISABLE_RE.search(line)
+        if m:
+            per_line[i] = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        m = DISABLE_FILE_RE.search(line)
+        if m:
+            file_wide |= {r.strip() for r in m.group(1).split(",") if r.strip()}
+    return per_line, file_wide
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure so
+    line numbers computed on the result match the original file."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | "line" | "block" | "str" | "chr"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # str / chr
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = None
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+# --- WP001: raw sync primitives -------------------------------------------
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b"
+)
+
+
+def check_raw_sync(relpath, stripped):
+    if relpath.replace(os.sep, "/") in RAW_SYNC_EXEMPT_FILES:
+        return []
+    findings = []
+    for m in RAW_SYNC_RE.finditer(stripped):
+        findings.append(Finding(
+            relpath, line_of(stripped, m.start()), "WP001",
+            f"raw std::{m.group(1)} — use whirlpool::Mutex / MutexLock / "
+            f"CondVar (util/mutex.h) so thread-safety analysis and the "
+            f"LockRank checker see the lock"))
+    return findings
+
+
+# --- WP002: guarded fields -------------------------------------------------
+
+CLASS_RE = re.compile(r"\b(class|struct)\s+(?:CAPABILITY\s*\([^)]*\)\s*|SCOPED_CAPABILITY\s+)?([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^;{]*)?\{")
+
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:whirlpool\s*::\s*)?Mutex\s+[A-Za-z_]\w*\s*(?:\{[^}]*\}|=[^;]*)?$"
+)
+
+MEMBER_SKIP_PREFIXES = (
+    "public", "private", "protected", "using", "typedef", "friend",
+    "static", "constexpr", "enum", "template", "explicit", "virtual",
+    "operator", "return", "class", "struct", "union",
+)
+
+
+def matching_brace(text, open_idx):
+    depth = 0
+    for j in range(open_idx, len(text)):
+        if text[j] == "{":
+            depth += 1
+        elif text[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def blank_nested_braces(body):
+    """Blanks every brace-balanced region inside the class body (function
+    bodies, nested classes, member brace-initializers), leaving top-level
+    member declarations as `type name ;` statements. Each blanked region's
+    closing brace becomes a ';' so a function definition (`void F() { ... }`,
+    no trailing semicolon) still terminates its statement."""
+    out = list(body)
+    depth = 0
+    for i, c in enumerate(body):
+        if c == "{":
+            depth += 1
+        if depth > 0 and c != "\n":
+            out[i] = " "
+        if c == "}":
+            depth -= 1
+            if depth == 0:
+                out[i] = ";"
+    return "".join(out)
+
+
+def check_guarded_fields(relpath, stripped):
+    findings = []
+    for cm in CLASS_RE.finditer(stripped):
+        cls = cm.group(2)
+        open_idx = cm.end() - 1
+        close_idx = matching_brace(stripped, open_idx)
+        if close_idx < 0:
+            continue
+        body = stripped[open_idx + 1:close_idx]
+        flat = blank_nested_braces(body)
+        # Does this class directly own an annotated Mutex member?
+        statements = []
+        pos = 0
+        for part in flat.split(";"):
+            statements.append((part, open_idx + 1 + pos))
+            pos += len(part) + 1
+        owns_mutex = any(
+            MUTEX_MEMBER_RE.match(re.sub(
+                r"^(?:(?:public|private|protected)\s*:\s*)+", "",
+                " ".join(stmt.split())))
+            for stmt, _ in statements)
+        if not owns_mutex:
+            continue
+        for stmt, stmt_off in statements:
+            text = " ".join(stmt.split())
+            if not text:
+                continue
+            lineno = line_of(stripped, stmt_off + len(stmt) - len(stmt.lstrip()))
+            # Access specifiers arrive glued to the next statement ("public:
+            # int x") — strip the label prefix first.
+            text = re.sub(r"^(?:(?:public|private|protected)\s*:\s*)+", "", text)
+            if not text or any(text.startswith(p) for p in MEMBER_SKIP_PREFIXES):
+                continue
+            if "GUARDED_BY" in text or "PT_GUARDED_BY" in text:
+                continue
+            # Sync-primitive members synchronize themselves.
+            first_tok = re.sub(r"^(?:mutable|volatile)\s+", "", text)
+            if any(re.match(rf"(?:whirlpool\s*::\s*)?{t}\b", first_tok)
+                   for t in SYNC_MEMBER_TYPES):
+                continue
+            is_atomic = re.match(r"(?:mutable\s+)?(?:std\s*::\s*)?atomic\s*<", first_tok)
+            # Anything else with parens is (heuristically) a function
+            # declaration — except atomics, whose common `atomic<T> x{0}`
+            # form was already flattened to parenless text above.
+            if "(" in text and not is_atomic:
+                continue
+            # `const` members (or pointers declared `* const`) are immutable.
+            toks = text.replace("*", " * ").split()
+            if "const" in toks and not (
+                    toks[0] == "const" and "*" in toks and toks[-1] != "const"
+                    and toks.index("const") < toks.index("*")):
+                # `const T x` or `T* const x` or `const T* const x`: immutable.
+                # The one mutable shape, `const T* x`, falls through.
+                if not ("*" in toks and toks[-2] != "const"
+                        and toks.count("const") == 1 and toks[0] == "const"):
+                    continue
+            name_m = re.search(r"([A-Za-z_]\w*)\s*(?:=[^;]*)?$", text)
+            if not name_m:
+                continue
+            field = name_m.group(1)
+            qualified = f"{cls}::{field}"
+            if is_atomic:
+                if qualified in ATOMIC_ALLOWLIST:
+                    continue
+                findings.append(Finding(
+                    relpath, lineno, "WP002",
+                    f"atomic member {qualified} in a Mutex-owning class is not "
+                    f"in wp_lint.py's ATOMIC_ALLOWLIST — either guard it, or "
+                    f"allowlist it with a written correctness argument"))
+            else:
+                if qualified in UNGUARDED_FIELD_ALLOWLIST:
+                    continue
+                findings.append(Finding(
+                    relpath, lineno, "WP002",
+                    f"mutable member {qualified} of a Mutex-owning class has "
+                    f"no GUARDED_BY annotation"))
+    return findings
+
+
+# --- WP003: banned functions ----------------------------------------------
+
+def check_banned(relpath, stripped):
+    findings = []
+    for pattern, why in BANNED_CALLS:
+        for m in pattern.finditer(stripped):
+            findings.append(Finding(
+                relpath, line_of(stripped, m.start()), "WP003",
+                f"banned function/pattern: {why}"))
+    return findings
+
+
+# --- WP004: IWYU-lite unused project includes ------------------------------
+
+INCLUDE_RE = re.compile(r'^[ \t]*#[ \t]*include[ \t]*"([^"]+)"', re.MULTILINE)
+
+HEADER_NAME_RES = [
+    re.compile(r"\b(?:class|struct|union)\s+(?:CAPABILITY\s*\([^)]*\)\s*|SCOPED_CAPABILITY\s+)?([A-Za-z_]\w*)"),
+    re.compile(r"\benum\s+(?:class\s+)?([A-Za-z_]\w*)"),
+    re.compile(r"^[ \t]*#[ \t]*define[ \t]+([A-Za-z_]\w*)", re.MULTILINE),
+    re.compile(r"\busing\s+([A-Za-z_]\w*)\s*="),
+    # using-declaration re-exports: `using score::MatchLevel;` makes
+    # MatchLevel part of this header's interface.
+    re.compile(r"\busing\s+(?!namespace\b)(?:[\w ]*::\s*)?([A-Za-z_]\w*)\s*;"),
+    re.compile(r"\btypedef\s+[^;]*?\b([A-Za-z_]\w*)\s*;"),
+    # Function declarations/definitions: an identifier directly before '('
+    # on a line that plausibly declares something. Overcapture is safe — it
+    # only makes the pass more conservative about "unused".
+    re.compile(r"\b([A-Za-z_]\w*)\s*\("),
+    # constants / inline globals
+    re.compile(r"\b(?:constexpr|extern|inline)\b[^;(){]*?\b([A-Za-z_]\w*)\s*(?:=|;)"),
+]
+
+CPP_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "decltype",
+    "static_assert", "defined", "noexcept", "catch", "new", "delete",
+    "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast",
+}
+
+
+def header_exported_names(header_text):
+    stripped = strip_header_for_names(header_text)
+    names = set()
+    for rx in HEADER_NAME_RES:
+        for m in rx.finditer(stripped):
+            name = m.group(1)
+            if name not in CPP_KEYWORDS:
+                names.add(name)
+    return names
+
+
+def strip_header_for_names(text):
+    # Keep #define lines intact (strip_comments... keeps them anyway).
+    return strip_comments_and_strings(text)
+
+
+def resolve_include(inc, includer_path, root):
+    candidates = [
+        os.path.join(root, "src", inc),
+        os.path.join(root, inc),
+        os.path.join(os.path.dirname(includer_path), inc),
+    ]
+    for c in candidates:
+        if os.path.isfile(c):
+            return c
+    return None
+
+
+def check_unused_includes(relpath, abspath, text, stripped, root):
+    # Include paths are string literals, which the comment/string stripper
+    # blanks — so includes come from the original text, while name search
+    # runs over the stripped body (strings/comments must not count as uses).
+    findings = []
+    own_stem = os.path.splitext(os.path.basename(relpath))[0]
+    includes = list(INCLUDE_RE.finditer(text))
+    body = stripped
+    for m in includes:
+        inc = m.group(1)
+        inc_stem = os.path.splitext(os.path.basename(inc))[0]
+        if inc_stem == own_stem:
+            continue  # foo.cc includes foo.h: always its interface
+        target = resolve_include(inc, abspath, root)
+        if target is None:
+            continue  # not a project header (or generated elsewhere)
+        try:
+            with open(target, encoding="utf-8", errors="replace") as f:
+                names = header_exported_names(f.read())
+        except OSError:
+            continue
+        if not names:
+            continue  # umbrella / macro-free config header: unknowable
+        used = any(re.search(rf"\b{re.escape(n)}\b", body) for n in names)
+        if not used:
+            findings.append(Finding(
+                relpath, line_of(text, m.start()), "WP004",
+                f'include "{inc}" is never referenced: none of its '
+                f"{len(names)} exported names appear in this file"))
+    return findings
+
+
+# --- driver ----------------------------------------------------------------
+
+def lint_file(abspath, root):
+    relpath = os.path.relpath(abspath, root)
+    try:
+        with open(abspath, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [Finding(relpath, 0, "WP000", f"unreadable: {e}")]
+    per_line, file_wide = collect_disables(text)
+    stripped = strip_comments_and_strings(text)
+
+    findings = []
+    findings += check_raw_sync(relpath, stripped)
+    findings += check_guarded_fields(relpath, stripped)
+    findings += check_banned(relpath, stripped)
+    findings += check_unused_includes(relpath, abspath, text, stripped, root)
+
+    kept = []
+    for f in findings:
+        if f.rule in file_wide:
+            continue
+        if f.rule in per_line.get(f.line, set()):
+            continue
+        kept.append(f)
+    return kept
+
+
+def iter_lint_targets(paths, root):
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            yield ap
+            continue
+        for dirpath, dirnames, filenames in os.walk(ap):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIR_PARTS
+                           and not d.startswith("build")]
+            for fn in sorted(filenames):
+                if fn.endswith(LINT_EXTENSIONS):
+                    yield os.path.join(dirpath, fn)
+
+
+EXPECT_RE = re.compile(r"//\s*wp-lint-expect:\s*([A-Za-z0-9,\s]+)")
+
+
+def run_self_test(root):
+    corpus = os.path.join(root, "tests", "lint_corpus")
+    files = sorted(
+        os.path.join(corpus, f) for f in os.listdir(corpus)
+        if f.endswith(LINT_EXTENSIONS))
+    if not files:
+        print(f"wp-lint self-test: no corpus files under {corpus}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        m = EXPECT_RE.search(text)
+        if not m:
+            print(f"FAIL {rel}: missing '// wp-lint-expect: <RULES|none>' header")
+            failures += 1
+            continue
+        raw = {t.strip() for t in m.group(1).split(",") if t.strip()}
+        expected = set() if raw == {"none"} else raw
+        bogus = expected - set(RULE_IDS)
+        if bogus:
+            print(f"FAIL {rel}: unknown rule ids in expectation: {sorted(bogus)}")
+            failures += 1
+            continue
+        got = {f.rule for f in lint_file(path, root)}
+        if got == expected:
+            label = ",".join(sorted(expected)) if expected else "clean"
+            print(f"ok   {rel}: {label}")
+        else:
+            print(f"FAIL {rel}: expected {sorted(expected) or 'none'}, "
+                  f"got {sorted(got) or 'none'}")
+            for f in lint_file(path, root):
+                print(f"       {f}")
+            failures += 1
+    print(f"wp-lint self-test: {len(files) - failures}/{len(files)} corpus "
+          f"files behaved as declared")
+    return 1 if failures else 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script's dir)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the tests/lint_corpus/ expectations")
+    ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    args = ap.parse_args(argv)
+
+    root = os.path.abspath(args.root) if args.root else \
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    if args.self_test:
+        return run_self_test(root)
+
+    if not args.paths:
+        ap.error("no paths given (or use --self-test)")
+
+    findings = []
+    nfiles = 0
+    for path in iter_lint_targets(args.paths, root):
+        nfiles += 1
+        findings += lint_file(path, root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"wp-lint: {len(findings)} finding(s) in {nfiles} files", file=sys.stderr)
+        return 1
+    print(f"wp-lint: {nfiles} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
