@@ -38,6 +38,19 @@ int main(int argc, char** argv) {
       auto ws = bench::Run(*c.plan, options);
       options.engine = exec::EngineKind::kWhirlpoolM;
       auto wm = bench::Run(*c.plan, options);
+      if (args.queue_drain_auto || args.topk_shards_auto) {
+        // Controller decisions for the auto knobs (exec/adaptive.h): final
+        // per-consumer drain depths and the resolved shard count.
+        const auto& a = wm.adaptive;
+        std::printf("  [adaptive Q%d/%s] shards=%d%s drains(max=%d,adjusted %d):",
+                    qn, sizes[si].first, a.chosen_shards,
+                    a.shards_auto ? "(auto)" : "", a.drain_max, a.adjustments);
+        for (const auto& cdr : a.consumers) {
+          std::printf(" %s=%d", cdr.queue < 0 ? "router" :
+                      ("s" + std::to_string(cdr.queue)).c_str(), cdr.drain);
+        }
+        std::printf("\n");
+      }
       // Zero-cost run isolates the engine's own work (index scans, joins,
       // queue churn), which scales with the corpus.
       exec::ExecOptions base = options;

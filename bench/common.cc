@@ -190,14 +190,17 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.metrics_json = a + 15;
       EnableMetricsJson(args.metrics_json);
     } else if (std::strncmp(a, "--topk-shards=", 14) == 0) {
-      args.topk_shards = std::atoi(a + 14);
+      if (std::strcmp(a + 14, "auto") == 0) args.topk_shards_auto = true;
+      else args.topk_shards = std::atoi(a + 14);
     } else if (std::strncmp(a, "--queue-drain-batch=", 20) == 0) {
-      args.queue_drain_batch = std::atoi(a + 20);
+      if (std::strcmp(a + 20, "auto") == 0) args.queue_drain_auto = true;
+      else args.queue_drain_batch = std::atoi(a + 20);
     } else if (std::strncmp(a, "--threads-per-server=", 21) == 0) {
       args.threads_per_server = std::atoi(a + 21);
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf("flags: --scale=F --seed=N --full --metrics-json=FILE "
-                  "--topk-shards=N --queue-drain-batch=N --threads-per-server=N\n");
+                  "--topk-shards=N|auto --queue-drain-batch=N|auto "
+                  "--threads-per-server=N\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", a);
@@ -209,8 +212,10 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
 }
 
 void BenchArgs::ApplyTo(exec::ExecOptions* options) const {
-  if (topk_shards > 0) options->topk_shards = topk_shards;
-  if (queue_drain_batch > 0) options->queue_drain_batch = queue_drain_batch;
+  if (topk_shards_auto) options->topk_shards = 0;
+  else if (topk_shards > 0) options->topk_shards = topk_shards;
+  if (queue_drain_auto) options->queue_drain_batch = 0;
+  else if (queue_drain_batch > 0) options->queue_drain_batch = queue_drain_batch;
   if (threads_per_server > 0) options->threads_per_server = threads_per_server;
 }
 

@@ -93,11 +93,15 @@ struct BenchArgs {
   /// --metrics-json=FILE: dump every Run()'s MetricsSnapshot (JSON array,
   /// one object per run, with latency percentiles) when the bench exits.
   std::string metrics_json;
-  /// --topk-shards=N / --queue-drain-batch=N: Whirlpool-M synchronization
-  /// knobs (ExecOptions::topk_shards / queue_drain_batch). 0 = engine
-  /// default; benches that run Whirlpool-M apply them via ApplyTo().
+  /// --topk-shards=N|auto / --queue-drain-batch=N|auto: Whirlpool-M
+  /// synchronization knobs (ExecOptions::topk_shards / queue_drain_batch).
+  /// 0 = engine default; "auto" sets the matching *_auto flag and ApplyTo
+  /// passes the controller's 0 = auto sentinel (exec/adaptive.h). Benches
+  /// that run Whirlpool-M apply them via ApplyTo().
   int topk_shards = 0;
   int queue_drain_batch = 0;
+  bool topk_shards_auto = false;
+  bool queue_drain_auto = false;
   /// --threads-per-server=N for the Whirlpool-M runs. 0 = engine default.
   int threads_per_server = 0;
 

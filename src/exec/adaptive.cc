@@ -1,0 +1,129 @@
+#include "exec/adaptive.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "exec/tracer.h"
+
+namespace whirlpool::exec {
+
+int AutoTopKShards(int worker_threads) {
+  if (worker_threads <= 1) return 1;
+  int concurrent = worker_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0 && static_cast<int>(hw) < concurrent) {
+    concurrent = static_cast<int>(hw);
+  }
+  // 2x oversubscription so hash collisions between concurrently-updated
+  // roots stay rare, as a power of two (cheap modulo distribution), rounded
+  // up to whole 64-byte cache lines of Shard pointers (8 per line).
+  int shards = 1;
+  while (shards < 2 * concurrent) shards <<= 1;
+  shards = std::max(shards, 8);
+  return std::min(shards, 64);
+}
+
+ResolvedSync ResolveSyncKnobs(const ExecOptions& options, int worker_threads) {
+  ResolvedSync r;
+  r.shards_auto = options.topk_shards == 0;
+  r.topk_shards =
+      r.shards_auto ? AutoTopKShards(worker_threads) : options.topk_shards;
+  r.drain_adaptive = options.queue_drain_batch == 0;
+  r.drain_max = r.drain_adaptive ? kAutoDrainMax : options.queue_drain_batch;
+  return r;
+}
+
+uint64_t DrainGovernor::BeginPop() {
+  if (!adaptive_) return 0;
+  const bool open_new = tick_++ % kDrainSamplePeriod == 0;
+  uint64_t now = 0;
+  if (sample_open_) {
+    now = MonotonicNs();
+    sample_open_ = false;
+    RecordSample(pending_lock_wait_ns_, now - delivered_ns_);
+  }
+  if (!open_new) return 0;
+  return now != 0 ? now : MonotonicNs();
+}
+
+void DrainGovernor::LockAcquired(uint64_t t0) {
+  pending_lock_wait_ns_ = MonotonicNs() - t0;
+}
+
+void DrainGovernor::BatchDelivered() {
+  delivered_ns_ = MonotonicNs();
+  sample_open_ = true;
+}
+
+void DrainGovernor::RecordSample(uint64_t lock_wait_ns, uint64_t process_ns) {
+  const uint64_t n = samples_.load(std::memory_order_relaxed) + 1;
+  samples_.store(n, std::memory_order_relaxed);
+  const auto blend = [n](std::atomic<double>* ewma, uint64_t sample) {
+    const double prev = ewma->load(std::memory_order_relaxed);
+    const double next =
+        n == 1 ? static_cast<double>(sample)
+               : prev + kDrainEwmaAlpha * (static_cast<double>(sample) - prev);
+    ewma->store(next, std::memory_order_relaxed);
+    return next;
+  };
+  const double lock_ewma = blend(&lock_wait_ewma_ns_, lock_wait_ns);
+  const double process_ewma = blend(&process_ewma_ns_, process_ns);
+  if (n < kDrainWarmupSamples) return;
+
+  const double ratio = lock_ewma / std::max(process_ewma, 1.0);
+  const int cur = drain_.load(std::memory_order_relaxed);
+  int next = cur;
+  if (ratio > kDrainTargetRatio) {
+    next = std::min(cur * 2, max_drain_);
+  } else if (ratio < kDrainLowWater &&
+             process_ewma > static_cast<double>(kDrainNarrowFloorNs)) {
+    next = std::max(cur / 2, 1);
+  }
+  if (next != cur) {
+    drain_.store(next, std::memory_order_relaxed);
+    adjustments_->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+DrainController::DrainController(const ExecOptions& options,
+                                 const ResolvedSync& resolved)
+    : resolved_(resolved),
+      // Legacy static split (see whirlpool_m.cc): under a simulated per-op
+      // cost, multi-entry server drains only defer fresher matches and slow
+      // pruning; router work is cheap regardless, so it always batches.
+      static_server_drain_(options.op_cost_seconds > 0 ? 1 : resolved.drain_max),
+      static_router_drain_(resolved.drain_max) {}
+
+DrainGovernor* DrainController::Register(int queue_id) {
+  const bool router = queue_id == kRouterQueue;
+  const int initial = resolved_.drain_adaptive
+                          ? (router ? resolved_.drain_max : 1)
+                          : (router ? static_router_drain_ : static_server_drain_);
+  MutexLock lock(&mu_);
+  governors_.push_back(std::unique_ptr<DrainGovernor>(
+      new DrainGovernor(queue_id, resolved_.drain_adaptive, initial,
+                        resolved_.drain_max, &adjustments_)));
+  return governors_.back().get();
+}
+
+void DrainController::ExportTo(AdaptiveSnapshot* out) const {
+  out->drain_adaptive = resolved_.drain_adaptive;
+  out->shards_auto = resolved_.shards_auto;
+  out->chosen_shards = resolved_.topk_shards;
+  out->drain_max = resolved_.drain_max;
+  out->adjustments = adjustments_.load(std::memory_order_relaxed);
+  MutexLock lock(&mu_);
+  out->consumers.clear();
+  out->consumers.reserve(governors_.size());
+  for (const auto& gov : governors_) {
+    AdaptiveSnapshot::ConsumerDrain c;
+    c.queue = gov->queue_id();
+    c.drain = gov->drain();
+    c.lock_wait_ewma_us = gov->lock_wait_ewma_ns() / 1e3;
+    c.process_ewma_us = gov->process_ewma_ns() / 1e3;
+    c.samples = gov->samples();
+    out->consumers.push_back(c);
+  }
+}
+
+}  // namespace whirlpool::exec

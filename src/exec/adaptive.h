@@ -1,0 +1,195 @@
+// Online contention-aware controller for the engine's own synchronization
+// knobs (ROADMAP: adaptive queue_drain_batch, auto topk_shards). The paper's
+// thesis — adapt per-match decisions to runtime state (Sec 6.1) — applied to
+// the queue handoff itself:
+//
+//  - Drain depth. Each Whirlpool-M consumer (server or router thread) owns a
+//    DrainGovernor that samples one PopBatch cycle in kDrainSamplePeriod,
+//    measuring (a) the time to acquire the queue mutex (pure lock
+//    contention; the condition-variable idle wait for work is deliberately
+//    excluded) and (b) the time the consumer spends processing the drained
+//    batch (delivery to next PopBatch entry). Both feed EWMAs, and a
+//    multiplicative-increase/multiplicative-decrease rule resizes the
+//    consumer's drain depth in [1, drain_max] to keep lock-wait below
+//    kDrainTargetRatio of processing time: cheap work under a contended
+//    lock widens (amortize the lock), expensive per-item work narrows
+//    (preserve the freshness that drives the pruning threshold up). This
+//    subsumes the previous hard-coded `op_cost_seconds > 0 ? 1 : N` split
+//    in whirlpool_m.cc. Enabled by ExecOptions::queue_drain_batch == 0.
+//
+//  - Shard count. ExecOptions::topk_shards == 0 picks the TopKSet stripe
+//    count from the engine's worker-thread count and
+//    std::thread::hardware_concurrency() (see AutoTopKShards).
+//
+// Decisions and EWMA snapshots are exported through
+// MetricsSnapshot::ToJson's "adaptive" block (metrics.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/metrics.h"
+#include "exec/options.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace whirlpool::exec {
+
+/// Upper drain bound when ExecOptions::queue_drain_batch == 0 (adaptive).
+inline constexpr int kAutoDrainMax = 32;
+/// One PopBatch cycle in this many is timed; the rest pay one branch and a
+/// counter increment, keeping the uninstrumented hot path unchanged.
+inline constexpr int kDrainSamplePeriod = 4;
+/// Widen while lock-wait exceeds this fraction of batch processing time.
+inline constexpr double kDrainTargetRatio = 0.05;
+/// Narrow only below this fraction (hysteresis band against oscillation).
+inline constexpr double kDrainLowWater = kDrainTargetRatio / 4;
+/// Never narrow while a whole batch processes faster than this: below a few
+/// tens of microseconds of work per drain, lock amortization always wins,
+/// deferring matches costs nothing, and the ratio signal is dominated by
+/// clock-resolution and scheduler noise.
+inline constexpr uint64_t kDrainNarrowFloorNs = 20'000;
+/// EWMA smoothing factor for the lock-wait / processing-time estimates.
+inline constexpr double kDrainEwmaAlpha = 0.3;
+/// Samples observed before the first adjustment (EWMA warm-up).
+inline constexpr uint64_t kDrainWarmupSamples = 2;
+
+/// ExecOptions::{topk_shards, queue_drain_batch} with the 0 = "auto"
+/// sentinels resolved for one engine run.
+struct ResolvedSync {
+  int topk_shards = 1;
+  bool shards_auto = false;
+  /// True when drain depth is governed online (queue_drain_batch == 0).
+  bool drain_adaptive = false;
+  /// Upper drain bound: kAutoDrainMax when adaptive, else the static knob.
+  int drain_max = 1;
+};
+
+/// TopKSet stripe count for `worker_threads` concurrent engine threads:
+/// 1 for single-threaded runs; otherwise twice the effectively-concurrent
+/// thread count (capped by std::thread::hardware_concurrency) rounded up to
+/// a power of two and to whole 64-byte cache lines of Shard pointers
+/// (multiples of 8), clamped to [8, 64]. See DESIGN.md §11.
+int AutoTopKShards(int worker_threads);
+
+/// Resolves both knobs for an engine that will run `worker_threads` threads
+/// (Whirlpool-M: num_servers * threads_per_server + 1 router;
+/// single-threaded engines pass 1).
+ResolvedSync ResolveSyncKnobs(const ExecOptions& options, int worker_threads);
+
+class DrainController;
+
+/// \brief Per-consumer drain-depth governor. Owned by a DrainController and
+/// driven by exactly one consumer thread through SyncMatchQueue::PopBatch
+/// (BeginPop / LockAcquired / BatchDelivered below); drain() and the EWMA
+/// accessors are safe from any thread (relaxed atomics — monitoring only).
+class DrainGovernor {
+ public:
+  /// Server id this governor's queue belongs to, or kRouterQueue.
+  int queue_id() const { return queue_id_; }
+  bool adaptive() const { return adaptive_; }
+
+  /// Current drain depth for the owning consumer's next PopBatch.
+  int drain() const { return drain_.load(std::memory_order_relaxed); }
+
+  /// Hook: PopBatch entry. Closes the previous sampled cycle (its
+  /// processing interval ends here) and decides whether this cycle is
+  /// sampled. Returns the MonotonicNs entry timestamp when sampled, 0
+  /// otherwise (including always for non-adaptive governors — no clocks).
+  uint64_t BeginPop();
+
+  /// Hook: queue mutex acquired on a sampled cycle; `t0` is BeginPop's
+  /// return. Records the lock wait. Called before the cv wait for work, so
+  /// idle time never counts as contention.
+  void LockAcquired(uint64_t t0);
+
+  /// Hook: a sampled PopBatch is about to return a non-empty batch; opens
+  /// the processing interval that the next BeginPop closes.
+  void BatchDelivered();
+
+  /// Feeds one (lock-wait, batch-processing) sample into the EWMAs and
+  /// applies the MIMD rule: ratio above kDrainTargetRatio doubles the
+  /// drain (toward max_drain); ratio below kDrainLowWater with at least
+  /// kDrainNarrowFloorNs of batch work halves it (toward 1). Called
+  /// internally when a sampled cycle closes; exposed so the control law is
+  /// unit-testable without real clocks.
+  void RecordSample(uint64_t lock_wait_ns, uint64_t process_ns);
+
+  double lock_wait_ewma_ns() const {
+    return lock_wait_ewma_ns_.load(std::memory_order_relaxed);
+  }
+  double process_ewma_ns() const {
+    return process_ewma_ns_.load(std::memory_order_relaxed);
+  }
+  uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class DrainController;
+  DrainGovernor(int queue_id, bool adaptive, int initial_drain, int max_drain,
+                std::atomic<int>* adjustments)
+      : queue_id_(queue_id),
+        adaptive_(adaptive),
+        max_drain_(max_drain),
+        drain_(initial_drain),
+        adjustments_(adjustments) {}
+
+  const int queue_id_;
+  const bool adaptive_;
+  const int max_drain_;
+  /// Written only by the owning consumer; read lock-free by drain()/export.
+  std::atomic<int> drain_;
+  /// DrainController::adjustments_ — counted lock-free from consumer
+  /// threads.
+  std::atomic<int>* const adjustments_;
+
+  // Owning-consumer-thread scratch (never touched cross-thread).
+  uint64_t tick_ = 0;
+  bool sample_open_ = false;
+  uint64_t pending_lock_wait_ns_ = 0;
+  uint64_t delivered_ns_ = 0;
+
+  /// Published EWMA state, relaxed: exported into the metrics "adaptive"
+  /// block and read by tests; single writer (the owning consumer).
+  std::atomic<double> lock_wait_ewma_ns_{0.0};
+  std::atomic<double> process_ewma_ns_{0.0};
+  std::atomic<uint64_t> samples_{0};
+};
+
+/// \brief Owns one DrainGovernor per registered consumer and exports the
+/// controller's decisions into a MetricsSnapshot. Register is thread-safe;
+/// governors live until the controller is destroyed (after thread join).
+class DrainController {
+ public:
+  /// queue_id for the router queue's consumers.
+  static constexpr int kRouterQueue = -1;
+
+  DrainController(const ExecOptions& options, const ResolvedSync& resolved);
+
+  /// Creates the governor for one consumer of queue `queue_id` (a server id
+  /// or kRouterQueue). In adaptive mode servers start narrow (drain 1, the
+  /// freshness-preserving end) and the router starts wide (router work per
+  /// match is a few hundred ns regardless of op cost); in static mode the
+  /// governor pins the legacy depths (op_cost_seconds > 0 ? 1 : N servers,
+  /// N router) and records no samples.
+  DrainGovernor* Register(int queue_id);
+
+  /// Fills `out` with the resolved knobs, final per-consumer drains and
+  /// EWMA snapshots. Call after the consumer threads have joined (the
+  /// governor EWMAs are relaxed atomics, so a mid-run export is safe but
+  /// may mix in-flight samples).
+  void ExportTo(AdaptiveSnapshot* out) const;
+
+ private:
+  const ResolvedSync resolved_;
+  const int static_server_drain_;
+  const int static_router_drain_;
+  mutable Mutex mu_{LockRank::kAdaptive, "DrainController::mu_"};
+  std::vector<std::unique_ptr<DrainGovernor>> governors_ GUARDED_BY(mu_);
+  /// Total drain adjustments across all governors; incremented lock-free
+  /// from consumer threads inside RecordSample.
+  std::atomic<int> adjustments_{0};
+};
+
+}  // namespace whirlpool::exec

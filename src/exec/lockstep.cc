@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "exec/adaptive.h"
 #include "exec/engine.h"
 #include "exec/queue_policy.h"
 #include "exec/routing.h"
@@ -33,8 +34,10 @@ Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options
   const Instrumentation ins(options.tracer, &metrics, options.collect_latencies);
   const uint64_t query_start = ins.Begin();
   std::atomic<uint64_t> seq{0};
+  // Single-threaded: topk_shards = 0 ("auto") resolves to one stripe.
+  const ResolvedSync sync = ResolveSyncKnobs(options, /*worker_threads=*/1);
   TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed,
-               options.topk_shards);
+               sync.topk_shards);
   if (options.has_frozen_threshold()) topk.FreezeThreshold(options.frozen_threshold);
   if (options.has_min_score_threshold()) {
     topk.SetMinScoreMode(options.min_score_threshold);
@@ -76,6 +79,10 @@ Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options
   TopKResult result;
   result.answers = topk.Finalize();
   result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
+  result.metrics.adaptive.shards_auto = sync.shards_auto;
+  result.metrics.adaptive.chosen_shards = topk.num_shards();
+  result.metrics.adaptive.drain_adaptive = sync.drain_adaptive;
+  result.metrics.adaptive.drain_max = sync.drain_max;
   return result;
 }
 

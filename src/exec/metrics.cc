@@ -68,7 +68,26 @@ std::string MetricsSnapshot::ToJson() const {
     if (i > 0) os << ',';
     os << per_server_operations[i];
   }
-  os << "],\"latency\":{";
+  os << "],\"adaptive\":{\"drain_adaptive\":"
+     << (adaptive.drain_adaptive ? "true" : "false")
+     << ",\"shards_auto\":" << (adaptive.shards_auto ? "true" : "false")
+     << ",\"chosen_shards\":" << adaptive.chosen_shards
+     << ",\"drain_max\":" << adaptive.drain_max
+     << ",\"adjustments\":" << adaptive.adjustments << ",\"consumers\":[";
+  for (size_t i = 0; i < adaptive.consumers.size(); ++i) {
+    const auto& c = adaptive.consumers[i];
+    if (i > 0) os << ',';
+    os << "{\"queue\":" << c.queue << ",\"drain\":" << c.drain
+       << ",\"lock_wait_ewma_us\":" << util::JsonNumber(c.lock_wait_ewma_us)
+       << ",\"process_ewma_us\":" << util::JsonNumber(c.process_ewma_us)
+       << ",\"samples\":" << c.samples << "}";
+  }
+  os << "],\"queue_peak_depth\":[";
+  for (size_t i = 0; i < adaptive.queue_peak_depth.size(); ++i) {
+    if (i > 0) os << ',';
+    os << adaptive.queue_peak_depth[i];
+  }
+  os << "]},\"latency\":{";
   AppendLatencyJson(os, "server_op", server_op_latency);
   os << ',';
   AppendLatencyJson(os, "queue_wait", queue_wait_latency);

@@ -16,6 +16,34 @@
 
 namespace whirlpool::exec {
 
+/// \brief Decisions and observations of the sync-knob controller
+/// (exec/adaptive.h): the resolved shard count, each consumer's final drain
+/// depth with its lock-wait / processing-time EWMAs, and the queue-depth
+/// high-water marks. Default-constructed (all-zero) for engines that ran
+/// without a controller.
+struct AdaptiveSnapshot {
+  /// True when queue_drain_batch == 0 governed the drains online.
+  bool drain_adaptive = false;
+  /// True when topk_shards == 0 picked the stripe count automatically.
+  bool shards_auto = false;
+  /// TopKSet stripe count the run actually used.
+  int chosen_shards = 0;
+  /// Upper drain bound (kAutoDrainMax when adaptive, the static knob else).
+  int drain_max = 0;
+  /// Total drain-depth changes across all consumers.
+  int adjustments = 0;
+  struct ConsumerDrain {
+    int queue = 0;  ///< server id, or -1 for the router queue
+    int drain = 0;  ///< final drain depth
+    double lock_wait_ewma_us = 0.0;
+    double process_ewma_us = 0.0;
+    uint64_t samples = 0;
+  };
+  std::vector<ConsumerDrain> consumers;
+  /// Queue-depth high-water marks: [router, server 0, server 1, ...].
+  std::vector<uint64_t> queue_peak_depth;
+};
+
 /// \brief Plain-value snapshot of the counters, safe to copy and compare.
 struct MetricsSnapshot {
   /// Partial-match-processed-at-a-server events.
@@ -40,6 +68,9 @@ struct MetricsSnapshot {
   util::LatencyStats server_op_latency;
   util::LatencyStats queue_wait_latency;
   util::LatencyStats query_latency;
+  /// Sync-knob controller decisions (filled by the engines after the run;
+  /// all-zero when no controller was involved).
+  AdaptiveSnapshot adaptive;
 
   std::string ToString() const;
   /// One JSON object with every counter, the per-server breakdown and the

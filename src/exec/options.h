@@ -97,11 +97,14 @@ struct ExecOptions {
   /// Mutex stripes for the shared top-k set's root->score map. Updates of
   /// roots in different stripes proceed concurrently; Threshold()/Alive()
   /// readers are lock-free regardless (cached atomic threshold). 1 = the
-  /// pre-striping single-map layout.
+  /// pre-striping single-map layout; 0 = auto (picked from the engine's
+  /// thread count and hardware_concurrency — exec/adaptive.h).
   int topk_shards = 16;
   /// Maximum matches a Whirlpool-M consumer (server or router thread)
   /// drains from its queue per lock acquisition; producers publish whole
-  /// batches with one notify. 1 = the original per-match handoff.
+  /// batches with one notify. 1 = the original per-match handoff; 0 =
+  /// adaptive (each consumer's depth is resized online in [1, kAutoDrainMax]
+  /// from observed lock-wait vs processing time — exec/adaptive.h).
   int queue_drain_batch = 8;
   /// Bulk routing (paper Sec 6.3.3 future work): Whirlpool-S makes one
   /// routing decision for up to this many consecutive queue entries that
@@ -141,11 +144,22 @@ inline Status ValidateOptions(const ExecOptions& options) {
   if (options.threads_per_server < 1) {
     return Status::InvalidArgument("threads_per_server must be >= 1");
   }
-  if (options.topk_shards < 1) {
-    return Status::InvalidArgument("topk_shards must be >= 1");
+  if (options.topk_shards < 0) {
+    return Status::InvalidArgument("topk_shards must be >= 1, or 0 for auto");
   }
-  if (options.queue_drain_batch < 1) {
-    return Status::InvalidArgument("queue_drain_batch must be >= 1");
+  if (options.queue_drain_batch < 0) {
+    return Status::InvalidArgument(
+        "queue_drain_batch must be >= 1, or 0 for adaptive");
+  }
+  if (options.bulk_batch < 1) {
+    return Status::InvalidArgument("bulk_batch must be >= 1");
+  }
+  // Negated >= so a NaN cost is rejected too.
+  if (!(options.op_cost_seconds >= 0.0)) {
+    return Status::InvalidArgument("op_cost_seconds must be >= 0");
+  }
+  if (options.processor_cap < 0) {
+    return Status::InvalidArgument("processor_cap must be >= 0 (0 = unlimited)");
   }
   if (options.has_frozen_threshold() && options.has_min_score_threshold()) {
     return Status::InvalidArgument(

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "exec/adaptive.h"
 #include "exec/options.h"
 #include "exec/partial_match.h"
 #include "exec/plan.h"
@@ -26,7 +28,11 @@ inline double QueuePriority(const QueryPlan& plan, QueuePolicy policy,
                             const PartialMatch& m, int server) {
   switch (policy) {
     case QueuePolicy::kFifo:
-      return -static_cast<double>(m.seq);
+      // Arrival order lives in the integer seq, compared exactly by the
+      // policy-aware QueuedMatchLess below. The old -double(seq) encoding
+      // collapsed to ties at seq >= 2^53, where the newest-first tie-break
+      // silently inverted arrival order.
+      return 0.0;
     case QueuePolicy::kCurrentScore:
       return m.current_score;
     case QueuePolicy::kMaxNextScore:
@@ -35,7 +41,8 @@ inline double QueuePriority(const QueryPlan& plan, QueuePolicy policy,
     case QueuePolicy::kMaxFinalScore:
       return m.max_final_score;
   }
-  return 0.0;
+  WP_CHECK(false) << "unhandled QueuePolicy " << static_cast<int>(policy);
+  return 0.0;  // unreachable
 }
 
 /// \brief A match with its frozen priority.
@@ -54,11 +61,22 @@ struct QueuedMatch {
 /// where every root advances in lock-step and the top-k threshold grows
 /// slowly. Preferring the newest match drives promising tuples to
 /// completion early, which raises currentTopK and unlocks pruning.
+///
+/// Policy-aware: under kFifo the ordering is the *integer* seq, oldest
+/// first — exact at any magnitude, where a double-encoded -seq priority
+/// loses arrival order above 2^53.
 struct QueuedMatchLess {
+  explicit QueuedMatchLess(QueuePolicy policy = QueuePolicy::kMaxFinalScore)
+      : fifo_(policy == QueuePolicy::kFifo) {}
+
   bool operator()(const QueuedMatch& a, const QueuedMatch& b) const {
+    if (fifo_) return a.match.seq > b.match.seq;  // smaller seq dequeues first
     if (a.priority != b.priority) return a.priority < b.priority;
     return a.match.seq < b.match.seq;
   }
+
+ private:
+  bool fifo_;
 };
 
 /// \brief Max-heap of QueuedMatch over a std::vector, shared by the
@@ -70,12 +88,20 @@ struct QueuedMatchLess {
 /// previous implementation — is undefined behavior).
 class MatchHeap {
  public:
+  /// The comparator follows `policy`: kFifo orders by integer seq, every
+  /// other policy by the frozen double priority (newest-first ties).
+  explicit MatchHeap(QueuePolicy policy = QueuePolicy::kMaxFinalScore)
+      : less_(policy) {}
+
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
 
+  /// The heap's comparator, for callers asserting drain order.
+  const QueuedMatchLess& less() const { return less_; }
+
   void Push(QueuedMatch&& qm) {
     heap_.push_back(std::move(qm));
-    std::push_heap(heap_.begin(), heap_.end(), QueuedMatchLess{});
+    std::push_heap(heap_.begin(), heap_.end(), less_);
   }
 
   /// The highest-priority entry. Precondition: !empty().
@@ -87,17 +113,18 @@ class MatchHeap {
   /// Removes and returns the highest-priority entry. Precondition: !empty().
   QueuedMatch Pop() {
     WP_DCHECK(!heap_.empty()) << "Pop() on empty MatchHeap";
-    std::pop_heap(heap_.begin(), heap_.end(), QueuedMatchLess{});
+    std::pop_heap(heap_.begin(), heap_.end(), less_);
     QueuedMatch qm = std::move(heap_.back());
     heap_.pop_back();
     // Heap-order invariant: what we popped dominates the new top.
-    WP_DCHECK(heap_.empty() || !QueuedMatchLess{}(qm, heap_.front()))
+    WP_DCHECK(heap_.empty() || !less_(qm, heap_.front()))
         << "heap order violated: popped " << qm.priority << " below top "
         << heap_.front().priority;
     return qm;
   }
 
  private:
+  QueuedMatchLess less_;
   std::vector<QueuedMatch> heap_;
 };
 
@@ -112,10 +139,16 @@ class MatchHeap {
 /// up to N entries per acquisition (ExecOptions::queue_drain_batch).
 class SyncMatchQueue {
  public:
+  /// The queue's entries are ordered by `policy` (MatchHeap above): pass
+  /// the policy whose priorities the producers compute for this queue.
+  explicit SyncMatchQueue(QueuePolicy policy = QueuePolicy::kMaxFinalScore)
+      : queue_(policy) {}
+
   void Push(QueuedMatch&& qm) {
     {
       MutexLock lock(&mu_);
       queue_.Push(std::move(qm));
+      NotePeakDepthLocked();
     }
     cv_.NotifyOne();
   }
@@ -129,6 +162,7 @@ class SyncMatchQueue {
     {
       MutexLock lock(&mu_);
       for (QueuedMatch& qm : *batch) queue_.Push(std::move(qm));
+      NotePeakDepthLocked();
     }
     // A multi-entry batch can feed several consumers (threads_per_server >
     // 1), so wake them all; a woken consumer with nothing left to drain
@@ -156,8 +190,8 @@ class SyncMatchQueue {
   /// Blocks until at least one match is available (or shutdown), then drains
   /// up to `max_n` entries into `*out` (cleared first) under the single lock
   /// acquisition. Entries come out in heap order — non-increasing priority —
-  /// so per-producer FIFO is preserved whenever the queue policy encodes
-  /// arrival order (kFifo: priority = -seq). Returns false only on
+  /// so per-producer FIFO is preserved whenever the queue policy orders by
+  /// arrival (kFifo: integer seq comparison). Returns false only on
   /// stop-and-empty; after Stop() remaining entries are still drained.
   ///
   /// The drain is demand-aware: the backlog is split across this consumer
@@ -166,8 +200,42 @@ class SyncMatchQueue {
   /// parallel consumers each take ~depth/N instead of one thread walking
   /// off with the whole backlog and starving its siblings.
   bool PopBatch(std::vector<QueuedMatch>* out, int max_n) {
+    return PopBatchImpl(out, max_n, nullptr, 0);
+  }
+
+  /// Governor-driven drain (exec/adaptive.h): the batch limit is the
+  /// governor's current drain depth, and on the 1-in-kDrainSamplePeriod
+  /// sampled cycles the governor measures lock-wait (entry to mutex
+  /// acquisition — the cv idle wait for work is excluded) and batch
+  /// processing time (delivery to the next PopBatch entry). Non-adaptive
+  /// governors pin a static depth and never read a clock.
+  bool PopBatch(std::vector<QueuedMatch>* out, DrainGovernor* gov) {
+    const uint64_t t0 = gov->BeginPop();
+    const bool got = PopBatchImpl(out, gov->drain(), t0 != 0 ? gov : nullptr, t0);
+    if (t0 != 0 && got) gov->BatchDelivered();
+    return got;
+  }
+
+  /// High-water mark of the queue depth (entries present after a push).
+  /// Monotone, updated under mu_; lock-free readers see a lower bound.
+  size_t depth_peak() const {
+    return depth_peak_.load(std::memory_order_relaxed);
+  }
+
+  void Stop() {
+    {
+      MutexLock lock(&mu_);
+      stop_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+ private:
+  bool PopBatchImpl(std::vector<QueuedMatch>* out, int max_n,
+                    DrainGovernor* gov, uint64_t t0) {
     out->clear();
     MutexLock lock(&mu_);
+    if (gov != nullptr) gov->LockAcquired(t0);
     ++waiters_;
     cv_.Wait(mu_, [&]() REQUIRES(mu_) { return stop_ || !queue_.empty(); });
     --waiters_;
@@ -182,27 +250,29 @@ class SyncMatchQueue {
       // the previous entry is not outranked by this one. Under the kFifo
       // policy this is exactly per-producer FIFO.
       WP_DCHECK(out->size() < 2 ||
-                !QueuedMatchLess{}((*out)[out->size() - 2], out->back()))
+                !queue_.less()((*out)[out->size() - 2], out->back()))
           << "batch drain broke priority order at entry " << out->size();
     }
     return true;
   }
 
-  void Stop() {
-    {
-      MutexLock lock(&mu_);
-      stop_ = true;
+  /// Raises depth_peak_ to the current queue size. Caller holds mu_, so the
+  /// read-compare-store needs no RMW; readers are monitoring-only.
+  void NotePeakDepthLocked() REQUIRES(mu_) {
+    if (queue_.size() > depth_peak_.load(std::memory_order_relaxed)) {
+      depth_peak_.store(queue_.size(), std::memory_order_relaxed);
     }
-    cv_.NotifyAll();
   }
 
- private:
   Mutex mu_{LockRank::kQueue, "SyncMatchQueue::mu_"};
   CondVar cv_;
   MatchHeap queue_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;
   /// Consumers currently blocked in Pop/PopBatch; used to split the drain.
   int waiters_ GUARDED_BY(mu_) = 0;
+  /// Monotone queue-depth high-water mark; all stores under mu_, read
+  /// lock-free by the metrics export (wp-lint ATOMIC_ALLOWLIST).
+  std::atomic<size_t> depth_peak_{0};
 };
 
 }  // namespace whirlpool::exec

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/adaptive.h"
 #include "exec/tracer.h"
 #include "query/matcher.h"
 #include "score/scoring.h"
@@ -106,7 +107,9 @@ Result<TopKResult> RunRewritingBaseline(const QueryPlan& plan, const ExecOptions
   }
 
   const auto& idx = plan.index();
-  TopKSet topk(options.k, /*update_partials=*/true, options.topk_shards);
+  // Single-threaded: topk_shards = 0 ("auto") resolves to one stripe.
+  const ResolvedSync sync = ResolveSyncKnobs(options, /*worker_threads=*/1);
+  TopKSet topk(options.k, /*update_partials=*/true, sync.topk_shards);
   std::unordered_map<xml::NodeId, char> assigned;
   const std::vector<xml::NodeId> roots = query::RootCandidates(idx, pattern);
 
@@ -140,6 +143,10 @@ Result<TopKResult> RunRewritingBaseline(const QueryPlan& plan, const ExecOptions
   TopKResult result;
   result.answers = topk.Finalize();
   result.metrics = metrics.Snapshot(wall.ElapsedSeconds());
+  result.metrics.adaptive.shards_auto = sync.shards_auto;
+  result.metrics.adaptive.chosen_shards = topk.num_shards();
+  result.metrics.adaptive.drain_adaptive = sync.drain_adaptive;
+  result.metrics.adaptive.drain_max = sync.drain_max;
   return result;
 }
 

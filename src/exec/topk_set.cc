@@ -12,7 +12,8 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 TopKSet::TopKSet(uint32_t k, bool update_partials, int shards)
     : k_(k), update_partials_(update_partials) {
-  const size_t n = shards < 1 ? 1 : static_cast<size_t>(shards);
+  const size_t n = static_cast<size_t>(
+      shards < 1 ? 1 : (shards > kMaxShards ? kMaxShards : shards));
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
 }

@@ -52,11 +52,17 @@ struct Answer {
 /// \brief Thread-safe top-k candidate set.
 class TopKSet {
  public:
+  /// Hard cap on the stripe count: beyond this, per-shard occupancy is too
+  /// low for additional stripes to reduce contention, and construction cost
+  /// (one mutex + map per stripe) dominates. The auto-shard picker
+  /// (exec/adaptive.h) stays well below this.
+  static constexpr int kMaxShards = 256;
+
   /// \param k          number of answers to return
   /// \param update_partials  whether partial matches update root scores
   ///                         (true for relaxed semantics)
   /// \param shards     number of mutex stripes for the root->score map
-  ///                   (ExecOptions::topk_shards; clamped to >= 1)
+  ///                   (ExecOptions::topk_shards; clamped to [1, kMaxShards])
   explicit TopKSet(uint32_t k, bool update_partials = true, int shards = 1);
 
   /// Freezes the pruning threshold at `value`: Update still records answers

@@ -6,9 +6,12 @@
 //
 // Queue handoff is batched (ExecOptions::queue_drain_batch): consumers
 // drain up to N matches per lock acquisition and producers publish whole
-// vectors with one notify (SyncMatchQueue in queue_policy.h). Server
-// consumers fall back to single-entry drains when a simulated op cost is
-// set — see the server_drain comment below. Matches held in a consumer's
+// vectors with one notify (SyncMatchQueue in queue_policy.h). Every
+// consumer's drain depth is owned by a DrainGovernor (exec/adaptive.h):
+// with a static knob the governor pins the legacy depths (single-entry
+// server drains under a simulated op cost, full batches on the router);
+// with queue_drain_batch == 0 it resizes each consumer online from
+// observed lock-wait vs processing time. Matches held in a consumer's
 // local batch are still counted by the InFlightTracker, so termination
 // detection is unaffected by the buffering.
 //
@@ -16,8 +19,11 @@
 // server threads do useful work concurrently, reproducing the paper's
 // 1/2/4/infinity-processor study (Fig 9) on a single host.
 #include <atomic>
+#include <memory>
 #include <thread>
+#include <vector>
 
+#include "exec/adaptive.h"
 #include "exec/engine.h"
 #include "exec/queue_policy.h"
 #include "exec/routing.h"
@@ -69,34 +75,41 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
   const Instrumentation ins(options.tracer, &metrics, options.collect_latencies);
   const uint64_t query_start = ins.Begin();
   std::atomic<uint64_t> seq{0};
+  const int num_servers = plan.num_servers();
+  // Resolve the sync knobs' 0 = "auto" sentinels for this run's thread
+  // count, and hand every consumer's drain depth to the controller: with a
+  // static knob the governors pin the legacy depths (drain 1 on servers
+  // under a simulated op cost — multi-entry drains only defer fresher
+  // matches and slow pruning — full batches on the router, whose work per
+  // match is a few hundred ns regardless); with queue_drain_batch == 0 the
+  // governors resize online from observed lock-wait vs processing time.
+  const int worker_threads = num_servers * options.threads_per_server + 1;
+  const ResolvedSync sync = ResolveSyncKnobs(options, worker_threads);
+  DrainController drains(options, sync);
   TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed,
-               options.topk_shards);
+               sync.topk_shards);
   if (options.has_frozen_threshold()) topk.FreezeThreshold(options.frozen_threshold);
   if (options.has_min_score_threshold()) {
     topk.SetMinScoreMode(options.min_score_threshold);
   }
 
-  const int num_servers = plan.num_servers();
-  // Consumer-side drain depth. Lock amortization pays when per-match work is
-  // comparable to the queue lock cost; under a simulated per-op cost (ms
-  // scale vs ~1us locks) server time is dominated by the ops themselves, and
-  // committing to a multi-entry drain only defers fresher matches — the
-  // newest-first tie-break that drives the threshold up — which measurably
-  // slows pruning (bench_fig11 degrades roughly linearly in drain depth).
-  // Router work per match is a few hundred ns regardless of op cost, so the
-  // router always drains full batches.
-  const int server_drain =
-      options.op_cost_seconds > 0 ? 1 : options.queue_drain_batch;
-  const int router_drain = options.queue_drain_batch;
-  ProcessorCap cap(options.processor_cap <= 0 ? ProcessorCap::kUnlimited
+  ProcessorCap cap(options.processor_cap == 0 ? ProcessorCap::kUnlimited
                                               : options.processor_cap);
   InFlightTracker in_flight;
   std::unique_ptr<ServerJoinCache> cache;
   if (options.cache_server_joins) {
     cache = std::make_unique<ServerJoinCache>(num_servers);
   }
-  SyncMatchQueue router_queue;
-  std::vector<SyncMatchQueue> server_queues(static_cast<size_t>(num_servers));
+  // The router queue is always ordered by max-final-score (Upper/MPro);
+  // each server queue follows the configured policy — its comparator must
+  // match the priorities the router computes for it (integer-seq FIFO under
+  // kFifo). Heap-allocated: SyncMatchQueue owns a Mutex and cannot move.
+  SyncMatchQueue router_queue(QueuePolicy::kMaxFinalScore);
+  std::vector<std::unique_ptr<SyncMatchQueue>> server_queues;
+  server_queues.reserve(static_cast<size_t>(num_servers));
+  for (int s = 0; s < num_servers; ++s) {
+    server_queues.push_back(std::make_unique<SyncMatchQueue>(options.queue_policy));
+  }
 
   // Seed the system before starting any thread so a fast drain cannot reach
   // zero prematurely.
@@ -114,11 +127,11 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
     router_queue.PushBatch(&seed);
   }
 
-  auto server_loop = [&](int s) {
+  auto server_loop = [&](int s, DrainGovernor* gov) {
     std::vector<QueuedMatch> batch;
     std::vector<PartialMatch> survivors;
     std::vector<QueuedMatch> outbox;  // extensions bound for the router
-    while (server_queues[static_cast<size_t>(s)].PopBatch(&batch, server_drain)) {
+    while (server_queues[static_cast<size_t>(s)]->PopBatch(&batch, gov)) {
       for (QueuedMatch& qm : batch) {
         ins.QueueWait(qm.enqueue_ns, ServerId(s), MatchSeq(qm.match.seq));
         PartialMatch m = std::move(qm.match);
@@ -154,11 +167,11 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
     }
   };
 
-  auto router_loop = [&] {
+  auto router_loop = [&](DrainGovernor* gov) {
     std::vector<QueuedMatch> batch;
     // Per-server outboxes: one publish per destination server per batch.
     std::vector<std::vector<QueuedMatch>> outboxes(static_cast<size_t>(num_servers));
-    while (router_queue.PopBatch(&batch, router_drain)) {
+    while (router_queue.PopBatch(&batch, gov)) {
       for (QueuedMatch& qm : batch) {
         ins.QueueWait(qm.enqueue_ns, ServerId::Router(), MatchSeq(qm.match.seq));
         PartialMatch m = std::move(qm.match);
@@ -176,29 +189,34 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
         outboxes[static_cast<size_t>(s)].push_back({prio, std::move(m), enq});
       }
       for (int s = 0; s < num_servers; ++s) {
-        server_queues[static_cast<size_t>(s)].PushBatch(&outboxes[static_cast<size_t>(s)]);
+        server_queues[static_cast<size_t>(s)]->PushBatch(&outboxes[static_cast<size_t>(s)]);
       }
     }
   };
 
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(num_servers * options.threads_per_server) + 1);
+  threads.reserve(static_cast<size_t>(worker_threads));
   for (int s = 0; s < num_servers; ++s) {
     for (int t = 0; t < options.threads_per_server; ++t) {
-      threads.emplace_back(server_loop, s);
+      threads.emplace_back(server_loop, s, drains.Register(s));
     }
   }
-  threads.emplace_back(router_loop);
+  threads.emplace_back(router_loop, drains.Register(DrainController::kRouterQueue));
 
   in_flight.WaitForDrain();
   router_queue.Stop();
-  for (auto& q : server_queues) q.Stop();
+  for (auto& q : server_queues) q->Stop();
   for (auto& t : threads) t.join();
 
   ins.QueryDone(query_start);
   TopKResult result;
   result.answers = topk.Finalize();
   result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
+  drains.ExportTo(&result.metrics.adaptive);
+  result.metrics.adaptive.queue_peak_depth.push_back(router_queue.depth_peak());
+  for (const auto& q : server_queues) {
+    result.metrics.adaptive.queue_peak_depth.push_back(q->depth_peak());
+  }
   return result;
 }
 

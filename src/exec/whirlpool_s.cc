@@ -6,6 +6,7 @@
 // be finalized).
 #include <memory>
 
+#include "exec/adaptive.h"
 #include "exec/engine.h"
 #include "exec/queue_policy.h"
 #include "exec/routing.h"
@@ -25,8 +26,10 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
   const Instrumentation ins(options.tracer, &metrics, options.collect_latencies);
   const uint64_t query_start = ins.Begin();
   std::atomic<uint64_t> seq{0};
+  // Single-threaded: topk_shards = 0 ("auto") resolves to one stripe.
+  const ResolvedSync sync = ResolveSyncKnobs(options, /*worker_threads=*/1);
   TopKSet topk(options.k, options.semantics == MatchSemantics::kRelaxed,
-               options.topk_shards);
+               sync.topk_shards);
   if (options.has_frozen_threshold()) topk.FreezeThreshold(options.frozen_threshold);
   if (options.has_min_score_threshold()) {
     topk.SetMinScoreMode(options.min_score_threshold);
@@ -44,7 +47,7 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
     queue.Push({prio, std::move(m), enq});
   }
 
-  const int bulk = options.bulk_batch < 1 ? 1 : options.bulk_batch;
+  const int bulk = options.bulk_batch;  // ValidateOptions rejected < 1
   while (!queue.empty()) {
     QueuedMatch qm = queue.Pop();
     ins.QueueWait(qm.enqueue_ns, ServerId::Router(), MatchSeq(qm.match.seq));
@@ -89,6 +92,10 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
   TopKResult result;
   result.answers = topk.Finalize();
   result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
+  result.metrics.adaptive.shards_auto = sync.shards_auto;
+  result.metrics.adaptive.chosen_shards = topk.num_shards();
+  result.metrics.adaptive.drain_adaptive = sync.drain_adaptive;
+  result.metrics.adaptive.drain_max = sync.drain_max;
   return result;
 }
 

@@ -16,6 +16,7 @@ const char* LockRankName(LockRank rank) {
   switch (rank) {
     case LockRank::kUnranked: return "kUnranked";
     case LockRank::kBenchGlobal: return "kBenchGlobal";
+    case LockRank::kAdaptive: return "kAdaptive";
     case LockRank::kQueue: return "kQueue";
     case LockRank::kInFlight: return "kInFlight";
     case LockRank::kProcessorCap: return "kProcessorCap";

@@ -36,6 +36,7 @@ namespace whirlpool {
 enum class LockRank : int {
   kUnranked = 0,
   kBenchGlobal = 10,    ///< bench/common.cc metrics-JSON globals (outermost)
+  kAdaptive = 15,       ///< DrainController::mu_ (drain-governor registry)
   kQueue = 20,          ///< SyncMatchQueue::mu_ (router + server queues)
   kInFlight = 30,       ///< Whirlpool-M InFlightTracker::mu_
   kProcessorCap = 40,   ///< ProcessorCap::mu_ (simulated-processor semaphore)

@@ -187,6 +187,24 @@ TEST_P(DifferentialTest, EnginesAgreeOnRandomConfigs) {
       if (::testing::Test::HasFatalFailure()) return;
     }
 
+    // Auto knobs: the adaptive drain controller and auto shard count must
+    // not change answers, only scheduling. One extra W-M run every fourth
+    // trial keeps the sweep cheap while exercising the controller under
+    // each block's thread mix.
+    if (trial % 4 == 0) {
+      ExecOptions wm = base;
+      wm.engine = EngineKind::kWhirlpoolM;
+      wm.threads_per_server = kThreadChoices[(trial / 4) % 4];
+      wm.topk_shards = 0;        // auto
+      wm.queue_drain_batch = 0;  // adaptive
+      auto got = RunTopK(*plan, wm);
+      ASSERT_TRUE(got.ok()) << repro.str();
+      std::ostringstream who;
+      who << "W-M(auto,threads=" << wm.threads_per_server << ")";
+      ExpectSameAnswers(*ref, *got, who.str(), repro.str());
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
     // LockStep: the static engine, same plan machinery but no queues.
     ExecOptions ls = base;
     ls.engine = EngineKind::kLockStep;

@@ -1,0 +1,154 @@
+// ValidateOptions rejection matrix: every bad knob combination must be
+// rejected with InvalidArgument and the *same message* by all four engines
+// and the rewriting baseline (the shared check runs before any engine state
+// is constructed), and the 0 = auto sentinels for topk_shards /
+// queue_drain_batch must be accepted everywhere. Companion to the silent
+// clamps this PR removed (bulk_batch in whirlpool_s, processor_cap <= 0 in
+// whirlpool_m).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/adaptive.h"
+#include "exec/engine.h"
+#include "exec/rewriting_baseline.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::exec {
+namespace {
+
+using query::ParseXPath;
+using score::Normalization;
+using score::ScoringModel;
+
+struct Workload {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<index::TagIndex> idx;
+  query::TreePattern pattern;
+  std::unique_ptr<QueryPlan> plan;
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  xmlgen::XMarkOptions gen;
+  gen.seed = 7;
+  gen.target_bytes = 8 << 10;
+  w.doc = xmlgen::GenerateXMark(gen);
+  w.idx = std::make_unique<index::TagIndex>(*w.doc);
+  auto q = ParseXPath("//item[./name]");
+  EXPECT_TRUE(q.ok()) << q.status();
+  w.pattern = std::move(q).value();
+  auto scoring = ScoringModel::ComputeTfIdf(*w.idx, w.pattern, Normalization::kSparse);
+  auto plan = QueryPlan::Build(*w.idx, w.pattern, scoring);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  w.plan = std::make_unique<QueryPlan>(std::move(plan).value());
+  return w;
+}
+
+constexpr EngineKind kAllEngines[] = {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                                      EngineKind::kLockStep, EngineKind::kLockStepNoPrun};
+
+TEST(OptionsValidationTest, RejectionMatrixIsIdenticalAcrossEngines) {
+  Workload w = MakeWorkload();
+  struct Case {
+    const char* name;
+    void (*mutate)(ExecOptions*);
+  };
+  const Case kBad[] = {
+      {"k=0", [](ExecOptions* o) { o->k = 0; }},
+      {"threads_per_server=0", [](ExecOptions* o) { o->threads_per_server = 0; }},
+      {"topk_shards=-1", [](ExecOptions* o) { o->topk_shards = -1; }},
+      {"queue_drain_batch=-1", [](ExecOptions* o) { o->queue_drain_batch = -1; }},
+      {"bulk_batch=0", [](ExecOptions* o) { o->bulk_batch = 0; }},
+      {"bulk_batch=-3", [](ExecOptions* o) { o->bulk_batch = -3; }},
+      {"op_cost_seconds=-0.001",
+       [](ExecOptions* o) { o->op_cost_seconds = -0.001; }},
+      {"op_cost_seconds=nan",
+       [](ExecOptions* o) { o->op_cost_seconds = std::nan(""); }},
+      {"processor_cap=-1", [](ExecOptions* o) { o->processor_cap = -1; }},
+      {"frozen+min_score",
+       [](ExecOptions* o) {
+         o->frozen_threshold = 1.0;
+         o->min_score_threshold = 2.0;
+       }},
+  };
+  for (const Case& c : kBad) {
+    // The message every path must produce, from the shared validator.
+    ExecOptions probe;
+    c.mutate(&probe);
+    const Status expected = ValidateOptions(probe);
+    ASSERT_FALSE(expected.ok()) << c.name;
+    ASSERT_EQ(expected.code(), StatusCode::kInvalidArgument) << c.name;
+
+    for (EngineKind kind : kAllEngines) {
+      ExecOptions opts;
+      opts.engine = kind;
+      c.mutate(&opts);
+      auto r = RunTopK(*w.plan, opts);
+      ASSERT_FALSE(r.ok()) << c.name << " accepted by " << EngineKindName(kind);
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+          << c.name << " " << EngineKindName(kind);
+      EXPECT_EQ(r.status().message(), expected.message())
+          << c.name << " " << EngineKindName(kind);
+    }
+    ExecOptions opts;
+    c.mutate(&opts);
+    auto rb = RunRewritingBaseline(*w.plan, opts, nullptr);
+    ASSERT_FALSE(rb.ok()) << c.name << " accepted by rewriting baseline";
+    EXPECT_EQ(rb.status().code(), StatusCode::kInvalidArgument) << c.name;
+    EXPECT_EQ(rb.status().message(), expected.message()) << c.name;
+  }
+}
+
+TEST(OptionsValidationTest, AutoSentinelsAreAcceptedByEveryEngine) {
+  Workload w = MakeWorkload();
+  for (EngineKind kind : kAllEngines) {
+    ExecOptions opts;
+    opts.engine = kind;
+    opts.k = 5;
+    opts.topk_shards = 0;        // auto
+    opts.queue_drain_batch = 0;  // adaptive
+    auto r = RunTopK(*w.plan, opts);
+    ASSERT_TRUE(r.ok()) << EngineKindName(kind) << ": " << r.status();
+    EXPECT_TRUE(r->metrics.adaptive.shards_auto) << EngineKindName(kind);
+    EXPECT_TRUE(r->metrics.adaptive.drain_adaptive) << EngineKindName(kind);
+    EXPECT_GE(r->metrics.adaptive.chosen_shards, 1) << EngineKindName(kind);
+    if (kind == EngineKind::kWhirlpoolM) {
+      // Multi-threaded: the auto shard count reflects the thread count.
+      EXPECT_EQ(r->metrics.adaptive.chosen_shards,
+                AutoTopKShards(w.plan->num_servers() + 1));
+      EXPECT_EQ(r->metrics.adaptive.drain_max, kAutoDrainMax);
+      EXPECT_FALSE(r->metrics.adaptive.consumers.empty());
+    } else {
+      // Single-threaded engines resolve auto to one stripe.
+      EXPECT_EQ(r->metrics.adaptive.chosen_shards, 1) << EngineKindName(kind);
+    }
+  }
+}
+
+TEST(OptionsValidationTest, AutoShardFormula) {
+  EXPECT_EQ(AutoTopKShards(0), 1);
+  EXPECT_EQ(AutoTopKShards(1), 1);
+  // Multi-threaded: at least a whole cache line of Shard pointers, a power
+  // of two, at most 64 — and never above the hardware's usefully-concurrent
+  // thread count times two (rounded up).
+  for (int t = 2; t <= 128; t *= 2) {
+    const int s = AutoTopKShards(t);
+    EXPECT_GE(s, 8) << t;
+    EXPECT_LE(s, 64) << t;
+    EXPECT_EQ(s & (s - 1), 0) << t << ": " << s << " not a power of two";
+    EXPECT_LE(s, TopKSet::kMaxShards);
+  }
+  // Monotone in the thread count.
+  for (int t = 2; t < 64; ++t) {
+    EXPECT_LE(AutoTopKShards(t), AutoTopKShards(t + 1)) << t;
+  }
+}
+
+}  // namespace
+}  // namespace whirlpool::exec

@@ -1,8 +1,10 @@
 // SyncMatchQueue batched-drain unit tests: batch boundaries (exactly N,
 // N-1, N+1 entries), priority order within a drained batch, single-producer
 // FIFO preservation under the kFifo priority encoding, shutdown while a
-// drained batch is still being consumed, and prompt return of a blocked
-// empty drain on Stop().
+// drained batch is still being consumed, prompt return of a blocked empty
+// drain on Stop(), integer-seq FIFO ordering beyond double precision
+// (seq >= 2^53), and the adaptive drain governor (exec/adaptive.h): control
+// law, deep-queue widening, and narrowing under contended expensive work.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -10,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/adaptive.h"
 #include "exec/queue_policy.h"
 
 namespace whirlpool::exec {
@@ -170,6 +173,157 @@ TEST(SyncMatchQueueTest, ManyProducersOneConsumerDeliversEverything) {
   }
   for (auto& t : producers) t.join();
   EXPECT_EQ(count, seen.size());
+}
+
+TEST(SyncMatchQueueTest, FifoPolicyOrdersBySeqBeyondDoublePrecision) {
+  // Above 2^53 consecutive integers collapse to the same double, so the old
+  // priority = -double(seq) encoding made them ties — and the newest-first
+  // tie-break then *inverted* arrival order. The kFifo queue now compares
+  // seq as an integer; order must be exact at any magnitude.
+  SyncMatchQueue q(QueuePolicy::kFifo);
+  constexpr uint64_t kBase = uint64_t{1} << 53;
+  constexpr uint64_t kTotal = 40;
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    q.Push(Make(kBase + i, /*priority=*/0.0));  // kFifo priorities are all 0
+  }
+  std::vector<uint64_t> seen;
+  std::vector<QueuedMatch> batch;
+  while (seen.size() < kTotal && q.PopBatch(&batch, 7)) {
+    for (const QueuedMatch& qm : batch) seen.push_back(qm.match.seq);
+  }
+  ASSERT_EQ(seen.size(), kTotal);
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(seen[i], kBase + i) << "FIFO broken at position " << i;
+  }
+  ASSERT_EQ(static_cast<double>(kBase), static_cast<double>(kBase + 1))
+      << "test premise: consecutive seqs above 2^53 are double-ties";
+}
+
+TEST(SyncMatchQueueTest, TracksQueueDepthPeak) {
+  SyncMatchQueue q;
+  EXPECT_EQ(q.depth_peak(), 0u);
+  std::vector<QueuedMatch> in;
+  for (uint64_t i = 0; i < 6; ++i) in.push_back(MakeFifo(i));
+  q.PushBatch(&in);
+  EXPECT_EQ(q.depth_peak(), 6u);
+  std::vector<QueuedMatch> batch;
+  ASSERT_TRUE(q.PopBatch(&batch, 4));
+  q.Push(MakeFifo(7));  // depth back to 3 — peak must not regress
+  EXPECT_EQ(q.depth_peak(), 6u);
+}
+
+/// An adaptive controller + one registered governor, for the drain tests.
+struct AdaptiveFixture {
+  explicit AdaptiveFixture(int queue_id) {
+    options.queue_drain_batch = 0;  // adaptive
+    resolved = ResolveSyncKnobs(options, /*worker_threads=*/4);
+    controller = std::make_unique<DrainController>(options, resolved);
+    gov = controller->Register(queue_id);
+  }
+  ExecOptions options;
+  ResolvedSync resolved;
+  std::unique_ptr<DrainController> controller;
+  DrainGovernor* gov = nullptr;
+};
+
+TEST(AdaptiveDrainTest, ControlLawWidensOnHighLockRatioAndNarrowsOnLow) {
+  // Deterministic control-law check (no real clocks): a server-role
+  // governor starts at 1 and doubles toward max while lock-wait exceeds
+  // kDrainTargetRatio of processing time...
+  AdaptiveFixture f(/*queue_id=*/0);
+  ASSERT_TRUE(f.gov->adaptive());
+  ASSERT_EQ(f.gov->drain(), 1);
+  for (int i = 0; i < 12; ++i) {
+    f.gov->RecordSample(/*lock_wait_ns=*/50'000, /*process_ns=*/100'000);
+  }
+  EXPECT_EQ(f.gov->drain(), kAutoDrainMax);
+  // ...and halves back to 1 when processing dominates (ratio below
+  // kDrainLowWater with at least kDrainNarrowFloorNs of batch work).
+  for (int i = 0; i < 16; ++i) {
+    f.gov->RecordSample(/*lock_wait_ns=*/100, /*process_ns=*/2'000'000);
+  }
+  EXPECT_EQ(f.gov->drain(), 1);
+  EXPECT_GT(f.gov->samples(), 0u);
+}
+
+TEST(AdaptiveDrainTest, NeverNarrowsBelowTheProcessFloor) {
+  // Sub-floor batches (cheaper than kDrainNarrowFloorNs) must not narrow
+  // even at a tiny ratio: lock amortization always wins down there, and the
+  // signal is clock-resolution noise.
+  AdaptiveFixture f(DrainController::kRouterQueue);
+  ASSERT_EQ(f.gov->drain(), kAutoDrainMax);  // router role starts wide
+  for (int i = 0; i < 12; ++i) {
+    f.gov->RecordSample(/*lock_wait_ns=*/1, /*process_ns=*/500);
+  }
+  EXPECT_EQ(f.gov->drain(), kAutoDrainMax);
+}
+
+TEST(AdaptiveDrainTest, DeepQueueLoneConsumerWidensTowardMax) {
+  // End-to-end through PopBatch with real clocks: a lone consumer draining
+  // a deep queue of trivial items sees lock-wait comparable to its
+  // (near-zero) processing time, so the governor widens the drain well past
+  // its server-role start of 1. Per-item work here is far below the narrow
+  // floor, so scheduler noise cannot push the drain back down.
+  AdaptiveFixture f(/*queue_id=*/0);
+  SyncMatchQueue q;
+  constexpr uint64_t kTotal = 4000;
+  std::vector<QueuedMatch> in;
+  for (uint64_t i = 0; i < kTotal; ++i) in.push_back(MakeFifo(i));
+  q.PushBatch(&in);
+  size_t drained = 0;
+  std::vector<QueuedMatch> batch;
+  while (drained < kTotal) {
+    ASSERT_TRUE(q.PopBatch(&batch, f.gov));
+    drained += batch.size();
+  }
+  EXPECT_GE(f.gov->drain(), 8) << "lock_wait_ewma_ns=" << f.gov->lock_wait_ewma_ns()
+                               << " process_ewma_ns=" << f.gov->process_ewma_ns()
+                               << " samples=" << f.gov->samples();
+}
+
+TEST(AdaptiveDrainTest, ContendedConsumersWithExpensiveWorkNarrowTowardOne) {
+  // Several consumers doing genuinely expensive per-item work (sleeps, so
+  // the single-CPU CI box schedules them fairly): processing dominates
+  // lock-wait by orders of magnitude, so router-role governors that start
+  // at the widest drain must narrow toward single-entry drains — the
+  // freshness-preserving end the static op-cost heuristic hard-coded.
+  constexpr int kConsumers = 3;
+  constexpr uint64_t kTotal = 1800;
+  ExecOptions options;
+  options.queue_drain_batch = 0;
+  const ResolvedSync resolved = ResolveSyncKnobs(options, kConsumers + 1);
+  DrainController controller(options, resolved);
+  SyncMatchQueue q;
+  std::vector<QueuedMatch> in;
+  for (uint64_t i = 0; i < kTotal; ++i) in.push_back(MakeFifo(i));
+  q.PushBatch(&in);
+
+  std::vector<DrainGovernor*> govs;
+  for (int c = 0; c < kConsumers; ++c) {
+    govs.push_back(controller.Register(DrainController::kRouterQueue));
+  }
+  std::atomic<uint64_t> drained{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&q, &drained, gov = govs[static_cast<size_t>(c)]] {
+      std::vector<QueuedMatch> batch;
+      while (q.PopBatch(&batch, gov)) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          std::this_thread::sleep_for(std::chrono::microseconds(250));
+        }
+        if (drained.fetch_add(batch.size()) + batch.size() >= kTotal) q.Stop();
+      }
+    });
+  }
+  for (auto& t : consumers) t.join();
+  ASSERT_GE(drained.load(), kTotal);
+  for (int c = 0; c < kConsumers; ++c) {
+    EXPECT_LE(govs[static_cast<size_t>(c)]->drain(), 4)
+        << "consumer " << c << " lock_wait_ewma_ns="
+        << govs[static_cast<size_t>(c)]->lock_wait_ewma_ns()
+        << " process_ewma_ns=" << govs[static_cast<size_t>(c)]->process_ewma_ns()
+        << " samples=" << govs[static_cast<size_t>(c)]->samples();
+  }
 }
 
 }  // namespace

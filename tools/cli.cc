@@ -104,14 +104,23 @@ Result<exec::ExecOptions> ParseExecOptions(const Flags& flags) {
     return Status::InvalidArgument("--routing must be static|max_score|min_score|min_alive");
   }
   options.cache_server_joins = flags.Get("cache", "false") == "true";
-  options.topk_shards = flags.GetInt("topk-shards", options.topk_shards);
-  if (options.topk_shards < 1) {
-    return Status::InvalidArgument("--topk-shards must be >= 1");
+  // Sync knobs: a number, or "auto" (0 internally — the controller in
+  // exec/adaptive.h picks the value at run time).
+  if (flags.Has("topk-shards")) {
+    if (flags.Get("topk-shards") == "auto") {
+      options.topk_shards = 0;
+    } else if ((options.topk_shards =
+                    static_cast<int>(flags.GetInt("topk-shards", 0))) < 1) {
+      return Status::InvalidArgument("--topk-shards must be >= 1 or auto");
+    }
   }
-  options.queue_drain_batch =
-      flags.GetInt("queue-drain-batch", options.queue_drain_batch);
-  if (options.queue_drain_batch < 1) {
-    return Status::InvalidArgument("--queue-drain-batch must be >= 1");
+  if (flags.Has("queue-drain-batch")) {
+    if (flags.Get("queue-drain-batch") == "auto") {
+      options.queue_drain_batch = 0;
+    } else if ((options.queue_drain_batch = static_cast<int>(
+                    flags.GetInt("queue-drain-batch", 0))) < 1) {
+      return Status::InvalidArgument("--queue-drain-batch must be >= 1 or auto");
+    }
   }
   if (flags.Has("threshold")) {
     options.min_score_threshold = std::atof(flags.Get("threshold").c_str());
@@ -315,7 +324,7 @@ std::string UsageText() {
       "            [--routing=static|max_score|min_score|min_alive]\n"
       "            [--threshold=T] [--format=text|csv] [--cache=true] [--show-metrics]\n"
       "            [--show-fragments] [--trace=FILE] [--metrics-json=FILE]\n"
-      "            [--topk-shards=N] [--queue-drain-batch=N]\n"
+      "            [--topk-shards=N|auto] [--queue-drain-batch=N|auto]\n"
       "\n"
       "  --trace=FILE writes a Chrome trace_event JSON (open in Perfetto or\n"
       "  chrome://tracing); --metrics-json=FILE writes the run's MetricsSnapshot\n"

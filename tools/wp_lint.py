@@ -67,6 +67,12 @@ ATOMIC_ALLOWLIST = {
     # In-flight match count; the mutex exists only to order the empty->notify
     # handoff against a waiter's predicate check (whirlpool_m.cc).
     "InFlightTracker::count_",
+    # Queue-depth high-water mark: monotone, all stores under mu_; lock-free
+    # readers (metrics export) see a valid lower bound.
+    "SyncMatchQueue::depth_peak_",
+    # Total drain adjustments, incremented lock-free by DrainGovernors on
+    # consumer threads; mu_ guards only the governor registry.
+    "DrainController::adjustments_",
 }
 
 # WP002: non-const, non-atomic members that are structurally immutable after
