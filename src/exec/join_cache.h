@@ -47,7 +47,9 @@ class ServerJoinCache {
       MutexLock lock(&shard.mu);
       auto it = shard.map.find(root);
       if (it != shard.map.end()) {
-        ++hits_;
+        // Relaxed: hits_ is a statistics counter; hits() documents it as
+        // approximate under races, so no ordering is bought here.
+        hits_.fetch_add(1, std::memory_order_relaxed);
         return it->second;
       }
     }
@@ -56,7 +58,8 @@ class ServerJoinCache {
     auto entry = std::make_shared<const Entry>(compute());
     MutexLock lock(&shard.mu);
     auto [it, inserted] = shard.map.emplace(root, std::move(entry));
-    if (!inserted) ++hits_;
+    // Relaxed: same statistics-only counter as the fast path above.
+    if (!inserted) hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
 

@@ -72,24 +72,29 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
         "\"args\":{\"name\":\"whirlpool\"}}";
   for (const auto& b : buffers_) {
     MutexLock buf_lock(&b->mu);
-    for (const Event& e : b->events) {
-      // ts is microseconds since tracer construction (Chrome convention).
-      const double ts =
-          static_cast<double>(e.start_ns - std::min(e.start_ns, epoch_ns_)) / 1e3;
-      os << ",\n{\"name\":\"" << util::JsonEscape(e.name)
-         << "\",\"cat\":\"exec\",\"pid\":1,\"tid\":" << b->tid
-         << ",\"ts\":" << util::JsonNumber(ts);
-      if (e.instant) {
-        os << ",\"ph\":\"i\",\"s\":\"t\"";
-      } else {
-        os << ",\"ph\":\"X\",\"dur\":"
-           << util::JsonNumber(static_cast<double>(e.dur_ns) / 1e3);
-      }
-      os << ",\"args\":{\"server\":" << e.server
-         << ",\"match_seq\":" << e.match_seq << "}}";
-    }
+    AppendBufferJson(*b, epoch_ns_, os);
   }
   os << "]}\n";
+}
+
+void Tracer::AppendBufferJson(const Buffer& b, uint64_t epoch_ns,
+                              std::ostream& os) {
+  for (const Event& e : b.events) {
+    // ts is microseconds since tracer construction (Chrome convention).
+    const double ts =
+        static_cast<double>(e.start_ns - std::min(e.start_ns, epoch_ns)) / 1e3;
+    os << ",\n{\"name\":\"" << util::JsonEscape(e.name)
+       << "\",\"cat\":\"exec\",\"pid\":1,\"tid\":" << b.tid
+       << ",\"ts\":" << util::JsonNumber(ts);
+    if (e.instant) {
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+    } else {
+      os << ",\"ph\":\"X\",\"dur\":"
+         << util::JsonNumber(static_cast<double>(e.dur_ns) / 1e3);
+    }
+    os << ",\"args\":{\"server\":" << e.server
+       << ",\"match_seq\":" << e.match_seq << "}}";
+  }
 }
 
 }  // namespace whirlpool::exec

@@ -41,9 +41,13 @@ namespace {
 /// WaitForDrain until it hits zero.
 class InFlightTracker {
  public:
+  // acq_rel: the release side pairs with Retire's fetch_sub so writes that
+  // enqueue the new matches happen-before the worker that retires them.
   void Add(uint64_t n) { count_.fetch_add(n, std::memory_order_acq_rel); }
 
   void Retire() {
+    // acq_rel: the release publishes this worker's final writes to the match
+    // before the count hits zero; pairs with WaitForDrain's acquire load.
     if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Taking mu_ orders this notify after a concurrent waiter's predicate
       // check, preventing the lost-wakeup race on the atomic counter.
@@ -54,6 +58,8 @@ class InFlightTracker {
 
   void WaitForDrain() {
     MutexLock lock(&mu_);
+    // acquire: pairs with the release in Retire so every retired match's
+    // writes are visible to main once the drain completes.
     cv_.Wait(mu_, [&] { return count_.load(std::memory_order_acquire) == 0; });
   }
 

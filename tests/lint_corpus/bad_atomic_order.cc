@@ -1,0 +1,30 @@
+// wp-lint-expect: none
+// wp-alint-expect: WP006
+// Three atomics misuses: a non-relaxed load with no written argument nearby,
+// a relaxed RMW gating control flow, and an op defaulting to seq_cst.
+// wp-alint-expect-substr: without a justification comment
+// wp-alint-expect-substr: relaxed RMW 'fetch_add' feeds control flow
+// wp-alint-expect-substr: implicit memory order (seq_cst)
+#include <atomic>
+
+namespace corpus {
+
+std::atomic<bool> g_flag{false};
+std::atomic<int> g_count{0};
+
+bool UnexplainedLoad() {
+  return g_flag.load(std::memory_order_acquire);
+}
+
+int GatedOnRelaxedRmw() {
+  if (g_count.fetch_add(1, std::memory_order_relaxed) > 4) {
+    return 1;
+  }
+  return 0;
+}
+
+void DefaultOrder() {
+  ++g_count;
+}
+
+}  // namespace corpus

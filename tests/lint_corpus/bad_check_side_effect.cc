@@ -1,0 +1,36 @@
+// wp-lint-expect: none
+// wp-alint-expect: WP008
+// Side effects inside WP_CHECK / WP_DCHECK arguments: a non-const method
+// call, an increment, and an assignment. WP_DCHECK compiles its whole
+// argument out in release builds, so these silently stop happening.
+// wp-alint-expect-substr: call to non-const method 'Advance'
+// wp-alint-expect-substr: WP_DCHECK compiles out in release builds
+// wp-alint-expect-substr: assignment
+#include "util/check.h"
+
+namespace corpus {
+
+class Scanner {
+ public:
+  bool Advance() {
+    ++pos_;
+    return pos_ <= limit_;
+  }
+  int pos() const { return pos_; }
+
+ private:
+  int pos_ = 0;
+  int limit_ = 8;
+};
+
+int g_probe_count = 0;
+
+void Audit(Scanner& s) {
+  WP_CHECK(s.Advance());
+  WP_DCHECK(++g_probe_count < 100);
+  int snapshot = -1;
+  WP_DCHECK((snapshot = s.pos()) >= 0);
+  WP_CHECK(snapshot >= 0);
+}
+
+}  // namespace corpus

@@ -1,0 +1,36 @@
+// wp-lint-expect: none
+// wp-alint-expect: WP005
+// Deliberate rank inversions against the DESIGN.md §10 hierarchy: kQueue
+// (rank 20) is acquired while kTopKScores (rank 70) is held — directly, and
+// through a call edge — so WP005 must name both lock sites on each edge.
+// wp-alint-expect-substr: acquiring 'g_corpus_queue' (rank kQueue) at tests/lint_corpus/bad_lock_order.cc:22
+// wp-alint-expect-substr: while holding 'g_corpus_scores' (rank kTopKScores) (held since tests/lint_corpus/bad_lock_order.cc:21
+// wp-alint-expect-substr: reached via call to 'LockQueueAlone'
+#include "util/mutex.h"
+
+namespace corpus {
+
+whirlpool::Mutex g_corpus_scores{whirlpool::LockRank::kTopKScores,
+                                 "corpus::g_corpus_scores"};
+whirlpool::Mutex g_corpus_queue{whirlpool::LockRank::kQueue,
+                                "corpus::g_corpus_queue"};
+
+// Both locks in one scope: the direct inversion — the analyzer reports the
+// inner acquisition together with the outer's holding site.
+void DirectInversion() {
+  whirlpool::MutexLock outer(&g_corpus_scores);
+  whirlpool::MutexLock inner(&g_corpus_queue);
+}
+
+void LockQueueAlone() {
+  whirlpool::MutexLock lock(&g_corpus_queue);
+}
+
+// The same inversion one call away: the caller holds kTopKScores across a
+// call whose transitive acquire set contains kQueue.
+void RunUnderScores() {
+  whirlpool::MutexLock outer(&g_corpus_scores);
+  LockQueueAlone();
+}
+
+}  // namespace corpus

@@ -1,0 +1,31 @@
+// wp-lint-expect: none
+// wp-alint-expect: WP007
+// A free helper mutating a GUARDED_BY field of an open holding-state struct
+// without declaring the lock contract: -Wthread-safety cannot check callers
+// in other TUs, and the runtime checker never sees the missing edge.
+// wp-alint-expect-substr: takes holding-state struct 'Channel'
+// wp-alint-expect-substr: no thread-safety annotation
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace corpus {
+
+struct Channel {
+  whirlpool::Mutex mu{whirlpool::LockRank::kUnranked, "corpus::Channel::mu"};
+  std::vector<int> pending GUARDED_BY(mu);
+};
+
+// Should be: void AppendLocked(Channel& ch, int v) REQUIRES(ch.mu).
+void AppendLocked(Channel& ch, int v) {
+  ch.pending.push_back(v);
+}
+
+// A bare Mutex parameter is holding state by definition; should carry
+// EXCLUDES(mu) (it self-locks) at minimum.
+void PulseUnderLock(whirlpool::Mutex& mu) {
+  whirlpool::MutexLock lock(&mu);
+}
+
+}  // namespace corpus

@@ -1,7 +1,12 @@
 // wp-lint-expect: WP002
+// wp-alint-expect: WP006
 // An atomic member of a Mutex-owning class that is not in wp_lint.py's
 // ATOMIC_ALLOWLIST: intentionally-unguarded atomics need a recorded
 // correctness argument (see TopKSet::cached_threshold_ for the model).
+// Both linters read the same allowlist, so this file is the drift canary:
+// wp-lint flags it as WP002 (regex), wp-alint as WP006 (AST); the implicit
+// seq_cst on the fetch_sub is a second WP006 from the same pass.
+// wp-alint-expect-substr: neither GUARDED_BY nor in wp_lint.py's ATOMIC_ALLOWLIST
 #include <atomic>
 
 #include "util/mutex.h"

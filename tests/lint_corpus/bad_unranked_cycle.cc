@@ -1,0 +1,28 @@
+// wp-lint-expect: none
+// wp-alint-expect: WP005
+// Two kUnranked mutexes acquired in opposite orders in different functions:
+// the runtime LockRank checker exempts kUnranked entirely, so only the
+// static whole-program cycle check can see this ABBA deadlock.
+// wp-alint-expect-substr: cycle among kUnranked mutexes
+// wp-alint-expect-substr: g_cycle_left
+// wp-alint-expect-substr: g_cycle_right
+#include "util/mutex.h"
+
+namespace corpus {
+
+whirlpool::Mutex g_cycle_left{whirlpool::LockRank::kUnranked,
+                              "corpus::g_cycle_left"};
+whirlpool::Mutex g_cycle_right{whirlpool::LockRank::kUnranked,
+                               "corpus::g_cycle_right"};
+
+void LeftThenRight() {
+  whirlpool::MutexLock a(&g_cycle_left);
+  whirlpool::MutexLock b(&g_cycle_right);
+}
+
+void RightThenLeft() {
+  whirlpool::MutexLock a(&g_cycle_right);
+  whirlpool::MutexLock b(&g_cycle_left);
+}
+
+}  // namespace corpus

@@ -1,0 +1,28 @@
+// wp-lint-expect: none
+// wp-alint-expect: none
+// Pins WP006's false-positive direction: a justified acquire/release pair
+// and a relaxed RMW in a plain statement must produce no findings.
+#include <atomic>
+#include <cstdint>
+
+namespace corpus {
+
+std::atomic<bool> g_ready{false};
+std::atomic<uint64_t> g_ticks{0};
+
+void Publish() {
+  // release: pairs with the acquire load in IsReady so everything written
+  // before this store is visible once a reader observes true.
+  g_ready.store(true, std::memory_order_release);
+}
+
+bool IsReady() {
+  // acquire: pairs with the release store in Publish.
+  return g_ready.load(std::memory_order_acquire);
+}
+
+void CountTick() {
+  g_ticks.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace corpus

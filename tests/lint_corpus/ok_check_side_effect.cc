@@ -1,0 +1,30 @@
+// wp-lint-expect: none
+// wp-alint-expect: none
+// Pins WP008's false-positive direction: const-method calls, static-method
+// calls, and benign non-const accessors (front/back/operator[] pick their
+// non-const overload on a mutable container without mutating anything) are
+// all legal inside checks.
+#include <vector>
+
+#include "util/check.h"
+
+namespace corpus {
+
+class Gauge {
+ public:
+  int value() const { return value_; }
+  static int Limit() { return 100; }
+
+ private:
+  int value_ = 0;
+};
+
+void Audit(const Gauge& g, std::vector<int>* samples) {
+  WP_CHECK(g.value() >= 0);
+  WP_CHECK(g.value() < Gauge::Limit());
+  WP_CHECK(!samples->empty());
+  WP_CHECK(samples->front() <= samples->back());
+  WP_CHECK((*samples)[0] >= 0);
+}
+
+}  // namespace corpus

@@ -1,0 +1,49 @@
+// wp-lint-expect: none
+// wp-alint-expect: none
+// Pins WP005's false-positive direction: sequential (non-overlapping)
+// acquisitions are not graph edges. Re-locking the same mutex after its
+// scope closed and touching two equal-rank shard mutexes back to back are
+// both legal; only overlapping held ranges are order-checked.
+#include "util/mutex.h"
+
+namespace corpus {
+
+whirlpool::Mutex g_shard_a{whirlpool::LockRank::kTopKShard,
+                           "corpus::g_shard_a"};
+whirlpool::Mutex g_shard_b{whirlpool::LockRank::kTopKShard,
+                           "corpus::g_shard_b"};
+whirlpool::Mutex g_pipe{whirlpool::LockRank::kQueue, "corpus::g_pipe"};
+whirlpool::Mutex g_board{whirlpool::LockRank::kTopKScores,
+                         "corpus::g_board"};
+
+// Equal-rank mutexes taken one after the other (a sharded sweep): the
+// runtime checker allows this, and so must the static pass — the first
+// lock's scope ends before the second begins.
+void SweepShards() {
+  {
+    whirlpool::MutexLock lock(&g_shard_a);
+  }
+  {
+    whirlpool::MutexLock lock(&g_shard_b);
+  }
+}
+
+// Rank-equal re-entry of the *same* mutex, sequentially: release, then
+// re-acquire. A co-occurrence analysis would call this a re-entrant
+// deadlock; the held-range analysis must not.
+void LockTwiceSequentially() {
+  {
+    whirlpool::MutexLock first(&g_shard_a);
+  }
+  {
+    whirlpool::MutexLock again(&g_shard_a);
+  }
+}
+
+// Properly increasing nesting (rank 20 -> 70), the TopKSet::Update shape.
+void ProperNesting() {
+  whirlpool::MutexLock outer(&g_pipe);
+  whirlpool::MutexLock inner(&g_board);
+}
+
+}  // namespace corpus

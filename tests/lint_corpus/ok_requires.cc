@@ -1,0 +1,27 @@
+// wp-lint-expect: none
+// wp-alint-expect: none
+// The annotated versions of bad_missing_requires.cc's helpers: REQUIRES on
+// the holding-state parameter and EXCLUDES on the self-locking one satisfy
+// WP007, and Flush's single acquisition produces no WP005 edge.
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace corpus {
+
+struct Mailbox {
+  whirlpool::Mutex mu{whirlpool::LockRank::kUnranked, "corpus::Mailbox::mu"};
+  std::vector<int> pending GUARDED_BY(mu);
+};
+
+void AppendLocked(Mailbox& box, int v) REQUIRES(box.mu) {
+  box.pending.push_back(v);
+}
+
+void Flush(Mailbox& box) EXCLUDES(box.mu) {
+  whirlpool::MutexLock lock(&box.mu);
+  box.pending.clear();
+}
+
+}  // namespace corpus

@@ -13,7 +13,11 @@
 #      ban, GUARDED_BY coverage, banned functions, IWYU-lite — self-test
 #      over tests/lint_corpus/ first, then the full tree;
 #   5. clang-analyzer — clang++ --analyze (path-sensitive core checks) over
-#      every src/ translation unit, warnings promoted to errors.
+#      every src/ translation unit in parallel, warnings promoted to errors;
+#   6. wp-alint — AST-level whole-program analysis (tools/wp_alint.py via
+#      libclang): static lock-order verification, atomics audit, cross-TU
+#      annotation coverage, WP_CHECK side-effect ban — corpus self-test
+#      first, then src/, with a JSON findings report under build-wpalint/.
 #
 # Clang, clang-tidy and python3 are found by probing common names. On a host
 # missing a tool its stages are SKIPPED (reported, exit 0); stage 2 falls
@@ -21,7 +25,7 @@
 # diagnostic. CI always has all three, so the skip paths are a local-dev
 # convenience, not a hole in the gate.
 #
-# Usage: tools/run_static_analysis.sh [all|selftest|build|tidy|wplint|analyze]
+# Usage: tools/run_static_analysis.sh [all|selftest|build|tidy|wplint|analyze|wpalint]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,7 +45,7 @@ find_tool() {
 
 # One version list feeds every clang-family probe so adding a release is a
 # one-line change.
-CLANG_VERSIONS=(20 19 18 17 16 15 14)
+CLANG_VERSIONS=(21 20 19 18 17 16 15 14)
 
 probe_clang_tool() {
   local base=$1 v names=()
@@ -73,7 +77,7 @@ echo "python3:    $(tool_version "$PYTHON")"
 TS_FLAGS=(-std=c++20 -Isrc -Wthread-safety -Werror=thread-safety -Wall -Wextra -Werror)
 
 run_selftest() {
-  echo "=== [1/5] thread-safety negative-compile self-test ==="
+  echo "=== [1/6] thread-safety negative-compile self-test ==="
   if [[ -z "$CLANGXX" ]]; then
     echo "SKIPPED: no clang++ found (analysis is Clang-only)"
     return 0
@@ -98,7 +102,7 @@ run_selftest() {
 }
 
 run_build() {
-  echo "=== [2/5] full-tree -Werror=thread-safety build (tidy preset) ==="
+  echo "=== [2/6] full-tree -Werror=thread-safety build (tidy preset) ==="
   if [[ -z "$CLANGXX" ]]; then
     echo "SKIPPED: no clang++ found; running strict GCC -Werror build instead"
     cmake -B build-strict -S . \
@@ -116,7 +120,7 @@ run_build() {
 }
 
 run_tidy() {
-  echo "=== [3/5] clang-tidy (curated .clang-tidy check set) ==="
+  echo "=== [3/6] clang-tidy (curated .clang-tidy check set) ==="
   if [[ -z "$CLANG_TIDY" ]]; then
     echo "SKIPPED: no clang-tidy found"
     return 0
@@ -136,7 +140,7 @@ run_tidy() {
 }
 
 run_wplint() {
-  echo "=== [4/5] wp-lint (project-aware source checks) ==="
+  echo "=== [4/6] wp-lint (project-aware source checks) ==="
   if [[ -z "$PYTHON" ]]; then
     echo "SKIPPED: no python3 found"
     return 0
@@ -149,18 +153,59 @@ run_wplint() {
 }
 
 run_analyze() {
-  echo "=== [5/5] clang-analyzer (clang++ --analyze over src/) ==="
+  echo "=== [5/6] clang-analyzer (clang++ --analyze over src/) ==="
   if [[ -z "$CLANGXX" ]]; then
     echo "SKIPPED: no clang++ found (analyzer is Clang-only)"
     return 0
   fi
-  local files f
+  local files logdir failed=0
   mapfile -t files < <(find src -name '*.cc' | sort)
-  for f in "${files[@]}"; do
-    "$CLANGXX" --analyze -Xclang -analyzer-werror \
-      -std=c++20 -Isrc -o /dev/null "$f"
-  done
-  echo "ok (${#files[@]} translation units)"
+  # The analyzer is by far the slowest stage and every TU is independent:
+  # fan the loop out across nproc jobs, one log per TU, and only dump the
+  # logs of the TUs that failed so interleaved output stays readable.
+  logdir=$(mktemp -d)
+  analyze_one() {  # $1 = TU path; log name encodes the path
+    local log="$ANALYZE_LOGDIR/$(echo "$1" | tr '/' '_').log"
+    if ! "$ANALYZE_CLANGXX" --analyze -Xclang -analyzer-werror \
+        -std=c++20 -Isrc -o /dev/null "$1" > "$log" 2>&1; then
+      mv "$log" "$log.failed"
+      return 1
+    fi
+  }
+  export -f analyze_one
+  export ANALYZE_CLANGXX="$CLANGXX" ANALYZE_LOGDIR="$logdir"
+  if ! printf '%s\0' "${files[@]}" | \
+      xargs -0 -n 1 -P "$(nproc)" bash -c 'analyze_one "$1"' _; then
+    failed=1
+    local log
+    for log in "$logdir"/*.failed; do
+      [[ -e "$log" ]] || continue
+      echo "--- $(basename "$log" .log.failed | tr '_' '/')"
+      cat "$log"
+    done
+  fi
+  rm -rf "$logdir"
+  if [[ $failed -ne 0 ]]; then
+    echo "FAIL: clang-analyzer reported errors (see logs above)"
+    return 1
+  fi
+  echo "ok (${#files[@]} translation units, $(nproc) jobs)"
+}
+
+run_wpalint() {
+  echo "=== [6/6] wp-alint (libclang whole-program lock/atomics analysis) ==="
+  if [[ -z "$PYTHON" ]]; then
+    echo "SKIPPED: no python3 found"
+    return 0
+  fi
+  echo "--- self-test: tests/lint_corpus/ wp-alint expectations"
+  "$PYTHON" tools/wp_alint.py --self-test \
+    --clang-versions "${CLANG_VERSIONS[*]}"
+  echo "--- tree analysis: src"
+  "$PYTHON" tools/wp_alint.py src \
+    --clang-versions "${CLANG_VERSIONS[*]}" \
+    --json build-wpalint/wp_alint_report.json
+  echo "ok"
 }
 
 case "$stage" in
@@ -169,15 +214,17 @@ case "$stage" in
   tidy) run_tidy ;;
   wplint) run_wplint ;;
   analyze) run_analyze ;;
+  wpalint) run_wpalint ;;
   all)
     run_selftest
     run_build
     run_tidy
     run_wplint
     run_analyze
+    run_wpalint
     ;;
   *)
-    echo "usage: $0 [all|selftest|build|tidy|wplint|analyze]" >&2
+    echo "usage: $0 [all|selftest|build|tidy|wplint|analyze|wpalint]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,1191 @@
+#!/usr/bin/env python3
+"""wp-alint: AST-level whole-program lock-order and atomics analyzer.
+
+Stage 6 of tools/run_static_analysis.sh (and the WpAlint* ctest entries).
+Where wp_lint.py (stage 4) is a regex pass, this analyzer parses real C++
+through libclang (clang.cindex) and reasons across translation units. Four
+rules, continuing wp_lint.py's numbering:
+
+  WP005  lock-order       Static verification of the DESIGN.md §10 lock
+                          hierarchy: every MutexLock / .lock() site is
+                          resolved to its mutex's declared LockRank, a
+                          may-hold-while-acquiring graph is built across the
+                          call graph (REQUIRES annotations count as held on
+                          entry), and any edge that does not strictly
+                          increase in rank — or any cycle among kUnranked
+                          mutexes, which the runtime checker cannot see —
+                          is reported with both source sites.
+  WP006  atomics-audit    Classifies every memory_order use: non-relaxed
+                          orders need a nearby justification comment (same
+                          line or up to 3 lines above, arguing for the
+                          ordering they buy); relaxed RMWs must not feed
+                          control flow; atomic ops with an implicit
+                          (seq_cst) order must spell it; std::atomic fields
+                          of Mutex-owning classes must be GUARDED_BY or in
+                          wp_lint.py's ATOMIC_ALLOWLIST.
+  WP007  annotation-gap   Cross-TU annotation coverage: a function taking a
+                          whirlpool::Mutex (&/*) or an open holding-state
+                          struct (one that exposes a Mutex plus public
+                          GUARDED_BY fields, e.g. Tracer::Buffer) must carry
+                          a thread-safety annotation (REQUIRES / EXCLUDES /
+                          ACQUIRE / ...), otherwise callers in other TUs
+                          are unchecked by -Wthread-safety.
+  WP008  check-side-effect  No side effects inside WP_CHECK / WP_DCHECK
+                          arguments (WP_DCHECK compiles out in release
+                          builds): ++/--, assignments, and calls to
+                          non-const methods — with an allowlist of benign
+                          accessors whose non-const overload resolution is
+                          not a mutation (front, back, operator[], ...).
+
+Escape hatch: identical to wp_lint.py — `// wp-lint: disable(WP005)` on the
+offending line or `// wp-lint: disable-file(WP005)` anywhere in the file
+(the hatch parser is literally imported from wp_lint.py, as is the
+ATOMIC_ALLOWLIST, so the two linters cannot drift).
+
+Degradation: when clang.cindex or the libclang shared library is missing,
+every mode prints `SKIPPED: ...` and exits with --skip-exit-code (default 0
+for the shell gate; the ctest entries pass 77 so ctest reports SKIP, not
+PASS). The module / library probe is driven by the same CLANG_VERSIONS list
+the shell gate uses (--clang-versions), covering Debian's /usr/lib/llvm-N
+layouts for both the python binding and libclang-N.so.1.
+
+Usage:
+  wp_alint.py [--root DIR] [--json OUT] PATH...   analyze .cc TUs under PATH
+                                                  (exit 1 on findings)
+  wp_alint.py [--root DIR] --self-test   run tests/lint_corpus/ files with a
+                                         `// wp-alint-expect:` header, assert
+                                         each trips exactly its declared
+                                         rules and that every
+                                         `// wp-alint-expect-substr:` line
+                                         appears in some finding
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import wp_lint  # shared: disable-hatch syntax, ATOMIC_ALLOWLIST, skip dirs
+
+RULE_IDS = ("WP005", "WP006", "WP007", "WP008")
+
+# Mirrors run_static_analysis.sh's CLANG_VERSIONS; the shell gate passes its
+# own list through --clang-versions so it stays the single source of truth.
+DEFAULT_CLANG_VERSIONS = (21, 20, 19, 18, 17, 16, 15, 14)
+
+# Thread-safety annotation macros (util/thread_annotations.h). Any of these
+# on a declaration satisfies WP007; REQUIRES args additionally seed WP005's
+# entry-held set.
+ANNOTATION_MACROS = {
+    "REQUIRES", "REQUIRES_SHARED", "EXCLUDES", "ACQUIRE", "ACQUIRE_SHARED",
+    "RELEASE", "RELEASE_SHARED", "RELEASE_GENERIC", "TRY_ACQUIRE",
+    "TRY_ACQUIRE_SHARED", "ASSERT_CAPABILITY", "ASSERT_SHARED_CAPABILITY",
+    "RETURN_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
+}
+
+# WP006: a comment within this many lines above (or on) a non-relaxed order
+# must argue for it. Deliberately loose on wording — the goal is a written
+# argument, not a shibboleth.
+JUSTIFY_CONTEXT_LINES = 3
+JUSTIFY_RE = re.compile(
+    r"acquir|releas|acq_rel|seq_cst|synchroniz|happens.before|publish|"
+    r"visib|order|fence|barrier|pairs with", re.IGNORECASE)
+
+# std::atomic member functions. libstdc++ defines the integral ops on
+# __atomic_base, so parent-class matching needs both spellings.
+ATOMIC_PARENTS = {"atomic", "__atomic_base", "__atomic_float", "__atomic_ref",
+                  "atomic_flag"}
+ATOMIC_RMW_NAMES = {"fetch_add", "fetch_sub", "fetch_and", "fetch_or",
+                    "fetch_xor", "exchange", "compare_exchange_weak",
+                    "compare_exchange_strong"}
+ATOMIC_ORDERED_NAMES = ATOMIC_RMW_NAMES | {"load", "store", "wait",
+                                           "test_and_set", "clear"}
+# Implicitly seq_cst whatever the argument: the sugar operators.
+ATOMIC_SUGAR_NAMES = {"operator++", "operator--", "operator+=", "operator-=",
+                      "operator&=", "operator|=", "operator^=", "operator="}
+
+# WP008: non-const methods that overload resolution picks on a non-const
+# object but that are reads for our purposes (container element access,
+# smart-pointer deref, functor application).
+BENIGN_NONCONST_METHODS = {
+    "front", "back", "top", "at", "begin", "end", "rbegin", "rend", "data",
+    "get", "operator[]", "operator*", "operator->", "operator()",
+}
+
+SOURCE_EXTENSIONS = (".cc", ".cpp")
+
+CHECK_MACRO_NAMES = {"WP_CHECK", "WP_DCHECK"}
+
+EXPECT_RE = re.compile(r"//\s*wp-alint-expect:\s*([A-Za-z0-9,\s]+)")
+EXPECT_SUBSTR_RE = re.compile(r"//\s*wp-alint-expect-substr:\s*(.+)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- libclang discovery -----------------------------------------------------
+
+def _candidate_module_dirs(versions):
+    import glob
+    dirs = []
+    for v in versions:
+        for pat in (f"/usr/lib/llvm-{v}/lib/python3*/dist-packages",
+                    f"/usr/lib/llvm-{v}/lib/python3*/site-packages",
+                    f"/usr/lib/llvm-{v}/lib/python3/dist-packages"):
+            dirs += sorted(glob.glob(pat))
+    return dirs
+
+
+def _candidate_library_files(versions):
+    import glob
+    out = []
+    for v in versions:
+        pats = [f"/usr/lib/llvm-{v}/lib/libclang-{v}.so.1",
+                f"/usr/lib/llvm-{v}/lib/libclang.so.1",
+                f"/usr/lib/x86_64-linux-gnu/libclang-{v}.so.1"]
+        pats += sorted(glob.glob(f"/usr/lib/llvm-{v}/lib/libclang*.so*"))
+        pats += sorted(glob.glob(f"/usr/lib/*/libclang-{v}.so*"))
+        for p in pats:
+            # libclang-cpp is the C++ dylib; it lacks the C API cindex needs.
+            if "libclang-cpp" not in p and p not in out:
+                out.append(p)
+    return out
+
+
+def load_libclang(versions):
+    """Returns (cindex module, None) or (None, reason). Never raises."""
+    cindex = None
+    try:
+        from clang import cindex  # pip `libclang` or python3-clang on path
+    except ImportError:
+        # Debian/Ubuntu python3-clang-N installs under the LLVM prefix, off
+        # sys.path; probe the layouts the CLANG_VERSIONS list implies.
+        for d in _candidate_module_dirs(versions):
+            if d not in sys.path:
+                sys.path.append(d)
+        try:
+            from clang import cindex
+        except ImportError:
+            return None, "python module clang.cindex is not installed"
+    try:
+        if not cindex.Config.loaded:
+            lib = os.environ.get("WP_ALINT_LIBCLANG")
+            if not lib:
+                for cand in _candidate_library_files(versions):
+                    if os.path.isfile(cand):
+                        lib = cand
+                        break
+            if lib:
+                cindex.Config.set_library_file(lib)
+        cindex.Index.create()
+    except Exception as e:  # LibclangError, OSError: no usable shared lib
+        return None, f"libclang shared library unavailable ({e})"
+    return cindex, None
+
+
+# --- fact model -------------------------------------------------------------
+
+class MutexDecl:
+    """A whirlpool::Mutex field or variable, with its declared LockRank."""
+
+    def __init__(self, usr, qualified, rank_name, file, line, class_usr):
+        self.usr = usr
+        self.qualified = qualified
+        self.rank_name = rank_name or "kUnranked"
+        self.file = file
+        self.line = line
+        self.class_usr = class_usr
+
+
+class Acquisition:
+    """One MutexLock / .lock() site and the range over which it is held."""
+
+    def __init__(self, musr, off, end_off, file, line):
+        self.musr = musr
+        self.off = off
+        self.end_off = end_off
+        self.file = file
+        self.line = line
+
+
+class Call:
+    def __init__(self, callee_usr, callee_name, off, file, line):
+        self.callee_usr = callee_usr
+        self.callee_name = callee_name
+        self.off = off
+        self.file = file
+        self.line = line
+
+
+class FnInfo:
+    def __init__(self, usr, display, file, line):
+        self.usr = usr
+        self.display = display
+        self.file = file
+        self.line = line
+        self.annotations = set()   # annotation macro names from any decl
+        self.requires_args = []    # raw REQUIRES(...) argument strings
+        self.class_usr = None      # semantic parent class, if a method
+        self.params = None         # [(name, ("mutex", None)
+                                   #         | ("class", usr) | None)]
+        self.acquires = []         # [Acquisition] — from the definition
+        self.calls = []            # [Call]        — from the definition
+        self.body_done = False
+        self.is_deleted = False
+
+
+class ClassInfo:
+    def __init__(self, usr, name, file, line):
+        self.usr = usr
+        self.name = name
+        self.file = file
+        self.line = line
+        self.mutex_field_names = {}  # field name -> mutex usr
+        self.has_mutex = False
+        self.open_guarded = False    # public GUARDED_BY field present
+        self.atomic_fields = []      # (field name, guarded, file, line)
+
+
+class Facts:
+    """Whole-program facts merged across every parsed TU. Everything stored
+    here is plain Python data — no clang cursors/types survive a TU."""
+
+    def __init__(self):
+        self.mutexes = {}       # usr -> MutexDecl
+        self.classes = {}       # usr -> ClassInfo
+        self.fns = {}           # usr -> FnInfo
+        self.lock_ranks = {}    # enumerator name -> int value (from the AST)
+        self.check_ranges = {}  # file -> [(start_off, end_off, macro, line)]
+        self.cond_ranges = {}   # file -> [(start_off, end_off)]
+        self.order_uses = []    # (file, line, order_name)
+        self.rmw_relaxed = []   # (file, line, off, call_name)
+        self.implicit_seq_cst = []  # (file, line, op_name)
+        self.side_effects = []  # (file, off, line, description)
+        self.parse_errors = []  # Finding(WP000)
+        self.files_parsed = 0
+
+
+# --- AST extraction ---------------------------------------------------------
+
+class TuExtractor:
+    """Walks one translation unit at a time, appending to shared Facts."""
+
+    def __init__(self, cindex, facts, root):
+        self.ci = cindex
+        self.facts = facts
+        self.root = root + os.sep
+        ck = cindex.CursorKind
+        self.FN_KINDS = {ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR,
+                         ck.DESTRUCTOR, ck.FUNCTION_TEMPLATE,
+                         ck.CONVERSION_FUNCTION}
+        self.CLASS_KINDS = {ck.CLASS_DECL, ck.STRUCT_DECL, ck.CLASS_TEMPLATE}
+        self.COND_PARENTS = {ck.IF_STMT, ck.WHILE_STMT, ck.SWITCH_STMT,
+                             ck.CONDITIONAL_OPERATOR, ck.DO_STMT}
+
+    # - location / type helpers -
+
+    def _under_root(self, cursor):
+        f = cursor.location.file
+        return f is not None and os.path.abspath(f.name).startswith(self.root)
+
+    def _relfile(self, cursor):
+        return os.path.relpath(os.path.abspath(cursor.location.file.name),
+                               self.root[:-1])
+
+    @staticmethod
+    def _canonical(type_obj):
+        try:
+            return type_obj.get_canonical()
+        except Exception:
+            return type_obj
+
+    def _deref(self, type_obj):
+        """Canonical type behind T, T&, T&&, T* (one level)."""
+        tk = self.ci.TypeKind
+        t = self._canonical(type_obj)
+        if t.kind in (tk.POINTER, tk.LVALUEREFERENCE, tk.RVALUEREFERENCE):
+            t = self._canonical(t.get_pointee())
+        return t
+
+    def _is_mutex_type(self, type_obj):
+        s = self._canonical(type_obj).spelling.replace("const ", "")
+        return s == "Mutex" or s.endswith("::Mutex")
+
+    def _pack_param(self, parm):
+        """PARM_DECL -> (name, tag) with only plain data in the tag (clang
+        Type objects must not outlive their TU)."""
+        t = self._deref(parm.type)
+        spelling = t.spelling.replace("const ", "")
+        if spelling == "Mutex" or spelling.endswith("::Mutex"):
+            return (parm.spelling, ("mutex", None))
+        try:
+            decl = t.get_declaration()
+            if decl is not None and \
+                    decl.kind != self.ci.CursorKind.NO_DECL_FOUND:
+                return (parm.spelling, ("class", decl.get_usr()))
+        except Exception:
+            pass
+        return (parm.spelling, None)
+
+    # - declaration helpers -
+
+    @staticmethod
+    def _tokens_before_body(cursor):
+        body_start = None
+        for ch in cursor.get_children():
+            if ch.kind.is_statement():
+                body_start = ch.extent.start.offset
+                break
+        toks = []
+        for t in cursor.get_tokens():
+            if body_start is not None and t.location.offset >= body_start:
+                break
+            toks.append(t.spelling)
+        return toks
+
+    @staticmethod
+    def _annotation_scan(tokens):
+        """(annotation macro names, REQUIRES arg strings, is_deleted)."""
+        names, requires, deleted = set(), [], False
+        i = 0
+        while i < len(tokens):
+            tok = tokens[i]
+            if tok == "delete" and i > 0 and tokens[i - 1] == "=":
+                deleted = True
+            if tok in ANNOTATION_MACROS:
+                names.add(tok)
+                if tok in ("REQUIRES", "REQUIRES_SHARED") and \
+                        i + 1 < len(tokens) and tokens[i + 1] == "(":
+                    depth, j, arg = 1, i + 2, []
+                    while j < len(tokens) and depth > 0:
+                        if tokens[j] == "(":
+                            depth += 1
+                        elif tokens[j] == ")":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        arg.append(tokens[j])
+                        j += 1
+                    for part in "".join(arg).split(","):
+                        if part and part not in requires:
+                            requires.append(part)
+                    i = j
+            i += 1
+        return names, requires, deleted
+
+    @staticmethod
+    def _rank_from_tokens(tokens):
+        for i, tok in enumerate(tokens):
+            if tok == "LockRank" and i + 2 < len(tokens) and \
+                    tokens[i + 1] == "::":
+                return tokens[i + 2]
+        return None
+
+    def _first_mutex_ref(self, cursor):
+        """First DECL_REF/MEMBER_REF in the subtree resolving to a Mutex
+        field or variable; returns the referenced cursor or None."""
+        ck = self.ci.CursorKind
+        stack = list(cursor.get_children())
+        while stack:
+            cur = stack.pop(0)
+            if cur.kind in (ck.DECL_REF_EXPR, ck.MEMBER_REF_EXPR):
+                ref = cur.referenced
+                if ref is not None and \
+                        ref.kind in (ck.FIELD_DECL, ck.VAR_DECL) and \
+                        self._is_mutex_type(ref.type):
+                    return ref
+            stack[:0] = list(cur.get_children())
+        return None
+
+    def _register_mutex_decl(self, cur):
+        """FIELD_DECL or VAR_DECL of type whirlpool::Mutex."""
+        musr = cur.get_usr()
+        if musr in self.facts.mutexes or not self._under_root(cur):
+            return
+        toks = [t.spelling for t in cur.get_tokens()]
+        parent = cur.semantic_parent
+        qual, class_usr = cur.spelling, None
+        if parent is not None and parent.kind in self.CLASS_KINDS:
+            qual = f"{parent.spelling}::{cur.spelling}"
+            class_usr = parent.get_usr()
+        self.facts.mutexes[musr] = MutexDecl(
+            musr, qual, self._rank_from_tokens(toks), self._relfile(cur),
+            cur.location.line, class_usr)
+
+    def _order_name(self, ref_cursor):
+        """Normalized memory_order name for a DECL_REF, or None. Handles
+        both the C++17 enumerators (memory_order_acquire) and the C++20
+        compat constants / scoped enumerators (memory_order::acquire)."""
+        s = ref_cursor.spelling
+        if s.startswith("memory_order_"):
+            return s
+        if s in ("relaxed", "consume", "acquire", "release", "acq_rel",
+                 "seq_cst"):
+            t = ref_cursor.type.spelling
+            if t == "std::memory_order" or t.endswith("memory_order"):
+                return "memory_order_" + s
+        return None
+
+    def _iter_order_refs(self, call_cursor):
+        ck = self.ci.CursorKind
+        stack = list(call_cursor.get_children())
+        while stack:
+            cur = stack.pop()
+            if cur.kind == ck.DECL_REF_EXPR:
+                name = self._order_name(cur)
+                if name:
+                    yield name
+            stack += list(cur.get_children())
+
+    def _in_check_range(self, rel, off):
+        for (s, e, _, _) in self.facts.check_ranges.get(rel, ()):
+            if s < off <= e:
+                return True
+        return False
+
+    # - per-TU entry point -
+
+    def extract(self, tu):
+        ck = self.ci.CursorKind
+        # Pass 1: preprocessing record — WP_CHECK/WP_DCHECK instantiations
+        # (their extents bound the WP008 audit and position-filter the
+        # expansion scaffolding, which all carries the instantiation's own
+        # start offset, out of the argument range).
+        for cur in tu.cursor.get_children():
+            if cur.kind == ck.MACRO_INSTANTIATION and \
+                    cur.spelling in CHECK_MACRO_NAMES and \
+                    self._under_root(cur):
+                rel = self._relfile(cur)
+                entry = (cur.extent.start.offset, cur.extent.end.offset,
+                         cur.spelling, cur.location.line)
+                ranges = self.facts.check_ranges.setdefault(rel, [])
+                if entry not in ranges:
+                    ranges.append(entry)
+        # Pass 2: declarations and function bodies.
+        for cur in tu.cursor.get_children():
+            if cur.kind in (ck.MACRO_INSTANTIATION, ck.MACRO_DEFINITION,
+                            ck.INCLUSION_DIRECTIVE):
+                continue
+            if not self._under_root(cur):
+                continue
+            self._walk(cur, fn=None, compounds=[])
+
+    # - recursive walk -
+
+    def _walk(self, cur, fn, compounds):
+        ck = self.ci.CursorKind
+        try:
+            kind = cur.kind
+        except ValueError:
+            return  # kind unknown to this cindex version: skip subtree
+        if kind == ck.ENUM_DECL and cur.spelling == "LockRank":
+            for ch in cur.get_children():
+                if ch.kind == ck.ENUM_CONSTANT_DECL:
+                    self.facts.lock_ranks[ch.spelling] = ch.enum_value
+        elif kind in self.CLASS_KINDS and cur.is_definition():
+            self._record_class(cur)
+        elif kind == ck.FIELD_DECL and self._is_mutex_type(cur.type):
+            self._register_mutex_decl(cur)
+        elif kind == ck.VAR_DECL and self._is_mutex_type(cur.type):
+            self._register_mutex_decl(cur)
+        if kind in self.FN_KINDS:
+            fn = self._record_fn(cur)
+            compounds = []
+        elif kind == ck.COMPOUND_STMT:
+            compounds = compounds + [cur.extent.end.offset]
+        if fn is not None:
+            self._body_node(cur, kind, fn, compounds)
+        for ch in cur.get_children():
+            self._walk(ch, fn, compounds)
+
+    def _record_class(self, cur):
+        ck = self.ci.CursorKind
+        usr = cur.get_usr()
+        if usr in self.facts.classes:
+            return  # already recorded from another TU
+        info = ClassInfo(usr, cur.spelling, self._relfile(cur),
+                         cur.location.line)
+        self.facts.classes[usr] = info
+        public = self.ci.AccessSpecifier.PUBLIC
+        for ch in cur.get_children():
+            if ch.kind != ck.FIELD_DECL:
+                continue
+            toks = [t.spelling for t in ch.get_tokens()]
+            guarded = "GUARDED_BY" in toks or "PT_GUARDED_BY" in toks
+            canon = self._canonical(ch.type).spelling
+            if self._is_mutex_type(ch.type):
+                info.has_mutex = True
+                info.mutex_field_names[ch.spelling] = ch.get_usr()
+                self._register_mutex_decl(ch)
+            elif "atomic<" in canon or canon.startswith("std::atomic"):
+                info.atomic_fields.append(
+                    (ch.spelling, guarded, self._relfile(ch),
+                     ch.location.line))
+            if guarded and ch.access_specifier == public and \
+                    not self._is_mutex_type(ch.type):
+                info.open_guarded = True
+
+    def _record_fn(self, cur):
+        """Registers/updates the function; returns an FnInfo iff this cursor
+        is a definition whose body has not been processed yet (header-inline
+        bodies appear in many TUs — extract once)."""
+        usr = cur.get_usr()
+        fn = self.facts.fns.get(usr)
+        if fn is None:
+            parent = cur.semantic_parent
+            display = cur.spelling
+            class_usr = None
+            if parent is not None and parent.kind in self.CLASS_KINDS:
+                display = f"{parent.spelling}::{cur.spelling}"
+                class_usr = parent.get_usr()
+            fn = FnInfo(usr, display, self._relfile(cur), cur.location.line)
+            fn.class_usr = class_usr
+            self.facts.fns[usr] = fn
+        toks = self._tokens_before_body(cur)
+        names, requires, deleted = self._annotation_scan(toks)
+        fn.annotations |= names
+        for r in requires:
+            if r not in fn.requires_args:
+                fn.requires_args.append(r)
+        fn.is_deleted = fn.is_deleted or deleted
+        is_def = cur.is_definition()
+        if fn.params is None or is_def:
+            ck = self.ci.CursorKind
+            fn.params = [self._pack_param(p) for p in cur.get_children()
+                         if p.kind == ck.PARM_DECL]
+        if is_def and not fn.body_done:
+            fn.body_done = True
+            return fn
+        return None
+
+    def _body_node(self, cur, kind, fn, compounds):
+        ck = self.ci.CursorKind
+
+        # WP005: MutexLock RAII acquisition — held until the end of the
+        # enclosing compound statement.
+        if kind == ck.VAR_DECL and \
+                self._canonical(cur.type).spelling.endswith("MutexLock"):
+            ref = self._first_mutex_ref(cur)
+            if ref is not None:
+                self._register_mutex_decl(ref)
+                end = compounds[-1] if compounds else cur.extent.end.offset
+                fn.acquires.append(Acquisition(
+                    ref.get_usr(), cur.location.offset, end,
+                    self._relfile(cur), cur.location.line))
+
+        if kind == ck.CALL_EXPR:
+            ref = cur.referenced
+            name = cur.spelling or (ref.spelling if ref is not None else "")
+            ref_parent = ref.semantic_parent if ref is not None else None
+
+            # WP005: explicit m.lock()/m.unlock() on a whirlpool::Mutex.
+            if name in ("lock", "unlock") and ref_parent is not None and \
+                    ref_parent.spelling == "Mutex":
+                mref = self._first_mutex_ref(cur)
+                if mref is not None:
+                    self._register_mutex_decl(mref)
+                    if name == "lock":
+                        end = compounds[-1] if compounds \
+                            else cur.extent.end.offset
+                        fn.acquires.append(Acquisition(
+                            mref.get_usr(), cur.location.offset, end,
+                            self._relfile(cur), cur.location.line))
+                    else:
+                        for a in reversed(fn.acquires):
+                            if a.musr == mref.get_usr() and \
+                                    a.off < cur.location.offset < a.end_off:
+                                a.end_off = cur.location.offset
+                                break
+
+            # WP005: project-internal call edges for the whole-program graph.
+            if ref is not None and ref.kind in self.FN_KINDS and \
+                    self._under_root(ref):
+                fn.calls.append(Call(
+                    ref.get_usr(), ref.spelling, cur.location.offset,
+                    self._relfile(cur), cur.location.line))
+
+            # WP006: std::atomic operations.
+            if ref_parent is not None and \
+                    ref_parent.spelling in ATOMIC_PARENTS:
+                rel = self._relfile(cur)
+                implicit = (name in ATOMIC_SUGAR_NAMES or
+                            name.startswith("operator ") or
+                            (name in ATOMIC_ORDERED_NAMES and
+                             not any(True
+                                     for _ in self._iter_order_refs(cur))))
+                if implicit:
+                    self.facts.implicit_seq_cst.append(
+                        (rel, cur.location.line, name))
+                elif name in ATOMIC_RMW_NAMES and "memory_order_relaxed" in \
+                        set(self._iter_order_refs(cur)):
+                    self.facts.rmw_relaxed.append(
+                        (rel, cur.location.line, cur.location.offset, name))
+
+            # WP008 candidate: call to a non-const, non-static method inside
+            # a WP_CHECK/WP_DCHECK argument range.
+            if ref is not None and ref.kind == ck.CXX_METHOD and \
+                    not ref.is_const_method() and \
+                    not ref.is_static_method() and \
+                    name not in BENIGN_NONCONST_METHODS:
+                rel = self._relfile(cur)
+                if self._in_check_range(rel, cur.location.offset):
+                    self.facts.side_effects.append(
+                        (rel, cur.location.offset, cur.location.line,
+                         f"call to non-const method '{name}'"))
+
+        # WP006: non-relaxed memory_order references.
+        if kind == ck.DECL_REF_EXPR:
+            order = self._order_name(cur)
+            if order is not None and order != "memory_order_relaxed":
+                self.facts.order_uses.append(
+                    (self._relfile(cur), cur.location.line, order))
+
+        # WP006: control-flow condition ranges.
+        if kind in self.COND_PARENTS:
+            cond = self._condition_child(cur, kind)
+            if cond is not None and cond.location.file is not None and \
+                    self._under_root(cond):
+                rel = self._relfile(cond)
+                entry = (cond.extent.start.offset, cond.extent.end.offset)
+                ranges = self.facts.cond_ranges.setdefault(rel, [])
+                if entry not in ranges:
+                    ranges.append(entry)
+
+        # WP008: ++/-- and assignments inside check argument ranges.
+        if kind in (ck.UNARY_OPERATOR, ck.BINARY_OPERATOR,
+                    ck.COMPOUND_ASSIGNMENT_OPERATOR):
+            rel = self._relfile(cur)
+            if self._in_check_range(rel, cur.location.offset):
+                desc = None
+                if kind == ck.COMPOUND_ASSIGNMENT_OPERATOR:
+                    desc = "compound assignment"
+                else:
+                    toks = [t.spelling for t in cur.get_tokens()]
+                    if kind == ck.UNARY_OPERATOR:
+                        if toks and toks[0] in ("++", "--"):
+                            desc = f"'{toks[0]}' increment/decrement"
+                        elif toks and toks[-1] in ("++", "--"):
+                            desc = f"'{toks[-1]}' increment/decrement"
+                    elif "=" in toks:
+                        desc = "assignment"
+                if desc is not None:
+                    self.facts.side_effects.append(
+                        (rel, cur.location.offset, cur.location.line, desc))
+
+    def _condition_child(self, cur, kind):
+        ck = self.ci.CursorKind
+        children = list(cur.get_children())
+        if not children:
+            return None
+        if kind == ck.DO_STMT:
+            return children[-1]
+        for ch in children:
+            if ch.kind not in (ck.DECL_STMT, ck.COMPOUND_STMT):
+                return ch
+        return None
+
+
+# --- whole-program analysis -------------------------------------------------
+
+def _resolve_requires(fn, facts):
+    """REQUIRES argument strings -> mutex USRs. Best effort: `mu_`,
+    `scores_mu_`, `this->mu_` resolve through the method's class, bare names
+    through namespace-scope mutexes; parameter-based arguments (`b.mu`) are
+    call-site-dependent and skipped."""
+    out = []
+    for raw in fn.requires_args:
+        name = raw.replace("this->", "").lstrip("!&*")
+        if "." in name or "->" in name:
+            continue
+        cls = facts.classes.get(fn.class_usr) if fn.class_usr else None
+        if cls is not None and name in cls.mutex_field_names:
+            out.append(cls.mutex_field_names[name])
+            continue
+        for m in facts.mutexes.values():
+            if m.class_usr is None and m.qualified == name:
+                out.append(m.usr)
+                break
+    return out
+
+
+def analyze_lock_order(facts):
+    """WP005: rank-order violations and kUnranked cycles, whole-program."""
+    findings = []
+    # Transitive acquires: fn usr -> {mutex usr: (file, line)} — seeded with
+    # direct acquisitions, closed over the call graph.
+    trans = {usr: {a.musr: (a.file, a.line) for a in fn.acquires}
+             for usr, fn in facts.fns.items()}
+    changed = True
+    while changed:
+        changed = False
+        for usr, fn in facts.fns.items():
+            mine = trans[usr]
+            for call in fn.calls:
+                for musr, site in trans.get(call.callee_usr, {}).items():
+                    if musr not in mine:
+                        mine[musr] = site
+                        changed = True
+
+    def rank_of(musr):
+        m = facts.mutexes.get(musr)
+        if m is None:
+            return None, "?"
+        return facts.lock_ranks.get(m.rank_name, 0), m.rank_name
+
+    def describe(musr):
+        m = facts.mutexes.get(musr)
+        _, rank_name = rank_of(musr)
+        return f"'{m.qualified if m else musr}' (rank {rank_name})"
+
+    def decl_site(musr):
+        m = facts.mutexes.get(musr)
+        return f"{m.file}:{m.line}" if m else "?"
+
+    unranked_edges = {}
+    reported = set()
+
+    def emit(anchor, msg):
+        key = (anchor[0], anchor[1], msg)
+        if key not in reported:
+            reported.add(key)
+            findings.append(Finding(anchor[0], anchor[1], "WP005", msg))
+
+    def check_edge(held_musr, held_site, acq_musr, acq_site, anchor):
+        if held_musr == acq_musr:
+            emit(anchor,
+                 f"re-entrant acquisition of {describe(acq_musr)}: held "
+                 f"since {held_site}, reacquired at {acq_site} — "
+                 f"whirlpool::Mutex is non-recursive (and equal ranks "
+                 f"conflict), so this deadlocks")
+            return
+        held_rank, _ = rank_of(held_musr)
+        acq_rank, _ = rank_of(acq_musr)
+        if held_rank is None or acq_rank is None:
+            return
+        if held_rank == 0 or acq_rank == 0:
+            if held_rank == 0 and acq_rank == 0:
+                unranked_edges.setdefault((held_musr, acq_musr),
+                                          (held_site, acq_site, anchor))
+            return
+        if acq_rank <= held_rank:
+            emit(anchor,
+                 f"lock-order violation: acquiring {describe(acq_musr)} at "
+                 f"{acq_site} while holding {describe(held_musr)} (held "
+                 f"since {held_site}) — LockRank requires strictly "
+                 f"increasing ranks (DESIGN.md §10); mutexes declared at "
+                 f"{decl_site(acq_musr)} and {decl_site(held_musr)}")
+
+    for usr, fn in facts.fns.items():
+        if not fn.body_done:
+            continue
+        entry_held = [
+            (musr, f"REQUIRES on '{fn.display}' at {fn.file}:{fn.line}")
+            for musr in _resolve_requires(fn, facts)]
+        for acq in fn.acquires:
+            acq_site = f"{acq.file}:{acq.line}"
+            anchor = (acq.file, acq.line)
+            for held in fn.acquires:
+                if held is not acq and held.off < acq.off <= held.end_off:
+                    check_edge(held.musr, f"{held.file}:{held.line}",
+                               acq.musr, acq_site, anchor)
+            for musr, held_site in entry_held:
+                check_edge(musr, held_site, acq.musr, acq_site, anchor)
+        for call in fn.calls:
+            callee_acqs = trans.get(call.callee_usr, {})
+            if not callee_acqs:
+                continue
+            held_here = [(a.musr, f"{a.file}:{a.line}") for a in fn.acquires
+                         if a.off < call.off <= a.end_off] + entry_held
+            if not held_here:
+                continue
+            for musr, (af, al) in callee_acqs.items():
+                acq_site = (f"{af}:{al} (reached via call to "
+                            f"'{call.callee_name}' at "
+                            f"{call.file}:{call.line})")
+                for held_musr, held_site in held_here:
+                    check_edge(held_musr, held_site, musr, acq_site,
+                               (call.file, call.line))
+
+    # Cycle detection among kUnranked mutexes (the runtime rank checker
+    # skips them entirely, so this is the only net that catches it).
+    adj = {}
+    for (h, a) in unranked_edges:
+        if h != a:
+            adj.setdefault(h, set()).add(a)
+    state = {}
+
+    def dfs(node, path):
+        state[node] = 1
+        for nxt in sorted(adj.get(node, ())):
+            if state.get(nxt) == 1 and nxt in path:
+                cycle = path[path.index(nxt):] + [nxt]
+                edges = []
+                for i in range(len(cycle) - 1):
+                    held_site, acq_site, _ = \
+                        unranked_edges[(cycle[i], cycle[i + 1])]
+                    edges.append(
+                        f"{describe(cycle[i])} held at {held_site} -> "
+                        f"{describe(cycle[i + 1])} acquired at {acq_site}")
+                _, _, anchor = unranked_edges[(cycle[0], cycle[1])]
+                emit(anchor,
+                     "cycle among kUnranked mutexes (exempt from the "
+                     "runtime rank checker, so only this analyzer sees "
+                     "it): " + "; ".join(edges))
+            elif state.get(nxt, 0) == 0:
+                dfs(nxt, path + [nxt])
+        state[node] = 2
+
+    for node in sorted(adj):
+        if state.get(node, 0) == 0:
+            dfs(node, [node])
+    return findings
+
+
+def analyze_atomics(facts, file_lines):
+    """WP006: justification comments, relaxed RMWs in control flow, implicit
+    seq_cst, and the atomic-field allowlist (shared with wp_lint)."""
+    findings = []
+    for (rel, line, order) in facts.order_uses:
+        lines = file_lines(rel)
+        lo = max(0, line - 1 - JUSTIFY_CONTEXT_LINES)
+        justified = any(
+            "//" in text and JUSTIFY_RE.search(text.split("//", 1)[1])
+            for text in lines[lo:line])
+        if not justified:
+            findings.append(Finding(
+                rel, line, "WP006",
+                f"{order} without a justification comment — non-relaxed "
+                f"orders cost fences on weakly-ordered hardware; say what "
+                f"this one synchronizes (comment on the same line or within "
+                f"{JUSTIFY_CONTEXT_LINES} lines above)"))
+    for (rel, line, off, name) in facts.rmw_relaxed:
+        if any(s <= off <= e for (s, e) in facts.cond_ranges.get(rel, ())):
+            findings.append(Finding(
+                rel, line, "WP006",
+                f"relaxed RMW '{name}' feeds control flow — "
+                f"memory_order_relaxed gives the gated code no ordering "
+                f"with other threads' writes; use acq_rel or justify with "
+                f"a comment plus a disable hatch"))
+    for (rel, line, name) in facts.implicit_seq_cst:
+        findings.append(Finding(
+            rel, line, "WP006",
+            f"atomic '{name}' with an implicit memory order (seq_cst) — "
+            f"spell the order explicitly (fetch_add/store/load with "
+            f"std::memory_order_*) so the strongest-order cost is a "
+            f"reviewed decision"))
+    for cls in facts.classes.values():
+        if not cls.has_mutex:
+            continue
+        for (fname, guarded, rel, line) in cls.atomic_fields:
+            if guarded:
+                continue
+            qualified = f"{cls.name}::{fname}"
+            if qualified in wp_lint.ATOMIC_ALLOWLIST:
+                continue
+            findings.append(Finding(
+                rel, line, "WP006",
+                f"atomic member {qualified} of a Mutex-owning class is "
+                f"neither GUARDED_BY nor in wp_lint.py's ATOMIC_ALLOWLIST — "
+                f"guard it, or allowlist it with a written correctness "
+                f"argument"))
+    return findings
+
+
+def analyze_annotations(facts):
+    """WP007: Mutex / open-holding-state parameters without annotations."""
+    findings = []
+    open_structs = {usr for usr, c in facts.classes.items()
+                    if c.has_mutex and c.open_guarded}
+    for fn in facts.fns.values():
+        if fn.annotations or fn.is_deleted or not fn.params:
+            continue
+        for (pname, tag) in fn.params:
+            if tag is None:
+                continue
+            tag_kind, cls_usr = tag
+            label = None
+            if tag_kind == "mutex":
+                label = "a whirlpool::Mutex"
+            elif tag_kind == "class" and cls_usr in open_structs:
+                label = (f"holding-state struct "
+                         f"'{facts.classes[cls_usr].name}' (exposes a Mutex "
+                         f"and public GUARDED_BY fields)")
+            if label is not None:
+                findings.append(Finding(
+                    fn.file, fn.line, "WP007",
+                    f"'{fn.display}' takes {label} via parameter '{pname}' "
+                    f"but carries no thread-safety annotation "
+                    f"(REQUIRES/EXCLUDES/ACQUIRE/...) — callers in other "
+                    f"TUs are unchecked by -Wthread-safety"))
+                break
+    return findings
+
+
+def analyze_check_side_effects(facts):
+    """WP008: side effects positioned inside WP_CHECK/WP_DCHECK argument
+    ranges. Macro-expansion scaffolding all carries the instantiation's
+    start offset, while argument nodes keep their true source offsets — so
+    `start < off` filters the scaffolding out."""
+    findings = []
+    for rel, ranges in facts.check_ranges.items():
+        for (start, end, macro, _) in ranges:
+            for (sf, off, sline, desc) in facts.side_effects:
+                if sf == rel and start < off <= end:
+                    extra = (" — WP_DCHECK compiles out in release builds, "
+                             "so the side effect silently vanishes"
+                             if macro == "WP_DCHECK" else
+                             " — checks must observe state, not mutate it")
+                    findings.append(Finding(
+                        rel, sline, "WP008",
+                        f"side effect inside {macro} argument: "
+                        f"{desc}{extra}"))
+    return findings
+
+
+# --- driver -----------------------------------------------------------------
+
+def parse_tu(cindex, index, path, root, extra_args):
+    args = ["-x", "c++", "-std=c++20", f"-I{os.path.join(root, 'src')}",
+            "-Wno-everything"] + extra_args
+    options = cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD
+    return index.parse(path, args=args, options=options)
+
+
+def collect_facts(cindex, root, files, extra_args):
+    facts = Facts()
+    index = cindex.Index.create()
+    extractor = TuExtractor(cindex, facts, root)
+    for path in files:
+        rel = os.path.relpath(path, root)
+        try:
+            tu = parse_tu(cindex, index, path, root, extra_args)
+        except Exception as e:
+            facts.parse_errors.append(Finding(
+                rel, 0, "WP000", f"libclang failed to parse: {e}"))
+            continue
+        errors = [d for d in tu.diagnostics if d.severity >= 3]
+        if errors:
+            sample = "; ".join(
+                f"{d.location.line}: {d.spelling}" for d in errors[:5])
+            facts.parse_errors.append(Finding(
+                rel, errors[0].location.line, "WP000",
+                f"{len(errors)} parse error(s) — analysis would be "
+                f"unreliable: {sample}"))
+            continue
+        facts.files_parsed += 1
+        extractor.extract(tu)
+    return facts
+
+
+def analyze(cindex, root, files, extra_args):
+    facts = collect_facts(cindex, root, files, extra_args)
+
+    text_cache = {}
+
+    def file_lines(rel):
+        if rel not in text_cache:
+            try:
+                with open(os.path.join(root, rel), encoding="utf-8",
+                          errors="replace") as f:
+                    text_cache[rel] = f.read().splitlines()
+            except OSError:
+                text_cache[rel] = []
+        return text_cache[rel]
+
+    findings = list(facts.parse_errors)
+    findings += analyze_lock_order(facts)
+    findings += analyze_atomics(facts, file_lines)
+    findings += analyze_annotations(facts)
+    findings += analyze_check_side_effects(facts)
+    return facts, findings
+
+
+def filter_findings(findings, root, allowed_paths):
+    """Scope to the requested paths, apply the shared wp-lint disable
+    hatches, and de-duplicate."""
+    prefixes = [os.path.abspath(p) for p in allowed_paths]
+    kept, seen, disables = [], set(), {}
+    for f in sorted(findings,
+                    key=lambda f: (f.path, f.line, f.rule, f.message)):
+        ap = os.path.abspath(os.path.join(root, f.path))
+        if prefixes and not any(ap == p or ap.startswith(p + os.sep)
+                                for p in prefixes):
+            continue
+        if f.rule != "WP000":  # parse failures are not waivable
+            if f.path not in disables:
+                try:
+                    with open(ap, encoding="utf-8", errors="replace") as fh:
+                        disables[f.path] = wp_lint.collect_disables(fh.read())
+                except OSError:
+                    disables[f.path] = ({}, set())
+            per_line, file_wide = disables[f.path]
+            if f.rule in file_wide or f.rule in per_line.get(f.line, set()):
+                continue
+        key = (f.path, f.line, f.rule, f.message)
+        if key not in seen:
+            seen.add(key)
+            kept.append(f)
+    return kept
+
+
+def iter_sources(paths, root):
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            yield ap
+            continue
+        for dirpath, dirnames, filenames in os.walk(ap):
+            dirnames[:] = [d for d in dirnames
+                           if d not in wp_lint.SKIP_DIR_PARTS
+                           and not d.startswith("build")]
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.join(dirpath, fn)
+
+
+def write_report(path, payload):
+    if not path:
+        return
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def run_self_test(cindex, root, extra_args):
+    corpus = os.path.join(root, "tests", "lint_corpus")
+    files = sorted(
+        os.path.join(corpus, f) for f in os.listdir(corpus)
+        if f.endswith((".cc", ".cpp", ".h", ".hpp")))
+    cases = failures = 0
+    for path in files:
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        m = EXPECT_RE.search(text)
+        if not m:
+            continue  # wp-lint-only corpus file
+        cases += 1
+        raw = {t.strip() for t in m.group(1).split(",") if t.strip()}
+        expected = set() if raw == {"none"} else raw
+        bogus = expected - set(RULE_IDS)
+        if bogus:
+            print(f"FAIL {rel}: unknown rule ids in expectation: "
+                  f"{sorted(bogus)}")
+            failures += 1
+            continue
+        _, findings = analyze(cindex, root, [path], extra_args)
+        kept = filter_findings(findings, root, [path])
+        got = {f.rule for f in kept}
+        missing_substrs = [
+            sm.group(1).strip() for sm in EXPECT_SUBSTR_RE.finditer(text)
+            if not any(sm.group(1).strip() in str(f) for f in kept)]
+        if got == expected and not missing_substrs:
+            label = ",".join(sorted(expected)) if expected else "clean"
+            print(f"ok   {rel}: {label}")
+        else:
+            if got != expected:
+                print(f"FAIL {rel}: expected {sorted(expected) or 'none'}, "
+                      f"got {sorted(got) or 'none'}")
+            for want in missing_substrs:
+                print(f"FAIL {rel}: no finding contains expected substring "
+                      f"'{want}'")
+            for f in kept:
+                print(f"       {f}")
+            failures += 1
+    if cases == 0:
+        print(f"wp-alint self-test: no corpus files with a "
+              f"'// wp-alint-expect:' header under {corpus}",
+              file=sys.stderr)
+        return 1
+    print(f"wp-alint self-test: {cases - failures}/{cases} corpus files "
+          f"behaved as declared")
+    return 1 if failures else 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script's dir)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the tests/lint_corpus/ wp-alint expectations")
+    ap.add_argument("--json", default=None, metavar="OUT",
+                    help="write a machine-readable findings report")
+    ap.add_argument("--clang-versions", default=None, metavar="LIST",
+                    help="space/comma-separated clang majors to probe for "
+                         "libclang (default: "
+                         + " ".join(str(v) for v in DEFAULT_CLANG_VERSIONS)
+                         + ")")
+    ap.add_argument("--skip-exit-code", type=int, default=0,
+                    help="exit code when libclang is unavailable "
+                         "(ctest passes 77 = SKIP)")
+    ap.add_argument("--extra-arg", action="append", default=[],
+                    help="extra compiler argument for parsing (repeatable)")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories with .cc translation units")
+    args = ap.parse_args(argv)
+
+    root = os.path.abspath(args.root) if args.root else \
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    versions = list(DEFAULT_CLANG_VERSIONS)
+    if args.clang_versions:
+        versions = [int(v) for v in
+                    re.split(r"[,\s]+", args.clang_versions.strip()) if v]
+
+    sys.setrecursionlimit(100000)
+    cindex, why = load_libclang(versions)
+    if cindex is None:
+        print(f"wp-alint SKIPPED: {why} (probed clang versions: "
+              f"{' '.join(str(v) for v in versions)})")
+        write_report(args.json, {"tool": "wp-alint", "skipped": True,
+                                 "reason": why, "findings": []})
+        return args.skip_exit_code
+
+    if args.self_test:
+        return run_self_test(cindex, root, args.extra_arg)
+
+    if not args.paths:
+        ap.error("no paths given (or use --self-test)")
+
+    files = list(iter_sources(args.paths, root))
+    allowed = [p if os.path.isabs(p) else os.path.join(root, p)
+               for p in args.paths]
+    facts, findings = analyze(cindex, root, files, args.extra_arg)
+    kept = filter_findings(findings, root, allowed)
+    for f in kept:
+        print(f)
+    write_report(args.json, {
+        "tool": "wp-alint",
+        "skipped": False,
+        "files_parsed": facts.files_parsed,
+        "mutexes": sorted(m.qualified for m in facts.mutexes.values()),
+        "lock_ranks": facts.lock_ranks,
+        "findings": [{"path": f.path, "line": f.line, "rule": f.rule,
+                      "message": f.message} for f in kept],
+    })
+    if kept:
+        print(f"wp-alint: {len(kept)} finding(s) in {facts.files_parsed} "
+              f"translation units", file=sys.stderr)
+        return 1
+    checks = sum(len(v) for v in facts.check_ranges.values())
+    print(f"wp-alint: {facts.files_parsed} translation units clean "
+          f"({len(facts.mutexes)} mutexes, {checks} WP_CHECK sites audited)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
