@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "exec/tracer.h"
+#include "util/failpoint.h"
 
 namespace whirlpool::exec {
 
@@ -56,6 +57,10 @@ void DrainGovernor::BatchDelivered() {
 }
 
 void DrainGovernor::RecordSample(uint64_t lock_wait_ns, uint64_t process_ns) {
+  // Chaos site on the sampled (1-in-kDrainSamplePeriod) control path:
+  // perturbs the EWMA timing the MIMD rule feeds on without touching the
+  // unsampled fast path.
+  WHIRLPOOL_FAILPOINT(failpoint::sites::kAdaptiveSample);
   const uint64_t n = samples_.load(std::memory_order_relaxed) + 1;
   samples_.store(n, std::memory_order_relaxed);
   const auto blend = [n](std::atomic<double>* ewma, uint64_t sample) {

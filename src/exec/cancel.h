@@ -1,0 +1,113 @@
+// Run-scoped cancellation for the engines (DESIGN.md §12): a CancelToken
+// carries an optional deadline (ExecOptions::deadline_ms) and a
+// first-error-wins injected-error slot, checked at queue boundaries. On a
+// deadline every engine stops cleanly and returns its best-so-far top-k
+// flagged `approximate` (TopKResult) with the currentTopK threshold and the
+// max-possible-score bound over abandoned work — the paper's approximate
+// top-k made operational. On an injected error the run returns the Status.
+//
+// Thread model: the deadline is fixed at construction (before worker threads
+// start); Cancel/Check race freely afterwards. `cancelled_` is a monotonic
+// flag (release-published, acquire-checked); the reason fields live under a
+// small leaf mutex taken only on the first cancellation and after join.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "util/failpoint.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace whirlpool::exec {
+
+class CancelToken {
+ public:
+  /// `deadline_ms` <= 0 disarms the deadline (the token then only trips on
+  /// injected errors). The clock starts here, so construct at run start.
+  explicit CancelToken(double deadline_ms)
+      : deadline_armed_(deadline_ms > 0),
+        deadline_ns_(deadline_armed_
+                         ? NowNs() + static_cast<uint64_t>(deadline_ms * 1e6)
+                         : 0) {}
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Queue-boundary check: trips the deadline if armed and expired, then
+  /// reports whether the run is cancelled (deadline or error). Reads the
+  /// clock only while a deadline is armed and not yet tripped.
+  bool Check() {
+    if (Cancelled()) return true;
+    if (deadline_armed_ && NowNs() >= deadline_ns_) {
+      MutexLock lock(&mu_);
+      deadline_expired_ = true;
+      // release: publishes deadline_expired_ before the flag; pairs with the
+      // acquire load in Cancelled() so observers see why they were stopped.
+      cancelled_.store(true, std::memory_order_release);
+    }
+    return Cancelled();
+  }
+
+  /// First error wins; later calls are no-ops. Never called with engine
+  /// locks held (kCancel is a near-leaf rank).
+  void CancelError(Status st) {
+    MutexLock lock(&mu_);
+    if (error_.ok()) error_ = std::move(st);
+    // release: publishes error_ before the flag (pairs with Cancelled()'s
+    // acquire) so the main thread reads a complete Status after join.
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// Lock-free: has any cancellation (deadline or error) been requested?
+  bool Cancelled() const {
+    // acquire: pairs with the release stores above so the reason fields are
+    // visible once the flag is.
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Combined failpoint + cancellation poll for an engine queue boundary:
+  /// evaluates the site's failpoint (schedule actions run inline; an
+  /// injected error cancels this token), then Check()s. True = stop
+  /// processing and start abandoning.
+  bool Poll(const char* site) {
+    if (failpoint::Enabled()) {
+      Status st = failpoint::InjectedError(site);
+      if (!st.ok()) CancelError(std::move(st));
+    }
+    return Check();
+  }
+
+  /// Valid after the run quiesces (single-threaded engines: after the loop;
+  /// Whirlpool-M: after join).
+  bool DeadlineExpired() const {
+    MutexLock lock(&mu_);
+    return deadline_expired_;
+  }
+
+  /// The injected error, or OK when the run completed / hit only the
+  /// deadline (a deadline is an approximate result, not a failure).
+  Status error() const {
+    MutexLock lock(&mu_);
+    return error_;
+  }
+
+ private:
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  const bool deadline_armed_;
+  const uint64_t deadline_ns_;
+  /// Monotonic cancellation flag; reasons are under mu_ (wp-lint
+  /// ATOMIC_ALLOWLIST: release/acquire publication documented above).
+  std::atomic<bool> cancelled_{false};
+  mutable Mutex mu_{LockRank::kCancel, "CancelToken::mu_"};
+  bool deadline_expired_ GUARDED_BY(mu_) = false;
+  Status error_ GUARDED_BY(mu_);
+};
+
+}  // namespace whirlpool::exec

@@ -17,6 +17,19 @@ struct TopKResult {
   /// The k best answers, highest score first.
   std::vector<Answer> answers;
   MetricsSnapshot metrics;
+  /// True when the run stopped at ExecOptions::deadline_ms before the top-k
+  /// was final: `answers` is the best-so-far prefix, and `score_bound`
+  /// bounds what a completed run could still have found (DESIGN.md §12).
+  bool approximate = false;
+  /// The currentTopK threshold when the run ended (k-th best recorded score;
+  /// -inf while fewer than k roots were recorded).
+  double threshold = 0.0;
+  /// Upper bound on the final score of ANY answer a completed run could
+  /// return: max over the returned answers' scores and the abandoned
+  /// matches' max-possible final scores. For an exact run this is just the
+  /// best returned score. Callers judge approximate answer quality by
+  /// comparing answers[i].score against this bound.
+  double score_bound = 0.0;
 };
 
 /// \brief Runs the engine selected by `options.engine`.

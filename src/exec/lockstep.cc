@@ -4,14 +4,17 @@
 // LockStep-NoPrun additionally disables pruning and is the full-enumeration
 // baseline whose matches-created count is the Table 2 denominator.
 #include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "exec/adaptive.h"
+#include "exec/cancel.h"
 #include "exec/engine.h"
 #include "exec/queue_policy.h"
 #include "exec/routing.h"
 #include "exec/server.h"
 #include "exec/tracer.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace whirlpool::exec {
@@ -21,6 +24,10 @@ Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options
   // Reuse Router::Make purely to validate static_order.
   Result<Router> router = Router::Make(plan, options);
   if (!router.ok()) return router.status();
+  // ValidateOptions parse-checked the plan; install it for the run's scope.
+  failpoint::ScopedConfig failpoints(options.failpoints, options.failpoint_seed);
+  WHIRLPOOL_RETURN_NOT_OK(failpoints.status());
+  CancelToken token(options.deadline_ms);
   const bool prune = options.engine != EngineKind::kLockStepNoPrun;
 
   std::vector<int> order = options.static_order;
@@ -51,7 +58,12 @@ Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options
       GenerateRootMatches(plan, options, &topk, &metrics, &seq);
   std::vector<PartialMatch> next;
 
+  // Residual-work bound over matches abandoned at cancellation.
+  double abandoned_bound = -std::numeric_limits<double>::infinity();
   for (int s : order) {
+    // Wave boundary: evaluate the wave failpoint (schedule perturbation or
+    // injected error) and the deadline.
+    if (token.Poll(failpoint::sites::kLockstepWave)) break;
     // Server priority queue: process the whole wave through this server in
     // policy order (scores in the top-k set grow as the wave progresses, so
     // the order affects pruning).
@@ -63,21 +75,45 @@ Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options
                        return a.seq < b.seq;
                      });
     next.clear();
-    for (const PartialMatch& m : current) {
+    for (size_t i = 0; i < current.size(); ++i) {
+      const PartialMatch& m = current[i];
+      if (token.Check()) {
+        // Abandon the rest of this wave; record what it could still score.
+        for (size_t j = i; j < current.size(); ++j) {
+          abandoned_bound = std::max(abandoned_bound, current[j].max_final_score);
+        }
+        break;
+      }
       if (prune && !topk.Alive(m)) {
         metrics.matches_pruned.fetch_add(1, std::memory_order_relaxed);
         ins.Prune(ServerId(s), MatchSeq(m.seq));
         continue;
       }
       ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &next,
-                      cache.get(), &ins);
+                      cache.get(), &ins, &token);
     }
     current.swap(next);
   }
+  if (token.Cancelled()) {
+    // Survivors bound for the next wave were abandoned too.
+    for (const PartialMatch& m : current) {
+      abandoned_bound = std::max(abandoned_bound, m.max_final_score);
+    }
+  }
 
+  // An injected error outranks any partial answer set.
+  WHIRLPOOL_RETURN_NOT_OK(token.error());
   ins.QueryDone(query_start);
   TopKResult result;
   result.answers = topk.Finalize();
+  result.approximate = token.DeadlineExpired();
+  result.threshold = topk.LockedThreshold();
+  result.score_bound =
+      result.answers.empty() ? -std::numeric_limits<double>::infinity()
+                             : result.answers.front().score;
+  if (result.approximate) {
+    result.score_bound = std::max(result.score_bound, abandoned_bound);
+  }
   result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
   result.metrics.adaptive.shards_auto = sync.shards_auto;
   result.metrics.adaptive.chosen_shards = topk.num_shards();

@@ -24,6 +24,7 @@ MetricsSnapshot ExecMetrics::Snapshot(double wall_seconds, int num_servers) cons
   s.server_op_latency = server_op_latency.Snapshot();
   s.queue_wait_latency = queue_wait_latency.Snapshot();
   s.query_latency = query_latency.Snapshot();
+  if (failpoint::Enabled()) s.failpoints = failpoint::Snapshot();
   return s;
 }
 
@@ -87,7 +88,15 @@ std::string MetricsSnapshot::ToJson() const {
     if (i > 0) os << ',';
     os << adaptive.queue_peak_depth[i];
   }
-  os << "]},\"latency\":{";
+  os << "]},\"failpoints\":[";
+  for (size_t i = 0; i < failpoints.size(); ++i) {
+    const auto& f = failpoints[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << util::JsonEscape(f.name) << "\",\"spec\":\""
+       << util::JsonEscape(f.spec) << "\",\"hits\":" << f.hits
+       << ",\"triggers\":" << f.triggers << "}";
+  }
+  os << "],\"latency\":{";
   AppendLatencyJson(os, "server_op", server_op_latency);
   os << ',';
   AppendLatencyJson(os, "queue_wait", queue_wait_latency);

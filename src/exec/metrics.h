@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exec/partial_match.h"
+#include "util/failpoint.h"
 #include "util/histogram.h"
 
 namespace whirlpool::exec {
@@ -71,6 +72,9 @@ struct MetricsSnapshot {
   /// Sync-knob controller decisions (filled by the engines after the run;
   /// all-zero when no controller was involved).
   AdaptiveSnapshot adaptive;
+  /// Per-failpoint hit/trigger counters of the run's installed plan
+  /// (util/failpoint.h); empty when no plan was active.
+  std::vector<failpoint::Stats> failpoints;
 
   std::string ToString() const;
   /// One JSON object with every counter, the per-server breakdown and the

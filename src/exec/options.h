@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/status.h"
 
 namespace whirlpool::exec {
@@ -131,6 +132,19 @@ struct ExecOptions {
   /// query latency) into the run's metrics. Off by default because each
   /// sample costs two steady_clock reads per server operation.
   bool collect_latencies = false;
+  /// Soft execution deadline in milliseconds; 0 = none. On expiry the engine
+  /// stops cleanly at the next queue boundary and returns its best-so-far
+  /// answers flagged `approximate` in TopKResult, with the currentTopK
+  /// threshold and the max-possible-score bound over the abandoned matches
+  /// (DESIGN.md §12). Not honored by the rewriting test baseline.
+  double deadline_ms = 0.0;
+  /// Failpoint plan installed for the duration of the run —
+  /// "name=action(args)[,...]", see util/failpoint.h for the grammar and
+  /// DESIGN.md §12 for the instrumented-site table. Empty = none. The
+  /// registry is process-global: one plan-carrying run at a time.
+  std::string failpoints;
+  /// Seed for the plan's probabilistic (p=) activations.
+  uint64_t failpoint_seed = 0;
 
   bool has_frozen_threshold() const { return !std::isnan(frozen_threshold); }
   bool has_min_score_threshold() const { return !std::isnan(min_score_threshold); }
@@ -165,6 +179,13 @@ inline Status ValidateOptions(const ExecOptions& options) {
     return Status::InvalidArgument(
         "frozen_threshold and min_score_threshold are mutually exclusive");
   }
+  // Negated >= so a NaN deadline is rejected too.
+  if (!(options.deadline_ms >= 0.0)) {
+    return Status::InvalidArgument("deadline_ms must be >= 0 (0 = no deadline)");
+  }
+  // Parse-check only; the engine installs the plan after validation, so a
+  // malformed plan fails identically across engines, before any threads.
+  WHIRLPOOL_RETURN_NOT_OK(failpoint::ValidatePlan(options.failpoints));
   return Status::OK();
 }
 

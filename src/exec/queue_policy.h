@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "exec/adaptive.h"
@@ -16,6 +17,7 @@
 #include "exec/partial_match.h"
 #include "exec/plan.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -110,6 +112,17 @@ class MatchHeap {
     return heap_.front();
   }
 
+  /// Max of max_final_score over every queued entry (-inf when empty): the
+  /// residual-work bound a deadline-cancelled single-threaded engine reports
+  /// for the matches it leaves unprocessed (TopKResult::score_bound).
+  double MaxFinalBound() const {
+    double bound = -std::numeric_limits<double>::infinity();
+    for (const QueuedMatch& qm : heap_) {
+      bound = std::max(bound, qm.match.max_final_score);
+    }
+    return bound;
+  }
+
   /// Removes and returns the highest-priority entry. Precondition: !empty().
   QueuedMatch Pop() {
     WP_DCHECK(!heap_.empty()) << "Pop() on empty MatchHeap";
@@ -163,6 +176,14 @@ class SyncMatchQueue {
       MutexLock lock(&mu_);
       for (QueuedMatch& qm : *batch) queue_.Push(std::move(qm));
       NotePeakDepthLocked();
+    }
+    // Chaos site at the publish boundary — between the unlock and the
+    // notify, the classic lost-wakeup window. `wake` additionally broadcasts
+    // so consumers observe a spurious wakeup with work already visible.
+    if (failpoint::Enabled() &&
+        failpoint::Hit(failpoint::sites::kQueuePushBatch) ==
+            failpoint::Effect::kWake) {
+      cv_.NotifyAll();
     }
     // A multi-entry batch can feed several consumers (threads_per_server >
     // 1), so wake them all; a woken consumer with nothing left to drain
@@ -234,6 +255,14 @@ class SyncMatchQueue {
   bool PopBatchImpl(std::vector<QueuedMatch>* out, int max_n,
                     DrainGovernor* gov, uint64_t t0) {
     out->clear();
+    // Chaos site at the drain boundary, before the lock: `wake` broadcasts
+    // a spurious wakeup at the other waiters (every Wait predicate must
+    // tolerate it); sleep/yield here perturb the consumer schedule.
+    if (failpoint::Enabled() &&
+        failpoint::Hit(failpoint::sites::kQueuePopBatch) ==
+            failpoint::Effect::kWake) {
+      cv_.NotifyAll();
+    }
     MutexLock lock(&mu_);
     if (gov != nullptr) gov->LockAcquired(t0);
     ++waiters_;

@@ -5,6 +5,7 @@
 
 #include "query/matcher.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace whirlpool::exec {
@@ -76,7 +77,8 @@ int NearestBoundPatternAncestor(const TreePattern& pattern, const PartialMatch& 
 void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
                      const PartialMatch& m, int s, TopKSet* topk, ExecMetrics* metrics,
                      std::atomic<uint64_t>* seq, std::vector<PartialMatch>* out_survivors,
-                     ServerJoinCache* cache, const Instrumentation* ins) {
+                     ServerJoinCache* cache, const Instrumentation* ins,
+                     CancelToken* token) {
   static const Instrumentation kDisabled;
   if (ins == nullptr) ins = &kDisabled;
   // Close the server_op span on every return path.
@@ -193,6 +195,20 @@ void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
   }
 
   if (cache != nullptr && !exact && !plan.has_score_override()) {
+    // Chaos site on the join-cache path, outside every lock: schedule
+    // actions perturb hit/miss interleaving; an injected error cancels the
+    // run's token and drops this operation (no survivors — the engine
+    // unwinds at its next queue-boundary poll). Without a token the error
+    // still counts as triggered but cannot propagate, so it is ignored.
+    if (failpoint::Enabled()) {
+      Status st = failpoint::InjectedError(failpoint::sites::kCacheLookup);
+      if (!st.ok()) {
+        if (token != nullptr) {
+          token->CancelError(std::move(st));
+          return;
+        }
+      }
+    }
     // Memoized path: levels for (server, root) are reusable across all
     // tuples of this root.
     auto entry = cache->GetOrCompute(s, m.root_binding(), [&] {

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <vector>
 
+#include "exec/cancel.h"
 #include "exec/join_cache.h"
 #include "exec/metrics.h"
 #include "exec/options.h"
@@ -34,12 +35,16 @@ std::vector<PartialMatch> GenerateRootMatches(const QueryPlan& plan,
 /// `cache` (optional) memoizes classified candidates per (server, root) —
 /// only consulted in relaxed, max-tuple, non-override mode, where results
 /// depend on nothing else. `ins` (optional) records the operation's span,
-/// its latency histogram sample, and prune/complete trace events.
+/// its latency histogram sample, and prune/complete trace events. `token`
+/// (optional) receives the `cache.lookup` failpoint's injected error — the
+/// operation then returns early with no survivors, which callers handle
+/// like an empty extension set (the run unwinds via the cancelled token).
 void ProcessAtServer(const QueryPlan& plan, const ExecOptions& options,
                      const PartialMatch& m, int s, TopKSet* topk, ExecMetrics* metrics,
                      std::atomic<uint64_t>* seq, std::vector<PartialMatch>* out_survivors,
                      ServerJoinCache* cache = nullptr,
-                     const Instrumentation* ins = nullptr);
+                     const Instrumentation* ins = nullptr,
+                     CancelToken* token = nullptr);
 
 /// Busy-waits for `seconds` (used to inject synthetic per-operation cost;
 /// sleeps when the cost is long enough for the OS timer to be accurate).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace whirlpool::exec {
 
@@ -34,6 +35,10 @@ void TopKSet::SetMinScoreMode(double min_score) {
 }
 
 void TopKSet::RefreshCachedThresholdLocked() {
+  // Chaos site under both the shard lock and scores_mu_: a sleep here stalls
+  // every concurrent updater and widens the cached-threshold staleness
+  // window the lock-free Alive() readers must tolerate.
+  WHIRLPOOL_FAILPOINT(failpoint::sites::kTopkThresholdRefresh);
   if (min_score_mode_ || frozen_) return;  // cache pinned by the mode setters
   if (scores_.size() < k_) return;         // still -infinity: set not full
   auto it = scores_.rbegin();
@@ -54,6 +59,9 @@ void TopKSet::RefreshCachedThresholdLocked() {
 }
 
 void TopKSet::Update(const PartialMatch& m, bool complete) {
+  // Chaos site before the shard lock: perturbs insert/evict interleaving
+  // across shards (one relaxed load when no plan is installed).
+  WHIRLPOOL_FAILPOINT(failpoint::sites::kTopkUpdate);
   if (!complete && !update_partials_) return;
   WP_DCHECK(m.bindings.size() == m.levels.size())
       << "corrupt match: " << m.bindings.size() << " bindings vs "

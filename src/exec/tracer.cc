@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
 #include "util/json.h"
 
 namespace whirlpool::exec {
@@ -41,6 +42,10 @@ Tracer::Buffer* Tracer::GetBuffer() {
 
 void Tracer::RecordSpan(const char* name, ServerId server, MatchSeq match_seq,
                         uint64_t start_ns, uint64_t end_ns) {  // NOLINT(bugprone-easily-swappable-parameters)
+  // Chaos site before the buffer lock: a stalled writer here races the live
+  // export path (WriteChromeTrace/NumEvents), pinning AppendBufferJson's
+  // REQUIRES(b.mu) contract under perturbation.
+  WHIRLPOOL_FAILPOINT(failpoint::sites::kTracerRecord);
   Buffer* buf = GetBuffer();
   // Uncontended unless an export is concurrently scanning this buffer.
   MutexLock lock(&buf->mu);
@@ -49,6 +54,7 @@ void Tracer::RecordSpan(const char* name, ServerId server, MatchSeq match_seq,
 }
 
 void Tracer::RecordInstant(const char* name, ServerId server, MatchSeq match_seq) {
+  WHIRLPOOL_FAILPOINT(failpoint::sites::kTracerRecord);
   Buffer* buf = GetBuffer();
   MutexLock lock(&buf->mu);
   buf->events.push_back(

@@ -18,17 +18,21 @@
 // A simulated processor count (ExecOptions::processor_cap) bounds how many
 // server threads do useful work concurrently, reproducing the paper's
 // 1/2/4/infinity-processor study (Fig 9) on a single host.
+#include <algorithm>
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "exec/adaptive.h"
+#include "exec/cancel.h"
 #include "exec/engine.h"
 #include "exec/queue_policy.h"
 #include "exec/routing.h"
 #include "exec/server.h"
 #include "exec/tracer.h"
+#include "util/failpoint.h"
 #include "util/mutex.h"
 #include "util/semaphore.h"
 #include "util/stopwatch.h"
@@ -75,6 +79,10 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
   WHIRLPOOL_RETURN_NOT_OK(ValidateOptions(options));
   Result<Router> router = Router::Make(plan, options);
   if (!router.ok()) return router.status();
+  // ValidateOptions parse-checked the plan; install it for the run's scope.
+  failpoint::ScopedConfig failpoints(options.failpoints, options.failpoint_seed);
+  WHIRLPOOL_RETURN_NOT_OK(failpoints.status());
+  CancelToken token(options.deadline_ms);
 
   Stopwatch wall;
   ExecMetrics metrics;
@@ -133,11 +141,33 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
     router_queue.PushBatch(&seed);
   }
 
-  auto server_loop = [&](int s, DrainGovernor* gov) {
+  // Cancellation (deadline or injected error) must not break termination
+  // detection: a cancelled consumer abandons its batches instead of
+  // processing them — each abandoned match is retired so in_flight still
+  // reaches zero and WaitForDrain returns — while recording the abandoned
+  // matches' max possible final scores into its own slot (one slot per
+  // thread, written before join; no synchronization needed) so main can
+  // report the residual-work bound.
+  const auto abandon = [&in_flight](std::vector<QueuedMatch>* batch,
+                                    double* bound) {
+    for (const QueuedMatch& qm : *batch) {
+      *bound = std::max(*bound, qm.match.max_final_score);
+      in_flight.Retire();
+    }
+    batch->clear();
+  };
+
+  auto server_loop = [&](int s, DrainGovernor* gov, double* abandoned_bound) {
     std::vector<QueuedMatch> batch;
     std::vector<PartialMatch> survivors;
     std::vector<QueuedMatch> outbox;  // extensions bound for the router
     while (server_queues[static_cast<size_t>(s)]->PopBatch(&batch, gov)) {
+      // Queue boundary: drain-site failpoint (schedule perturbation, forced
+      // slow-server stall, or injected error) + deadline check.
+      if (token.Poll(failpoint::sites::kWmServerDrain)) {
+        abandon(&batch, abandoned_bound);
+        continue;  // keep draining so the in-flight count can reach zero
+      }
       for (QueuedMatch& qm : batch) {
         ins.QueueWait(qm.enqueue_ns, ServerId(s), MatchSeq(qm.match.seq));
         PartialMatch m = std::move(qm.match);
@@ -152,7 +182,7 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
         {
           ProcessorCapGuard guard(&cap);
           ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &survivors,
-                          cache.get(), &ins);
+                          cache.get(), &ins, &token);
         }
         // Children enter the in-flight count before their parent retires, so
         // the count cannot touch zero while this batch still produces work.
@@ -173,11 +203,17 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
     }
   };
 
-  auto router_loop = [&](DrainGovernor* gov) {
+  auto router_loop = [&](DrainGovernor* gov, double* abandoned_bound) {
     std::vector<QueuedMatch> batch;
     // Per-server outboxes: one publish per destination server per batch.
     std::vector<std::vector<QueuedMatch>> outboxes(static_cast<size_t>(num_servers));
     while (router_queue.PopBatch(&batch, gov)) {
+      // Queue boundary: handoff-site failpoint + deadline check (see
+      // server_loop above for the abandon contract).
+      if (token.Poll(failpoint::sites::kWmRouterHandoff)) {
+        abandon(&batch, abandoned_bound);
+        continue;
+      }
       for (QueuedMatch& qm : batch) {
         ins.QueueWait(qm.enqueue_ns, ServerId::Router(), MatchSeq(qm.match.seq));
         PartialMatch m = std::move(qm.match);
@@ -202,21 +238,40 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(worker_threads));
+  // One abandoned-work bound slot per thread, exchanged at join time.
+  std::vector<double> abandoned_bounds(
+      static_cast<size_t>(worker_threads),
+      -std::numeric_limits<double>::infinity());
+  size_t slot = 0;
   for (int s = 0; s < num_servers; ++s) {
     for (int t = 0; t < options.threads_per_server; ++t) {
-      threads.emplace_back(server_loop, s, drains.Register(s));
+      threads.emplace_back(server_loop, s, drains.Register(s),
+                           &abandoned_bounds[slot++]);
     }
   }
-  threads.emplace_back(router_loop, drains.Register(DrainController::kRouterQueue));
+  threads.emplace_back(router_loop, drains.Register(DrainController::kRouterQueue),
+                       &abandoned_bounds[slot++]);
 
   in_flight.WaitForDrain();
   router_queue.Stop();
   for (auto& q : server_queues) q->Stop();
   for (auto& t : threads) t.join();
 
+  // An injected error outranks any partial answer set.
+  WHIRLPOOL_RETURN_NOT_OK(token.error());
   ins.QueryDone(query_start);
   TopKResult result;
   result.answers = topk.Finalize();
+  result.approximate = token.DeadlineExpired();
+  result.threshold = topk.LockedThreshold();
+  result.score_bound =
+      result.answers.empty() ? -std::numeric_limits<double>::infinity()
+                             : result.answers.front().score;
+  if (result.approximate) {
+    for (double b : abandoned_bounds) {
+      result.score_bound = std::max(result.score_bound, b);
+    }
+  }
   result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
   drains.ExportTo(&result.metrics.adaptive);
   result.metrics.adaptive.queue_peak_depth.push_back(router_queue.depth_peak());

@@ -4,14 +4,18 @@
 // possible final score (the Upper/MPro discipline: the match with the
 // highest possible final score must be processed before a top-k answer can
 // be finalized).
+#include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "exec/adaptive.h"
+#include "exec/cancel.h"
 #include "exec/engine.h"
 #include "exec/queue_policy.h"
 #include "exec/routing.h"
 #include "exec/server.h"
 #include "exec/tracer.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace whirlpool::exec {
@@ -20,6 +24,10 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
   WHIRLPOOL_RETURN_NOT_OK(ValidateOptions(options));
   Result<Router> router = Router::Make(plan, options);
   if (!router.ok()) return router.status();
+  // ValidateOptions parse-checked the plan; install it for the run's scope.
+  failpoint::ScopedConfig failpoints(options.failpoints, options.failpoint_seed);
+  WHIRLPOOL_RETURN_NOT_OK(failpoints.status());
+  CancelToken token(options.deadline_ms);
 
   Stopwatch wall;
   ExecMetrics metrics;
@@ -49,6 +57,10 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
 
   const int bulk = options.bulk_batch;  // ValidateOptions rejected < 1
   while (!queue.empty()) {
+    // Queue boundary: evaluate the step failpoint (schedule perturbation or
+    // injected error) and the deadline; on cancellation the remaining queue
+    // is abandoned below with its residual score bound.
+    if (token.Poll(failpoint::sites::kWsStep)) break;
     QueuedMatch qm = queue.Pop();
     ins.QueueWait(qm.enqueue_ns, ServerId::Router(), MatchSeq(qm.match.seq));
     PartialMatch m = std::move(qm.match);
@@ -63,7 +75,7 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
     ins.Route(ServerId(s), MatchSeq(m.seq));
     survivors.clear();
     ProcessAtServer(plan, options, m, s, &topk, &metrics, &seq, &survivors,
-                    cache.get(), &ins);
+                    cache.get(), &ins, &token);
     // Bulk routing (Sec 6.3.3 future work): reuse this decision for queue
     // neighbours that have visited the same servers — they are "similar"
     // matches for which the router would very likely pick the same server.
@@ -79,7 +91,7 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
         continue;
       }
       ProcessAtServer(plan, options, other, s, &topk, &metrics, &seq, &survivors,
-                      cache.get(), &ins);
+                      cache.get(), &ins, &token);
     }
     for (PartialMatch& ext : survivors) {
       const double prio = QueuePriority(plan, QueuePolicy::kMaxFinalScore, ext, -1);
@@ -88,9 +100,21 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
     }
   }
 
+  // An injected error outranks any partial answer set.
+  WHIRLPOOL_RETURN_NOT_OK(token.error());
   ins.QueryDone(query_start);
   TopKResult result;
   result.answers = topk.Finalize();
+  result.approximate = token.DeadlineExpired();
+  result.threshold = topk.LockedThreshold();
+  result.score_bound =
+      result.answers.empty() ? -std::numeric_limits<double>::infinity()
+                             : result.answers.front().score;
+  if (result.approximate) {
+    // Residual-work bound: anything a completed run could still return is
+    // capped by the abandoned queue entries' max possible final scores.
+    result.score_bound = std::max(result.score_bound, queue.MaxFinalBound());
+  }
   result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
   result.metrics.adaptive.shards_auto = sync.shards_auto;
   result.metrics.adaptive.chosen_shards = topk.num_shards();

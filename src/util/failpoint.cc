@@ -1,0 +1,382 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace whirlpool::failpoint {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+enum class Action : uint8_t { kYield, kSleep, kWake, kError, kStall };
+enum class Trigger : uint8_t { kAlways, kEveryNth, kProbability, kOneShot };
+
+/// One parsed `name=action(args)` clause. Immutable after Configure publishes
+/// the owning Plan, except for the two relaxed counters.
+struct Entry {
+  std::string name;
+  std::string spec;
+  Action action = Action::kYield;
+  Trigger trigger = Trigger::kAlways;
+  uint64_t every_n = 1;
+  double probability = 1.0;
+  uint64_t duration_us = 0;
+  /// Per-entry hash base for p= decisions: mixes the plan seed with the site
+  /// name so two probabilistic entries draw independent sequences.
+  uint64_t hash_base = 0;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> triggers{0};
+};
+
+/// An installed plan. Entries are heap-held because the atomics make Entry
+/// immovable; the vector itself is immutable after publication.
+struct Plan {
+  std::vector<std::unique_ptr<Entry>> entries;
+};
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(uint64_t seed, const std::string& name) {
+  uint64_t h = seed ^ 0xcbf29ce484222325ull;
+  for (char c : name) h = SplitMix64(h ^ static_cast<unsigned char>(c));
+  return h;
+}
+
+/// Uniform double in [0, 1) from the top 53 bits.
+double ToUnit(uint64_t x) { return static_cast<double>(x >> 11) * 0x1.0p-53; }
+
+/// Longest a sleep/stall may be configured for: plans are test inputs and a
+/// fat-fingered duration should fail parse, not wedge a run for minutes.
+constexpr uint64_t kMaxDurationUs = 1000000;  // 1 s
+
+/// The process-global registry. Configure/Clear/Snapshot serialize on mu_;
+/// the Hit() hot path only touches the published pointer and the entries'
+/// relaxed counters, so it takes no lock and adds no synchronization edges
+/// beyond the one acquire/release pair that publishes the immutable plan.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance() {
+    static FailpointRegistry* r = new FailpointRegistry();  // leaked: process-lifetime
+    return *r;
+  }
+
+  void Install(std::unique_ptr<Plan> plan) {
+    MutexLock lock(&mu_);
+    // release: publishes the fully-built immutable Plan; pairs with the
+    // acquire load in Active() on the lock-free hit path.
+    active_.store(plan.get(), std::memory_order_release);
+    plans_.push_back(std::move(plan));
+    internal::g_armed.store(true, std::memory_order_relaxed);
+  }
+
+  void Uninstall() {
+    MutexLock lock(&mu_);
+    internal::g_armed.store(false, std::memory_order_relaxed);
+    // release: orders the gate close before the pointer swap for any reader
+    // between the two loads; retired plans stay allocated (plans_) so a
+    // racing Hit() that already loaded the pointer never frees from under it.
+    active_.store(nullptr, std::memory_order_release);
+  }
+
+  const Plan* Active() const {
+    // acquire: pairs with the release store in Install so the plan's entries
+    // are fully constructed when the hit path walks them.
+    return active_.load(std::memory_order_acquire);
+  }
+
+ private:
+  FailpointRegistry() = default;
+
+  mutable Mutex mu_{LockRank::kFailpointRegistry, "FailpointRegistry::mu_"};
+  /// Every plan ever installed, kept alive until process exit so the
+  /// lock-free hit path never races a free (plans are tiny and Configure is
+  /// a per-run test operation, so the leak is bounded and intentional).
+  std::vector<std::unique_ptr<Plan>> plans_ GUARDED_BY(mu_);
+  std::atomic<const Plan*> active_{nullptr};
+};
+
+/// Splits on commas that sit outside parentheses ("a=s(1,p=.5),b=y" has two
+/// top-level clauses).
+std::vector<std::string> SplitTopLevel(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseProb(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;
+  *out = v;
+  return true;
+}
+
+Status ParseClause(const std::string& raw, Entry* e) {
+  const std::string clause = Trim(raw);
+  const size_t eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint clause '" + clause +
+                                   "' is not name=action(args)");
+  }
+  e->name = Trim(clause.substr(0, eq));
+  bool known = false;
+  for (const std::string& s : KnownSites()) known = known || s == e->name;
+  if (!known) {
+    std::string valid;
+    for (const std::string& s : KnownSites()) {
+      if (!valid.empty()) valid += ", ";
+      valid += s;
+    }
+    return Status::InvalidArgument("unknown failpoint '" + e->name +
+                                   "' (known sites: " + valid + ")");
+  }
+  e->spec = Trim(clause.substr(eq + 1));
+  std::string action = e->spec;
+  std::string args;
+  const size_t paren = action.find('(');
+  if (paren != std::string::npos) {
+    if (action.back() != ')') {
+      return Status::InvalidArgument("failpoint '" + e->name +
+                                     "': unbalanced parentheses in '" + action + "'");
+    }
+    args = action.substr(paren + 1, action.size() - paren - 2);
+    action = Trim(action.substr(0, paren));
+  }
+  if (action == "yield") e->action = Action::kYield;
+  else if (action == "sleep") e->action = Action::kSleep;
+  else if (action == "wake") e->action = Action::kWake;
+  else if (action == "error") e->action = Action::kError;
+  else if (action == "stall") e->action = Action::kStall;
+  else {
+    return Status::InvalidArgument(
+        "failpoint '" + e->name + "': unknown action '" + action +
+        "' (expected yield|sleep|wake|error|stall)");
+  }
+
+  const bool needs_duration =
+      e->action == Action::kSleep || e->action == Action::kStall;
+  bool have_duration = false;
+  bool have_trigger = false;
+  if (!args.empty()) {
+    for (const std::string& raw_arg : SplitTopLevel(args)) {
+      const std::string arg = Trim(raw_arg);
+      uint64_t n = 0;
+      if (arg == "once") {
+        if (have_trigger) {
+          return Status::InvalidArgument("failpoint '" + e->name +
+                                         "': multiple activation modes");
+        }
+        e->trigger = Trigger::kOneShot;
+        have_trigger = true;
+      } else if (arg.rfind("every=", 0) == 0) {
+        if (have_trigger || !ParseUint(arg.substr(6), &n) || n < 1) {
+          return Status::InvalidArgument("failpoint '" + e->name +
+                                         "': bad activation '" + arg + "'");
+        }
+        e->trigger = Trigger::kEveryNth;
+        e->every_n = n;
+        have_trigger = true;
+      } else if (arg.rfind("p=", 0) == 0) {
+        double p = 0.0;
+        if (have_trigger || !ParseProb(arg.substr(2), &p)) {
+          return Status::InvalidArgument("failpoint '" + e->name +
+                                         "': bad activation '" + arg +
+                                         "' (p must be in [0,1])");
+        }
+        e->trigger = Trigger::kProbability;
+        e->probability = p;
+        have_trigger = true;
+      } else if (ParseUint(arg, &n)) {
+        if (have_duration || !needs_duration) {
+          return Status::InvalidArgument("failpoint '" + e->name +
+                                         "': unexpected duration '" + arg + "'");
+        }
+        if (n > kMaxDurationUs) {
+          return Status::InvalidArgument("failpoint '" + e->name +
+                                         "': duration exceeds 1s cap");
+        }
+        e->duration_us = n;
+        have_duration = true;
+      } else {
+        return Status::InvalidArgument("failpoint '" + e->name +
+                                       "': unrecognized argument '" + arg + "'");
+      }
+    }
+  }
+  if (needs_duration && !have_duration) {
+    return Status::InvalidArgument("failpoint '" + e->name + "': " + action +
+                                   " requires a duration in microseconds");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Plan>> ParsePlan(const std::string& plan_str,
+                                        uint64_t seed) {
+  auto plan = std::make_unique<Plan>();
+  for (const std::string& clause : SplitTopLevel(plan_str)) {
+    if (Trim(clause).empty()) {
+      return Status::InvalidArgument("empty failpoint clause in '" + plan_str + "'");
+    }
+    auto e = std::make_unique<Entry>();
+    WHIRLPOOL_RETURN_NOT_OK(ParseClause(clause, e.get()));
+    for (const auto& prev : plan->entries) {
+      if (prev->name == e->name) {
+        return Status::InvalidArgument("failpoint '" + e->name +
+                                       "' configured twice in one plan");
+      }
+    }
+    e->hash_base = HashName(seed, e->name);
+    plan->entries.push_back(std::move(e));
+  }
+  return plan;
+}
+
+Effect Evaluate(Entry& e) {
+  // Per-hit decision index. The relaxed RMW deliberately feeds control flow:
+  // the branch selects a seeded chaos schedule, not guarded state — any
+  // cross-thread interleaving of hit indices is a valid schedule, and a
+  // stronger order would add the very synchronization edges the chaos suite
+  // must not have (they would mask real races under TSan).
+  const uint64_t n = e.hits.fetch_add(1, std::memory_order_relaxed);  // wp-lint: disable(WP006) seeded schedule choice, see comment above
+  bool fire = false;
+  switch (e.trigger) {
+    case Trigger::kAlways:
+      fire = true;
+      break;
+    case Trigger::kEveryNth:
+      fire = (n + 1) % e.every_n == 0;
+      break;
+    case Trigger::kProbability:
+      fire = ToUnit(SplitMix64(e.hash_base + n)) < e.probability;
+      break;
+    case Trigger::kOneShot:
+      fire = n == 0;
+      break;
+  }
+  if (!fire) return Effect::kNone;
+  e.triggers.fetch_add(1, std::memory_order_relaxed);
+  switch (e.action) {
+    case Action::kYield:
+      std::this_thread::yield();
+      return Effect::kNone;
+    case Action::kSleep:
+    case Action::kStall:
+      std::this_thread::sleep_for(std::chrono::microseconds(e.duration_us));
+      return Effect::kNone;
+    case Action::kWake:
+      return Effect::kWake;
+    case Action::kError:
+      return Effect::kError;
+  }
+  return Effect::kNone;  // unreachable
+}
+
+}  // namespace
+
+const std::vector<std::string>& KnownSites() {
+  static const std::vector<std::string>* kSites = new std::vector<std::string>{
+      sites::kQueuePushBatch,  sites::kQueuePopBatch,
+      sites::kTopkUpdate,      sites::kTopkThresholdRefresh,
+      sites::kWmServerDrain,   sites::kWmRouterHandoff,
+      sites::kWsStep,          sites::kLockstepWave,
+      sites::kCacheLookup,     sites::kAdaptiveSample,
+      sites::kTracerRecord,
+  };
+  return *kSites;
+}
+
+Effect Hit(const char* name) {
+  const Plan* plan = FailpointRegistry::Instance().Active();
+  if (plan == nullptr) return Effect::kNone;
+  for (const auto& e : plan->entries) {
+    if (e->name == name) return Evaluate(*e);
+  }
+  return Effect::kNone;
+}
+
+Status InjectedError(const char* name) {
+  if (Hit(name) == Effect::kError) {
+    return Status::Internal(std::string("failpoint '") + name +
+                            "' injected error");
+  }
+  return Status::OK();
+}
+
+Status ValidatePlan(const std::string& plan) {
+  if (plan.empty()) return Status::OK();
+  return ParsePlan(plan, 0).status();
+}
+
+Status Configure(const std::string& plan, uint64_t seed) {
+  if (plan.empty()) {
+    Clear();
+    return Status::OK();
+  }
+  Result<std::unique_ptr<Plan>> parsed = ParsePlan(plan, seed);
+  if (!parsed.ok()) return parsed.status();
+  FailpointRegistry::Instance().Install(std::move(parsed).value());
+  return Status::OK();
+}
+
+void Clear() { FailpointRegistry::Instance().Uninstall(); }
+
+std::vector<Stats> Snapshot() {
+  std::vector<Stats> out;
+  const Plan* plan = FailpointRegistry::Instance().Active();
+  if (plan == nullptr) return out;
+  out.reserve(plan->entries.size());
+  for (const auto& e : plan->entries) {
+    Stats s;
+    s.name = e->name;
+    s.spec = e->spec;
+    s.hits = e->hits.load(std::memory_order_relaxed);
+    s.triggers = e->triggers.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace whirlpool::failpoint

@@ -1,0 +1,148 @@
+// Named failpoints: seeded, deterministic fault injection for the chaos
+// suite (tests/chaos_test.cpp, DESIGN.md §12). A failpoint is a compiled-in
+// site on an engine hot path; a *plan* — parsed from the
+// `--failpoints "name=action(args)[,...]"` string — attaches an action to a
+// subset of sites:
+//
+//   yield            give up the time slice (schedule perturbation)
+//   sleep(USEC)      sleep this thread (schedule perturbation)
+//   stall(USEC)      alias of sleep for "slow server" plans (longer stalls)
+//   wake             request a spurious wakeup: the site broadcasts on its
+//                    condition variable so waiters recheck their predicate
+//   error            request an injected error: the site routes an Internal
+//                    Status into the run's CancelToken (error-capable sites
+//                    only; others count the trigger and continue)
+//
+// Activation is deterministic per hit index: `every=N` fires on every Nth
+// hit of the site, `once` fires on the first hit only, `p=F` fires when a
+// splitmix64 hash of (seed, hit index) falls below F — same seed, same hit
+// sequence, same decisions, regardless of thread interleaving.
+//
+// Zero overhead when disabled: every instrumented site is gated on a single
+// relaxed atomic load (`Enabled()`), false for any process that never calls
+// Configure, so release hot paths pay one predictable branch. The hit path
+// itself is lock-free — plans are immutable once published through an
+// acquire/release pointer and counters are relaxed atomics — so enabling a
+// plan under TSan adds no happens-before edges that could mask real races.
+//
+// The registry is process-global (one plan at a time): engines install the
+// plan from ExecOptions::failpoints for the duration of a run via
+// ScopedConfig. Concurrent runs with *different* plans are unsupported
+// (last Configure wins); concurrent runs with no plan are unaffected.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace whirlpool::failpoint {
+
+/// Instrumented site names (the only names Configure accepts; typos in a
+/// plan string fail fast). The exec layer owns the call sites; the table in
+/// DESIGN.md §12 records where each fires and whether it is error-capable.
+namespace sites {
+inline constexpr char kQueuePushBatch[] = "queue.push_batch";
+inline constexpr char kQueuePopBatch[] = "queue.pop_batch";
+inline constexpr char kTopkUpdate[] = "topk.update";
+inline constexpr char kTopkThresholdRefresh[] = "topk.threshold_refresh";
+inline constexpr char kWmServerDrain[] = "wm.server_drain";
+inline constexpr char kWmRouterHandoff[] = "wm.router_handoff";
+inline constexpr char kWsStep[] = "ws.step";
+inline constexpr char kLockstepWave[] = "lockstep.wave";
+inline constexpr char kCacheLookup[] = "cache.lookup";
+inline constexpr char kAdaptiveSample[] = "adaptive.sample";
+inline constexpr char kTracerRecord[] = "tracer.record";
+}  // namespace sites
+
+/// All known site names (for Configure validation and docs/tests).
+const std::vector<std::string>& KnownSites();
+
+/// Residual effect of a hit that the *site* must apply: schedule actions
+/// (yield/sleep/stall) already ran inside Hit().
+enum class Effect : uint8_t {
+  kNone,   ///< nothing triggered, or the action completed inline
+  kWake,   ///< spurious wakeup requested: broadcast the site's condvar
+  kError,  ///< injected error requested: route a Status into the run
+};
+
+namespace internal {
+// The global gate. Exposed only so Enabled() inlines to one relaxed load;
+// use Configure/Clear to flip it.
+extern std::atomic<bool> g_armed;
+}  // namespace internal
+
+/// True when a plan is installed. The disabled fast path of every site.
+inline bool Enabled() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Evaluates the failpoint `name` against the installed plan: bumps the hit
+/// counter, decides activation deterministically, executes schedule actions
+/// inline, and returns the residual effect. Lock-free; no-op (kNone) when no
+/// plan is installed or the plan does not mention `name`.
+Effect Hit(const char* name);
+
+/// Error-capable sites: like Hit(), but an activated `error` action comes
+/// back as Status::Internal naming the site ("failpoint '<name>' injected
+/// error"); every other outcome is OK.
+Status InjectedError(const char* name);
+
+/// Parse-checks a plan string without installing it (ValidateOptions hook).
+/// The empty string is a valid empty plan.
+Status ValidatePlan(const std::string& plan);
+
+/// Parses and installs `plan`, resetting all counters; an empty string is
+/// equivalent to Clear(). `seed` drives the p= activation hashes. On a parse
+/// error the previous plan stays installed.
+Status Configure(const std::string& plan, uint64_t seed);
+
+/// Uninstalls any plan and closes the gate. Counters of the retired plan
+/// become unreachable (Snapshot before clearing to keep them).
+void Clear();
+
+/// Per-failpoint counters of the installed plan: hits (times the site
+/// executed) and triggers (times the action activated).
+struct Stats {
+  std::string name;
+  std::string spec;  ///< the "action(args)" text this entry was parsed from
+  uint64_t hits = 0;
+  uint64_t triggers = 0;
+};
+
+/// Counters for every entry of the installed plan (empty when disabled).
+std::vector<Stats> Snapshot();
+
+/// RAII plan installation for a run: Configure on construction (empty spec =
+/// no-op), Clear on destruction if this object installed a plan. Check
+/// status() before relying on the plan.
+class ScopedConfig {
+ public:
+  ScopedConfig(const std::string& plan, uint64_t seed)
+      : active_(!plan.empty()),
+        status_(active_ ? Configure(plan, seed) : Status::OK()) {}
+  ~ScopedConfig() {
+    if (active_ && status_.ok()) Clear();
+  }
+  ScopedConfig(const ScopedConfig&) = delete;
+  ScopedConfig& operator=(const ScopedConfig&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  const bool active_;
+  const Status status_;
+};
+
+}  // namespace whirlpool::failpoint
+
+/// Statement form for schedule-only sites (no condvar to wake, no Status to
+/// return): one relaxed load when disabled.
+#define WHIRLPOOL_FAILPOINT(name)                      \
+  do {                                                 \
+    if (::whirlpool::failpoint::Enabled()) {           \
+      (void)::whirlpool::failpoint::Hit(name);         \
+    }                                                  \
+  } while (0)

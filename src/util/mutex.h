@@ -45,6 +45,9 @@ enum class LockRank : int {
   kTopKScores = 70,     ///< TopKSet::scores_mu_ (global score multiset)
   kTracer = 80,         ///< Tracer::mu_ (buffer registry)
   kTracerBuffer = 90,   ///< Tracer::Buffer::mu (per-thread event logs)
+  kCancel = 93,         ///< CancelToken::mu_ (first-cancellation status)
+  kFailpointRegistry = 95,  ///< failpoint::FailpointRegistry::mu_ (leaf:
+                            ///< Configure/Snapshot only; hits are lock-free)
 };
 
 /// Human-readable enumerator name ("kTopKShard") for diagnostics.

@@ -1,0 +1,331 @@
+// Seeded chaos harness for the failpoint layer and deadline-degraded top-k
+// (DESIGN.md §12): 4 blocks x 52 = 208 seeded (engine x failpoint-plan)
+// trials, each comparing a faulted run against the same engine
+// configuration run clean. Three fault modes cycle through the sweep:
+//
+//   perturb   schedule-only plans (yield / sleep / stall / spurious wake)
+//             must not change the exact top-k: same count, same scores rank
+//             by rank, same roots above the boundary tie chain.
+//   deadline  a deadline plus forced per-step stalls: the run must stop
+//             cleanly and return a subset-consistent prefix flagged
+//             `approximate`, whose score_bound really bounds anything the
+//             completed run returned.
+//   error     injected errors at error-capable sites must propagate as a
+//             clean Status naming the failpoint — no hang, no partial
+//             answer, and the registry must come back disarmed.
+//
+// Deterministic and reproducible: every assertion message carries the
+// (base_seed, block, trial) triple plus the plan. Re-run a failure with
+//   WHIRLPOOL_CHAOS_SEED=<base_seed> ctest -L chaos
+// CI runs this suite under TSan (the perturbation plans shake out ordering
+// bugs that a quiet scheduler never exposes).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool {
+namespace {
+
+using exec::EngineKind;
+using exec::ExecOptions;
+using exec::RunTopK;
+using exec::TopKResult;
+using query::Axis;
+using query::TreePattern;
+using score::Normalization;
+using score::ScoringModel;
+
+constexpr uint64_t kDefaultBaseSeed = 20260808;
+constexpr int kBlocks = 4;
+constexpr int kTrialsPerBlock = 52;  // 4 * 52 = 208 trials
+constexpr double kEps = 1e-9;
+
+uint64_t BaseSeed() {
+  if (const char* env = std::getenv("WHIRLPOOL_CHAOS_SEED")) {
+    const uint64_t v = static_cast<uint64_t>(std::atoll(env));
+    if (v != 0) return v;
+  }
+  return kDefaultBaseSeed;
+}
+
+/// Random tree pattern over the XMark vocabulary (same shape space as
+/// differential_test.cpp, slightly narrower so trials stay fast).
+TreePattern RandomPattern(Rng* rng) {
+  static const char* const kTags[] = {"description", "parlist", "text",
+                                      "mailbox",     "keyword", "bold",
+                                      "name",        "listitem", "emph"};
+  TreePattern p = TreePattern::Root("item");
+  const int extra = 1 + static_cast<int>(rng->Uniform(4));
+  for (int i = 0; i < extra; ++i) {
+    const int parent = static_cast<int>(rng->Uniform(p.size()));
+    const Axis axis = rng->Chance(0.6) ? Axis::kChild : Axis::kDescendant;
+    p.AddNode(parent, axis, kTags[rng->Uniform(9)], std::nullopt);
+  }
+  return p;
+}
+
+/// Same tolerance contract as differential_test.cpp: scores must agree at
+/// every rank; root identity is a set comparison over the ranks strictly
+/// above the k-boundary tie chain (which root represents a tied group is
+/// schedule-dependent and any choice is a valid top-k).
+void ExpectSameAnswers(const TopKResult& ref, const TopKResult& got,
+                       const std::string& who, const std::string& repro) {
+  ASSERT_EQ(got.answers.size(), ref.answers.size()) << who << " " << repro;
+  if (ref.answers.empty()) return;
+  for (size_t i = 0; i < ref.answers.size(); ++i) {
+    ASSERT_NEAR(got.answers[i].score, ref.answers[i].score, kEps)
+        << who << " rank " << i << " " << repro;
+  }
+  size_t tail = ref.answers.size() - 1;
+  while (tail > 0 &&
+         ref.answers[tail - 1].score - ref.answers[tail].score <= kEps) {
+    --tail;
+  }
+  std::vector<xml::NodeId> ref_roots, got_roots;
+  for (size_t i = 0; i < tail; ++i) {
+    ref_roots.push_back(ref.answers[i].root);
+    got_roots.push_back(got.answers[i].root);
+  }
+  std::sort(ref_roots.begin(), ref_roots.end());
+  std::sort(got_roots.begin(), got_roots.end());
+  ASSERT_EQ(got_roots, ref_roots)
+      << who << " roots above the boundary tie chain differ " << repro;
+}
+
+/// One engine configuration of the rotation. `tps` only applies to W-M.
+struct EngineChoice {
+  EngineKind kind;
+  int threads_per_server;
+  const char* label;
+};
+
+constexpr EngineChoice kEngines[] = {
+    {EngineKind::kWhirlpoolS, 1, "ws"},
+    {EngineKind::kWhirlpoolM, 1, "wm1"},
+    {EngineKind::kWhirlpoolM, 2, "wm2"},
+    {EngineKind::kWhirlpoolM, 4, "wm4"},
+    {EngineKind::kLockStep, 1, "lockstep"},
+    {EngineKind::kWhirlpoolS, 1, "ws+cache"},
+};
+
+/// Schedule-only perturbation plans (no error actions). Sites an engine
+/// never executes are legal in a plan — they just record zero hits — so one
+/// pool serves every engine. Durations stay in the tens-of-microseconds
+/// range: enough to reshuffle thread interleavings, cheap enough for 208
+/// trials under TSan on one core.
+const char* const kPerturbPlans[] = {
+    "queue.push_batch=yield(every=3),topk.update=yield(every=5)",
+    "queue.pop_batch=sleep(50,every=7),tracer.record=yield(p=0.25)",
+    "wm.server_drain=stall(100,every=9),topk.threshold_refresh=yield(every=4)",
+    "queue.pop_batch=wake(every=4),queue.push_batch=wake(every=5)",
+    "ws.step=yield(every=2),lockstep.wave=sleep(40,once)",
+    "adaptive.sample=sleep(20,p=0.5),topk.update=sleep(10,every=11)",
+    "wm.router_handoff=stall(80,every=6),cache.lookup=yield",
+};
+
+class ChaosTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosTest, SeededFaultPlans) {
+  const uint64_t base_seed = BaseSeed();
+  const int block = GetParam();
+  Rng rng(base_seed * 9176237 + static_cast<uint64_t>(block) * 131);
+
+  // A small per-block pool of documents (8-16 KB keeps a single trial in
+  // the low milliseconds even under TSan).
+  struct Doc {
+    std::unique_ptr<xml::Document> doc;
+    std::unique_ptr<index::TagIndex> idx;
+  };
+  std::vector<Doc> docs;
+  const size_t kDocBytes[] = {8 << 10, 12 << 10, 16 << 10};
+  for (size_t di = 0; di < 3; ++di) {
+    xmlgen::XMarkOptions gen;
+    gen.seed = base_seed + static_cast<uint64_t>(block) * 31 + di;
+    gen.target_bytes = kDocBytes[di];
+    Doc d;
+    d.doc = xmlgen::GenerateXMark(gen);
+    d.idx = std::make_unique<index::TagIndex>(*d.doc);
+    docs.push_back(std::move(d));
+  }
+
+  int approximate_runs = 0;
+  for (int trial = 0; trial < kTrialsPerBlock; ++trial) {
+    const Doc& d = docs[rng.Uniform(docs.size())];
+    const TreePattern pattern = RandomPattern(&rng);
+    const Normalization norm =
+        rng.Chance(0.5) ? Normalization::kSparse : Normalization::kDense;
+    const ScoringModel scoring = ScoringModel::ComputeTfIdf(*d.idx, pattern, norm);
+    auto plan = exec::QueryPlan::Build(*d.idx, pattern, scoring);
+    ASSERT_TRUE(plan.ok()) << pattern.ToString();
+
+    const EngineChoice& eng = kEngines[trial % 6];
+    ExecOptions base;
+    base.engine = eng.kind;
+    base.threads_per_server = eng.threads_per_server;
+    base.k = 1 + static_cast<uint32_t>(rng.Uniform(12));
+    base.semantics = rng.Chance(0.8) ? exec::MatchSemantics::kRelaxed
+                                     : exec::MatchSemantics::kExact;
+    base.cache_server_joins = std::string(eng.label) == "ws+cache";
+    base.failpoint_seed = base_seed + static_cast<uint64_t>(trial) * 977;
+
+    // The per-engine cancellation-poll site: the only sites where an
+    // `error` action can surface (plus cache.lookup when the cache is on).
+    // W-M arms both its poll sites: the router handoff is guaranteed to see
+    // the seeded root batch, while the server drain can legitimately starve
+    // (the router may prune every match before any server queue fills).
+    const char* stall_site =
+        eng.kind == EngineKind::kWhirlpoolS
+            ? failpoint::sites::kWsStep
+            : eng.kind == EngineKind::kWhirlpoolM
+                  ? failpoint::sites::kWmServerDrain
+                  : failpoint::sites::kLockstepWave;
+    const std::string error_plan =
+        eng.kind == EngineKind::kWhirlpoolM
+            ? std::string(failpoint::sites::kWmServerDrain) + "=error(once)," +
+                  failpoint::sites::kWmRouterHandoff + "=error(once)"
+            : std::string(stall_site) + "=error(once)";
+
+    std::ostringstream repro;
+    repro << "[repro: WHIRLPOOL_CHAOS_SEED=" << base_seed << " block=" << block
+          << " trial=" << trial << " engine=" << eng.label << " k=" << base.k
+          << " semantics=" << exec::MatchSemanticsName(base.semantics)
+          << " pattern=" << pattern.ToString() << "]";
+
+    // Clean reference: same engine configuration, no plan, no deadline.
+    auto clean = RunTopK(*plan, base);
+    ASSERT_TRUE(clean.ok()) << repro.str();
+    ASSERT_FALSE(clean->approximate) << repro.str();
+
+    const int mode = trial % 3;
+    if (mode == 0) {
+      // --- perturb: schedule noise must not change the exact top-k. ---
+      ExecOptions perturbed = base;
+      perturbed.failpoints = kPerturbPlans[trial % 7];
+      auto got = RunTopK(*plan, perturbed);
+      ASSERT_TRUE(got.ok()) << perturbed.failpoints << " " << repro.str();
+      EXPECT_FALSE(got->approximate) << repro.str();
+      ExpectSameAnswers(*clean, *got,
+                        std::string("perturb{") + perturbed.failpoints + "}",
+                        repro.str());
+      if (::testing::Test::HasFatalFailure()) return;
+    } else if (mode == 1) {
+      // --- deadline: forced stalls + a short deadline. ---
+      ExecOptions bounded = base;
+      bounded.failpoints = std::string(stall_site) + "=sleep(300)";
+      bounded.deadline_ms = 0.2 + 0.3 * static_cast<double>(trial % 4);
+      auto got = RunTopK(*plan, bounded);
+      ASSERT_TRUE(got.ok()) << repro.str();
+      if (!got->approximate) {
+        // The run beat the deadline: it must then be the exact answer.
+        ExpectSameAnswers(*clean, *got, "deadline(beat)", repro.str());
+        if (::testing::Test::HasFatalFailure()) return;
+      } else {
+        ++approximate_runs;
+        ASSERT_LE(got->answers.size(), static_cast<size_t>(base.k)) << repro.str();
+        for (size_t i = 1; i < got->answers.size(); ++i) {
+          ASSERT_LE(got->answers[i].score, got->answers[i - 1].score + kEps)
+              << repro.str();
+        }
+        // score_bound must cap both what was returned and what a completed
+        // run returns: in particular the exact top answer.
+        if (!got->answers.empty()) {
+          ASSERT_LE(got->answers.front().score, got->score_bound + kEps)
+              << repro.str();
+        }
+        if (!clean->answers.empty()) {
+          ASSERT_LE(clean->answers.front().score, got->score_bound + kEps)
+              << "score_bound does not bound the exact top answer "
+              << repro.str();
+        }
+        // threshold is the k'th-best at stop time: with a full answer set it
+        // is the last returned score.
+        if (got->answers.size() == static_cast<size_t>(base.k)) {
+          ASSERT_NEAR(got->threshold, got->answers.back().score, kEps)
+              << repro.str();
+        }
+        // Subset consistency: an approximate answer for a root never beats
+        // the score the completed run assigns that root (scores only grow as
+        // more of the match is explored; for roots past the clean top-k the
+        // clean threshold is the cap).
+        std::map<xml::NodeId, double> clean_scores;
+        for (const auto& a : clean->answers) clean_scores[a.root] = a.score;
+        const double clean_threshold =
+            clean->answers.size() == static_cast<size_t>(base.k)
+                ? clean->answers.back().score
+                : 0.0;
+        for (const auto& a : got->answers) {
+          auto it = clean_scores.find(a.root);
+          const double cap = it != clean_scores.end()
+                                 ? it->second
+                                 : std::max(clean_threshold, 0.0);
+          ASSERT_LE(a.score, cap + kEps)
+              << "root " << a.root << " scored above its completed-run score "
+              << repro.str();
+        }
+      }
+    } else {
+      // --- error: injected failures propagate as clean Status values. ---
+      ExecOptions faulty = base;
+      // The cache variant injects at the memoized-lookup path (consulted on
+      // every server operation in cache+relaxed+max-tuple mode); elsewhere
+      // the poll-site plan fires on the first queue boundary. Either way the
+      // site is only *reached* when the run has work: gate the must-fail
+      // assertion on the clean run's own evidence of that.
+      const bool cache_error =
+          base.cache_server_joins &&
+          base.semantics == exec::MatchSemantics::kRelaxed;
+      faulty.failpoints =
+          cache_error ? std::string(failpoint::sites::kCacheLookup) + "=error"
+                      : error_plan;
+      const bool site_reachable =
+          cache_error ? clean->metrics.server_operations > 0
+                      : eng.kind == EngineKind::kLockStep ||
+                            clean->metrics.matches_created > 0;
+      auto got = RunTopK(*plan, faulty);
+      if (site_reachable) {
+        ASSERT_FALSE(got.ok())
+            << "injected error did not surface " << repro.str();
+        EXPECT_NE(got.status().message().find("injected error"),
+                  std::string::npos)
+            << got.status().message() << " " << repro.str();
+      } else {
+        // No work ever reached an error-capable site: the plan is inert and
+        // the run must simply succeed with the exact answers.
+        ASSERT_TRUE(got.ok()) << repro.str();
+        ExpectSameAnswers(*clean, *got, "error(unreached)", repro.str());
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      EXPECT_FALSE(failpoint::Enabled())
+          << "registry left armed after an error run " << repro.str();
+      // The failed run must not poison the process: a clean rerun of the
+      // same configuration still produces the exact answers.
+      auto again = RunTopK(*plan, base);
+      ASSERT_TRUE(again.ok()) << repro.str();
+      ExpectSameAnswers(*clean, *again, "post-error rerun", repro.str());
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  // ~17 deadline trials per block with a 300us stall at every poll: if none
+  // ever expired, the deadline plumbing is broken (or the stall site never
+  // fired), not unlucky.
+  EXPECT_GT(approximate_runs, 0)
+      << "no deadline trial returned an approximate answer in block " << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, ChaosTest, ::testing::Range(0, kBlocks));
+
+}  // namespace
+}  // namespace whirlpool

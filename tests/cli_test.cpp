@@ -136,6 +136,51 @@ TEST(CliTest, QueryRejectsBadEnumValues) {
                    .status.ok());
 }
 
+TEST(CliTest, QueryFailpointAndDeadlineFlags) {
+  // A schedule-only plan with a pinned seed: the run must succeed and, with
+  // --metrics-json, surface the per-failpoint counters.
+  const std::string mj = std::string(::testing::TempDir()) + "cli_fp_metrics.json";
+  auto r = RunArgs({"query", "--generate-kb=16", "--xpath=//item[./name]", "--k=3",
+                    "--failpoints=ws.step=yield(every=2),topk.update=yield",
+                    "--failpoint-seed=11", "--metrics-json=" + mj});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  std::ifstream f(mj);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_NE(buf.str().find("\"failpoints\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"ws.step\""), std::string::npos);
+  std::remove(mj.c_str());
+
+  // A deadline tight enough to trip under forced stalls: the text output
+  // must carry the approximate-answer banner with the bound.
+  auto dl = RunArgs({"query", "--generate-kb=64", "--xpath=//item[./name]", "--k=3",
+                     "--failpoints=ws.step=sleep(400)", "--deadline-ms=0.2"});
+  ASSERT_TRUE(dl.status.ok()) << dl.status;
+  EXPECT_NE(dl.output.find("approximate: deadline expired"), std::string::npos)
+      << dl.output;
+  EXPECT_NE(dl.output.find("score_bound="), std::string::npos);
+}
+
+TEST(CliTest, QueryRejectsBadFailpointAndDeadlineFlags) {
+  EXPECT_FALSE(RunArgs({"query", "--generate-kb=4", "--xpath=//item",
+                        "--failpoints=no.such.site=yield"})
+                   .status.ok());
+  EXPECT_FALSE(RunArgs({"query", "--generate-kb=4", "--xpath=//item",
+                        "--failpoints=ws.step=explode"})
+                   .status.ok());
+  EXPECT_FALSE(RunArgs({"query", "--generate-kb=4", "--xpath=//item",
+                        "--deadline-ms=-5"})
+                   .status.ok());
+  // An injected error must come back as a clean Status naming the site
+  // (two-node pattern: a single-node query completes at generation and
+  // never reaches the step boundary).
+  auto err = RunArgs({"query", "--generate-kb=8", "--xpath=//item[./name]",
+                      "--failpoints=ws.step=error(once)"});
+  ASSERT_FALSE(err.status.ok());
+  EXPECT_NE(err.status.message().find("injected error"), std::string::npos)
+      << err.status.message();
+}
+
 TEST(CliTest, QueryRequiresXPath) {
   auto r = RunArgs({"query", "--generate-kb=4"});
   ASSERT_FALSE(r.status.ok());

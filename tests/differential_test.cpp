@@ -205,6 +205,25 @@ TEST_P(DifferentialTest, EnginesAgreeOnRandomConfigs) {
       if (::testing::Test::HasFatalFailure()) return;
     }
 
+    // Failpoint-perturbed slice (every fourth trial): W-M under a seeded
+    // yield/sleep plan must still agree with the clean W-S reference —
+    // schedule perturbation may reorder work but never change answers.
+    if (trial % 4 == 2) {
+      ExecOptions wm = base;
+      wm.engine = EngineKind::kWhirlpoolM;
+      wm.threads_per_server = kThreadChoices[(trial / 4 + 1) % 4];
+      wm.failpoints =
+          "queue.pop_batch=yield(every=3),queue.push_batch=sleep(20,every=8),"
+          "topk.update=yield(p=0.25)";
+      wm.failpoint_seed = base_seed + static_cast<uint64_t>(trial);
+      auto got = RunTopK(*plan, wm);
+      ASSERT_TRUE(got.ok()) << repro.str();
+      std::ostringstream who;
+      who << "W-M(perturbed,threads=" << wm.threads_per_server << ")";
+      ExpectSameAnswers(*ref, *got, who.str(), repro.str());
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
     // LockStep: the static engine, same plan machinery but no queues.
     ExecOptions ls = base;
     ls.engine = EngineKind::kLockStep;

@@ -1,0 +1,198 @@
+// Unit tests for the failpoint registry (util/failpoint.h): plan parsing
+// and validation, deterministic activation (every=N / once / p=F under a
+// seed), counter snapshots, the ScopedConfig install/uninstall contract,
+// and the disabled-gate fast path. The multi-threaded / whole-engine
+// behaviour is covered by tests/chaos_test.cpp.
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace whirlpool::failpoint {
+namespace {
+
+// Every test runs with the registry disarmed on entry and must leave it
+// disarmed (the registry is process-global).
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Clear(); }
+  void TearDown() override { Clear(); }
+};
+
+const Stats& FindStats(const std::vector<Stats>& all, const std::string& name) {
+  auto it = std::find_if(all.begin(), all.end(),
+                         [&](const Stats& s) { return s.name == name; });
+  EXPECT_NE(it, all.end()) << "no stats for " << name;
+  return *it;
+}
+
+TEST_F(FailpointTest, DisabledByDefault) {
+  EXPECT_FALSE(Enabled());
+  EXPECT_EQ(Hit(sites::kWsStep), Effect::kNone);
+  EXPECT_TRUE(InjectedError(sites::kWsStep).ok());
+  EXPECT_TRUE(Snapshot().empty());
+}
+
+TEST_F(FailpointTest, ValidatePlanAcceptsAllActionsAndModes) {
+  EXPECT_TRUE(ValidatePlan("").ok());
+  EXPECT_TRUE(ValidatePlan("ws.step=yield").ok());
+  EXPECT_TRUE(ValidatePlan("queue.pop_batch=sleep(50)").ok());
+  EXPECT_TRUE(ValidatePlan("wm.server_drain=stall(200,every=4)").ok());
+  EXPECT_TRUE(ValidatePlan("queue.push_batch=wake(p=0.25)").ok());
+  EXPECT_TRUE(ValidatePlan("lockstep.wave=error(once)").ok());
+  EXPECT_TRUE(
+      ValidatePlan("ws.step=yield(every=3),topk.update=sleep(10,once)").ok());
+}
+
+TEST_F(FailpointTest, ValidatePlanRejectsMalformedPlans) {
+  // Unknown site: the message lists the valid ones (typo debugging aid).
+  Status st = ValidatePlan("nope.site=yield");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("queue.push_batch"), std::string::npos) << st.message();
+
+  EXPECT_FALSE(ValidatePlan("ws.step").ok());                  // no '='
+  EXPECT_FALSE(ValidatePlan("ws.step=explode").ok());          // unknown action
+  EXPECT_FALSE(ValidatePlan("ws.step=sleep").ok());            // missing duration
+  EXPECT_FALSE(ValidatePlan("ws.step=sleep(abc)").ok());       // non-numeric
+  EXPECT_FALSE(ValidatePlan("ws.step=sleep(2000000)").ok());   // > 1s cap
+  EXPECT_FALSE(ValidatePlan("ws.step=yield(every=0)").ok());   // N must be >= 1
+  EXPECT_FALSE(ValidatePlan("ws.step=yield(p=1.5)").ok());     // p outside [0,1]
+  EXPECT_FALSE(ValidatePlan("ws.step=yield(once,every=2)").ok());  // two modes
+  EXPECT_FALSE(ValidatePlan("ws.step=yield,ws.step=sleep(1)").ok());  // dup name
+}
+
+TEST_F(FailpointTest, ConfigureArmsAndClearDisarms) {
+  ASSERT_TRUE(Configure("ws.step=yield", 1).ok());
+  EXPECT_TRUE(Enabled());
+  EXPECT_EQ(Snapshot().size(), 1u);
+  Clear();
+  EXPECT_FALSE(Enabled());
+  EXPECT_TRUE(Snapshot().empty());
+}
+
+TEST_F(FailpointTest, ConfigureRejectsBadPlanAndKeepsPrevious) {
+  ASSERT_TRUE(Configure("ws.step=yield", 1).ok());
+  EXPECT_FALSE(Configure("bogus=yield", 1).ok());
+  ASSERT_TRUE(Enabled());
+  ASSERT_EQ(Snapshot().size(), 1u);
+  EXPECT_EQ(Snapshot()[0].name, "ws.step");
+}
+
+TEST_F(FailpointTest, EveryNthFiresExactlyEveryNth) {
+  ASSERT_TRUE(Configure("ws.step=yield(every=3)", 0).ok());
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(Hit(sites::kWsStep), Effect::kNone);
+  const Stats s = FindStats(Snapshot(), "ws.step");
+  EXPECT_EQ(s.hits, 12u);
+  EXPECT_EQ(s.triggers, 4u);  // hits 3, 6, 9, 12
+}
+
+TEST_F(FailpointTest, OnceFiresOnFirstHitOnly) {
+  ASSERT_TRUE(Configure("ws.step=error(once)", 0).ok());
+  EXPECT_FALSE(InjectedError(sites::kWsStep).ok());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(InjectedError(sites::kWsStep).ok());
+  const Stats s = FindStats(Snapshot(), "ws.step");
+  EXPECT_EQ(s.hits, 6u);
+  EXPECT_EQ(s.triggers, 1u);
+}
+
+TEST_F(FailpointTest, WakeActionSurfacesAsEffect) {
+  ASSERT_TRUE(Configure("queue.pop_batch=wake(every=2)", 0).ok());
+  EXPECT_EQ(Hit(sites::kQueuePopBatch), Effect::kNone);
+  EXPECT_EQ(Hit(sites::kQueuePopBatch), Effect::kWake);
+  // A wake action carries no error.
+  EXPECT_TRUE(InjectedError(sites::kQueuePopBatch).ok());  // hit 3: no trigger
+  EXPECT_TRUE(InjectedError(sites::kQueuePopBatch).ok());  // hit 4: wake, not error
+}
+
+TEST_F(FailpointTest, InjectedErrorNamesTheSite) {
+  ASSERT_TRUE(Configure("cache.lookup=error", 0).ok());
+  const Status st = InjectedError(sites::kCacheLookup);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cache.lookup"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("injected error"), std::string::npos) << st.message();
+}
+
+TEST_F(FailpointTest, UnmentionedSitesAreUntouched) {
+  ASSERT_TRUE(Configure("ws.step=yield", 0).ok());
+  EXPECT_EQ(Hit(sites::kTopkUpdate), Effect::kNone);
+  EXPECT_TRUE(InjectedError(sites::kLockstepWave).ok());
+  // Only the plan's own entries appear in Snapshot, all hit-counts intact.
+  const std::vector<Stats> all = Snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].name, "ws.step");
+  EXPECT_EQ(all[0].hits, 0u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    EXPECT_TRUE(Configure("ws.step=yield(p=0.5)", seed).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      const uint64_t before = FindStats(Snapshot(), "ws.step").triggers;
+      (void)Hit(sites::kWsStep);
+      fired.push_back(FindStats(Snapshot(), "ws.step").triggers > before);
+    }
+    return fired;
+  };
+  const std::vector<bool> a = run(42);
+  const std::vector<bool> b = run(42);
+  const std::vector<bool> c = run(43);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same activation sequence";
+  EXPECT_NE(a, c) << "different seeds should perturb the activation sequence";
+  // p=0.5 over 64 hits: both outcomes must occur (binomial tail < 1e-19).
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST_F(FailpointTest, SnapshotCarriesSpecText) {
+  ASSERT_TRUE(Configure("ws.step=sleep(10,every=2),topk.update=yield", 0).ok());
+  const std::vector<Stats> all = Snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(FindStats(all, "ws.step").spec, "sleep(10,every=2)");
+  EXPECT_EQ(FindStats(all, "topk.update").spec, "yield");
+}
+
+TEST_F(FailpointTest, ScopedConfigInstallsAndUninstalls) {
+  {
+    ScopedConfig cfg("ws.step=yield", 1);
+    ASSERT_TRUE(cfg.status().ok());
+    EXPECT_TRUE(Enabled());
+  }
+  EXPECT_FALSE(Enabled());
+}
+
+TEST_F(FailpointTest, ScopedConfigEmptyPlanIsInert) {
+  // An engine run with no --failpoints must not disturb an installed plan
+  // (e.g. a concurrent chaos run's): empty ScopedConfig neither arms nor
+  // clears.
+  ASSERT_TRUE(Configure("ws.step=yield", 1).ok());
+  {
+    ScopedConfig cfg("", 0);
+    ASSERT_TRUE(cfg.status().ok());
+    EXPECT_TRUE(Enabled());
+  }
+  EXPECT_TRUE(Enabled());
+}
+
+TEST_F(FailpointTest, ScopedConfigReportsParseError) {
+  ScopedConfig cfg("ws.step=explode", 0);
+  EXPECT_FALSE(cfg.status().ok());
+}
+
+TEST_F(FailpointTest, KnownSitesMatchesHeaderConstants) {
+  const std::vector<std::string>& known = KnownSites();
+  for (const char* s :
+       {sites::kQueuePushBatch, sites::kQueuePopBatch, sites::kTopkUpdate,
+        sites::kTopkThresholdRefresh, sites::kWmServerDrain,
+        sites::kWmRouterHandoff, sites::kWsStep, sites::kLockstepWave,
+        sites::kCacheLookup, sites::kAdaptiveSample, sites::kTracerRecord}) {
+    EXPECT_NE(std::find(known.begin(), known.end(), s), known.end()) << s;
+  }
+  EXPECT_EQ(known.size(), 11u);
+}
+
+}  // namespace
+}  // namespace whirlpool::failpoint

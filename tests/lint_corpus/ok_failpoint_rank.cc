@@ -1,0 +1,35 @@
+// wp-lint-expect: none
+// wp-alint-expect: none
+// Pins the failpoint/cancellation lock ranks (DESIGN.md §12): the registry
+// mutex (kFailpointRegistry, 95) is the highest rank in the hierarchy — a
+// leaf taken only by Configure/Snapshot, never on the hit path — and the
+// CancelToken mutex (kCancel, 93) nests above the tracer buffer rank so an
+// engine worker may report an injected error while holding any engine lock.
+// WP005 must accept both nestings; the runtime checker enforces the same
+// order in lock_rank_test.cpp.
+#include "util/mutex.h"
+
+namespace corpus {
+
+whirlpool::Mutex g_tracer_buf{whirlpool::LockRank::kTracerBuffer,
+                              "corpus::g_tracer_buf"};
+whirlpool::Mutex g_cancel{whirlpool::LockRank::kCancel, "corpus::g_cancel"};
+whirlpool::Mutex g_registry{whirlpool::LockRank::kFailpointRegistry,
+                            "corpus::g_registry"};
+
+// CancelError under an engine lock: kTracerBuffer (90) -> kCancel (93) is a
+// strictly increasing acquisition and must not be a WP005 edge.
+void CancelWhileTracing() {
+  whirlpool::MutexLock outer(&g_tracer_buf);
+  whirlpool::MutexLock inner(&g_cancel);
+}
+
+// Configure/Snapshot take the registry mutex last: kCancel (93) ->
+// kFailpointRegistry (95). Nothing ranks above it, so the registry can
+// never participate in an inversion.
+void SnapshotAfterCancel() {
+  whirlpool::MutexLock outer(&g_cancel);
+  whirlpool::MutexLock inner(&g_registry);
+}
+
+}  // namespace corpus

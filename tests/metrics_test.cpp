@@ -3,6 +3,7 @@
 // shared ValidateOptions checks every engine must apply identically.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <sstream>
 #include <thread>
@@ -12,6 +13,7 @@
 #include "exec/tracer.h"
 #include "query/tree_pattern.h"
 #include "score/scoring.h"
+#include "util/failpoint.h"
 #include "util/histogram.h"
 #include "xmlgen/xmark.h"
 
@@ -247,6 +249,48 @@ TEST(TracerTest, ChromeTraceIsWellFormedJson) {
   EXPECT_NE(json.find("\"prune\""), std::string::npos);
 }
 
+TEST(TracerTest, LiveExportRacesFailpointStalledWriters) {
+  // Live export under fire: writer threads record spans while the
+  // `tracer.record` failpoint stalls and reshuffles them mid-record, and the
+  // main thread concurrently runs WriteChromeTrace/NumEvents over the same
+  // buffers. This pins AppendBufferJson's REQUIRES(b.mu) contract — the
+  // export must take each buffer's lock around the scan, so every export
+  // observes a consistent prefix and the final count/JSON are exact. The
+  // TSan CI leg turns any unlocked scan into a hard failure.
+  failpoint::ScopedConfig cfg(
+      "tracer.record=sleep(40,every=3),topk.update=yield", /*seed=*/7);
+  ASSERT_TRUE(cfg.status().ok());
+  Tracer tracer;
+  constexpr int kWriters = 4;
+  constexpr int kSpansPerWriter = 60;
+  std::atomic<bool> stop_export{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpansPerWriter; ++i) {
+        const uint64_t start = MonotonicNs();
+        tracer.RecordSpan("chaos_span", ServerId(t), MatchSeq(static_cast<uint64_t>(i)),
+                          start, start + 5);
+      }
+    });
+  }
+  std::thread exporter([&tracer, &stop_export] {
+    while (!stop_export.load()) {
+      std::ostringstream os;
+      tracer.WriteChromeTrace(os);
+      EXPECT_TRUE(JsonChecker(os.str()).Valid()) << os.str().substr(0, 400);
+      (void)tracer.NumEvents();
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop_export.store(true);
+  exporter.join();
+  EXPECT_EQ(tracer.NumEvents(), static_cast<size_t>(kWriters) * kSpansPerWriter);
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  EXPECT_TRUE(JsonChecker(os.str()).Valid());
+}
+
 TEST(TracerTest, EmptyTraceIsWellFormed) {
   Tracer tracer;
   EXPECT_EQ(tracer.NumEvents(), 0u);
@@ -352,6 +396,37 @@ TEST(MetricsJsonTest, SnapshotJsonHasPercentileFields) {
         "\"p99_us\"", "\"mean_us\"", "\"max_us\""}) {
     EXPECT_NE(json.find(field), std::string::npos) << field << " missing in " << json;
   }
+}
+
+TEST(MetricsJsonTest, FailpointCountersSurfaceInJson) {
+  Workload w = MakeWorkload("//item[./name]");
+  ExecOptions opts;
+  opts.k = 5;
+  opts.collect_latencies = true;
+  opts.failpoints = "ws.step=yield(every=2),topk.update=yield(every=3)";
+  opts.failpoint_seed = 11;
+  auto r = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // The snapshot was taken while the run's plan was installed: both entries
+  // appear with their spec text, and the armed sites actually counted hits.
+  ASSERT_EQ(r->metrics.failpoints.size(), 2u);
+  uint64_t ws_step_hits = 0;
+  for (const auto& fp : r->metrics.failpoints) {
+    if (fp.name == "ws.step") ws_step_hits = fp.hits;
+    EXPECT_GE(fp.hits, fp.triggers) << fp.name;
+  }
+  EXPECT_GT(ws_step_hits, 0u);
+  const std::string json = r->metrics.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  for (const char* field : {"\"failpoints\"", "\"ws.step\"", "\"topk.update\"",
+                            "\"hits\"", "\"triggers\"", "\"spec\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field << " missing in " << json;
+  }
+  // A clean run leaves the counter array empty.
+  opts.failpoints.clear();
+  auto clean = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(clean->metrics.failpoints.empty());
 }
 
 TEST(ValidateOptionsTest, AllEnginesRejectBadOptionsIdentically) {

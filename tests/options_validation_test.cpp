@@ -76,6 +76,14 @@ TEST(OptionsValidationTest, RejectionMatrixIsIdenticalAcrossEngines) {
          o->frozen_threshold = 1.0;
          o->min_score_threshold = 2.0;
        }},
+      {"deadline_ms=-1", [](ExecOptions* o) { o->deadline_ms = -1.0; }},
+      {"deadline_ms=nan", [](ExecOptions* o) { o->deadline_ms = std::nan(""); }},
+      {"failpoints=unknown-site",
+       [](ExecOptions* o) { o->failpoints = "no.such.site=yield"; }},
+      {"failpoints=bad-action",
+       [](ExecOptions* o) { o->failpoints = "ws.step=explode"; }},
+      {"failpoints=two-modes",
+       [](ExecOptions* o) { o->failpoints = "ws.step=yield(once,every=2)"; }},
   };
   for (const Case& c : kBad) {
     // The message every path must produce, from the shared validator.

@@ -127,6 +127,15 @@ Result<exec::ExecOptions> ParseExecOptions(const Flags& flags) {
     // "All answers above T": lift the k cap unless the user set one.
     if (!flags.Has("k")) options.k = 1u << 30;
   }
+  if (flags.Has("deadline-ms")) {
+    options.deadline_ms = std::atof(flags.Get("deadline-ms").c_str());
+    if (!(options.deadline_ms >= 0.0)) {
+      return Status::InvalidArgument("--deadline-ms must be >= 0");
+    }
+  }
+  // The plan string itself is validated by ValidateOptions / ValidatePlan.
+  options.failpoints = flags.Get("failpoints");
+  options.failpoint_seed = static_cast<uint64_t>(flags.GetInt("failpoint-seed", 0));
   return options;
 }
 
@@ -230,7 +239,7 @@ Status CmdQuery(const Flags& flags, std::ostream& out) {
       {"xml", "snapshot", "generate-kb", "seed", "xpath", "k", "engine", "semantics",
        "aggregation", "norm", "routing", "format", "show-metrics", "threshold",
        "show-fragments", "cache", "trace", "metrics-json", "topk-shards",
-       "queue-drain-batch"}));
+       "queue-drain-batch", "deadline-ms", "failpoints", "failpoint-seed"}));
   if (!flags.Has("xpath")) return Status::InvalidArgument("--xpath is required");
   auto doc = LoadDocument(flags);
   if (!doc.ok()) return doc.status();
@@ -302,6 +311,10 @@ Status CmdQuery(const Flags& flags, std::ostream& out) {
   } else {
     return Status::InvalidArgument("--format must be text|csv");
   }
+  if (result->approximate) {
+    out << "approximate: deadline expired; threshold=" << result->threshold
+        << " score_bound=" << result->score_bound << "\n";
+  }
   if (flags.Has("show-metrics")) {
     out << "metrics: " << result->metrics.ToString() << "\n";
   }
@@ -325,10 +338,17 @@ std::string UsageText() {
       "            [--threshold=T] [--format=text|csv] [--cache=true] [--show-metrics]\n"
       "            [--show-fragments] [--trace=FILE] [--metrics-json=FILE]\n"
       "            [--topk-shards=N|auto] [--queue-drain-batch=N|auto]\n"
+      "            [--deadline-ms=T] [--failpoints=PLAN] [--failpoint-seed=S]\n"
       "\n"
       "  --trace=FILE writes a Chrome trace_event JSON (open in Perfetto or\n"
       "  chrome://tracing); --metrics-json=FILE writes the run's MetricsSnapshot\n"
-      "  as JSON, including p50/p95/p99 latency percentiles.\n";
+      "  as JSON, including p50/p95/p99 latency percentiles.\n"
+      "\n"
+      "  --deadline-ms=T stops the run after T ms and returns the current top-k\n"
+      "  flagged approximate, with its threshold and max-possible-score bound.\n"
+      "  --failpoints=\"name=action(args)[,...]\" arms fault-injection sites, e.g.\n"
+      "  \"queue.pop_batch=sleep(200,every=8),topk.update=error(once)\"; actions:\n"
+      "  yield|sleep(us)|wake|error|stall(us); modes: once, every=N, p=F.\n";
 }
 
 Status RunCli(const std::vector<std::string>& args, std::ostream& out) {

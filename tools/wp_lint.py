@@ -73,6 +73,14 @@ ATOMIC_ALLOWLIST = {
     # Total drain adjustments, incremented lock-free by DrainGovernors on
     # consumer threads; mu_ guards only the governor registry.
     "DrainController::adjustments_",
+    # Published plan pointer: release-stored under mu_ (Configure/Clear),
+    # acquire-loaded lock-free on the hit path; retired plans are kept alive
+    # until process exit so a stale read can never dangle (DESIGN.md §12).
+    "FailpointRegistry::active_",
+    # Sticky cancellation flag: release-stored after the reason is recorded
+    # under mu_; acquire-loaded by workers. Monotone (false->true only), so
+    # a stale read just delays — never corrupts — shutdown (DESIGN.md §12).
+    "CancelToken::cancelled_",
 }
 
 # WP002: non-const, non-atomic members that are structurally immutable after
