@@ -108,7 +108,12 @@ DrainGovernor* DrainController::Register(int queue_id) {
   governors_.push_back(std::unique_ptr<DrainGovernor>(
       new DrainGovernor(queue_id, resolved_.drain_adaptive, initial,
                         resolved_.drain_max, &adjustments_)));
-  return governors_.back().get();
+  // The returned pointer deliberately outlives the critical section:
+  // governors_ is append-only and owns each DrainGovernor through a
+  // unique_ptr (pointer-stable across push_back), and DrainGovernor's own
+  // state is internally synchronized (atomics + sampling), so the caller
+  // never touches mu_-guarded state through it.
+  return governors_.back().get();  // wp-lint: disable(WP010)
 }
 
 void DrainController::ExportTo(AdaptiveSnapshot* out) const {

@@ -1,6 +1,7 @@
 #include "exec/tracer.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/failpoint.h"
 #include "util/json.h"
@@ -43,8 +44,8 @@ Tracer::Buffer* Tracer::GetBuffer() {
 void Tracer::RecordSpan(const char* name, ServerId server, MatchSeq match_seq,
                         uint64_t start_ns, uint64_t end_ns) {  // NOLINT(bugprone-easily-swappable-parameters)
   // Chaos site before the buffer lock: a stalled writer here races the live
-  // export path (WriteChromeTrace/NumEvents), pinning AppendBufferJson's
-  // REQUIRES(b.mu) contract under perturbation.
+  // export path (WriteChromeTrace/NumEvents), pinning the export snapshot's
+  // locking against concurrent recording under perturbation.
   WHIRLPOOL_FAILPOINT(failpoint::sites::kTracerRecord);
   Buffer* buf = GetBuffer();
   // Uncontended unless an export is concurrently scanning this buffer.
@@ -71,26 +72,21 @@ size_t Tracer::NumEvents() const {
   return n;
 }
 
-void Tracer::WriteChromeTrace(std::ostream& os) const {
-  MutexLock lock(&mu_);
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
-        "\"args\":{\"name\":\"whirlpool\"}}";
-  for (const auto& b : buffers_) {
-    MutexLock buf_lock(&b->mu);
-    AppendBufferJson(*b, epoch_ns_, os);
-  }
-  os << "]}\n";
-}
+namespace {
 
-void Tracer::AppendBufferJson(const Buffer& b, uint64_t epoch_ns,
-                              std::ostream& os) {
-  for (const Event& e : b.events) {
+/// Streams one thread's snapshotted events as trace_event JSON objects
+/// (",\n{...}" each, Chrome conventions; `epoch_ns` is the trace's ts zero
+/// point). Takes a copied event vector, not the Buffer itself: the export
+/// path snapshots under the locks and streams after releasing them, so no
+/// lock is (or may be) held here.
+void AppendEventsJson(int tid, const std::vector<Tracer::Event>& events,
+                      uint64_t epoch_ns, std::ostream& os) {
+  for (const Tracer::Event& e : events) {
     // ts is microseconds since tracer construction (Chrome convention).
     const double ts =
         static_cast<double>(e.start_ns - std::min(e.start_ns, epoch_ns)) / 1e3;
     os << ",\n{\"name\":\"" << util::JsonEscape(e.name)
-       << "\",\"cat\":\"exec\",\"pid\":1,\"tid\":" << b.tid
+       << "\",\"cat\":\"exec\",\"pid\":1,\"tid\":" << tid
        << ",\"ts\":" << util::JsonNumber(ts);
     if (e.instant) {
       os << ",\"ph\":\"i\",\"s\":\"t\"";
@@ -101,6 +97,31 @@ void Tracer::AppendBufferJson(const Buffer& b, uint64_t epoch_ns,
     os << ",\"args\":{\"server\":" << e.server
        << ",\"match_seq\":" << e.match_seq << "}}";
   }
+}
+
+}  // namespace
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  // Snapshot every buffer under its locks first and stream only after both
+  // are released: operator<< may block on the sink (file, pipe), and
+  // blocking I/O under kTracer/kTracerBuffer would stall every concurrently
+  // recording thread for the duration of the write (WP009).
+  std::vector<std::pair<int, std::vector<Event>>> snapshots;
+  {
+    MutexLock lock(&mu_);
+    snapshots.reserve(buffers_.size());
+    for (const auto& b : buffers_) {
+      MutexLock buf_lock(&b->mu);
+      snapshots.emplace_back(b->tid, b->events);
+    }
+  }
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"whirlpool\"}}";
+  for (const auto& [tid, events] : snapshots) {
+    AppendEventsJson(tid, events, epoch_ns_, os);
+  }
+  os << "]}\n";
 }
 
 }  // namespace whirlpool::exec

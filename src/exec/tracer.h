@@ -78,14 +78,6 @@ class Tracer {
 
   Buffer* GetBuffer() EXCLUDES(mu_);
 
-  /// Streams one registered buffer's events as trace_event JSON objects
-  /// (",\n{...}" each, Chrome conventions; `epoch_ns` is the trace's ts zero
-  /// point). Split out of WriteChromeTrace so the holding contract is
-  /// explicit: the export pass iterates buffers under mu_ and must already
-  /// hold this buffer's own lock when appending its events.
-  static void AppendBufferJson(const Buffer& b, uint64_t epoch_ns,
-                               std::ostream& os) REQUIRES(b.mu);
-
   const uint64_t id_;        ///< process-unique; keys the thread-local cache
   const uint64_t epoch_ns_;  ///< construction time; trace ts zero point
   /// Registry lock; ranked below the per-thread Buffer locks because

@@ -88,6 +88,19 @@ void PopHeld(const void* mu) {
                      "thread does not hold (" << mu << ")";
 }
 
+void AssertWaitSafe(const void* mu, const char* waited_name) {
+  for (const Held& h : tl_held) {
+    WP_CHECK(h.mu == mu)
+        << "blocking wait under lock (WP009): CondVar::Wait on \""
+        << waited_name << "\" while holding \"" << h.name << "\" ("
+        << LockRankName(h.rank) << "=" << static_cast<int>(h.rank)
+        << "). Wait releases only \"" << waited_name << "\", so \"" << h.name
+        << "\" stays locked for the whole (unbounded) wait, stalling every "
+           "thread that needs it. Release \"" << h.name
+        << "\" before waiting (see wp-alint rule WP009, DESIGN.md §8).";
+  }
+}
+
 }  // namespace lock_rank_internal
 
 #endif  // WP_DCHECK_IS_ON

@@ -65,6 +65,11 @@ void PushHeld(const void* mu, LockRank rank, const char* name);
 void PushHeldUnchecked(const void* mu, LockRank rank, const char* name);
 /// Removes `mu` from this thread's held stack (WP_CHECK: must be present).
 void PopHeld(const void* mu);
+/// WP_CHECK-fails if this thread holds any ranked lock other than `mu`
+/// while waiting on `mu`: CondVar::Wait releases only `mu`, so every other
+/// held lock stays locked for the whole (unbounded) wait — the runtime
+/// twin of wp-alint's WP009 blocking-under-lock rule.
+void AssertWaitSafe(const void* mu, const char* waited_name);
 #endif
 }  // namespace lock_rank_internal
 
@@ -165,6 +170,7 @@ class CondVar {
   /// Blocks until notified. Spurious wakeups possible; prefer the predicate
   /// overload.
   void Wait(Mutex& mu) REQUIRES(mu) {
+    AssertWaitSafe(mu);
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's scope
@@ -173,6 +179,7 @@ class CondVar {
   /// Blocks until `pred()` holds; the predicate runs with `mu` held.
   template <typename Predicate>
   void Wait(Mutex& mu, Predicate pred) REQUIRES(mu) {
+    AssertWaitSafe(mu);
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock, std::move(pred));
     lock.release();
@@ -182,6 +189,16 @@ class CondVar {
   void NotifyAll() { cv_.notify_all(); }
 
  private:
+  /// Debug-only: waiting on `mu` must not pin any *other* ranked lock for
+  /// the duration of the wait (release builds compile this to nothing).
+  static void AssertWaitSafe(const Mutex& mu) {
+#if WP_DCHECK_IS_ON
+    lock_rank_internal::AssertWaitSafe(&mu, mu.name_);
+#else
+    (void)mu;
+#endif
+  }
+
   std::condition_variable cv_;
 };
 

@@ -1,0 +1,47 @@
+// wp-lint-expect: none
+// wp-alint-expect: WP009
+// Blocking work under a ranked whirlpool::Mutex, in the three shapes WP009
+// must catch: a timed pause directly inside the critical section, the same
+// pause one call away (only the whole-program closure sees it), and a
+// CondVar::Wait on one mutex while a *second* mutex is held — Wait releases
+// only its own mutex, so the other one is pinned for the whole wait.
+// wp-alint-expect-substr: sleep call 'sleep_for' while holding ranked mutex 'g_drain_mu' (rank kQueue)
+// wp-alint-expect-substr: call to 'PulseBackoff' may block (sleep:
+// wp-alint-expect-substr: condition wait 'CondVar::Wait' while holding ranked mutex 'g_drain_mu'
+#include <chrono>
+#include <thread>
+
+#include "util/mutex.h"
+
+namespace corpus {
+
+whirlpool::Mutex g_drain_mu{whirlpool::LockRank::kQueue, "corpus::g_drain_mu"};
+whirlpool::Mutex g_state_mu{whirlpool::LockRank::kInFlight,
+                            "corpus::g_state_mu"};
+whirlpool::CondVar g_state_cv;
+
+// Direct: every producer needs g_drain_mu while this thread naps with it.
+void NapHoldingDrainLock() {
+  whirlpool::MutexLock lock(&g_drain_mu);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void PulseBackoff() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+// Chained: the same defect through a call edge.
+void DrainWithBackoff() {
+  whirlpool::MutexLock lock(&g_drain_mu);
+  PulseBackoff();
+}
+
+// Waiting on g_state_mu's condition releases g_state_mu only; g_drain_mu
+// stays held until some other thread happens to notify.
+void WaitHoldingSecondLock() {
+  whirlpool::MutexLock outer(&g_drain_mu);
+  whirlpool::MutexLock inner(&g_state_mu);
+  g_state_cv.Wait(g_state_mu);
+}
+
+}  // namespace corpus

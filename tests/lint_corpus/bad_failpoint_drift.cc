@@ -1,0 +1,31 @@
+// wp-lint-expect: none
+// wp-alint-expect: WP011
+// Failpoint registry drift in both directions: a raw string literal passed
+// to a chaos entry point that matches no registered sites:: constant (a
+// typo'd or never-registered site silently never fires), and a registered
+// constant no call site ever uses (dead registry entry that chaos plans can
+// still arm, testing nothing).
+// wp-alint-expect-substr: raw failpoint site string "corpus/raw-name" matches no registered site
+// wp-alint-expect-substr: failpoint site 'kCorpusGhost' ("corpus/ghost") is registered but never used
+
+namespace corpus {
+
+namespace sites {
+inline constexpr const char* kCorpusUsed = "corpus/used";
+inline constexpr const char* kCorpusGhost = "corpus/ghost";
+}  // namespace sites
+
+struct Effect {
+  int action = 0;
+};
+
+// Same name as the real chaos entry point: the analyzer classifies call
+// sites by display name, so this self-contained stand-in exercises the
+// drift bookkeeping without importing the registry.
+Effect Hit(const char*) { return {}; }
+
+void TouchRegisteredSite() { Hit(sites::kCorpusUsed); }
+
+void TouchRawLiteral() { Hit("corpus/raw-name"); }
+
+}  // namespace corpus

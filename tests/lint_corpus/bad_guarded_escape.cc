@@ -1,0 +1,55 @@
+// wp-lint-expect: none
+// wp-alint-expect: WP010
+// Guarded state escaping its critical section in all four WP010 shapes:
+// returned as a pointer, bound under the lock then dereferenced after the
+// unlock, captured by a lambda handed to another thread, and stored into an
+// unguarded field. -Wthread-safety misses every one of these (it checks
+// access sites, not lifetimes), so the AST pass must catch them.
+// wp-alint-expect-substr: returns a pointer/reference derived from GUARDED_BY field 'Ledger::entries_'
+// wp-alint-expect-substr: is used after the lock is released
+// wp-alint-expect-substr: lambda handed to std::thread references GUARDED_BY field 'Ledger::entries_'
+// wp-alint-expect-substr: stored into unguarded field 'first_entry_'
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace corpus {
+
+class Ledger {
+ public:
+  // Shape 1: the caller keeps the pointer after ~MutexLock releases mu_.
+  const int* FirstEntry() {
+    whirlpool::MutexLock lock(&mu_);
+    return &entries_.front();
+  }
+
+  // Shape 2: bound under the lock, dereferenced after the explicit unlock.
+  int FirstAfterUnlock() {
+    mu_.lock();
+    const int* first = &entries_.front();
+    mu_.unlock();
+    return *first;
+  }
+
+  // Shape 3: the lambda runs on the new thread with no lock held.
+  void SpawnAppender() {
+    std::thread worker([this] { entries_.push_back(1); });
+    worker.join();
+  }
+
+  // Shape 4: the cached pointer outlives every critical section.
+  void CacheFirst() {
+    whirlpool::MutexLock lock(&mu_);
+    first_entry_ = &entries_.front();
+  }
+
+ private:
+  whirlpool::Mutex mu_{whirlpool::LockRank::kJoinCache,
+                       "corpus::Ledger::mu_"};
+  std::vector<int> entries_ GUARDED_BY(mu_);
+  const int* first_entry_ = nullptr;  // wp-lint: disable(WP002) WP010 target
+};
+
+}  // namespace corpus

@@ -1,0 +1,33 @@
+// wp-lint-expect: none
+// wp-alint-expect: WP011
+// Engine-entry loops doing slow work with no reachable CancelToken::Poll:
+// one directly (the pause sits in the loop body), one through a call edge
+// (only the whole-program closure sees the callee's pause). A deadline can
+// never interrupt either loop, so WP011 must flag both.
+// wp-alint-expect-substr: loop in 'RunWhirlpoolCorpusLoop' (reachable from engine entry 'RunWhirlpoolCorpusLoop') contains blocking work (sleep call 'sleep_for'
+// wp-alint-expect-substr: no reachable CancelToken::Poll
+// wp-alint-expect-substr: contains blocking work (call to 'SlowStep'
+#include <chrono>
+#include <thread>
+
+namespace corpus {
+
+// Matches the engine-entry pattern (^Run(Whirlpool|LockStep|TopK)), so its
+// loops fall under the cancellation-coverage requirement.
+void RunWhirlpoolCorpusLoop() {
+  for (int round = 0; round < 64; ++round) {
+    std::this_thread::sleep_for(std::chrono::microseconds(5));
+  }
+}
+
+void SlowStep() {
+  std::this_thread::sleep_for(std::chrono::microseconds(5));
+}
+
+void RunTopKCorpusDrain() {
+  for (int round = 0; round < 64; ++round) {
+    SlowStep();
+  }
+}
+
+}  // namespace corpus

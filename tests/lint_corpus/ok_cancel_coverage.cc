@@ -1,0 +1,37 @@
+// wp-lint-expect: none
+// wp-alint-expect: none
+// Pins WP011's false-positive direction: an engine-entry loop whose body
+// polls the cancel token is covered, and an inner loop with no poll of its
+// own is covered by an enclosing loop's poll — each outer iteration passes
+// the poll before re-entering the inner work, which is the granularity the
+// engines actually run at (see whirlpool_m.cc's server loop).
+#include <chrono>
+#include <thread>
+
+namespace corpus {
+
+// Stand-in with the real class/method names: the analyzer classifies
+// CancelToken::Poll call sites by display name, so this self-contained
+// corpus type exercises the coverage bookkeeping without the real token.
+class CancelToken {
+ public:
+  bool Poll() { return false; }
+};
+
+void RunWhirlpoolCorpusServer(CancelToken& cancel) {
+  for (int round = 0; round < 64; ++round) {
+    if (cancel.Poll()) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(5));
+  }
+}
+
+void RunLockStepCorpusRound(CancelToken& cancel) {
+  for (int round = 0; round < 8; ++round) {
+    if (cancel.Poll()) return;
+    for (int step = 0; step < 4; ++step) {
+      std::this_thread::sleep_for(std::chrono::microseconds(5));
+    }
+  }
+}
+
+}  // namespace corpus

@@ -1,0 +1,33 @@
+// wp-lint-expect: none
+// wp-alint-expect: none
+// Pins WP009's false-positive direction: waiting on a condition while
+// holding only the waited mutex is the legal CondVar shape (Wait atomically
+// releases it for the duration), and a blocking call carrying a
+// justification comment is accepted as reviewed. The runtime twin
+// (lock_rank_test.cpp WaitHoldingOnlyOwnMutexPasses) pins the same contract
+// in the debug-build checker.
+#include <chrono>
+#include <thread>
+
+#include "util/mutex.h"
+
+namespace corpus {
+
+whirlpool::Mutex g_inbox_mu{whirlpool::LockRank::kQueue,
+                            "corpus::g_inbox_mu"};
+whirlpool::CondVar g_inbox_cv;
+int g_inbox_depth = 0;
+
+void WaitForWork() {
+  whirlpool::MutexLock lock(&g_inbox_mu);
+  g_inbox_cv.Wait(g_inbox_mu, [] { return g_inbox_depth > 0; });
+}
+
+void RetryLater() {
+  whirlpool::MutexLock lock(&g_inbox_mu);
+  // Bounded 10us backoff, deliberately inside the critical section so the
+  // retry window closes atomically with the depth check.
+  std::this_thread::sleep_for(std::chrono::microseconds(10));
+}
+
+}  // namespace corpus

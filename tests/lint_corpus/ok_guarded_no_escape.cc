@@ -1,0 +1,41 @@
+// wp-lint-expect: none
+// wp-alint-expect: none
+// Pins WP010's false-positive direction: copying guarded state out by value,
+// using a bound pointer strictly inside its critical section, and a
+// REQUIRES-annotated accessor returning a guarded reference (a lock-transfer
+// contract -Wthread-safety checks on the caller's side) are all legal.
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace corpus {
+
+class Roster {
+ public:
+  // Value copy: the returned int has no tie to entries_ once the lock drops.
+  int First() {
+    whirlpool::MutexLock lock(&mu_);
+    return entries_.front();
+  }
+
+  // Bound and consumed entirely inside the critical section.
+  int Sum() {
+    whirlpool::MutexLock lock(&mu_);
+    int total = 0;
+    const int* it = &entries_.front();
+    for (size_t i = 0; i < entries_.size(); ++i) total += it[i];
+    return total;
+  }
+
+  // Lock-transfer contract: the caller provably holds mu_, so handing it a
+  // reference into the guarded container is not an escape.
+  std::vector<int>& EntriesLocked() REQUIRES(mu_) { return entries_; }
+
+ private:
+  whirlpool::Mutex mu_{whirlpool::LockRank::kJoinCache,
+                       "corpus::Roster::mu_"};
+  std::vector<int> entries_ GUARDED_BY(mu_);
+};
+
+}  // namespace corpus

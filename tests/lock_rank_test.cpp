@@ -59,6 +59,38 @@ TEST(LockRankDeathTest, EqualRankAborts) {
       "lock rank violation.*shard_b.*shard_a");
 }
 
+TEST(LockRankDeathTest, WaitHoldingSecondLockAborts) {
+  // Runtime twin of wp-alint's WP009 blocking-under-lock rule: Wait releases
+  // only the waited mutex, so any other held ranked lock stays locked for
+  // the whole (unbounded) wait. Holding queue.mu while waiting on a
+  // higher-ranked lock's condition is exactly that shape.
+  Mutex queue(LockRank::kQueue, "corpus::queue_mu");
+  Mutex inflight(LockRank::kInFlight, "corpus::inflight_mu");
+  CondVar cv;
+  EXPECT_DEATH(
+      {
+        MutexLock hold_queue(&queue);
+        MutexLock hold_inflight(&inflight);
+        // inflight (higher rank) stays held for the wait. The always-true
+        // predicate keeps a regressed checker from hanging the child: the
+        // abort must come from AssertWaitSafe, before any blocking.
+        cv.Wait(queue, [] { return true; });
+      },
+      "blocking wait under lock \\(WP009\\).*corpus::queue_mu.*"
+      "corpus::inflight_mu.*kInFlight=30");
+}
+
+TEST(LockRankTest, WaitHoldingOnlyOwnMutexPasses) {
+  // The legal shape: the waited mutex is the only ranked lock held. Notify
+  // first so the (spurious-wakeup-tolerant) predicate Wait returns at once.
+  Mutex mu(LockRank::kQueue, "own_mu");
+  CondVar cv;
+  bool ready = true;
+  MutexLock hold(&mu);
+  cv.Wait(mu, [&ready] { return ready; });
+  SUCCEED();
+}
+
 TEST(LockRankTest, CorrectOrderPasses) {
   // The documented hierarchy, acquired low-to-high, never trips the checker.
   Mutex queue(LockRank::kQueue, "queue");

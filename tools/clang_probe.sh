@@ -1,0 +1,21 @@
+# Shared clang-family probe data, sourced by tools/run_static_analysis.sh
+# and parsed by tools/wp_alint.py (clang_versions_from_probe), so the two
+# can no longer drift. Keep this file trivially greppable: wp_alint.py
+# reads the CLANG_VERSIONS=(...) line below with a regex, not a shell.
+#
+# One version list feeds every clang-family probe so adding a release is a
+# one-line change.
+CLANG_VERSIONS=(21 20 19 18 17 16 15 14)
+
+# probe_clang_tool <base>: resolve `base` or `base-N` for each N in
+# CLANG_VERSIONS, preferring the unsuffixed distro default. Prints the
+# resolved path (empty if none found); never fails the caller. Requires a
+# `find_tool` function in the sourcing script.
+probe_clang_tool() {
+  local base=$1 v names=()
+  names=("$base")
+  for v in "${CLANG_VERSIONS[@]}"; do
+    names+=("$base-$v")
+  done
+  find_tool "${names[@]}" || true
+}

@@ -43,18 +43,10 @@ find_tool() {
   return 1
 }
 
-# One version list feeds every clang-family probe so adding a release is a
-# one-line change.
-CLANG_VERSIONS=(21 20 19 18 17 16 15 14)
-
-probe_clang_tool() {
-  local base=$1 v names=()
-  names=("$base")
-  for v in "${CLANG_VERSIONS[@]}"; do
-    names+=("$base-$v")
-  done
-  find_tool "${names[@]}" || true
-}
+# CLANG_VERSIONS and probe_clang_tool live in tools/clang_probe.sh, shared
+# with wp_alint.py's python-side probe so the two lists cannot drift.
+# shellcheck source=tools/clang_probe.sh
+source tools/clang_probe.sh
 
 CLANGXX=$(probe_clang_tool clang++)
 CLANG_TIDY=$(probe_clang_tool clang-tidy)
@@ -201,31 +193,73 @@ run_wpalint() {
   echo "--- self-test: tests/lint_corpus/ wp-alint expectations"
   "$PYTHON" tools/wp_alint.py --self-test \
     --clang-versions "${CLANG_VERSIONS[*]}"
-  echo "--- tree analysis: src"
+  echo "--- tree analysis: src (vs committed baseline)"
   "$PYTHON" tools/wp_alint.py src \
     --clang-versions "${CLANG_VERSIONS[*]}" \
+    --baseline tools/wp_alint_baseline.json \
     --json build-wpalint/wp_alint_report.json
   echo "ok"
 }
 
+# Per-stage bookkeeping so a CI failure names the stage without scrolling:
+# every stage is run through run_stage, which records wall-clock seconds and
+# pass/fail, and the gate ends with a summary table plus one failed-stage
+# line (the grep target).
+STAGE_NAMES=()
+STAGE_SECS=()
+STAGE_STATUS=()
+FAILED_STAGES=()
+
+run_stage() {
+  local name=$1 fn=$2 rc=0 t0 t1
+  t0=$SECONDS
+  "$fn" || rc=$?
+  t1=$SECONDS
+  STAGE_NAMES+=("$name")
+  STAGE_SECS+=($((t1 - t0)))
+  if [[ $rc -eq 0 ]]; then
+    STAGE_STATUS+=("ok")
+  else
+    STAGE_STATUS+=("FAIL")
+    FAILED_STAGES+=("$name")
+  fi
+  return 0
+}
+
+print_summary() {
+  local i
+  echo
+  echo "=== static-analysis gate: per-stage wall clock ==="
+  printf '%-10s %8s  %s\n' "stage" "seconds" "status"
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '%-10s %8s  %s\n' \
+      "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}" "${STAGE_STATUS[$i]}"
+  done
+  if [[ ${#FAILED_STAGES[@]} -ne 0 ]]; then
+    echo "FAILED STAGES: ${FAILED_STAGES[*]}"
+    return 1
+  fi
+  echo "static analysis passed"
+}
+
 case "$stage" in
-  selftest) run_selftest ;;
-  build) run_build ;;
-  tidy) run_tidy ;;
-  wplint) run_wplint ;;
-  analyze) run_analyze ;;
-  wpalint) run_wpalint ;;
+  selftest) run_stage selftest run_selftest ;;
+  build) run_stage build run_build ;;
+  tidy) run_stage tidy run_tidy ;;
+  wplint) run_stage wplint run_wplint ;;
+  analyze) run_stage analyze run_analyze ;;
+  wpalint) run_stage wpalint run_wpalint ;;
   all)
-    run_selftest
-    run_build
-    run_tidy
-    run_wplint
-    run_analyze
-    run_wpalint
+    run_stage selftest run_selftest
+    run_stage build run_build
+    run_stage tidy run_tidy
+    run_stage wplint run_wplint
+    run_stage analyze run_analyze
+    run_stage wpalint run_wpalint
     ;;
   *)
     echo "usage: $0 [all|selftest|build|tidy|wplint|analyze|wpalint]" >&2
     exit 2
     ;;
 esac
-echo "static analysis passed"
+print_summary

@@ -3,7 +3,7 @@
 
 Stage 6 of tools/run_static_analysis.sh (and the WpAlint* ctest entries).
 Where wp_lint.py (stage 4) is a regex pass, this analyzer parses real C++
-through libclang (clang.cindex) and reasons across translation units. Four
+through libclang (clang.cindex) and reasons across translation units. Seven
 rules, continuing wp_lint.py's numbering:
 
   WP005  lock-order       Static verification of the DESIGN.md §10 lock
@@ -36,6 +36,36 @@ rules, continuing wp_lint.py's numbering:
                           non-const methods — with an allowlist of benign
                           accessors whose non-const overload resolution is
                           not a mutation (front, back, operator[], ...).
+  WP009  blocking-under-lock  No call that may block — CondVar::Wait on a
+                          foreign mutex (self-mutex waits release the lock
+                          and are fine), the sleep family, file/stream I/O,
+                          SyncMatchQueue::Pop*, semaphore acquisition,
+                          failpoint/cancel sites — while a *ranked*
+                          whirlpool::Mutex is held, directly or through any
+                          call chain. A justification comment on the site
+                          (or up to 3 lines above, arguing the block is
+                          bounded/deliberate) waives it, mirroring WP006;
+                          sites inside WP_CHECK/WP_DCHECK argument ranges
+                          are exempt (the stream only runs on the way to
+                          abort).
+  WP010  guarded-escape  References/pointers/iterators to GUARDED_BY fields
+                          must not outlive their critical section: returned
+                          from a pointer/reference-returning function,
+                          bound to a local inside a MutexLock scope and
+                          used after it closes, captured in a lambda handed
+                          to std::thread/std::async, or stored into an
+                          unguarded pointer field.
+  WP011  cancel-coverage Every loop reachable from an engine entry
+                          (RunWhirlpool*/RunLockStep/RunTopK) that contains
+                          WP009-blocking work (failpoint-conditional sites
+                          excluded — they only block under an armed chaos
+                          plan) must contain a reachable CancelToken::Poll,
+                          in its own extent or an enclosing loop's. Also
+                          cross-checks the failpoint site registry
+                          (util/failpoint.h `sites::` constants) against
+                          actual uses: a registered-but-unused site or a
+                          raw site-string literal that matches no
+                          registered site is drift, in either direction.
 
 Escape hatch: identical to wp_lint.py — `// wp-lint: disable(WP005)` on the
 offending line or `// wp-lint: disable-file(WP005)` anywhere in the file
@@ -48,6 +78,13 @@ for the shell gate; the ctest entries pass 77 so ctest reports SKIP, not
 PASS). The module / library probe is driven by the same CLANG_VERSIONS list
 the shell gate uses (--clang-versions), covering Debian's /usr/lib/llvm-N
 layouts for both the python binding and libclang-N.so.1.
+
+Baseline mode: `--baseline tools/wp_alint_baseline.json` fails only on
+findings not present in the committed baseline (keyed on path/rule/message,
+line-insensitive so unrelated edits don't churn it); `--write-baseline`
+rewrites that file from the current findings. The committed baseline is
+empty — src/ is finding-clean — so the mechanism exists for incident
+triage, not as a parking lot.
 
 Usage:
   wp_alint.py [--root DIR] [--json OUT] PATH...   analyze .cc TUs under PATH
@@ -69,11 +106,30 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import wp_lint  # shared: disable-hatch syntax, ATOMIC_ALLOWLIST, skip dirs
 
-RULE_IDS = ("WP005", "WP006", "WP007", "WP008")
+RULE_IDS = ("WP005", "WP006", "WP007", "WP008", "WP009", "WP010", "WP011")
 
-# Mirrors run_static_analysis.sh's CLANG_VERSIONS; the shell gate passes its
-# own list through --clang-versions so it stays the single source of truth.
+# Fallback only: the authoritative list lives in tools/clang_probe.sh
+# (shared with run_static_analysis.sh); clang_versions_from_probe() parses
+# it at startup and the shell gate additionally passes --clang-versions.
 DEFAULT_CLANG_VERSIONS = (21, 20, 19, 18, 17, 16, 15, 14)
+
+
+def clang_versions_from_probe():
+    """Parse CLANG_VERSIONS=(...) out of tools/clang_probe.sh so the python
+    and shell probes cannot drift; falls back to DEFAULT_CLANG_VERSIONS."""
+    probe = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "clang_probe.sh")
+    try:
+        with open(probe, encoding="utf-8") as f:
+            m = re.search(r"^CLANG_VERSIONS=\(([^)]*)\)", f.read(),
+                          re.MULTILINE)
+        if m:
+            versions = tuple(int(v) for v in m.group(1).split())
+            if versions:
+                return versions
+    except (OSError, ValueError):
+        pass
+    return DEFAULT_CLANG_VERSIONS
 
 # Thread-safety annotation macros (util/thread_annotations.h). Any of these
 # on a declaration satisfies WP007; REQUIRES args additionally seed WP005's
@@ -117,6 +173,40 @@ BENIGN_NONCONST_METHODS = {
 SOURCE_EXTENSIONS = (".cc", ".cpp")
 
 CHECK_MACRO_NAMES = {"WP_CHECK", "WP_DCHECK"}
+
+# --- WP009/WP011 blocking-call model ---
+#
+# Direct blocking operations recognized at a call site, by callee identity.
+# Deliberately NOT blocking: Mutex::lock (that's WP005's domain),
+# thread::join (engines join at shutdown, outside every lock and loop),
+# CondVar::Notify* (wakes, never sleeps), snprintf/sprintf (memory, not I/O).
+SLEEP_FN_NAMES = {"sleep", "usleep", "nanosleep", "sleep_for", "sleep_until"}
+C_IO_FN_NAMES = {"printf", "fprintf", "vfprintf", "fputs", "fputc", "fwrite",
+                 "fread", "fgets", "fgetc", "fscanf", "scanf", "puts",
+                 "putchar", "getchar", "fopen", "fclose", "fflush"}
+FSTREAM_PARENTS = {"basic_fstream", "basic_ifstream", "basic_ofstream",
+                   "basic_filebuf", "fstream", "ifstream", "ofstream"}
+STD_SEMAPHORE_PARENTS = {"counting_semaphore", "binary_semaphore"}
+# Failpoint/cancel entry points: call sites to these are blocking only under
+# an armed chaos plan (kind "failpoint"), and their *bodies* are the chaos
+# injector itself — their internal sleeps must not leak upward as
+# unconditional blocking, so the whole-program closure freezes them empty.
+FAILPOINT_IDENTITY_DISPLAYS = {"Hit", "InjectedError", "CancelToken::Poll",
+                               "CancelToken::Check"}
+POLL_DISPLAYS = {"CancelToken::Poll", "CancelToken::Check"}
+
+# WP009's justification escape hatch (mirrors WP006's): a comment on the
+# blocking site or up to JUSTIFY_CONTEXT_LINES above arguing the block is
+# bounded/deliberate waives the finding and stops chain propagation.
+BLOCK_JUSTIFY_RE = re.compile(
+    r"block|stall|sleep|chaos|deliberat|intention|bounded|uncontended|"
+    r"benign|justif", re.IGNORECASE)
+
+# Severity order for picking the headline kind of a may-block call chain.
+BLOCK_KIND_ORDER = ("wait", "pop", "semaphore", "sleep", "io", "failpoint")
+
+# WP011 engine entry points (exec/ public Run* functions).
+ENTRY_RE = re.compile(r"^Run(Whirlpool|LockStep|TopK)")
 
 EXPECT_RE = re.compile(r"//\s*wp-alint-expect:\s*([A-Za-z0-9,\s]+)")
 EXPECT_SUBSTR_RE = re.compile(r"//\s*wp-alint-expect-substr:\s*(.+)")
@@ -227,6 +317,26 @@ class Call:
         self.line = line
 
 
+class BlockingOp:
+    """A direct WP009-blocking operation inside a function body."""
+
+    def __init__(self, kind, desc, off, file, line, musr=None):
+        self.kind = kind      # one of BLOCK_KIND_ORDER
+        self.desc = desc
+        self.off = off
+        self.file = file
+        self.line = line
+        self.musr = musr      # waited-on mutex USR for kind "wait"
+
+
+class Loop:
+    def __init__(self, off, end_off, file, line):
+        self.off = off
+        self.end_off = end_off
+        self.file = file
+        self.line = line
+
+
 class FnInfo:
     def __init__(self, usr, display, file, line):
         self.usr = usr
@@ -242,6 +352,18 @@ class FnInfo:
         self.calls = []            # [Call]        — from the definition
         self.body_done = False
         self.is_deleted = False
+        # WP009/WP011:
+        self.blocking = []         # [BlockingOp]
+        self.loops = []            # [Loop]
+        self.polls = []            # [offset] — CancelToken::Poll/Check sites
+        # WP010:
+        self.result_ptrish = False  # canonical result is T* / T&
+        self.ret_guarded = []      # [(field qualified, file, line)]
+        self.ptr_binds = {}        # var usr -> (name, field qual, off,
+                                   #             file, line)
+        self.ptr_uses = []         # [(var usr, off, file, line)]
+        self.lambda_escapes = []   # [(field qual, sink, file, line)]
+        self.field_stores = []     # [(lhs field, field qual, file, line)]
 
 
 class ClassInfo:
@@ -273,6 +395,14 @@ class Facts:
         self.side_effects = []  # (file, off, line, description)
         self.parse_errors = []  # Finding(WP000)
         self.files_parsed = 0
+        # WP010: GUARDED_BY field registry (field usr -> "Class::field").
+        self.guarded_fields = {}
+        # WP011 failpoint-registry drift model.
+        self.failpoint_sites = {}  # site const name -> (value, file, line)
+        self.site_uses = set()     # site const names referenced outside
+                                   # KnownSites()
+        self.site_literals = []    # (string value, file, line) passed to
+                                   # Hit/InjectedError/Poll
 
 
 # --- AST extraction ---------------------------------------------------------
@@ -291,6 +421,8 @@ class TuExtractor:
         self.CLASS_KINDS = {ck.CLASS_DECL, ck.STRUCT_DECL, ck.CLASS_TEMPLATE}
         self.COND_PARENTS = {ck.IF_STMT, ck.WHILE_STMT, ck.SWITCH_STMT,
                              ck.CONDITIONAL_OPERATOR, ck.DO_STMT}
+        self.LOOP_KINDS = {ck.WHILE_STMT, ck.FOR_STMT, ck.DO_STMT,
+                           ck.CXX_FOR_RANGE_STMT}
 
     # - location / type helpers -
 
@@ -453,6 +585,65 @@ class TuExtractor:
                 return True
         return False
 
+    def _in_sites_namespace(self, cur):
+        parent = cur.semantic_parent
+        return parent is not None and \
+            parent.kind == self.ci.CursorKind.NAMESPACE and \
+            parent.spelling == "sites"
+
+    def _guarded_field_ref(self, cursor):
+        """Qualified name of the first GUARDED_BY field referenced anywhere
+        in the subtree (including the node itself), or None."""
+        ck = self.ci.CursorKind
+        stack = [cursor]
+        while stack:
+            cur = stack.pop(0)
+            if cur.kind in (ck.MEMBER_REF_EXPR, ck.DECL_REF_EXPR):
+                ref = cur.referenced
+                if ref is not None and ref.kind == ck.FIELD_DECL:
+                    qual = self.facts.guarded_fields.get(ref.get_usr())
+                    if qual is not None:
+                        return qual
+            stack += list(cur.get_children())
+        return None
+
+    def _find_lambda(self, cursor):
+        ck = self.ci.CursorKind
+        stack = list(cursor.get_children())
+        while stack:
+            cur = stack.pop(0)
+            if cur.kind == ck.LAMBDA_EXPR:
+                return cur
+            stack += list(cur.get_children())
+        return None
+
+    def _blocking_call_kind(self, name, ref, ref_parent):
+        """Classify a call site as a direct blocking op: (kind, desc) or
+        None. CondVar::Wait is handled separately (needs the mutex arg)."""
+        parent_name = ref_parent.spelling if ref_parent is not None else ""
+        if name in SLEEP_FN_NAMES:
+            return ("sleep", f"sleep call '{name}'")
+        if name in C_IO_FN_NAMES:
+            return ("io", f"C stdio call '{name}'")
+        if parent_name in FSTREAM_PARENTS:
+            return ("io", f"file-stream operation '{parent_name}::{name}'")
+        if parent_name == "SyncMatchQueue" and name.startswith("Pop"):
+            return ("pop", f"blocking queue drain "
+                           f"'SyncMatchQueue::{name}'")
+        if (parent_name == "ProcessorCap" and name == "Acquire") or \
+                (parent_name in STD_SEMAPHORE_PARENTS and
+                 name in ("acquire", "try_acquire_for", "try_acquire_until")):
+            return ("semaphore", f"semaphore acquisition "
+                                 f"'{parent_name}::{name}'")
+        if ref is not None:
+            display = name
+            if ref_parent is not None and \
+                    ref_parent.kind in self.CLASS_KINDS:
+                display = f"{parent_name}::{name}"
+            if display in FAILPOINT_IDENTITY_DISPLAYS:
+                return ("failpoint", f"failpoint/cancel site '{display}'")
+        return None
+
     # - per-TU entry point -
 
     def extract(self, tu):
@@ -498,6 +689,16 @@ class TuExtractor:
             self._register_mutex_decl(cur)
         elif kind == ck.VAR_DECL and self._is_mutex_type(cur.type):
             self._register_mutex_decl(cur)
+        elif kind == ck.VAR_DECL and self._in_sites_namespace(cur) and \
+                cur.spelling not in self.facts.failpoint_sites:
+            value = None
+            for t in cur.get_tokens():
+                if t.spelling.startswith('"'):
+                    value = t.spelling.strip('"')
+                    break
+            if value is not None:
+                self.facts.failpoint_sites[cur.spelling] = (
+                    value, self._relfile(cur), cur.location.line)
         if kind in self.FN_KINDS:
             fn = self._record_fn(cur)
             compounds = []
@@ -523,6 +724,9 @@ class TuExtractor:
             toks = [t.spelling for t in ch.get_tokens()]
             guarded = "GUARDED_BY" in toks or "PT_GUARDED_BY" in toks
             canon = self._canonical(ch.type).spelling
+            if guarded and not self._is_mutex_type(ch.type):
+                self.facts.guarded_fields[ch.get_usr()] = \
+                    f"{cur.spelling}::{ch.spelling}"
             if self._is_mutex_type(ch.type):
                 info.has_mutex = True
                 info.mutex_field_names[ch.spelling] = ch.get_usr()
@@ -565,6 +769,12 @@ class TuExtractor:
                          if p.kind == ck.PARM_DECL]
         if is_def and not fn.body_done:
             fn.body_done = True
+            tk = self.ci.TypeKind
+            try:
+                rk = self._canonical(cur.result_type).kind
+                fn.result_ptrish = rk in (tk.POINTER, tk.LVALUEREFERENCE)
+            except Exception:
+                pass
             return fn
         return None
 
@@ -582,6 +792,51 @@ class TuExtractor:
                 fn.acquires.append(Acquisition(
                     ref.get_usr(), cur.location.offset, end,
                     self._relfile(cur), cur.location.line))
+
+        # WP010: pointer/reference/iterator local bound from a GUARDED_BY
+        # field — flagged later if used after its critical section closes.
+        elif kind == ck.VAR_DECL:
+            tk = self.ci.TypeKind
+            ptrish = self._canonical(cur.type).kind in \
+                (tk.POINTER, tk.LVALUEREFERENCE) or \
+                "iterator" in cur.type.spelling
+            if ptrish:
+                qual = self._guarded_field_ref(cur)
+                if qual is not None:
+                    fn.ptr_binds[cur.get_usr()] = (
+                        cur.spelling, qual, cur.location.offset,
+                        self._relfile(cur), cur.location.line)
+
+        # WP011: loop extents for the cancellation-coverage check.
+        if kind in self.LOOP_KINDS:
+            fn.loops.append(Loop(
+                cur.extent.start.offset, cur.extent.end.offset,
+                self._relfile(cur), cur.location.line))
+
+        # WP010: guarded state escaping through a return statement (only
+        # flagged when the function's result type is a pointer/reference).
+        if kind == ck.RETURN_STMT:
+            qual = self._guarded_field_ref(cur)
+            if qual is not None:
+                fn.ret_guarded.append(
+                    (qual, self._relfile(cur), cur.location.line))
+
+        # WP010: pointer to guarded state stored into an unguarded field.
+        if kind == ck.BINARY_OPERATOR:
+            children = list(cur.get_children())
+            if len(children) == 2 and \
+                    children[0].kind == ck.MEMBER_REF_EXPR:
+                lref = children[0].referenced
+                tk = self.ci.TypeKind
+                if lref is not None and lref.kind == ck.FIELD_DECL and \
+                        lref.get_usr() not in self.facts.guarded_fields and \
+                        self._canonical(lref.type).kind == tk.POINTER and \
+                        "=" in (t.spelling for t in cur.get_tokens()):
+                    qual = self._guarded_field_ref(children[1])
+                    if qual is not None:
+                        fn.field_stores.append(
+                            (lref.spelling, qual, self._relfile(cur),
+                             cur.location.line))
 
         if kind == ck.CALL_EXPR:
             ref = cur.referenced
@@ -613,6 +868,61 @@ class TuExtractor:
                 fn.calls.append(Call(
                     ref.get_usr(), ref.spelling, cur.location.offset,
                     self._relfile(cur), cur.location.line))
+
+            # WP009: direct blocking operations, by callee identity.
+            if name == "Wait" and ref_parent is not None and \
+                    ref_parent.spelling == "CondVar":
+                wref = self._first_mutex_ref(cur)
+                if wref is not None:
+                    self._register_mutex_decl(wref)
+                fn.blocking.append(BlockingOp(
+                    "wait", "condition wait 'CondVar::Wait'",
+                    cur.location.offset, self._relfile(cur),
+                    cur.location.line,
+                    wref.get_usr() if wref is not None else None))
+            elif name in ("operator<<", "operator>>") and (
+                    "basic_ostream" in self._canonical(cur.type).spelling or
+                    "basic_istream" in self._canonical(cur.type).spelling):
+                fn.blocking.append(BlockingOp(
+                    "io", f"stream I/O '{name}'", cur.location.offset,
+                    self._relfile(cur), cur.location.line))
+            else:
+                bk = self._blocking_call_kind(name, ref, ref_parent)
+                if bk is not None:
+                    fn.blocking.append(BlockingOp(
+                        bk[0], bk[1], cur.location.offset,
+                        self._relfile(cur), cur.location.line))
+                    if bk[0] == "failpoint":
+                        display = name
+                        if ref_parent is not None and \
+                                ref_parent.kind in self.CLASS_KINDS:
+                            display = f"{ref_parent.spelling}::{name}"
+                        if display in POLL_DISPLAYS:
+                            fn.polls.append(cur.location.offset)
+                        for t in cur.get_tokens():
+                            if t.spelling.startswith('"'):
+                                self.facts.site_literals.append(
+                                    (t.spelling.strip('"'),
+                                     self._relfile(cur),
+                                     cur.location.line))
+                                break
+
+            # WP010: lambda referencing guarded state handed to a thread.
+            sink = None
+            if ref is not None and ref.kind == ck.CONSTRUCTOR and \
+                    ref_parent is not None and \
+                    ref_parent.spelling in ("thread", "jthread"):
+                sink = f"std::{ref_parent.spelling}"
+            elif name == "async":
+                sink = "std::async"
+            if sink is not None:
+                lam = self._find_lambda(cur)
+                if lam is not None:
+                    qual = self._guarded_field_ref(lam)
+                    if qual is not None:
+                        fn.lambda_escapes.append(
+                            (qual, sink, self._relfile(cur),
+                             cur.location.line))
 
             # WP006: std::atomic operations.
             if ref_parent is not None and \
@@ -649,6 +959,18 @@ class TuExtractor:
             if order is not None and order != "memory_order_relaxed":
                 self.facts.order_uses.append(
                     (self._relfile(cur), cur.location.line, order))
+            ref = cur.referenced
+            if ref is not None and ref.kind == ck.VAR_DECL:
+                # WP010: use of a pointer/iterator bound from guarded state.
+                if ref.get_usr() in fn.ptr_binds:
+                    fn.ptr_uses.append(
+                        (ref.get_usr(), cur.location.offset,
+                         self._relfile(cur), cur.location.line))
+                # WP011: failpoint site constant referenced outside the
+                # registry's own KnownSites() listing.
+                elif self._in_sites_namespace(ref) and \
+                        "KnownSites" not in fn.display:
+                    self.facts.site_uses.add(ref.spelling)
 
         # WP006: control-flow condition ranges.
         if kind in self.COND_PARENTS:
@@ -952,6 +1274,291 @@ def analyze_check_side_effects(facts):
     return findings
 
 
+# --- WP009/WP010/WP011 ------------------------------------------------------
+
+def _mutex_ranked(facts, musr):
+    m = facts.mutexes.get(musr)
+    return m is not None and facts.lock_ranks.get(m.rank_name, 0) != 0
+
+
+def _mutex_desc(facts, musr):
+    m = facts.mutexes.get(musr)
+    if m is None:
+        return f"'{musr}'"
+    return f"'{m.qualified}' (rank {m.rank_name})"
+
+
+def _in_check_incl(facts, rel, off):
+    """Inclusive-start variant of the WP008 range test. Macro-expansion
+    scaffolding carries the instantiation's own start offset, and WP009 must
+    exempt those expansion-carried calls too — the WP_CHECK failure stream
+    (`<<` into CheckFailure) only ever runs on the way to abort."""
+    return any(s <= off <= e
+               for (s, e, _, _) in facts.check_ranges.get(rel, ()))
+
+
+def _make_justified(file_lines):
+    """(rel, line) -> bool predicate with the WP009 justification-comment
+    escape hatch (comment on the line or within JUSTIFY_CONTEXT_LINES above
+    matching BLOCK_JUSTIFY_RE), cached per site."""
+    cache = {}
+
+    def justified(rel, line):
+        key = (rel, line)
+        if key not in cache:
+            lines = file_lines(rel)
+            lo = max(0, line - 1 - JUSTIFY_CONTEXT_LINES)
+            cache[key] = any(
+                "//" in text and
+                BLOCK_JUSTIFY_RE.search(text.split("//", 1)[1])
+                for text in lines[lo:line])
+        return cache[key]
+
+    return justified
+
+
+def _live_blocking_ops(facts, justified):
+    """fn usr -> direct blocking ops surviving the check-range and
+    justification filters (a justified site neither fires nor propagates)."""
+    out = {}
+    for usr, fn in facts.fns.items():
+        out[usr] = [
+            op for op in fn.blocking
+            if not _in_check_incl(facts, op.file, op.off)
+            and not justified(op.file, op.line)]
+    return out
+
+
+def _blocking_summary(facts, live_ops, justified):
+    """fn usr -> {kind: chain description}: every way a call to this
+    function may block, closed over the call graph. Failpoint/cancel entry
+    points are frozen empty — their internal sleeps run only under an armed
+    chaos plan, and the call *sites* to them are already classified as
+    direct ops of kind 'failpoint'."""
+    frozen = {usr for usr, fn in facts.fns.items()
+              if fn.display in FAILPOINT_IDENTITY_DISPLAYS}
+    summary = {usr: {} for usr in facts.fns}
+    for usr, ops in live_ops.items():
+        if usr in frozen:
+            continue
+        for op in ops:
+            summary[usr].setdefault(op.kind,
+                                    f"{op.desc} at {op.file}:{op.line}")
+    changed = True
+    while changed:
+        changed = False
+        for usr, fn in facts.fns.items():
+            if usr in frozen:
+                continue
+            mine = summary[usr]
+            for call in fn.calls:
+                if _in_check_incl(facts, call.file, call.off) or \
+                        justified(call.file, call.line):
+                    continue
+                for bkind, desc in summary.get(call.callee_usr, {}).items():
+                    if bkind not in mine:
+                        mine[bkind] = (f"call to '{call.callee_name}' at "
+                                       f"{call.file}:{call.line} -> {desc}")
+                        changed = True
+    return summary
+
+
+def analyze_blocking_under_lock(facts, live_ops, summary, justified):
+    """WP009: direct or chained blocking calls under a ranked mutex."""
+    findings = []
+    reported = set()
+
+    def emit(file, line, msg):
+        key = (file, line, msg)
+        if key not in reported:
+            reported.add(key)
+            findings.append(Finding(file, line, "WP009", msg))
+
+    for usr, fn in facts.fns.items():
+        if not fn.body_done:
+            continue
+        entry_held = [
+            (musr, f"REQUIRES on '{fn.display}' at {fn.file}:{fn.line}")
+            for musr in _resolve_requires(fn, facts)]
+
+        def held_at(off):
+            return [(a.musr, f"{a.file}:{a.line}") for a in fn.acquires
+                    if a.off < off <= a.end_off] + entry_held
+
+        for op in live_ops[usr]:
+            for (musr, site) in held_at(op.off):
+                if not _mutex_ranked(facts, musr):
+                    continue
+                if op.kind == "wait" and op.musr == musr:
+                    # Wait(mu) atomically releases mu while sleeping — only
+                    # a *second* held mutex blocks other threads.
+                    continue
+                emit(op.file, op.line,
+                     f"{op.desc} while holding ranked mutex "
+                     f"{_mutex_desc(facts, musr)} (held since {site}) — "
+                     f"move the blocking call outside the critical section "
+                     f"or justify it with a comment")
+        op_sites = {(op.file, op.off) for op in fn.blocking}
+        for call in fn.calls:
+            if (call.file, call.off) in op_sites:
+                continue  # site already classified as a direct blocking op
+            if _in_check_incl(facts, call.file, call.off) or \
+                    justified(call.file, call.line):
+                continue
+            kinds = summary.get(call.callee_usr, {})
+            if not kinds:
+                continue
+            bkind = next(k for k in BLOCK_KIND_ORDER if k in kinds)
+            for (musr, site) in held_at(call.off):
+                if not _mutex_ranked(facts, musr):
+                    continue
+                emit(call.file, call.line,
+                     f"call to '{call.callee_name}' may block "
+                     f"({bkind}: {kinds[bkind]}) while holding ranked "
+                     f"mutex {_mutex_desc(facts, musr)} (held since "
+                     f"{site})")
+    return findings
+
+
+def analyze_guarded_escape(facts):
+    """WP010: guarded-state references outliving their critical section."""
+    findings = []
+    for usr, fn in facts.fns.items():
+        if not fn.body_done:
+            continue
+        # A REQUIRES-annotated accessor hands the reference to a caller that
+        # provably holds the lock — that is a lock-transfer contract, not an
+        # escape (-Wthread-safety checks the caller's side).
+        if fn.result_ptrish and not fn.requires_args:
+            for (qual, f, l) in fn.ret_guarded:
+                findings.append(Finding(
+                    f, l, "WP010",
+                    f"'{fn.display}' returns a pointer/reference derived "
+                    f"from GUARDED_BY field '{qual}' — the caller keeps it "
+                    f"after the critical section that guards it closes"))
+        for vusr, (name, qual, off, bf, bl) in fn.ptr_binds.items():
+            cover = [a for a in fn.acquires if a.off <= off <= a.end_off]
+            if not cover:
+                continue  # REQUIRES-held or unlocked: the caller's problem
+            acq = max(cover, key=lambda a: a.off)
+            for (uusr, uoff, uf, ul) in fn.ptr_uses:
+                if uusr == vusr and uoff > acq.end_off:
+                    findings.append(Finding(
+                        uf, ul, "WP010",
+                        f"'{name}' (bound to GUARDED_BY field '{qual}' at "
+                        f"{bf}:{bl} inside the critical section from "
+                        f"{acq.file}:{acq.line}) is used after the lock is "
+                        f"released"))
+                    break
+        for (qual, sink, f, l) in fn.lambda_escapes:
+            findings.append(Finding(
+                f, l, "WP010",
+                f"lambda handed to {sink} references GUARDED_BY field "
+                f"'{qual}' — it runs on another thread, outside the "
+                f"critical section"))
+        for (lhs, qual, f, l) in fn.field_stores:
+            findings.append(Finding(
+                f, l, "WP010",
+                f"pointer to GUARDED_BY field '{qual}' stored into "
+                f"unguarded field '{lhs}' — the guarded state escapes its "
+                f"mutex"))
+    return findings
+
+
+def analyze_cancellation_coverage(facts, live_ops, summary, justified):
+    """WP011 part 1: engine loops with (non-failpoint) blocking work must
+    contain a reachable CancelToken::Poll, in their own extent or an
+    enclosing loop's."""
+    findings = []
+    reach = {}  # fn usr -> engine entry display it is reachable from
+    work = []
+    for usr, fn in facts.fns.items():
+        if ENTRY_RE.match(fn.display):
+            reach[usr] = fn.display
+            work.append(usr)
+    while work:
+        usr = work.pop()
+        for call in facts.fns[usr].calls:
+            if call.callee_usr in facts.fns and \
+                    call.callee_usr not in reach:
+                reach[call.callee_usr] = reach[usr]
+                work.append(call.callee_usr)
+
+    for usr in sorted(reach, key=lambda u: facts.fns[u].display):
+        fn = facts.fns[usr]
+        if not fn.body_done or \
+                "failpoint" in os.path.basename(fn.file):
+            continue  # the chaos injector's own stalls ARE the mechanism
+        for loop in fn.loops:
+            blockers = [
+                f"{op.desc} at {op.file}:{op.line}"
+                for op in live_ops[usr]
+                if loop.off <= op.off <= loop.end_off
+                and op.kind != "failpoint"]
+            for call in fn.calls:
+                if not (loop.off <= call.off <= loop.end_off):
+                    continue
+                if _in_check_incl(facts, call.file, call.off) or \
+                        justified(call.file, call.line):
+                    continue
+                kinds = {k: d for k, d in
+                         summary.get(call.callee_usr, {}).items()
+                         if k != "failpoint"}
+                if kinds:
+                    bkind = next(k for k in BLOCK_KIND_ORDER if k in kinds)
+                    blockers.append(
+                        f"call to '{call.callee_name}' at "
+                        f"{call.file}:{call.line} ({bkind}: "
+                        f"{kinds[bkind]})")
+            if not blockers:
+                continue
+
+            def polls_in(lo, hi):
+                return any(lo <= p <= hi for p in fn.polls)
+
+            covered = polls_in(loop.off, loop.end_off) or any(
+                l2.off <= loop.off and loop.end_off <= l2.end_off and
+                polls_in(l2.off, l2.end_off)
+                for l2 in fn.loops if l2 is not loop)
+            if not covered:
+                findings.append(Finding(
+                    loop.file, loop.line, "WP011",
+                    f"loop in '{fn.display}' (reachable from engine entry "
+                    f"'{reach[usr]}') contains blocking work "
+                    f"({blockers[0]}) but no reachable CancelToken::Poll — "
+                    f"a deadline cannot interrupt it"))
+    return findings
+
+
+def analyze_failpoint_drift(facts):
+    """WP011 part 2: the failpoint site registry (namespace sites::) and the
+    sites actually used must match exactly, in both directions."""
+    findings = []
+    registered = facts.failpoint_sites
+    if not registered:
+        return findings
+    by_value = {v: n for n, (v, _, _) in registered.items()}
+    used = set(facts.site_uses)
+    for (lit, f, l) in facts.site_literals:
+        if lit in by_value:
+            used.add(by_value[lit])
+        else:
+            findings.append(Finding(
+                f, l, "WP011",
+                f'raw failpoint site string "{lit}" matches no registered '
+                f"site — register it in the sites:: namespace (and "
+                f"KnownSites) or fix the name"))
+    for name in sorted(registered):
+        value, f, l = registered[name]
+        if name not in used:
+            findings.append(Finding(
+                f, l, "WP011",
+                f"failpoint site '{name}' (\"{value}\") is registered but "
+                f"never used by any WHIRLPOOL_FAILPOINT/Poll site in the "
+                f"analyzed sources — registry drift"))
+    return findings
+
+
 # --- driver -----------------------------------------------------------------
 
 def parse_tu(cindex, index, path, root, extra_args):
@@ -1007,6 +1614,15 @@ def analyze(cindex, root, files, extra_args):
     findings += analyze_atomics(facts, file_lines)
     findings += analyze_annotations(facts)
     findings += analyze_check_side_effects(facts)
+    justified = _make_justified(file_lines)
+    live_ops = _live_blocking_ops(facts, justified)
+    summary = _blocking_summary(facts, live_ops, justified)
+    findings += analyze_blocking_under_lock(facts, live_ops, summary,
+                                            justified)
+    findings += analyze_guarded_escape(facts)
+    findings += analyze_cancellation_coverage(facts, live_ops, summary,
+                                              justified)
+    findings += analyze_failpoint_drift(facts)
     return facts, findings
 
 
@@ -1124,6 +1740,13 @@ def main(argv):
                     help="run the tests/lint_corpus/ wp-alint expectations")
     ap.add_argument("--json", default=None, metavar="OUT",
                     help="write a machine-readable findings report")
+    ap.add_argument("--baseline", default=None, metavar="REPORT",
+                    help="committed baseline report: only findings absent "
+                         "from it fail the run (keyed on path/rule/message, "
+                         "line-insensitive)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite --baseline from the current findings "
+                         "instead of failing on them")
     ap.add_argument("--clang-versions", default=None, metavar="LIST",
                     help="space/comma-separated clang majors to probe for "
                          "libclang (default: "
@@ -1141,7 +1764,7 @@ def main(argv):
     root = os.path.abspath(args.root) if args.root else \
         os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-    versions = list(DEFAULT_CLANG_VERSIONS)
+    versions = list(clang_versions_from_probe())
     if args.clang_versions:
         versions = [int(v) for v in
                     re.split(r"[,\s]+", args.clang_versions.strip()) if v]
@@ -1166,20 +1789,52 @@ def main(argv):
                for p in args.paths]
     facts, findings = analyze(cindex, root, files, args.extra_arg)
     kept = filter_findings(findings, root, allowed)
-    for f in kept:
+
+    def as_dicts(fs):
+        return [{"path": f.path, "line": f.line, "rule": f.rule,
+                 "message": f.message} for f in fs]
+
+    if args.write_baseline:
+        if not args.baseline:
+            ap.error("--write-baseline requires --baseline PATH")
+        write_report(args.baseline, {"tool": "wp-alint-baseline",
+                                     "findings": as_dicts(kept)})
+        print(f"wp-alint: baseline written to {args.baseline} "
+              f"({len(kept)} finding(s))")
+        return 0
+
+    baseline_keys = set()
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as f:
+                for entry in json.load(f).get("findings", []):
+                    baseline_keys.add((entry.get("path"), entry.get("rule"),
+                                       entry.get("message")))
+        except (OSError, ValueError) as e:
+            print(f"wp-alint: unreadable baseline {args.baseline}: {e} — "
+                  f"treating as empty", file=sys.stderr)
+    new = [f for f in kept
+           if (f.path, f.rule, f.message) not in baseline_keys]
+    suppressed = len(kept) - len(new)
+    for f in new:
         print(f)
+    if suppressed:
+        print(f"wp-alint: {suppressed} baselined finding(s) suppressed "
+              f"(see {args.baseline})")
     write_report(args.json, {
         "tool": "wp-alint",
         "skipped": False,
+        "rules": list(RULE_IDS),
         "files_parsed": facts.files_parsed,
         "mutexes": sorted(m.qualified for m in facts.mutexes.values()),
         "lock_ranks": facts.lock_ranks,
-        "findings": [{"path": f.path, "line": f.line, "rule": f.rule,
-                      "message": f.message} for f in kept],
+        "baseline_suppressed": suppressed,
+        "findings": as_dicts(kept),
+        "new_findings": as_dicts(new),
     })
-    if kept:
-        print(f"wp-alint: {len(kept)} finding(s) in {facts.files_parsed} "
-              f"translation units", file=sys.stderr)
+    if new:
+        print(f"wp-alint: {len(new)} new finding(s) in "
+              f"{facts.files_parsed} translation units", file=sys.stderr)
         return 1
     checks = sum(len(v) for v in facts.check_ranges.values())
     print(f"wp-alint: {facts.files_parsed} translation units clean "
