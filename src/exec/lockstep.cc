@@ -4,6 +4,7 @@
 // LockStep-NoPrun additionally disables pruning and is the full-enumeration
 // baseline whose matches-created count is the Table 2 denominator.
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <memory>
 
@@ -13,6 +14,7 @@
 #include "exec/queue_policy.h"
 #include "exec/routing.h"
 #include "exec/server.h"
+#include "exec/telemetry.h"
 #include "exec/tracer.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
@@ -54,13 +56,33 @@ Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options
   if (options.cache_server_joins) {
     cache = std::make_unique<ServerJoinCache>(plan.num_servers());
   }
+  ins.NameThread("lockstep");
   std::vector<PartialMatch> current =
       GenerateRootMatches(plan, options, &topk, &metrics, &seq);
   std::vector<PartialMatch> next;
 
+  // The wave vector is single-threaded state the sampler must never touch;
+  // mirror its size into an atomic at wave boundaries instead (only while a
+  // recorder exists). peak_depth feeds the adaptive queue-peak report.
+  std::atomic<size_t> live_wave_size{current.size()};
+  size_t peak_depth = current.size();
+  std::unique_ptr<TelemetryRecorder> recorder;
+  if (options.telemetry_interval_us > 0) {
+    recorder = std::make_unique<TelemetryRecorder>(options.telemetry_interval_us);
+    RegisterCommonProbes(recorder.get(), &topk, &metrics, &token);
+    recorder->AddGauge("wave_size", [&live_wave_size] {
+      return static_cast<double>(live_wave_size.load(std::memory_order_relaxed));
+    });
+    recorder->Start(&token);
+  }
+
   // Residual-work bound over matches abandoned at cancellation.
   double abandoned_bound = -std::numeric_limits<double>::infinity();
   for (int s : order) {
+    peak_depth = std::max(peak_depth, current.size());
+    if (recorder != nullptr) {
+      live_wave_size.store(current.size(), std::memory_order_relaxed);
+    }
     // Wave boundary: evaluate the wave failpoint (schedule perturbation or
     // injected error) and the deadline.
     if (token.Poll(failpoint::sites::kLockstepWave)) break;
@@ -101,9 +123,24 @@ Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options
     }
   }
 
+  // Quiesce the sampler, then build the full metrics snapshot BEFORE the
+  // error return so failed/degraded runs still get their post-mortem.
+  if (recorder != nullptr) recorder->Stop();
+  ins.QueryDone(query_start);
+  MetricsSnapshot snap = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
+  snap.adaptive.shards_auto = sync.shards_auto;
+  snap.adaptive.chosen_shards = topk.num_shards();
+  snap.adaptive.drain_adaptive = sync.drain_adaptive;
+  snap.adaptive.drain_max = sync.drain_max;
+  // LockStep has no router queue; the wave high-water mark takes its slot.
+  snap.adaptive.queue_peak_depth = {static_cast<uint64_t>(peak_depth)};
+  if (recorder != nullptr) {
+    snap.timeseries = recorder->Snapshot();
+    if (options.tracer != nullptr) options.tracer->AttachCounters(snap.timeseries);
+  }
+  MaybeWritePostMortem(options, token, snap);
   // An injected error outranks any partial answer set.
   WHIRLPOOL_RETURN_NOT_OK(token.error());
-  ins.QueryDone(query_start);
   TopKResult result;
   result.answers = topk.Finalize();
   result.approximate = token.DeadlineExpired();
@@ -114,11 +151,7 @@ Result<TopKResult> RunLockStep(const QueryPlan& plan, const ExecOptions& options
   if (result.approximate) {
     result.score_bound = std::max(result.score_bound, abandoned_bound);
   }
-  result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
-  result.metrics.adaptive.shards_auto = sync.shards_auto;
-  result.metrics.adaptive.chosen_shards = topk.num_shards();
-  result.metrics.adaptive.drain_adaptive = sync.drain_adaptive;
-  result.metrics.adaptive.drain_max = sync.drain_max;
+  result.metrics = std::move(snap);
   return result;
 }
 

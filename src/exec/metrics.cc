@@ -35,7 +35,8 @@ std::string MetricsSnapshot::ToString() const {
      << " completed=" << matches_completed << " routed=" << routing_decisions
      << " wall=" << wall_seconds << "s";
   if (server_op_latency.count > 0) {
-    os << " op_p50us=" << server_op_latency.p50_us
+    os << " op_min_us=" << server_op_latency.min_us
+       << " op_p50us=" << server_op_latency.p50_us
        << " op_p99us=" << server_op_latency.p99_us;
   }
   return os.str();
@@ -47,6 +48,7 @@ void AppendLatencyJson(std::ostringstream& os, const char* name,
                        const util::LatencyStats& s) {
   os << '"' << name << "\":{\"count\":" << s.count
      << ",\"mean_us\":" << util::JsonNumber(s.mean_us)
+     << ",\"min_us\":" << util::JsonNumber(s.min_us)
      << ",\"p50_us\":" << util::JsonNumber(s.p50_us)
      << ",\"p95_us\":" << util::JsonNumber(s.p95_us)
      << ",\"p99_us\":" << util::JsonNumber(s.p99_us)
@@ -96,7 +98,29 @@ std::string MetricsSnapshot::ToJson() const {
        << util::JsonEscape(f.spec) << "\",\"hits\":" << f.hits
        << ",\"triggers\":" << f.triggers << "}";
   }
-  os << "],\"latency\":{";
+  os << "],\"timeseries\":{\"interval_us\":" << timeseries.interval_us
+     << ",\"stride_us\":" << timeseries.stride_us
+     << ",\"ticks\":" << timeseries.ticks
+     << ",\"decimations\":" << timeseries.decimations << ",\"t_us\":[";
+  // Time axis relative to the first retained sample, in microseconds.
+  const uint64_t t0 = timeseries.t_ns.empty() ? 0 : timeseries.t_ns.front();
+  for (size_t i = 0; i < timeseries.t_ns.size(); ++i) {
+    if (i > 0) os << ',';
+    os << util::JsonNumber(static_cast<double>(timeseries.t_ns[i] - t0) / 1e3);
+  }
+  os << "],\"series\":[";
+  for (size_t i = 0; i < timeseries.series.size(); ++i) {
+    const auto& s = timeseries.series[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << util::JsonEscape(s.name) << "\",\"kind\":\""
+       << (s.counter ? "counter" : "gauge") << "\",\"values\":[";
+    for (size_t j = 0; j < s.values.size(); ++j) {
+      if (j > 0) os << ',';
+      os << util::JsonNumber(s.values[j]);
+    }
+    os << "]}";
+  }
+  os << "]},\"latency\":{";
   AppendLatencyJson(os, "server_op", server_op_latency);
   os << ',';
   AppendLatencyJson(os, "queue_wait", queue_wait_latency);

@@ -45,6 +45,33 @@ struct AdaptiveSnapshot {
   std::vector<uint64_t> queue_peak_depth;
 };
 
+/// \brief Flight-recorder time series (exec/telemetry.h): one shared
+/// timestamp axis plus one value row per registered probe, as retained after
+/// decimation. Default-constructed (no rows) when the run's sampler was off
+/// (ExecOptions::telemetry_interval_us == 0).
+struct TelemetrySnapshot {
+  /// Configured base sampling interval.
+  uint64_t interval_us = 0;
+  /// Effective spacing between retained samples: interval_us doubled once
+  /// per decimation, so rows stay uniformly spaced over the whole run.
+  uint64_t stride_us = 0;
+  /// Samples taken by the sampler (before decimation dropped any).
+  uint64_t ticks = 0;
+  /// Times the rings were halved to stay within capacity.
+  uint64_t decimations = 0;
+  /// Retained sample times (MonotonicNs, same clock as the tracer), ascending.
+  std::vector<uint64_t> t_ns;
+  struct Series {
+    std::string name;
+    /// Counter series hold the delta since the previous retained sample
+    /// (decimation sums adjacent pairs, preserving total mass); gauge series
+    /// hold the instantaneous value at each retained time.
+    bool counter = false;
+    std::vector<double> values;  ///< values.size() == t_ns.size()
+  };
+  std::vector<Series> series;
+};
+
 /// \brief Plain-value snapshot of the counters, safe to copy and compare.
 struct MetricsSnapshot {
   /// Partial-match-processed-at-a-server events.
@@ -75,6 +102,8 @@ struct MetricsSnapshot {
   /// Per-failpoint hit/trigger counters of the run's installed plan
   /// (util/failpoint.h); empty when no plan was active.
   std::vector<failpoint::Stats> failpoints;
+  /// Flight-recorder time series (empty unless the run sampled telemetry).
+  TelemetrySnapshot timeseries;
 
   std::string ToString() const;
   /// One JSON object with every counter, the per-server breakdown and the

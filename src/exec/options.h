@@ -145,6 +145,18 @@ struct ExecOptions {
   std::string failpoints;
   /// Seed for the plan's probabilistic (p=) activations.
   uint64_t failpoint_seed = 0;
+  /// Flight-recorder sampling interval in microseconds (exec/telemetry.h).
+  /// 0 — the default — disables the sampler entirely; nonzero spawns one
+  /// background thread per run that snapshots the threshold, queue depths,
+  /// in-flight count and counter deltas into bounded decimating ring
+  /// buffers, exported as the metrics "timeseries" block and as Perfetto
+  /// counter tracks in the Chrome trace. CLI: --telemetry (1000 us) or
+  /// --telemetry-interval-us=N.
+  uint64_t telemetry_interval_us = 0;
+  /// Post-mortem destination for degraded runs (deadline, cancellation or
+  /// injected error) when telemetry is on: the tail of every series plus
+  /// the final counters. Empty = stderr.
+  std::string postmortem_path;
 
   bool has_frozen_threshold() const { return !std::isnan(frozen_threshold); }
   bool has_min_score_threshold() const { return !std::isnan(min_score_threshold); }
@@ -182,6 +194,16 @@ inline Status ValidateOptions(const ExecOptions& options) {
   // Negated >= so a NaN deadline is rejected too.
   if (!(options.deadline_ms >= 0.0)) {
     return Status::InvalidArgument("deadline_ms must be >= 0 (0 = no deadline)");
+  }
+  // Below ~10 us the sampler thread degenerates into a busy spin that
+  // perturbs the run it is meant to observe.
+  if (options.telemetry_interval_us != 0 && options.telemetry_interval_us < 10) {
+    return Status::InvalidArgument(
+        "telemetry_interval_us must be 0 (off) or >= 10");
+  }
+  if (!options.postmortem_path.empty() && options.telemetry_interval_us == 0) {
+    return Status::InvalidArgument(
+        "postmortem_path requires telemetry (set telemetry_interval_us)");
   }
   // Parse-check only; the engine installs the plan after validation, so a
   // malformed plan fails identically across engines, before any threads.

@@ -205,6 +205,7 @@ class SyncMatchQueue {
     --waiters_;
     if (queue_.empty()) return false;
     *out = queue_.Pop();
+    depth_.store(queue_.size(), std::memory_order_relaxed);
     return true;
   }
 
@@ -242,6 +243,12 @@ class SyncMatchQueue {
   size_t depth_peak() const {
     return depth_peak_.load(std::memory_order_relaxed);
   }
+
+  /// Current queue depth, lock-free: a monitoring snapshot for the
+  /// telemetry sampler (exec/telemetry.h). All stores happen under mu_ at
+  /// push/pop boundaries, so a reader sees some recent depth, never a torn
+  /// or invented value.
+  size_t Depth() const { return depth_.load(std::memory_order_relaxed); }
 
   void Stop() {
     {
@@ -282,12 +289,15 @@ class SyncMatchQueue {
                 !queue_.less()((*out)[out->size() - 2], out->back()))
           << "batch drain broke priority order at entry " << out->size();
     }
+    depth_.store(queue_.size(), std::memory_order_relaxed);
     return true;
   }
 
-  /// Raises depth_peak_ to the current queue size. Caller holds mu_, so the
-  /// read-compare-store needs no RMW; readers are monitoring-only.
+  /// Raises depth_peak_ to the current queue size and refreshes the live
+  /// depth mirror. Caller holds mu_, so the read-compare-store needs no RMW;
+  /// readers are monitoring-only.
   void NotePeakDepthLocked() REQUIRES(mu_) {
+    depth_.store(queue_.size(), std::memory_order_relaxed);
     if (queue_.size() > depth_peak_.load(std::memory_order_relaxed)) {
       depth_peak_.store(queue_.size(), std::memory_order_relaxed);
     }
@@ -302,6 +312,9 @@ class SyncMatchQueue {
   /// Monotone queue-depth high-water mark; all stores under mu_, read
   /// lock-free by the metrics export (wp-lint ATOMIC_ALLOWLIST).
   std::atomic<size_t> depth_peak_{0};
+  /// Live depth mirror: stored under mu_ at every push/pop boundary, read
+  /// lock-free by the telemetry sampler (wp-lint ATOMIC_ALLOWLIST).
+  std::atomic<size_t> depth_{0};
 };
 
 }  // namespace whirlpool::exec

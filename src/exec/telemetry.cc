@@ -1,0 +1,239 @@
+#include "exec/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "exec/topk_set.h"
+#include "exec/tracer.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+
+namespace whirlpool::exec {
+
+TelemetryRecorder::TelemetryRecorder(uint64_t interval_us, size_t capacity)
+    : interval_us_(interval_us),
+      // Decimation pairs adjacent rows, so the ring must hold an even number
+      // of them; 4 is the smallest ring that can decimate and keep history.
+      capacity_(std::max<size_t>(4, capacity + (capacity & 1))) {
+  WP_CHECK(interval_us > 0) << "telemetry interval must be positive";
+}
+
+TelemetryRecorder::~TelemetryRecorder() { Stop(); }
+
+void TelemetryRecorder::AddGauge(std::string name, std::function<double()> probe) {
+  MutexLock lock(&mu_);
+  Series s;
+  s.name = std::move(name);
+  s.gauge = std::move(probe);
+  s.values.reserve(capacity_);
+  series_.push_back(std::move(s));
+}
+
+void TelemetryRecorder::AddCounter(std::string name, std::function<uint64_t()> probe) {
+  MutexLock lock(&mu_);
+  Series s;
+  s.name = std::move(name);
+  s.counter = true;
+  s.total = std::move(probe);
+  s.values.reserve(capacity_);
+  series_.push_back(std::move(s));
+}
+
+void TelemetryRecorder::Start(CancelToken* token) {
+  WP_CHECK(!started_) << "TelemetryRecorder started twice";
+  token_ = token;
+  started_ = true;
+  thread_ = std::thread([this] { SamplerLoop(); });
+}
+
+void TelemetryRecorder::Stop() {
+  if (!started_) return;
+  {
+    MutexLock lock(&mu_);
+    if (stop_) return;  // idempotent: a second Stop (destructor) is a no-op
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  thread_.join();
+  // Final sample: a run shorter than one interval still records its end
+  // state, and every run's last row reflects the post-quiesce counters.
+  SampleNow();
+}
+
+void TelemetryRecorder::SampleNow() {
+  MutexLock lock(&mu_);
+  SampleLocked();
+}
+
+uint64_t TelemetryRecorder::ticks() const {
+  MutexLock lock(&mu_);
+  return ticks_;
+}
+
+void TelemetryRecorder::SamplerLoop() {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (stop_) return;
+      // Sleep one effective stride (decimation doubles it), waking early
+      // only on shutdown. Timed out == take the sample.
+      cv_.Wait(mu_, std::chrono::microseconds(interval_us_ * stride_),
+               [this]() REQUIRES(mu_) { return stop_; });
+      if (stop_) return;
+      SampleLocked();
+    }
+    // Cancellation + chaos outside mu_: Poll can take the kCancel mutex and
+    // an armed failpoint can stall or inject an error — neither belongs
+    // under the recorder lock. A fired token (deadline or error) shuts the
+    // sampler down; the row just taken already recorded the fired state.
+    if (token_ != nullptr) {
+      if (token_->Poll(failpoint::sites::kTelemetrySample)) return;
+    } else {
+      WHIRLPOOL_FAILPOINT(failpoint::sites::kTelemetrySample);
+    }
+  }
+}
+
+void TelemetryRecorder::SampleLocked() {
+  if (t_ns_.size() == capacity_) DecimateLocked();
+  ++ticks_;
+  t_ns_.push_back(MonotonicNs());
+  for (Series& s : series_) {
+    if (s.counter) {
+      const uint64_t total = s.total();
+      s.values.push_back(static_cast<double>(total - s.prev_total));
+      s.prev_total = total;
+    } else {
+      s.values.push_back(s.gauge());
+    }
+  }
+}
+
+void TelemetryRecorder::DecimateLocked() {
+  // Keep the odd-index (newer) row of each adjacent pair: the newest sample
+  // survives every decimation and the retained rows stay uniformly spaced
+  // at the doubled stride. Counter rows absorb their dropped partner —
+  // values[2k] + values[2k+1] is exactly the delta over the merged window —
+  // so the series' total mass is invariant (the decimation invariant the
+  // tests pin); gauges keep the newer instantaneous value.
+  const size_t half = capacity_ / 2;
+  for (size_t k = 0; k < half; ++k) t_ns_[k] = t_ns_[2 * k + 1];
+  t_ns_.resize(half);
+  for (Series& s : series_) {
+    for (size_t k = 0; k < half; ++k) {
+      s.values[k] = s.counter ? s.values[2 * k] + s.values[2 * k + 1]
+                              : s.values[2 * k + 1];
+    }
+    s.values.resize(half);
+  }
+  stride_ *= 2;
+  ++decimations_;
+}
+
+TelemetrySnapshot TelemetryRecorder::Snapshot() const {
+  MutexLock lock(&mu_);
+  TelemetrySnapshot out;
+  out.interval_us = interval_us_;
+  out.stride_us = interval_us_ * stride_;
+  out.ticks = ticks_;
+  out.decimations = decimations_;
+  out.t_ns = t_ns_;
+  out.series.reserve(series_.size());
+  for (const Series& s : series_) {
+    out.series.push_back({s.name, s.counter, s.values});
+  }
+  return out;
+}
+
+void RegisterCommonProbes(TelemetryRecorder* recorder, const TopKSet* topk,
+                          const ExecMetrics* metrics, const CancelToken* token) {
+  recorder->AddGauge("threshold", [topk] {
+    // -inf until k answers exist; clamp so the JSON/trace exporters (which
+    // have no representation for non-finite numbers) stay faithful to "no
+    // threshold yet" = 0 rather than silently mapping a real value.
+    const double t = topk->Threshold();
+    return std::isfinite(t) ? t : 0.0;
+  });
+  recorder->AddCounter("created", [metrics] {
+    return metrics->matches_created.load(std::memory_order_relaxed);
+  });
+  recorder->AddCounter("pruned", [metrics] {
+    return metrics->matches_pruned.load(std::memory_order_relaxed);
+  });
+  recorder->AddCounter("completed", [metrics] {
+    return metrics->matches_completed.load(std::memory_order_relaxed);
+  });
+  recorder->AddCounter("server_ops", [metrics] {
+    return metrics->server_operations.load(std::memory_order_relaxed);
+  });
+  recorder->AddGauge("cancelled",
+                     [token] { return token->Cancelled() ? 1.0 : 0.0; });
+  if (failpoint::Enabled()) {
+    recorder->AddCounter("failpoint_triggers", [] {
+      uint64_t triggers = 0;
+      for (const failpoint::Stats& s : failpoint::Snapshot()) {
+        triggers += s.triggers;
+      }
+      return triggers;
+    });
+  }
+}
+
+void WritePostMortem(std::ostream& os, const std::string& reason,
+                     const MetricsSnapshot& metrics) {
+  const TelemetrySnapshot& ts = metrics.timeseries;
+  os << "=== whirlpool post-mortem: " << reason << " ===\n";
+  os << "final: " << metrics.ToString() << "\n";
+  os << "queue_peak_depth:";
+  for (uint64_t d : metrics.adaptive.queue_peak_depth) os << ' ' << d;
+  os << "\ntimeseries: interval_us=" << ts.interval_us
+     << " stride_us=" << ts.stride_us << " ticks=" << ts.ticks
+     << " decimations=" << ts.decimations << " rows=" << ts.t_ns.size()
+     << "\n";
+  // Tail of every series: the last kTailRows retained samples, timestamped
+  // relative to the first retained sample.
+  constexpr size_t kTailRows = 8;
+  const size_t rows = ts.t_ns.size();
+  const size_t first = rows > kTailRows ? rows - kTailRows : 0;
+  const uint64_t t0 = rows == 0 ? 0 : ts.t_ns.front();
+  for (const TelemetrySnapshot::Series& s : ts.series) {
+    os << "  " << s.name << " (" << (s.counter ? "counter" : "gauge")
+       << ") tail:";
+    for (size_t i = first; i < rows && i < s.values.size(); ++i) {
+      os << " t+" << (ts.t_ns[i] - t0) / 1000 << "us=" << s.values[i];
+    }
+    os << "\n";
+  }
+  os << "=== end post-mortem ===\n";
+}
+
+void MaybeWritePostMortem(const ExecOptions& options, const CancelToken& token,
+                          const MetricsSnapshot& metrics) {
+  if (!token.Cancelled()) return;
+  std::string reason;
+  const Status err = token.error();
+  if (!err.ok()) {
+    reason = "failed: " + err.ToString();
+  } else if (token.DeadlineExpired()) {
+    reason = "deadline expired (approximate result)";
+  } else {
+    reason = "cancelled";
+  }
+  if (options.postmortem_path.empty()) {
+    WritePostMortem(std::cerr, reason, metrics);
+    return;
+  }
+  std::ofstream file(options.postmortem_path, std::ios::binary);
+  if (!file) {
+    std::cerr << "whirlpool: cannot write post-mortem to "
+              << options.postmortem_path << "\n";
+    return;
+  }
+  WritePostMortem(file, reason, metrics);
+}
+
+}  // namespace whirlpool::exec

@@ -1,0 +1,145 @@
+// Flight-recorder telemetry (DESIGN.md §13): a background sampler thread
+// snapshots the live run — lock-free TopKSet::Threshold(), per-queue depth,
+// in-flight matches, ExecMetrics counter deltas, adaptive drain depths,
+// failpoint triggers, cancellation state — at a configurable interval
+// (ExecOptions::telemetry_interval_us) into fixed-capacity ring buffers.
+//
+// The rings *decimate* instead of wrapping: when full, every other row is
+// dropped and the sampling stride doubles, so memory stays bounded while the
+// retained rows always cover the whole run at uniform spacing. Counter
+// series sum the dropped row into its surviving neighbour (the delta over
+// the merged window), so total counter mass is preserved across any number
+// of decimations; gauge series keep the newer value of each pair.
+//
+// Exported three ways: Chrome-trace counter tracks ("ph":"C") merged into
+// Tracer::WriteChromeTrace, the "timeseries" block of
+// MetricsSnapshot::ToJson, and — when a run ends degraded (deadline,
+// cancellation, injected error) — a post-mortem report to stderr or
+// ExecOptions::postmortem_path.
+//
+// Thread model: probes are registered before Start() and must be safe to
+// call from the sampler thread concurrently with the run (lock-free reads
+// or relaxed atomics). The sampler owns LockRank::kTelemetry, polls the
+// run's CancelToken outside its own lock (shutdown on deadline/error fire),
+// and carries the `telemetry.sample` failpoint site. When telemetry is off
+// (the default) no recorder exists and the engine hot paths pay at most one
+// predictable branch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/cancel.h"
+#include "exec/metrics.h"
+#include "exec/options.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace whirlpool::exec {
+
+class TopKSet;  // exec/topk_set.h
+
+/// \brief Bounded, decimating time-series recorder with an optional
+/// background sampler thread.
+class TelemetryRecorder {
+ public:
+  /// Ring capacity (rows per series) before a decimation halves it. 512 rows
+  /// at the default 1 ms interval cover ~0.5 s before the first halving; a
+  /// run of any length is always covered at 512 * interval / 2^d resolution.
+  static constexpr size_t kDefaultCapacity = 512;
+
+  /// `interval_us` is the base sampling interval (must be > 0);
+  /// `capacity` rows are kept per series (rounded up to an even minimum so
+  /// decimation pairs cleanly).
+  explicit TelemetryRecorder(uint64_t interval_us,
+                             size_t capacity = kDefaultCapacity);
+  ~TelemetryRecorder();  // Stops the sampler if still running.
+  TelemetryRecorder(const TelemetryRecorder&) = delete;
+  TelemetryRecorder& operator=(const TelemetryRecorder&) = delete;
+
+  /// Registers an instantaneous-value probe. Call before Start().
+  void AddGauge(std::string name, std::function<double()> probe);
+  /// Registers a monotonically-nondecreasing total; the recorder stores the
+  /// delta since the previous retained sample. Call before Start().
+  void AddCounter(std::string name, std::function<uint64_t()> probe);
+
+  /// Spawns the sampler thread. `token` (may be null in tests) is polled
+  /// once per sample, outside the recorder lock: a fired token — deadline or
+  /// injected error — shuts the sampler down cleanly, and the
+  /// `telemetry.sample` failpoint site is evaluated through it.
+  void Start(CancelToken* token);
+
+  /// Stops and joins the sampler (idempotent), then takes one final sample
+  /// so the end state of a run shorter than one interval is still recorded.
+  void Stop();
+
+  /// Takes one sample synchronously (tests, and Stop()'s final sample).
+  void SampleNow();
+
+  /// Samples taken so far (pre-decimation).
+  uint64_t ticks() const;
+
+  /// Copies out the retained rows. Safe while the sampler runs (tests);
+  /// engines call it after Stop().
+  TelemetrySnapshot Snapshot() const;
+
+ private:
+  struct Series {
+    std::string name;
+    bool counter = false;
+    std::function<double()> gauge;
+    std::function<uint64_t()> total;  ///< counter probe (totals)
+    /// Counter total at the last retained sample; deltas never lose mass
+    /// because this advances only when a row is actually written.
+    uint64_t prev_total = 0;
+    std::vector<double> values;
+  };
+
+  void SamplerLoop();
+  void SampleLocked() REQUIRES(mu_);
+  /// Halves every ring: keeps the odd-index (newer) row of each adjacent
+  /// pair, summing the pair into it for counter series; doubles the stride.
+  void DecimateLocked() REQUIRES(mu_);
+
+  const uint64_t interval_us_;
+  const size_t capacity_;
+  mutable Mutex mu_{LockRank::kTelemetry, "TelemetryRecorder::mu_"};
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  uint64_t ticks_ GUARDED_BY(mu_) = 0;
+  uint64_t stride_ GUARDED_BY(mu_) = 1;  ///< interval multiplier (2^decim.)
+  uint64_t decimations_ GUARDED_BY(mu_) = 0;
+  std::vector<uint64_t> t_ns_ GUARDED_BY(mu_);
+  std::vector<Series> series_ GUARDED_BY(mu_);
+  /// Set before the thread starts, const afterwards (sampler-thread reads
+  /// need no lock; thread creation is the happens-before edge).
+  CancelToken* token_ = nullptr;  // wp-lint: disable(WP002) write-once before thread start
+  bool started_ = false;  // wp-lint: disable(WP002) main-thread bookkeeping (Start/Stop only)
+  std::thread thread_;  // wp-lint: disable(WP002) main-thread only (Start spawns, Stop joins)
+};
+
+/// Registers the probes every engine shares: "threshold" (lock-free
+/// TopKSet::Threshold), the created/pruned/completed/server_ops counter
+/// deltas, "cancelled" (CancelToken state), and — when a failpoint plan is
+/// armed — "failpoint_triggers".
+void RegisterCommonProbes(TelemetryRecorder* recorder, const TopKSet* topk,
+                          const ExecMetrics* metrics, const CancelToken* token);
+
+/// Writes the flight-recorder post-mortem: the reason, final counters, and
+/// the tail of every telemetry series in `metrics.timeseries`.
+void WritePostMortem(std::ostream& os, const std::string& reason,
+                     const MetricsSnapshot& metrics);
+
+/// Engine epilogue hook: when the run sampled telemetry and ended degraded —
+/// deadline expiry, cancellation, or an injected error — writes the
+/// post-mortem to options.postmortem_path (stderr when empty). Call after
+/// the run quiesced, with `metrics.timeseries` already attached.
+void MaybeWritePostMortem(const ExecOptions& options, const CancelToken& token,
+                          const MetricsSnapshot& metrics);
+
+}  // namespace whirlpool::exec

@@ -62,6 +62,17 @@ void Tracer::RecordInstant(const char* name, ServerId server, MatchSeq match_seq
       {name, MonotonicNs(), 0, match_seq.value, server.value, /*instant=*/true});
 }
 
+void Tracer::SetThreadName(const std::string& name) {
+  Buffer* buf = GetBuffer();
+  MutexLock lock(&buf->mu);
+  buf->name = name;
+}
+
+void Tracer::AttachCounters(const TelemetrySnapshot& timeseries) {
+  MutexLock lock(&mu_);
+  counters_ = timeseries;
+}
+
 size_t Tracer::NumEvents() const {
   MutexLock lock(&mu_);
   size_t n = 0;
@@ -99,6 +110,23 @@ void AppendEventsJson(int tid, const std::vector<Tracer::Event>& events,
   }
 }
 
+/// Streams one telemetry series as Chrome counter events ("ph":"C"): one
+/// event per retained sample, rendered by Perfetto as a counter track
+/// time-aligned with the spans (shared MonotonicNs clock / epoch).
+void AppendCounterTrackJson(const TelemetrySnapshot::Series& series,
+                            const std::vector<uint64_t>& t_ns,
+                            uint64_t epoch_ns, std::ostream& os) {
+  const size_t rows = std::min(series.values.size(), t_ns.size());
+  for (size_t i = 0; i < rows; ++i) {
+    const double ts =
+        static_cast<double>(t_ns[i] - std::min(t_ns[i], epoch_ns)) / 1e3;
+    os << ",\n{\"name\":\"" << util::JsonEscape(series.name)
+       << "\",\"cat\":\"telemetry\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":"
+       << util::JsonNumber(ts) << ",\"args\":{\"value\":"
+       << util::JsonNumber(series.values[i]) << "}}";
+  }
+}
+
 }  // namespace
 
 void Tracer::WriteChromeTrace(std::ostream& os) const {
@@ -106,20 +134,36 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
   // are released: operator<< may block on the sink (file, pipe), and
   // blocking I/O under kTracer/kTracerBuffer would stall every concurrently
   // recording thread for the duration of the write (WP009).
-  std::vector<std::pair<int, std::vector<Event>>> snapshots;
+  struct BufferSnapshot {
+    int tid;
+    std::string name;
+    std::vector<Event> events;
+  };
+  std::vector<BufferSnapshot> snapshots;
+  TelemetrySnapshot counters;
   {
     MutexLock lock(&mu_);
     snapshots.reserve(buffers_.size());
     for (const auto& b : buffers_) {
       MutexLock buf_lock(&b->mu);
-      snapshots.emplace_back(b->tid, b->events);
+      snapshots.push_back({b->tid, b->name, b->events});
     }
+    counters = counters_;
   }
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
         "\"args\":{\"name\":\"whirlpool\"}}";
-  for (const auto& [tid, events] : snapshots) {
-    AppendEventsJson(tid, events, epoch_ns_, os);
+  for (const BufferSnapshot& snap : snapshots) {
+    if (snap.name.empty()) continue;
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << snap.tid << ",\"args\":{\"name\":\"" << util::JsonEscape(snap.name)
+       << "\"}}";
+  }
+  for (const BufferSnapshot& snap : snapshots) {
+    AppendEventsJson(snap.tid, snap.events, epoch_ns_, os);
+  }
+  for (const TelemetrySnapshot::Series& s : counters.series) {
+    AppendCounterTrackJson(s, counters.t_ns, epoch_ns_, os);
   }
   os << "]}\n";
 }

@@ -60,8 +60,20 @@ class Tracer {
   /// Total events recorded so far (merges buffer sizes; call after the run).
   size_t NumEvents() const;
 
+  /// Names the calling thread's track: WriteChromeTrace emits a
+  /// "thread_name" metadata event ("ph":"M") so Perfetto labels the track
+  /// (router / server N / main) instead of showing a bare tid.
+  void SetThreadName(const std::string& name);
+
+  /// Attaches the run's flight-recorder series: WriteChromeTrace renders
+  /// every series as a Chrome counter track ("ph":"C") time-aligned with
+  /// the spans (same MonotonicNs clock). Call once, after the run quiesces.
+  void AttachCounters(const TelemetrySnapshot& timeseries);
+
   /// Writes every recorded event as Chrome trace_event JSON
-  /// ({"traceEvents": [...]}), timestamps relative to tracer construction.
+  /// ({"traceEvents": [...]}), timestamps relative to tracer construction:
+  /// process/thread metadata first, then spans/instants, then any attached
+  /// telemetry counter tracks.
   void WriteChromeTrace(std::ostream& os) const;
 
  private:
@@ -72,6 +84,8 @@ class Tracer {
   struct Buffer {
     Mutex mu{LockRank::kTracerBuffer, "Tracer::Buffer::mu"};
     std::vector<Event> events GUARDED_BY(mu);
+    /// Perfetto track label (SetThreadName); empty = unnamed.
+    std::string name GUARDED_BY(mu);
     /// Set once at registration (under the registry mu_), then read-only.
     int tid = 0;  // wp-lint: disable(WP002) write-once before publication
   };
@@ -85,6 +99,8 @@ class Tracer {
   mutable Mutex mu_{LockRank::kTracer, "Tracer::mu_"};
   /// Registration list; each Buffer's contents are guarded by its own mu.
   std::vector<std::unique_ptr<Buffer>> buffers_ GUARDED_BY(mu_);
+  /// Telemetry series rendered as counter tracks (AttachCounters).
+  TelemetrySnapshot counters_ GUARDED_BY(mu_);
 };
 
 /// \brief Per-run instrumentation context: optional tracer + optional
@@ -133,6 +149,13 @@ class Instrumentation {
     if (tracer_ != nullptr) {
       tracer_->RecordSpan("queue_wait", server, seq, enqueue_ns, now);
     }
+  }
+
+  /// Labels the calling thread's trace track (no-op untraced). Engines call
+  /// it once at the top of each thread loop — router, server N, main — so
+  /// Perfetto names the tracks (see Tracer::SetThreadName).
+  void NameThread(const std::string& name) const {
+    if (tracer_ != nullptr) tracer_->SetThreadName(name);
   }
 
   /// Routing decision taken: match `seq` goes to `server`.

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <limits>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "exec/queue_policy.h"
 #include "exec/routing.h"
 #include "exec/server.h"
+#include "exec/telemetry.h"
 #include "exec/tracer.h"
 #include "util/failpoint.h"
 #include "util/mutex.h"
@@ -66,6 +68,10 @@ class InFlightTracker {
     // writes are visible to main once the drain completes.
     cv_.Wait(mu_, [&] { return count_.load(std::memory_order_acquire) == 0; });
   }
+
+  /// Instantaneous live-match count; monitoring only (telemetry gauge), so
+  /// relaxed is sufficient.
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> count_{0};
@@ -158,6 +164,7 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
   };
 
   auto server_loop = [&](int s, DrainGovernor* gov, double* abandoned_bound) {
+    ins.NameThread("server " + std::to_string(s));
     std::vector<QueuedMatch> batch;
     std::vector<PartialMatch> survivors;
     std::vector<QueuedMatch> outbox;  // extensions bound for the router
@@ -204,6 +211,7 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
   };
 
   auto router_loop = [&](DrainGovernor* gov, double* abandoned_bound) {
+    ins.NameThread("router");
     std::vector<QueuedMatch> batch;
     // Per-server outboxes: one publish per destination server per batch.
     std::vector<std::vector<QueuedMatch>> outboxes(static_cast<size_t>(num_servers));
@@ -236,6 +244,55 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
     }
   };
 
+  // Pre-register every consumer's governor (owned by `drains`, so the
+  // pointers are stable) before any thread spawns: the telemetry drain-depth
+  // gauges below must capture them before the sampler starts.
+  std::vector<DrainGovernor*> governors;
+  governors.reserve(static_cast<size_t>(worker_threads));
+  for (int s = 0; s < num_servers; ++s) {
+    for (int t = 0; t < options.threads_per_server; ++t) {
+      governors.push_back(drains.Register(s));
+    }
+  }
+  governors.push_back(drains.Register(DrainController::kRouterQueue));
+
+  ins.NameThread("main");
+  // Declared after the queues / tracker / governors its probes read, so it
+  // is destroyed (and explicitly stopped, below) before any of them.
+  std::unique_ptr<TelemetryRecorder> recorder;
+  if (options.telemetry_interval_us > 0) {
+    recorder = std::make_unique<TelemetryRecorder>(options.telemetry_interval_us);
+    RegisterCommonProbes(recorder.get(), &topk, &metrics, &token);
+    recorder->AddGauge("in_flight", [&in_flight] {
+      return static_cast<double>(in_flight.count());
+    });
+    recorder->AddGauge("queue_depth.router", [&router_queue] {
+      return static_cast<double>(router_queue.Depth());
+    });
+    for (int s = 0; s < num_servers; ++s) {
+      SyncMatchQueue* q = server_queues[static_cast<size_t>(s)].get();
+      recorder->AddGauge("queue_depth.s" + std::to_string(s),
+                         [q] { return static_cast<double>(q->Depth()); });
+    }
+    for (size_t i = 0; i < governors.size(); ++i) {
+      const DrainGovernor* gov = governors[i];
+      std::string name;
+      if (gov->queue_id() == DrainController::kRouterQueue) {
+        name = "drain.router";
+      } else {
+        name = "drain.s" + std::to_string(gov->queue_id());
+        // Disambiguate same-server consumers when each server has several.
+        if (options.threads_per_server > 1) {
+          name += '.' + std::to_string(
+                            i % static_cast<size_t>(options.threads_per_server));
+        }
+      }
+      recorder->AddGauge(std::move(name),
+                         [gov] { return static_cast<double>(gov->drain()); });
+    }
+    recorder->Start(&token);
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(worker_threads));
   // One abandoned-work bound slot per thread, exchanged at join time.
@@ -245,21 +302,35 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
   size_t slot = 0;
   for (int s = 0; s < num_servers; ++s) {
     for (int t = 0; t < options.threads_per_server; ++t) {
-      threads.emplace_back(server_loop, s, drains.Register(s),
-                           &abandoned_bounds[slot++]);
+      threads.emplace_back(server_loop, s, governors[slot], &abandoned_bounds[slot]);
+      ++slot;
     }
   }
-  threads.emplace_back(router_loop, drains.Register(DrainController::kRouterQueue),
-                       &abandoned_bounds[slot++]);
+  threads.emplace_back(router_loop, governors[slot], &abandoned_bounds[slot]);
 
   in_flight.WaitForDrain();
   router_queue.Stop();
   for (auto& q : server_queues) q->Stop();
   for (auto& t : threads) t.join();
 
+  // Quiesce the sampler, then build the full metrics snapshot BEFORE the
+  // error return: a failed or degraded run still gets its flight-recorder
+  // post-mortem (see MaybeWritePostMortem).
+  if (recorder != nullptr) recorder->Stop();
+  ins.QueryDone(query_start);
+  MetricsSnapshot snap = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
+  drains.ExportTo(&snap.adaptive);
+  snap.adaptive.queue_peak_depth.push_back(router_queue.depth_peak());
+  for (const auto& q : server_queues) {
+    snap.adaptive.queue_peak_depth.push_back(q->depth_peak());
+  }
+  if (recorder != nullptr) {
+    snap.timeseries = recorder->Snapshot();
+    if (options.tracer != nullptr) options.tracer->AttachCounters(snap.timeseries);
+  }
+  MaybeWritePostMortem(options, token, snap);
   // An injected error outranks any partial answer set.
   WHIRLPOOL_RETURN_NOT_OK(token.error());
-  ins.QueryDone(query_start);
   TopKResult result;
   result.answers = topk.Finalize();
   result.approximate = token.DeadlineExpired();
@@ -272,12 +343,7 @@ Result<TopKResult> RunWhirlpoolM(const QueryPlan& plan, const ExecOptions& optio
       result.score_bound = std::max(result.score_bound, b);
     }
   }
-  result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
-  drains.ExportTo(&result.metrics.adaptive);
-  result.metrics.adaptive.queue_peak_depth.push_back(router_queue.depth_peak());
-  for (const auto& q : server_queues) {
-    result.metrics.adaptive.queue_peak_depth.push_back(q->depth_peak());
-  }
+  result.metrics = std::move(snap);
   return result;
 }
 

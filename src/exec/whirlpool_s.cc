@@ -5,6 +5,7 @@
 // highest possible final score must be processed before a top-k answer can
 // be finalized).
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <memory>
 
@@ -14,6 +15,7 @@
 #include "exec/queue_policy.h"
 #include "exec/routing.h"
 #include "exec/server.h"
+#include "exec/telemetry.h"
 #include "exec/tracer.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
@@ -47,6 +49,7 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
   if (options.cache_server_joins) {
     cache = std::make_unique<ServerJoinCache>(plan.num_servers());
   }
+  ins.NameThread("whirlpool-s");
   MatchHeap queue;
   std::vector<PartialMatch> survivors;
   for (PartialMatch& m : GenerateRootMatches(plan, options, &topk, &metrics, &seq)) {
@@ -55,8 +58,28 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
     queue.Push({prio, std::move(m), enq});
   }
 
+  // MatchHeap is single-threaded state the sampler must never touch; the
+  // engine mirrors its size into this atomic once per step instead, and
+  // only while a recorder exists. peak_depth is the high-water mark the
+  // "adaptive" metrics block reports (satellite of the W-M queue peaks).
+  std::atomic<size_t> live_queue_depth{queue.size()};
+  size_t peak_depth = queue.size();
+  std::unique_ptr<TelemetryRecorder> recorder;
+  if (options.telemetry_interval_us > 0) {
+    recorder = std::make_unique<TelemetryRecorder>(options.telemetry_interval_us);
+    RegisterCommonProbes(recorder.get(), &topk, &metrics, &token);
+    recorder->AddGauge("queue_depth.router", [&live_queue_depth] {
+      return static_cast<double>(live_queue_depth.load(std::memory_order_relaxed));
+    });
+    recorder->Start(&token);
+  }
+
   const int bulk = options.bulk_batch;  // ValidateOptions rejected < 1
   while (!queue.empty()) {
+    peak_depth = std::max(peak_depth, queue.size());
+    if (recorder != nullptr) {
+      live_queue_depth.store(queue.size(), std::memory_order_relaxed);
+    }
     // Queue boundary: evaluate the step failpoint (schedule perturbation or
     // injected error) and the deadline; on cancellation the remaining queue
     // is abandoned below with its residual score bound.
@@ -100,9 +123,25 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
     }
   }
 
+  // Quiesce the sampler before snapshotting so the snapshot (and its final
+  // Stop() sample) sees the finished counters, then build the full metrics
+  // snapshot BEFORE the error return: a failed or degraded run still gets
+  // its flight-recorder post-mortem.
+  if (recorder != nullptr) recorder->Stop();
+  ins.QueryDone(query_start);
+  MetricsSnapshot snap = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
+  snap.adaptive.shards_auto = sync.shards_auto;
+  snap.adaptive.chosen_shards = topk.num_shards();
+  snap.adaptive.drain_adaptive = sync.drain_adaptive;
+  snap.adaptive.drain_max = sync.drain_max;
+  snap.adaptive.queue_peak_depth = {static_cast<uint64_t>(peak_depth)};
+  if (recorder != nullptr) {
+    snap.timeseries = recorder->Snapshot();
+    if (options.tracer != nullptr) options.tracer->AttachCounters(snap.timeseries);
+  }
+  MaybeWritePostMortem(options, token, snap);
   // An injected error outranks any partial answer set.
   WHIRLPOOL_RETURN_NOT_OK(token.error());
-  ins.QueryDone(query_start);
   TopKResult result;
   result.answers = topk.Finalize();
   result.approximate = token.DeadlineExpired();
@@ -115,11 +154,7 @@ Result<TopKResult> RunWhirlpoolS(const QueryPlan& plan, const ExecOptions& optio
     // capped by the abandoned queue entries' max possible final scores.
     result.score_bound = std::max(result.score_bound, queue.MaxFinalBound());
   }
-  result.metrics = metrics.Snapshot(wall.ElapsedSeconds(), plan.num_servers());
-  result.metrics.adaptive.shards_auto = sync.shards_auto;
-  result.metrics.adaptive.chosen_shards = topk.num_shards();
-  result.metrics.adaptive.drain_adaptive = sync.drain_adaptive;
-  result.metrics.adaptive.drain_max = sync.drain_max;
+  result.metrics = std::move(snap);
   return result;
 }
 

@@ -323,7 +323,7 @@ const std::vector<std::string>& KnownSites() {
       sites::kWmServerDrain,   sites::kWmRouterHandoff,
       sites::kWsStep,          sites::kLockstepWave,
       sites::kCacheLookup,     sites::kAdaptiveSample,
-      sites::kTracerRecord,
+      sites::kTracerRecord,    sites::kTelemetrySample,
   };
   return *kSites;
 }

@@ -55,6 +55,7 @@ inline constexpr char kLockstepWave[] = "lockstep.wave";
 inline constexpr char kCacheLookup[] = "cache.lookup";
 inline constexpr char kAdaptiveSample[] = "adaptive.sample";
 inline constexpr char kTracerRecord[] = "tracer.record";
+inline constexpr char kTelemetrySample[] = "telemetry.sample";
 }  // namespace sites
 
 /// All known site names (for Configure validation and docs/tests).

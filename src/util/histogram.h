@@ -17,6 +17,7 @@ namespace whirlpool::util {
 struct LatencyStats {
   uint64_t count = 0;
   double mean_us = 0.0;
+  double min_us = 0.0;
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
@@ -109,6 +110,12 @@ inline LatencyStats LatencyHistogram::Snapshot() const {
   s.p50_us = Percentile(0.50) / 1e3;
   s.p95_us = Percentile(0.95) / 1e3;
   s.p99_us = Percentile(0.99) / 1e3;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i].load(std::memory_order_relaxed) != 0) {
+      s.min_us = BucketMidpoint(i) / 1e3;
+      break;
+    }
+  }
   for (size_t i = kNumBuckets; i-- > 0;) {
     if (buckets_[i].load(std::memory_order_relaxed) != 0) {
       s.max_us = BucketMidpoint(i) / 1e3;

@@ -25,6 +25,7 @@ const char* LockRankName(LockRank rank) {
     case LockRank::kTopKScores: return "kTopKScores";
     case LockRank::kTracer: return "kTracer";
     case LockRank::kTracerBuffer: return "kTracerBuffer";
+    case LockRank::kTelemetry: return "kTelemetry";
     case LockRank::kCancel: return "kCancel";
     case LockRank::kFailpointRegistry: return "kFailpointRegistry";
   }

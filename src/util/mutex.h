@@ -16,6 +16,7 @@
 // compile the tracking out entirely (the rank/name members vanish).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -45,6 +46,8 @@ enum class LockRank : int {
   kTopKScores = 70,     ///< TopKSet::scores_mu_ (global score multiset)
   kTracer = 80,         ///< Tracer::mu_ (buffer registry)
   kTracerBuffer = 90,   ///< Tracer::Buffer::mu (per-thread event logs)
+  kTelemetry = 92,      ///< TelemetryRecorder::mu_ (sampler rings; below
+                        ///< kCancel so probes may observe the CancelToken)
   kCancel = 93,         ///< CancelToken::mu_ (first-cancellation status)
   kFailpointRegistry = 95,  ///< failpoint::FailpointRegistry::mu_ (leaf:
                             ///< Configure/Snapshot only; hits are lock-free)
@@ -183,6 +186,20 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock, std::move(pred));
     lock.release();
+  }
+
+  /// Blocks until `pred()` holds or `timeout` elapses, whichever is first;
+  /// returns the predicate's final value (false = timed out). The periodic-
+  /// worker primitive (telemetry sampler): sleep one interval, wake early on
+  /// shutdown. Same release/reacquire contract as the untimed overloads.
+  template <typename Predicate>
+  bool Wait(Mutex& mu, std::chrono::microseconds timeout, Predicate pred)
+      REQUIRES(mu) {
+    AssertWaitSafe(mu);
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool satisfied = cv_.wait_for(lock, timeout, std::move(pred));
+    lock.release();
+    return satisfied;
   }
 
   void NotifyOne() { cv_.notify_one(); }

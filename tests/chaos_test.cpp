@@ -132,7 +132,8 @@ const char* const kPerturbPlans[] = {
     "wm.server_drain=stall(100,every=9),topk.threshold_refresh=yield(every=4)",
     "queue.pop_batch=wake(every=4),queue.push_batch=wake(every=5)",
     "ws.step=yield(every=2),lockstep.wave=sleep(40,once)",
-    "adaptive.sample=sleep(20,p=0.5),topk.update=sleep(10,every=11)",
+    "adaptive.sample=sleep(20,p=0.5),topk.update=sleep(10,every=11),"
+    "telemetry.sample=yield",
     "wm.router_handoff=stall(80,every=6),cache.lookup=yield",
 };
 
@@ -180,6 +181,16 @@ TEST_P(ChaosTest, SeededFaultPlans) {
                                      : exec::MatchSemantics::kExact;
     base.cache_server_joins = std::string(eng.label) == "ws+cache";
     base.failpoint_seed = base_seed + static_cast<uint64_t>(trial) * 977;
+    // Flight-recorder dimension: every fourth trial samples telemetry in the
+    // clean AND faulted runs, so the chaos schedules (and the TSan CI leg)
+    // cover the sampler thread racing every engine, failpoint plan and
+    // cancellation path. Degraded trials write their post-mortem to a
+    // scratch file instead of spamming the test log via stderr.
+    const bool telemetry_on = trial % 4 == 0;
+    if (telemetry_on) {
+      base.telemetry_interval_us = 100;
+      base.postmortem_path = ::testing::TempDir() + "/chaos_postmortem.txt";
+    }
 
     // The per-engine cancellation-poll site: the only sites where an
     // `error` action can surface (plus cache.lookup when the cache is on).
@@ -208,6 +219,12 @@ TEST_P(ChaosTest, SeededFaultPlans) {
     auto clean = RunTopK(*plan, base);
     ASSERT_TRUE(clean.ok()) << repro.str();
     ASSERT_FALSE(clean->approximate) << repro.str();
+    if (telemetry_on) {
+      // The sampler really ran: Stop()'s final sample guarantees at least one
+      // row even when the run beats the first interval.
+      ASSERT_GE(clean->metrics.timeseries.ticks, 1u) << repro.str();
+      ASSERT_FALSE(clean->metrics.timeseries.series.empty()) << repro.str();
+    }
 
     const int mode = trial % 3;
     if (mode == 0) {

@@ -256,6 +256,75 @@ TEST(CliTest, QueryWritesTraceAndMetricsJson) {
   std::remove(metrics.c_str());
 }
 
+TEST(CliTest, QueryTelemetryFlagsWriteCounterTracksAndTimeseries) {
+  const std::string trace = std::string(::testing::TempDir()) + "cli_tel_trace.json";
+  const std::string metrics = std::string(::testing::TempDir()) + "cli_tel_metrics.json";
+  auto r = RunArgs({"query", "--generate-kb=16", "--xpath=//item[./name]",
+                    "--k=3", "--engine=wm", "--telemetry-interval-us=200",
+                    "--trace=" + trace, "--metrics-json=" + metrics});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  const auto slurp = [](const std::string& path) {
+    std::ifstream f(path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+  };
+  // Counter tracks ride in the Chrome trace; the sampler's final flush
+  // guarantees at least one sample even on a sub-interval run.
+  const std::string trace_json = slurp(trace);
+  EXPECT_NE(trace_json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(trace_json.find("\"threshold\""), std::string::npos);
+  EXPECT_NE(trace_json.find("\"queue_depth.router\""), std::string::npos);
+  const std::string metrics_json = slurp(metrics);
+  EXPECT_NE(metrics_json.find("\"timeseries\""), std::string::npos);
+  EXPECT_NE(metrics_json.find("\"series\""), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+
+  // --telemetry alone selects the default 1 ms interval.
+  auto def = RunArgs({"query", "--generate-kb=16", "--xpath=//item[./name]",
+                      "--k=3", "--telemetry", "--metrics-json=" + metrics});
+  ASSERT_TRUE(def.status.ok()) << def.status;
+  EXPECT_NE(slurp(metrics).find("\"timeseries\""), std::string::npos);
+  std::remove(metrics.c_str());
+}
+
+TEST(CliTest, QueryPostMortemFlagWritesDumpOnDegradedRun) {
+  const std::string pm = std::string(::testing::TempDir()) + "cli_postmortem.txt";
+  auto r = RunArgs({"query", "--generate-kb=64", "--xpath=//item[./name]",
+                    "--k=3", "--failpoints=ws.step=sleep(400)",
+                    "--deadline-ms=0.2", "--telemetry-interval-us=100",
+                    "--postmortem=" + pm});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_NE(r.output.find("approximate: deadline expired"), std::string::npos)
+      << r.output;
+  std::ifstream f(pm);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_NE(buf.str().find("whirlpool post-mortem: deadline expired"),
+            std::string::npos)
+      << buf.str();
+  EXPECT_NE(buf.str().find("=== end post-mortem ==="), std::string::npos);
+  std::remove(pm.c_str());
+}
+
+TEST(CliTest, QueryRejectsBadTelemetryFlags) {
+  // Zero/negative interval at the flag layer; sub-floor interval and a
+  // post-mortem path without telemetry at the shared options validator.
+  EXPECT_FALSE(RunArgs({"query", "--generate-kb=4", "--xpath=//item[./name]",
+                        "--telemetry-interval-us=0"})
+                   .status.ok());
+  EXPECT_FALSE(RunArgs({"query", "--generate-kb=4", "--xpath=//item[./name]",
+                        "--telemetry-interval-us=-50"})
+                   .status.ok());
+  EXPECT_FALSE(RunArgs({"query", "--generate-kb=4", "--xpath=//item[./name]",
+                        "--telemetry-interval-us=5"})
+                   .status.ok());
+  EXPECT_FALSE(RunArgs({"query", "--generate-kb=4", "--xpath=//item[./name]",
+                        "--postmortem=pm.txt"})
+                   .status.ok());
+}
+
 TEST(CliTest, ExplainShowsModelAndServers) {
   auto r = RunArgs({"explain", "--generate-kb=16",
                 "--xpath=//item[./description/parlist and ./name]"});

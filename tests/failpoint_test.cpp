@@ -188,10 +188,11 @@ TEST_F(FailpointTest, KnownSitesMatchesHeaderConstants) {
        {sites::kQueuePushBatch, sites::kQueuePopBatch, sites::kTopkUpdate,
         sites::kTopkThresholdRefresh, sites::kWmServerDrain,
         sites::kWmRouterHandoff, sites::kWsStep, sites::kLockstepWave,
-        sites::kCacheLookup, sites::kAdaptiveSample, sites::kTracerRecord}) {
+        sites::kCacheLookup, sites::kAdaptiveSample, sites::kTracerRecord,
+        sites::kTelemetrySample}) {
     EXPECT_NE(std::find(known.begin(), known.end(), s), known.end()) << s;
   }
-  EXPECT_EQ(known.size(), 11u);
+  EXPECT_EQ(known.size(), 12u);
 }
 
 }  // namespace

@@ -184,6 +184,8 @@ TEST(LatencyHistogramTest, PercentilesOfUniformDistribution) {
   LatencyStats s = h.Snapshot();
   EXPECT_EQ(s.count, 1000u);
   EXPECT_NEAR(s.mean_us, 500.5, 1.0);
+  EXPECT_NEAR(s.min_us, 1.0, 1.0 * 0.07);
+  EXPECT_LE(s.min_us, s.p50_us);
   EXPECT_NEAR(s.p50_us, 500.0, 500.0 * 0.07);
   EXPECT_NEAR(s.p95_us, 950.0, 950.0 * 0.07);
   EXPECT_NEAR(s.p99_us, 990.0, 990.0 * 0.07);
@@ -396,6 +398,52 @@ TEST(MetricsJsonTest, SnapshotJsonHasPercentileFields) {
         "\"p99_us\"", "\"mean_us\"", "\"max_us\""}) {
     EXPECT_NE(json.find(field), std::string::npos) << field << " missing in " << json;
   }
+}
+
+TEST(MetricsJsonTest, MinUsSurfacesInLatencyJson) {
+  Workload w = MakeWorkload();
+  ExecOptions opts;
+  opts.k = 5;
+  opts.collect_latencies = true;
+  auto r = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const MetricsSnapshot& m = r->metrics;
+  EXPECT_GT(m.query_latency.min_us, 0.0);
+  EXPECT_LE(m.query_latency.min_us, m.query_latency.p50_us);
+  if (m.server_op_latency.count > 0) {
+    EXPECT_LE(m.server_op_latency.min_us, m.server_op_latency.max_us);
+  }
+  const std::string json = m.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"min_us\""), std::string::npos) << json;
+}
+
+TEST(MetricsJsonTest, TimeseriesBlockSurfacesInJson) {
+  Workload w = MakeWorkload();
+  ExecOptions opts;
+  opts.k = 5;
+  opts.telemetry_interval_us = 200;
+  opts.op_cost_seconds = 20e-6;  // Keep the run alive across several samples.
+  auto r = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_GE(r->metrics.timeseries.ticks, 1u);
+  const std::string json = r->metrics.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  for (const char* field :
+       {"\"timeseries\"", "\"interval_us\"", "\"ticks\"", "\"t_us\"",
+        "\"series\"", "\"kind\"", "\"gauge\"", "\"counter\"", "\"threshold\"",
+        "\"queue_depth.router\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field << " missing in " << json;
+  }
+  // Telemetry off: the block is present but empty (ticks 0, no series).
+  opts.telemetry_interval_us = 0;
+  auto off = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(off.ok()) << off.status();
+  EXPECT_EQ(off->metrics.timeseries.ticks, 0u);
+  EXPECT_TRUE(off->metrics.timeseries.series.empty());
+  const std::string off_json = off->metrics.ToJson();
+  EXPECT_TRUE(JsonChecker(off_json).Valid()) << off_json;
+  EXPECT_NE(off_json.find("\"ticks\":0"), std::string::npos) << off_json;
 }
 
 TEST(MetricsJsonTest, FailpointCountersSurfaceInJson) {

@@ -84,6 +84,10 @@ TEST(OptionsValidationTest, RejectionMatrixIsIdenticalAcrossEngines) {
        [](ExecOptions* o) { o->failpoints = "ws.step=explode"; }},
       {"failpoints=two-modes",
        [](ExecOptions* o) { o->failpoints = "ws.step=yield(once,every=2)"; }},
+      {"telemetry_interval_us=5",
+       [](ExecOptions* o) { o->telemetry_interval_us = 5; }},
+      {"postmortem-without-telemetry",
+       [](ExecOptions* o) { o->postmortem_path = "pm.txt"; }},
   };
   for (const Case& c : kBad) {
     // The message every path must produce, from the shared validator.

@@ -213,6 +213,25 @@ TEST(SyncMatchQueueTest, TracksQueueDepthPeak) {
   EXPECT_EQ(q.depth_peak(), 6u);
 }
 
+TEST(SyncMatchQueueTest, DepthMirrorTracksPushAndPop) {
+  // Depth() is the lock-free instantaneous mirror the telemetry sampler
+  // reads; with no concurrent producer it must agree exactly.
+  SyncMatchQueue q;
+  EXPECT_EQ(q.Depth(), 0u);
+  std::vector<QueuedMatch> in;
+  for (uint64_t i = 0; i < 5; ++i) in.push_back(MakeFifo(i));
+  q.PushBatch(&in);
+  EXPECT_EQ(q.Depth(), 5u);
+  QueuedMatch m;
+  ASSERT_TRUE(q.Pop(&m));
+  EXPECT_EQ(q.Depth(), 4u);
+  std::vector<QueuedMatch> batch;
+  ASSERT_TRUE(q.PopBatch(&batch, 3));
+  EXPECT_EQ(q.Depth(), 1u);
+  q.Push(MakeFifo(9));
+  EXPECT_EQ(q.Depth(), 2u);
+}
+
 TEST(SyncMatchQueueTest, ShutdownRacedAgainstPushPopUnderFailpoints) {
   // Shutdown-race sweep at the instrumented batch boundaries: producers and
   // consumers run under a seeded plan that yields, stalls, and injects

@@ -1,0 +1,388 @@
+// Flight-recorder telemetry (exec/telemetry.h): the decimating ring
+// contracts (counter mass preservation, gauge newest-wins, uniform stride),
+// the background sampler's interval/shutdown behaviour, the engine-level
+// "timeseries" wiring for every engine, and the post-mortem writer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <thread>
+
+#include "exec/cancel.h"
+#include "exec/engine.h"
+#include "exec/telemetry.h"
+#include "query/tree_pattern.h"
+#include "score/scoring.h"
+#include "xmlgen/xmark.h"
+
+namespace whirlpool::exec {
+namespace {
+
+using query::ParseXPath;
+using score::Normalization;
+using score::ScoringModel;
+
+const TelemetrySnapshot::Series* FindSeries(const TelemetrySnapshot& ts,
+                                            const std::string& name) {
+  for (const auto& s : ts.series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Ring / decimation contracts (driven synchronously via SampleNow — no
+// sampler thread, no clocks in the assertions).
+
+TEST(TelemetryRecorderTest, RetainsEverySampleBeforeCapacity) {
+  TelemetryRecorder rec(/*interval_us=*/1000, /*capacity=*/8);
+  uint64_t total = 0;
+  rec.AddCounter("c", [&total] { return total; });
+  rec.AddGauge("g", [&total] { return static_cast<double>(total); });
+  for (int i = 0; i < 5; ++i) {
+    total += 10;
+    rec.SampleNow();
+  }
+  TelemetrySnapshot ts = rec.Snapshot();
+  EXPECT_EQ(ts.ticks, 5u);
+  EXPECT_EQ(ts.decimations, 0u);
+  EXPECT_EQ(ts.stride_us, 1000u);  // no decimation: stride == interval
+  ASSERT_EQ(ts.t_ns.size(), 5u);
+  const auto* c = FindSeries(ts, "c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->counter);
+  // Counter rows are deltas: first row absorbs the pre-start total.
+  EXPECT_EQ(c->values, (std::vector<double>{10, 10, 10, 10, 10}));
+  const auto* g = FindSeries(ts, "g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_FALSE(g->counter);
+  EXPECT_EQ(g->values, (std::vector<double>{10, 20, 30, 40, 50}));
+}
+
+TEST(TelemetryRecorderTest, DecimationPreservesCounterMass) {
+  constexpr size_t kCapacity = 8;
+  TelemetryRecorder rec(/*interval_us=*/100, kCapacity);
+  uint64_t total = 0;
+  rec.AddCounter("c", [&total] { return total; });
+  // 50 samples with a varying per-sample increment forces multiple
+  // decimations; the invariant is that the retained deltas still sum to the
+  // probe's final total, no matter how many rows were merged away.
+  for (int i = 1; i <= 50; ++i) {
+    total += static_cast<uint64_t>(i);
+    rec.SampleNow();
+  }
+  TelemetrySnapshot ts = rec.Snapshot();
+  EXPECT_EQ(ts.ticks, 50u);
+  EXPECT_GE(ts.decimations, 3u);  // 50 samples through an 8-row ring
+  EXPECT_LE(ts.t_ns.size(), kCapacity);
+  EXPECT_EQ(ts.stride_us, 100u << ts.decimations);
+  const auto* c = FindSeries(ts, "c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->values.size(), ts.t_ns.size());
+  const double mass = std::accumulate(c->values.begin(), c->values.end(), 0.0);
+  EXPECT_EQ(mass, static_cast<double>(total));
+}
+
+TEST(TelemetryRecorderTest, DecimationKeepsNewestGaugeValue) {
+  TelemetryRecorder rec(/*interval_us=*/100, /*capacity=*/4);
+  double value = 0.0;
+  rec.AddGauge("g", [&value] { return value; });
+  for (int i = 1; i <= 9; ++i) {
+    value = i;
+    rec.SampleNow();
+  }
+  TelemetrySnapshot ts = rec.Snapshot();
+  const auto* g = FindSeries(ts, "g");
+  ASSERT_NE(g, nullptr);
+  ASSERT_FALSE(g->values.empty());
+  // The newest sample survives every decimation (odd-index retention).
+  EXPECT_EQ(g->values.back(), 9.0);
+  // Timestamps stay strictly ascending through any number of halvings.
+  for (size_t i = 1; i < ts.t_ns.size(); ++i) {
+    EXPECT_LT(ts.t_ns[i - 1], ts.t_ns[i]) << "row " << i;
+  }
+}
+
+TEST(TelemetryRecorderTest, OddCapacityRoundsUpToEven) {
+  // capacity 3 -> 4: four samples fit without decimation, the fifth halves.
+  TelemetryRecorder rec(/*interval_us=*/100, /*capacity=*/3);
+  rec.AddGauge("g", [] { return 1.0; });
+  for (int i = 0; i < 4; ++i) rec.SampleNow();
+  EXPECT_EQ(rec.Snapshot().decimations, 0u);
+  rec.SampleNow();
+  TelemetrySnapshot ts = rec.Snapshot();
+  EXPECT_EQ(ts.decimations, 1u);
+  EXPECT_EQ(ts.t_ns.size(), 3u);  // 4 halved to 2, plus the new row
+}
+
+// ---------------------------------------------------------------------------
+// Sampler thread.
+
+TEST(TelemetryRecorderTest, SamplerTicksAtInterval) {
+  TelemetryRecorder rec(/*interval_us=*/1000);
+  std::atomic<uint64_t> total{0};
+  rec.AddCounter("c", [&total] { return total.load(std::memory_order_relaxed); });
+  rec.Start(/*token=*/nullptr);
+  total.fetch_add(7, std::memory_order_relaxed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  rec.Stop();
+  const TelemetrySnapshot ts = rec.Snapshot();
+  // ~50 ticks expected; demand only a loose lower bound (CI schedulers) and
+  // that Stop()'s final sample landed.
+  EXPECT_GE(ts.ticks, 5u);
+  EXPECT_EQ(ts.t_ns.size(), ts.ticks);  // well under capacity: all retained
+  const auto* c = FindSeries(ts, "c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(std::accumulate(c->values.begin(), c->values.end(), 0.0), 7.0);
+  // Stop is idempotent; ticks must not advance after it.
+  rec.Stop();
+  EXPECT_EQ(rec.ticks(), ts.ticks);
+}
+
+TEST(TelemetryRecorderTest, StopWithinFirstIntervalStillRecordsEndState) {
+  TelemetryRecorder rec(/*interval_us=*/1'000'000);  // 1 s: never fires
+  double value = 42.0;
+  rec.AddGauge("g", [&value] { return value; });
+  rec.Start(nullptr);
+  rec.Stop();  // joins, then takes the final synchronous sample
+  TelemetrySnapshot ts = rec.Snapshot();
+  ASSERT_GE(ts.t_ns.size(), 1u);
+  EXPECT_EQ(FindSeries(ts, "g")->values.back(), 42.0);
+}
+
+TEST(TelemetryRecorderTest, FiredTokenShutsSamplerDown) {
+  CancelToken token(/*deadline_ms=*/1.0);
+  TelemetryRecorder rec(/*interval_us=*/500);
+  rec.AddGauge("cancelled", [&token] { return token.Cancelled() ? 1.0 : 0.0; });
+  rec.Start(&token);
+  // Well past the deadline: the sampler must have observed the fired token
+  // at a sample boundary and exited on its own.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  const uint64_t ticks_after_fire = rec.ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(rec.ticks(), ticks_after_fire) << "sampler kept running";
+  rec.Stop();
+  // The last pre-shutdown row saw the fired state (Poll happens after the
+  // sample, so the final rows record cancelled == 1).
+  const TelemetrySnapshot ts = rec.Snapshot();
+  EXPECT_EQ(FindSeries(ts, "cancelled")->values.back(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration.
+
+struct Workload {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<index::TagIndex> idx;
+  query::TreePattern pattern;
+  std::unique_ptr<QueryPlan> plan;
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  xmlgen::XMarkOptions gen;
+  gen.seed = 99;
+  gen.target_bytes = 16 << 10;
+  w.doc = xmlgen::GenerateXMark(gen);
+  w.idx = std::make_unique<index::TagIndex>(*w.doc);
+  auto q = ParseXPath("//item[./description/parlist and ./name]");
+  EXPECT_TRUE(q.ok()) << q.status();
+  w.pattern = std::move(q).value();
+  auto scoring = ScoringModel::ComputeTfIdf(*w.idx, w.pattern, Normalization::kSparse);
+  auto plan = QueryPlan::Build(*w.idx, w.pattern, scoring);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  w.plan = std::make_unique<QueryPlan>(std::move(plan).value());
+  return w;
+}
+
+class EngineTelemetryTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(EngineTelemetryTest, TimeseriesOffByDefault) {
+  Workload w = MakeWorkload();
+  ExecOptions opts;
+  opts.engine = GetParam();
+  opts.k = 5;
+  auto r = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const TelemetrySnapshot& ts = r->metrics.timeseries;
+  EXPECT_EQ(ts.interval_us, 0u);
+  EXPECT_EQ(ts.ticks, 0u);
+  EXPECT_TRUE(ts.t_ns.empty());
+  EXPECT_TRUE(ts.series.empty());
+}
+
+TEST_P(EngineTelemetryTest, TimeseriesCoversRun) {
+  Workload w = MakeWorkload();
+  ExecOptions opts;
+  opts.engine = GetParam();
+  opts.k = 5;
+  opts.telemetry_interval_us = 200;
+  // Stretch the run so the sampler observes it mid-flight too, not only via
+  // Stop()'s final sample.
+  opts.op_cost_seconds = 20e-6;
+  auto r = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const TelemetrySnapshot& ts = r->metrics.timeseries;
+  EXPECT_EQ(ts.interval_us, 200u);
+  EXPECT_GE(ts.ticks, 1u);
+  ASSERT_FALSE(ts.t_ns.empty());
+  ASSERT_FALSE(ts.series.empty());
+  for (const auto& s : ts.series) {
+    EXPECT_EQ(s.values.size(), ts.t_ns.size()) << s.name;
+  }
+  // The common probes are present, and the counter deltas agree with the
+  // final counters (Stop()'s last sample lands post-quiesce).
+  ASSERT_NE(FindSeries(ts, "threshold"), nullptr);
+  const auto* created = FindSeries(ts, "created");
+  ASSERT_NE(created, nullptr);
+  EXPECT_TRUE(created->counter);
+  EXPECT_EQ(std::accumulate(created->values.begin(), created->values.end(), 0.0),
+            static_cast<double>(r->metrics.matches_created));
+  const auto* ops = FindSeries(ts, "server_ops");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(std::accumulate(ops->values.begin(), ops->values.end(), 0.0),
+            static_cast<double>(r->metrics.server_operations));
+  // A clean run never observes a fired token.
+  const auto* cancelled = FindSeries(ts, "cancelled");
+  ASSERT_NE(cancelled, nullptr);
+  EXPECT_EQ(cancelled->values.back(), 0.0);
+  // Per-engine queue-shape series.
+  switch (GetParam()) {
+    case EngineKind::kWhirlpoolS:
+      EXPECT_NE(FindSeries(ts, "queue_depth.router"), nullptr);
+      break;
+    case EngineKind::kWhirlpoolM:
+      EXPECT_NE(FindSeries(ts, "queue_depth.router"), nullptr);
+      EXPECT_NE(FindSeries(ts, "queue_depth.s0"), nullptr);
+      EXPECT_NE(FindSeries(ts, "in_flight"), nullptr);
+      EXPECT_NE(FindSeries(ts, "drain.router"), nullptr);
+      break;
+    case EngineKind::kLockStep:
+    case EngineKind::kLockStepNoPrun:
+      EXPECT_NE(FindSeries(ts, "wave_size"), nullptr);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EngineTelemetryTest,
+                         ::testing::Values(EngineKind::kWhirlpoolS,
+                                           EngineKind::kWhirlpoolM,
+                                           EngineKind::kLockStep,
+                                           EngineKind::kLockStepNoPrun));
+
+TEST(EngineTelemetryTest, QueuePeakDepthPopulatedByAllEngines) {
+  Workload w = MakeWorkload();
+  for (EngineKind kind : {EngineKind::kWhirlpoolS, EngineKind::kWhirlpoolM,
+                          EngineKind::kLockStep}) {
+    ExecOptions opts;
+    opts.engine = kind;
+    opts.k = 5;
+    auto r = RunTopK(*w.plan, opts);
+    ASSERT_TRUE(r.ok()) << r.status();
+    const auto& peaks = r->metrics.adaptive.queue_peak_depth;
+    ASSERT_FALSE(peaks.empty()) << EngineKindName(kind);
+    // Every engine enqueues at least the root matches somewhere.
+    uint64_t max_peak = 0;
+    for (uint64_t p : peaks) max_peak = std::max(max_peak, p);
+    EXPECT_GT(max_peak, 0u) << EngineKindName(kind);
+    if (kind == EngineKind::kWhirlpoolM) {
+      // [router, server 0, ..., server n-1]
+      EXPECT_EQ(peaks.size(),
+                1u + static_cast<size_t>(w.plan->num_servers()));
+    } else {
+      EXPECT_EQ(peaks.size(), 1u);
+    }
+  }
+}
+
+TEST(EngineTelemetryTest, TelemetrySampleFailpointInjectsError) {
+  Workload w = MakeWorkload();
+  ExecOptions opts;
+  opts.k = 5;
+  opts.telemetry_interval_us = 10;
+  // Stretch the run well past several sampler wakeups so the injected error
+  // deterministically lands mid-run.
+  opts.op_cost_seconds = 100e-6;
+  opts.failpoints = "telemetry.sample=error(once)";
+  auto r = RunTopK(*w.plan, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal) << r.status();
+}
+
+// ---------------------------------------------------------------------------
+// Post-mortem.
+
+TEST(PostMortemTest, WriterFormatsReasonCountersAndSeriesTails) {
+  MetricsSnapshot snap;
+  snap.server_operations = 123;
+  snap.adaptive.queue_peak_depth = {9, 4};
+  snap.timeseries.interval_us = 100;
+  snap.timeseries.stride_us = 200;
+  snap.timeseries.ticks = 20;
+  snap.timeseries.decimations = 1;
+  for (uint64_t i = 0; i < 10; ++i) snap.timeseries.t_ns.push_back(1000 * i);
+  TelemetrySnapshot::Series s;
+  s.name = "threshold";
+  for (int i = 0; i < 10; ++i) s.values.push_back(i * 0.5);
+  snap.timeseries.series.push_back(s);
+
+  std::ostringstream os;
+  WritePostMortem(os, "deadline expired (approximate result)", snap);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("post-mortem: deadline expired"), std::string::npos) << text;
+  EXPECT_NE(text.find("ops=123"), std::string::npos) << text;
+  EXPECT_NE(text.find("queue_peak_depth: 9 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("threshold (gauge) tail:"), std::string::npos) << text;
+  // The tail is capped at 8 rows: the first two of the 10 are absent.
+  EXPECT_EQ(text.find("t+0us=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("t+9us=4.5"), std::string::npos) << text;
+}
+
+TEST(PostMortemTest, DegradedRunWritesPostMortemFile) {
+  Workload w = MakeWorkload();
+  const std::string path =
+      ::testing::TempDir() + "/whirlpool_postmortem_test.txt";
+  std::remove(path.c_str());
+  ExecOptions opts;
+  opts.k = 5;
+  opts.telemetry_interval_us = 50;
+  opts.op_cost_seconds = 100e-6;
+  opts.deadline_ms = 0.5;  // expires mid-run under the injected op cost
+  opts.postmortem_path = path;
+  auto r = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(r->approximate);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good()) << "post-mortem file not written: " << path;
+  std::stringstream buf;
+  buf << file.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_NE(text.find("whirlpool post-mortem: deadline expired"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("=== end post-mortem ==="), std::string::npos) << text;
+  std::remove(path.c_str());
+}
+
+TEST(PostMortemTest, CleanRunWritesNothing) {
+  Workload w = MakeWorkload();
+  const std::string path =
+      ::testing::TempDir() + "/whirlpool_postmortem_clean.txt";
+  std::remove(path.c_str());
+  ExecOptions opts;
+  opts.k = 5;
+  opts.telemetry_interval_us = 200;
+  opts.postmortem_path = path;
+  auto r = RunTopK(*w.plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->approximate);
+  std::ifstream file(path);
+  EXPECT_FALSE(file.good()) << "clean run must not write a post-mortem";
+}
+
+}  // namespace
+}  // namespace whirlpool::exec

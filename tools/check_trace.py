@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""check_trace.py — structural validator for whirlpool Chrome traces.
+
+Stage 7 of the static/dynamic check suite (CheckTraceSelfTest /
+CheckTraceCliRun ctest entries, and the CI differential leg): loads a
+Chrome trace_event JSON produced by `whirlpool query --trace=FILE` and
+verifies the invariants Perfetto relies on but silently forgives:
+
+  CT001  json-shape       Top level is an object with a "traceEvents" list;
+                          every event is an object with string "name"/"ph"
+                          and integer "pid"/"tid".
+  CT002  known-phases     Every "ph" is one of X (complete span), i
+                          (instant), C (counter), M (metadata) — the only
+                          phases the tracer emits.
+  CT003  span-sanity      "X" events carry numeric ts >= 0 and dur >= 0.
+  CT004  counter-shape    "C" events carry {"args": {"value": number}} and a
+                          "telemetry" cat.
+  CT005  counter-order    Per counter name, timestamps are non-decreasing
+                          (the sampler appends in time order; decimation
+                          preserves it).
+  CT006  thread-names     Every tid that owns span/instant events has a
+                          thread_name metadata event, and a process_name
+                          exists (Perfetto track labels).
+
+Modes:
+  check_trace.py TRACE.json [TRACE2.json ...]   validate existing files
+  check_trace.py --run-cli BIN                  run `BIN query --generate-kb
+                                                --trace --telemetry` for each
+                                                engine into a temp dir, then
+                                                validate the traces with
+                                                --require-counters
+  check_trace.py --self-test                    validate the checker against
+                                                embedded good/bad traces
+
+--require-counters additionally demands at least one "threshold" and one
+"queue_depth.*" / "wave_size" counter track (the ISSUE 10 acceptance bar).
+
+Exit code 0 = clean, 1 = findings (listed one per line), 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+ALLOWED_PHASES = {"X", "i", "C", "M"}
+
+
+def check_trace(obj, label, require_counters=False):
+    """Returns a list of 'label: CTnnn message' finding strings."""
+    findings = []
+
+    def bad(rule, msg):
+        findings.append(f"{label}: {rule} {msg}")
+
+    if not isinstance(obj, dict) or not isinstance(obj.get("traceEvents"), list):
+        bad("CT001", "top level must be an object with a traceEvents list")
+        return findings
+
+    counter_last_ts = {}   # counter name -> last seen ts
+    counter_names = set()
+    event_tids = set()     # tids owning span/instant events
+    named_tids = set()     # tids with a thread_name metadata event
+    saw_process_name = False
+
+    for i, e in enumerate(obj["traceEvents"]):
+        where = f"event[{i}]"
+        if not isinstance(e, dict):
+            bad("CT001", f"{where} is not an object")
+            continue
+        name = e.get("name")
+        ph = e.get("ph")
+        if not isinstance(name, str) or not isinstance(ph, str):
+            bad("CT001", f"{where} lacks string name/ph")
+            continue
+        if not isinstance(e.get("pid"), int) or not isinstance(e.get("tid"), int):
+            bad("CT001", f"{where} ({name}) lacks integer pid/tid")
+            continue
+        if ph not in ALLOWED_PHASES:
+            bad("CT002", f"{where} ({name}) has unknown phase {ph!r}")
+            continue
+
+        if ph == "M":
+            args = e.get("args")
+            if name == "process_name":
+                saw_process_name = True
+            elif name == "thread_name":
+                if isinstance(args, dict) and isinstance(args.get("name"), str):
+                    named_tids.add(e["tid"])
+                else:
+                    bad("CT006", f"{where} thread_name lacks args.name")
+            continue
+
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            bad("CT003", f"{where} ({name}, ph={ph}) has invalid ts {ts!r}")
+            continue
+
+        if ph == "X":
+            event_tids.add(e["tid"])
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                bad("CT003", f"{where} ({name}) has invalid dur {dur!r}")
+        elif ph == "i":
+            event_tids.add(e["tid"])
+        elif ph == "C":
+            args = e.get("args")
+            value = args.get("value") if isinstance(args, dict) else None
+            if not isinstance(value, (int, float)):
+                bad("CT004", f"{where} ({name}) lacks numeric args.value")
+                continue
+            if e.get("cat") != "telemetry":
+                bad("CT004", f"{where} ({name}) counter cat is not 'telemetry'")
+            counter_names.add(name)
+            last = counter_last_ts.get(name)
+            if last is not None and ts < last:
+                bad("CT005",
+                    f"{where} counter {name!r} ts {ts} < previous {last}")
+            counter_last_ts[name] = ts
+
+    if event_tids and not saw_process_name:
+        bad("CT006", "no process_name metadata event")
+    for tid in sorted(event_tids - named_tids):
+        bad("CT006", f"tid {tid} owns events but has no thread_name metadata")
+
+    if require_counters:
+        if "threshold" not in counter_names:
+            bad("CT004", "no 'threshold' counter track (telemetry not attached?)")
+        if not any(n.startswith("queue_depth") or n == "wave_size"
+                   for n in counter_names):
+            bad("CT004", "no queue-depth/wave-size counter track")
+    return findings
+
+
+def check_file(path, require_counters=False):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            obj = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"{path}: CT001 cannot load trace JSON: {e}"]
+    return check_trace(obj, path, require_counters)
+
+
+def run_cli(binary):
+    """Runs the CLI for each engine with --trace --telemetry and validates."""
+    findings = []
+    with tempfile.TemporaryDirectory(prefix="whirlpool_trace.") as tmp:
+        for engine in ("ws", "wm", "lockstep"):
+            trace = os.path.join(tmp, f"trace_{engine}.json")
+            cmd = [
+                binary, "query", "--generate-kb=64", "--seed=7",
+                "--xpath=//item[./description/parlist and ./name]", "--k=5",
+                f"--engine={engine}", f"--trace={trace}",
+                "--telemetry-interval-us=200",
+            ]
+            proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                                  stderr=subprocess.STDOUT, text=True)
+            if proc.returncode != 0:
+                findings.append(
+                    f"{trace}: CT001 CLI run failed ({proc.returncode}): "
+                    f"{proc.stdout.strip()[:400]}")
+                continue
+            findings.extend(check_file(trace, require_counters=True))
+    return findings
+
+
+# --- self-test corpus -------------------------------------------------------
+
+GOOD_TRACE = {
+    "displayTimeUnit": "ms",
+    "traceEvents": [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "whirlpool"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "whirlpool-s"}},
+        {"name": "server_op", "ph": "X", "pid": 1, "tid": 0, "ts": 1.0,
+         "dur": 2.5, "cat": "exec", "args": {"server": 0, "match_seq": 1}},
+        {"name": "route", "ph": "i", "s": "t", "pid": 1, "tid": 0, "ts": 4.0,
+         "cat": "exec", "args": {"server": 1, "match_seq": 1}},
+        {"name": "threshold", "ph": "C", "pid": 1, "tid": 0, "ts": 2.0,
+         "cat": "telemetry", "args": {"value": 0.0}},
+        {"name": "threshold", "ph": "C", "pid": 1, "tid": 0, "ts": 3.0,
+         "cat": "telemetry", "args": {"value": 1.5}},
+        {"name": "queue_depth.router", "ph": "C", "pid": 1, "tid": 0,
+         "ts": 2.0, "cat": "telemetry", "args": {"value": 7}},
+    ],
+}
+
+# (trace mutation, expected rule id) pairs; each is GOOD_TRACE with one break.
+def _mutate(drop_name=None, **event_override):
+    bad = json.loads(json.dumps(GOOD_TRACE))
+    if drop_name is not None:
+        bad["traceEvents"] = [e for e in bad["traceEvents"]
+                              if e["name"] != drop_name]
+    if event_override:
+        bad["traceEvents"].append(event_override)
+    return bad
+
+
+SELF_TEST_BAD = [
+    (_mutate(name="odd", ph="Q", pid=1, tid=0, ts=1.0), "CT002"),
+    (_mutate(name="span", ph="X", pid=1, tid=0, ts=5.0, dur=-1.0), "CT003"),
+    (_mutate(name="span", ph="X", pid=1, tid=0, ts=-2.0, dur=1.0), "CT003"),
+    (_mutate(name="c", ph="C", pid=1, tid=0, ts=1.0, cat="telemetry",
+             args={}), "CT004"),
+    (_mutate(name="threshold", ph="C", pid=1, tid=0, ts=1.0,
+             cat="telemetry", args={"value": 2.0}), "CT005"),
+    (_mutate(drop_name="thread_name"), "CT006"),
+    (_mutate(drop_name="process_name"), "CT006"),
+    ({"traceEvents": {}}, "CT001"),
+]
+
+
+def self_test():
+    failures = []
+    good = check_trace(GOOD_TRACE, "good", require_counters=True)
+    if good:
+        failures.append(f"good trace produced findings: {good}")
+    no_counters = json.loads(json.dumps(GOOD_TRACE))
+    no_counters["traceEvents"] = [
+        e for e in no_counters["traceEvents"] if e["ph"] != "C"]
+    if not any("CT004" in f for f in
+               check_trace(no_counters, "nc", require_counters=True)):
+        failures.append("missing counter tracks not flagged under "
+                        "--require-counters")
+    for i, (bad, rule) in enumerate(SELF_TEST_BAD):
+        found = check_trace(bad, f"bad[{i}]", require_counters=False)
+        if not any(rule in f for f in found):
+            failures.append(f"bad[{i}] expected {rule}, got {found}")
+    for f in failures:
+        print(f"check_trace self-test FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(f"check_trace self-test OK "
+              f"({1 + len(SELF_TEST_BAD) + 1} cases)")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="*", help="trace JSON files to validate")
+    ap.add_argument("--run-cli", metavar="BIN",
+                    help="run BIN query --trace --telemetry per engine, then "
+                         "validate the traces")
+    ap.add_argument("--require-counters", action="store_true",
+                    help="demand threshold + queue-depth counter tracks")
+    ap.add_argument("--self-test", action="store_true",
+                    help="validate the checker against embedded traces")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.run_cli:
+        if not os.path.exists(args.run_cli):
+            print(f"check_trace: no such binary: {args.run_cli}",
+                  file=sys.stderr)
+            return 2
+        findings = run_cli(args.run_cli)
+    elif args.traces:
+        findings = []
+        for path in args.traces:
+            findings.extend(check_file(path, args.require_counters))
+    else:
+        ap.print_usage(sys.stderr)
+        return 2
+
+    for f in findings:
+        print(f, file=sys.stderr)
+    if not findings:
+        print("check_trace: OK")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -136,6 +136,18 @@ Result<exec::ExecOptions> ParseExecOptions(const Flags& flags) {
   // The plan string itself is validated by ValidateOptions / ValidatePlan.
   options.failpoints = flags.Get("failpoints");
   options.failpoint_seed = static_cast<uint64_t>(flags.GetInt("failpoint-seed", 0));
+  // Flight recorder: --telemetry enables the default 1 ms sampler;
+  // --telemetry-interval-us overrides the interval (and implies enablement).
+  if (flags.Has("telemetry-interval-us")) {
+    const int64_t us = flags.GetInt("telemetry-interval-us", 0);
+    if (us <= 0) {
+      return Status::InvalidArgument("--telemetry-interval-us must be positive");
+    }
+    options.telemetry_interval_us = static_cast<uint64_t>(us);
+  } else if (flags.Has("telemetry")) {
+    options.telemetry_interval_us = 1000;
+  }
+  options.postmortem_path = flags.Get("postmortem");
   return options;
 }
 
@@ -239,7 +251,8 @@ Status CmdQuery(const Flags& flags, std::ostream& out) {
       {"xml", "snapshot", "generate-kb", "seed", "xpath", "k", "engine", "semantics",
        "aggregation", "norm", "routing", "format", "show-metrics", "threshold",
        "show-fragments", "cache", "trace", "metrics-json", "topk-shards",
-       "queue-drain-batch", "deadline-ms", "failpoints", "failpoint-seed"}));
+       "queue-drain-batch", "deadline-ms", "failpoints", "failpoint-seed",
+       "telemetry", "telemetry-interval-us", "postmortem"}));
   if (!flags.Has("xpath")) return Status::InvalidArgument("--xpath is required");
   auto doc = LoadDocument(flags);
   if (!doc.ok()) return doc.status();
@@ -339,10 +352,17 @@ std::string UsageText() {
       "            [--show-fragments] [--trace=FILE] [--metrics-json=FILE]\n"
       "            [--topk-shards=N|auto] [--queue-drain-batch=N|auto]\n"
       "            [--deadline-ms=T] [--failpoints=PLAN] [--failpoint-seed=S]\n"
+      "            [--telemetry] [--telemetry-interval-us=N] [--postmortem=FILE]\n"
       "\n"
       "  --trace=FILE writes a Chrome trace_event JSON (open in Perfetto or\n"
       "  chrome://tracing); --metrics-json=FILE writes the run's MetricsSnapshot\n"
       "  as JSON, including p50/p95/p99 latency percentiles.\n"
+      "\n"
+      "  --telemetry samples the flight recorder every 1 ms (threshold, queue\n"
+      "  depths, counter rates; --telemetry-interval-us=N overrides). The series\n"
+      "  land in --metrics-json (\"timeseries\") and as Perfetto counter tracks in\n"
+      "  --trace; degraded runs (deadline, injected error) print a post-mortem to\n"
+      "  stderr or --postmortem=FILE.\n"
       "\n"
       "  --deadline-ms=T stops the run after T ms and returns the current top-k\n"
       "  flagged approximate, with its threshold and max-possible-score bound.\n"

@@ -70,6 +70,9 @@ ATOMIC_ALLOWLIST = {
     # Queue-depth high-water mark: monotone, all stores under mu_; lock-free
     # readers (metrics export) see a valid lower bound.
     "SyncMatchQueue::depth_peak_",
+    # Live queue depth mirror: all stores under mu_; the lock-free reader is
+    # the telemetry sampler, which tolerates a stale instantaneous value.
+    "SyncMatchQueue::depth_",
     # Total drain adjustments, incremented lock-free by DrainGovernors on
     # consumer threads; mu_ guards only the governor registry.
     "DrainController::adjustments_",
